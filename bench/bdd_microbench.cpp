@@ -1,0 +1,154 @@
+// google-benchmark microbenchmarks for the BDD package primitives the
+// verification algorithms lean on: AND/ITE/XOR apply, quantification,
+// Restrict, vector compose, and the shared-size counter used by Figure 1.
+#include <benchmark/benchmark.h>
+
+#include "bdd/bdd.hpp"
+#include "sym/bitvector.hpp"
+#include "util/rng.hpp"
+
+namespace icb {
+namespace {
+
+/// n-bit unsigned comparator a <= b over interleaved fresh variables.
+struct Comparator {
+  BddManager mgr;
+  BitVec a, b;
+  Bdd le;
+
+  explicit Comparator(unsigned width) {
+    for (unsigned j = 0; j < width; ++j) {
+      a.push(mgr.var(mgr.newVar()));
+      b.push(mgr.var(mgr.newVar()));
+    }
+    le = ule(a, b);
+  }
+};
+
+void BM_MkAdderChain(benchmark::State& state) {
+  const auto width = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    BddManager mgr;
+    BitVec a;
+    BitVec b;
+    for (unsigned j = 0; j < width; ++j) {
+      a.push(mgr.var(mgr.newVar()));
+      b.push(mgr.var(mgr.newVar()));
+    }
+    benchmark::DoNotOptimize(add(a, b).bits().back().edge());
+  }
+  state.SetItemsProcessed(state.iterations() * width);
+}
+BENCHMARK(BM_MkAdderChain)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_AndComparators(benchmark::State& state) {
+  Comparator c(static_cast<unsigned>(state.range(0)));
+  const Bdd ge = ule(c.b, c.a);
+  for (auto _ : state) {
+    // Different operands each round defeat the computed cache's top entry.
+    benchmark::DoNotOptimize((c.le & ge).edge());
+    benchmark::DoNotOptimize((c.le ^ ge).edge());
+  }
+}
+BENCHMARK(BM_AndComparators)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_IteDeep(benchmark::State& state) {
+  BddManager mgr;
+  Rng rng(1);
+  const unsigned nvars = 24;
+  std::vector<Bdd> vars;
+  for (unsigned i = 0; i < nvars; ++i) vars.push_back(mgr.var(mgr.newVar()));
+  Bdd f = vars[0];
+  Bdd g = vars[1];
+  Bdd h = vars[2];
+  for (unsigned i = 3; i < nvars; ++i) {
+    f = f.ite(g, vars[i]);
+    std::swap(g, h);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ite(g, h).edge());
+    benchmark::DoNotOptimize(g.ite(h, f).edge());
+  }
+}
+BENCHMARK(BM_IteDeep);
+
+void BM_ExistsOverCube(benchmark::State& state) {
+  Comparator c(static_cast<unsigned>(state.range(0)));
+  std::vector<unsigned> qs;
+  for (unsigned v = 0; v < c.mgr.varCount(); v += 2) qs.push_back(v);
+  const Bdd cube(&c.mgr, c.mgr.cubeE(qs));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.le.exists(cube).edge());
+    benchmark::DoNotOptimize(c.le.forall(cube).edge());
+  }
+}
+BENCHMARK(BM_ExistsOverCube)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_RestrictByConstraint(benchmark::State& state) {
+  Comparator c(static_cast<unsigned>(state.range(0)));
+  const Bdd care = uleConst(c.a, 100) & uleConst(c.b, 200);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.le.restrictBy(care).edge());
+    benchmark::DoNotOptimize(c.le.constrainBy(care).edge());
+  }
+}
+BENCHMARK(BM_RestrictByConstraint)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_VectorCompose(benchmark::State& state) {
+  Comparator c(static_cast<unsigned>(state.range(0)));
+  // Substitute a+1 for a (a shift of the comparator).
+  const BitVec inc = incTrunc(c.a);
+  std::vector<Edge> map;
+  for (unsigned v = 0; v < c.mgr.varCount(); ++v) map.push_back(c.mgr.varEdge(v));
+  for (unsigned j = 0; j < c.a.width(); ++j) {
+    map[c.a.bit(j).topVar()] = inc.bit(j).edge();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(c.le.composeVec(map).edge());
+  }
+}
+BENCHMARK(BM_VectorCompose)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_SharedSize(benchmark::State& state) {
+  BddManager mgr;
+  Rng rng(7);
+  std::vector<Bdd> funcs;
+  const unsigned nvars = 20;
+  std::vector<Bdd> vars;
+  for (unsigned i = 0; i < nvars; ++i) vars.push_back(mgr.var(mgr.newVar()));
+  Bdd acc = mgr.one();
+  for (unsigned i = 0; i + 1 < nvars; ++i) {
+    acc = (acc & vars[i]) ^ vars[i + 1];
+    funcs.push_back(acc);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sharedSize(funcs));
+  }
+}
+BENCHMARK(BM_SharedSize);
+
+void BM_GarbageCollection(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    BddManager mgr;
+    Rng rng(3);
+    std::vector<Bdd> keep;
+    for (unsigned i = 0; i < 16; ++i) mgr.newVar();
+    for (int i = 0; i < 200; ++i) {
+      Bdd f = mgr.var(static_cast<unsigned>(rng.below(16)));
+      for (int j = 0; j < 6; ++j) {
+        f = f ^ mgr.var(static_cast<unsigned>(rng.below(16)));
+        f = f & mgr.var(static_cast<unsigned>(rng.below(16)));
+      }
+      if (i % 4 == 0) keep.push_back(f);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(mgr.gc());
+  }
+}
+BENCHMARK(BM_GarbageCollection);
+
+}  // namespace
+}  // namespace icb
+
+BENCHMARK_MAIN();

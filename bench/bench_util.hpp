@@ -1,0 +1,76 @@
+// Shared harness for the paper-table benchmarks: runs one (model, method)
+// cell under the paper-style resource caps and renders rows in the layout of
+// Tables 1-3 (Meth. / Time / Iter / Mem / BDD Nodes with the parenthesized
+// per-conjunct breakdown).
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "verif/run_all.hpp"
+
+namespace icb::bench {
+
+/// Resource caps standing in for the paper's "Exceeded 60MB." (Sun 4/75
+/// memory) and "Exceeded 40 minutes." rows.  Overridable per binary via
+/// --max-nodes / --time-limit.
+struct BenchCaps {
+  std::uint64_t maxNodes = 24'000'000;  // ~0.6 GB of node storage
+  double timeLimitSeconds = 60.0;
+
+  static BenchCaps fromArgs(const CliArgs& args) {
+    BenchCaps caps;
+    caps.maxNodes = static_cast<std::uint64_t>(
+        args.getInt("max-nodes", static_cast<std::int64_t>(caps.maxNodes)));
+    caps.timeLimitSeconds = args.getDouble("time-limit", caps.timeLimitSeconds);
+    return caps;
+  }
+
+  [[nodiscard]] EngineOptions engineOptions() const {
+    EngineOptions options;
+    options.maxNodes = maxNodes;
+    options.timeLimitSeconds = timeLimitSeconds;
+    options.wantTrace = false;  // benches measure the decision procedure
+    return options;
+  }
+};
+
+/// Renders one engine result as a table row.
+inline void addResultRow(TextTable& table, const EngineResult& r) {
+  std::string nodes;
+  std::string time;
+  std::string iters;
+  std::string mem;
+  switch (r.verdict) {
+    case Verdict::kNodeLimit:
+      time = "Exceeded node cap.";
+      break;
+    case Verdict::kTimeLimit:
+      time = "Exceeded time cap.";
+      break;
+    case Verdict::kIterationLimit:
+      time = "Exceeded iteration cap.";
+      break;
+    default: {
+      time = formatMinSec(r.seconds);
+      iters = std::to_string(r.iterations);
+      mem = formatKb(r.memBytesEstimate);
+      nodes = std::to_string(r.peakIterateNodes);
+      const std::string breakdown = describeMemberSizes(r);
+      if (!breakdown.empty()) nodes += " " + breakdown;
+      if (r.verdict == Verdict::kViolated) nodes += " [VIOLATED]";
+      break;
+    }
+  }
+  table.addRow({methodName(r.method), time, iters, mem, nodes});
+}
+
+/// Standard header used by every table binary.
+inline TextTable paperTable() {
+  return TextTable({"Meth.", "Time", "Iter", "Mem", "BDD Nodes"});
+}
+
+}  // namespace icb::bench

@@ -1,0 +1,36 @@
+// Table 1, first block: 8-bit wide typed FIFO buffer, depths 5 and 10.
+//
+// Paper reference values (Sun 4/75, CMU BDD package):
+//   depth  5: Fwd 543 nodes/6 iter, Bkwd 543/1, ICI 41 (5x9), XICI 41 (5x9)
+//   depth 10: Fwd 32767/11, Bkwd 32767/1, ICI 81 (10x9), XICI 81 (10x9)
+// Expected shape: Fwd/Bkwd peak nodes grow exponentially with the depth;
+// ICI/XICI stay at depth x 9 with one iteration.
+#include "bench_util.hpp"
+#include "models/typed_fifo.hpp"
+
+using namespace icb;
+using namespace icb::bench;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const BenchCaps caps = BenchCaps::fromArgs(args);
+  std::printf("Table 1 / typed FIFO (node cap %llu, time cap %.0fs)\n\n",
+              static_cast<unsigned long long>(caps.maxNodes),
+              caps.timeLimitSeconds);
+
+  TextTable table = paperTable();
+  for (const unsigned depth : {5u, 10u}) {
+    table.addSpan("8-bit wide typed FIFO buffer, depth " +
+                  std::to_string(depth));
+    for (const Method m :
+         {Method::kFwd, Method::kBkwd, Method::kIci, Method::kXici}) {
+      BddManager mgr;
+      TypedFifoModel model(mgr, {.depth = depth, .width = 8});
+      const EngineResult r = runMethod(model.fsm(), m, model.fdCandidates(),
+                                       caps.engineOptions());
+      addResultRow(table, r);
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

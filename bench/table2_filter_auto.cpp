@@ -1,0 +1,51 @@
+// Table 2: the moving-average filter WITHOUT assisting invariants -- the
+// paper's headline experiment.  The verifier gets only "the two outputs
+// agree"; no user-supplied partition exists, so the original ICI degenerates
+// to the monolithic backward traversal and dies with it on depths 8 and 16,
+// while XICI's evaluation policy derives the per-layer lemmas automatically.
+//
+// Paper reference values:
+//   depth  4: Fwd 11267/3, Bkwd 490/1, ICI 490/1 (== Bkwd!),
+//             XICI 146 (45,102)/2
+//   depth  8: Fwd/Bkwd/ICI all exceeded; XICI 638 (61,169,390)/3
+//   depth 16: XICI 2558 (141,290,629,1501)/4
+#include "bench_util.hpp"
+#include "models/avg_filter.hpp"
+
+using namespace icb;
+using namespace icb::bench;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const BenchCaps caps = BenchCaps::fromArgs(args);
+  std::printf(
+      "Table 2 / moving-average filter WITHOUT assisting invariants\n"
+      "(node cap %llu, time cap %.0fs)\n\n",
+      static_cast<unsigned long long>(caps.maxNodes), caps.timeLimitSeconds);
+
+  TextTable table = paperTable();
+  for (const unsigned depth : {4u, 8u, 16u}) {
+    table.addSpan("filter depth " + std::to_string(depth) +
+                  ", 8-bit samples, NO assists");
+    for (const Method m :
+         {Method::kFwd, Method::kBkwd, Method::kIci, Method::kXici}) {
+      // Skip the hopeless monolithic runs at depth 16 (the paper's Table 2
+      // does not even list them); they would only burn the time cap.
+      if (depth == 16 && m != Method::kXici) continue;
+      BddManager mgr;
+      AvgFilterModel model(mgr, {.depth = depth, .sampleWidth = 8});
+      EngineOptions options = caps.engineOptions();
+      options.withAssists = false;
+      const EngineResult r =
+          runMethod(model.fsm(), m, model.fdCandidates(), options);
+      addResultRow(table, r);
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nReading the table: at depth 4 the ICI row equals the Bkwd row\n"
+      "(no user partition -> the method degenerates), and the XICI\n"
+      "multi-conjunct breakdowns match the per-layer assisting invariants\n"
+      "of Table 1 -- derived fully automatically.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Verify the processors-through-a-network protocol (the paper's second
+// example): every processor's outstanding-request counter matches the
+// network contents.  Demonstrates the FD baseline: with --method fd the
+// counters are treated as functional dependencies of the network state.
+//
+//   network_protocol [--processors N] [--method ...] [--bug]
+//                    [--max-nodes N] [--time-limit SECONDS]
+#include <cstdio>
+#include <iostream>
+
+#include "models/network.hpp"
+#include "util/cli.hpp"
+#include "verif/counterexample.hpp"
+#include "verif/run_all.hpp"
+
+using namespace icb;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  NetworkConfig config;
+  config.processors = static_cast<unsigned>(args.getInt("processors", 4));
+  config.injectBug = args.getBool("bug", false);
+
+  EngineOptions options;
+  options.maxNodes = static_cast<std::uint64_t>(args.getInt("max-nodes", 4'000'000));
+  options.timeLimitSeconds = args.getDouble("time-limit", 120.0);
+
+  const Method method = parseMethod(args.getString("method", "xici"));
+
+  BddManager mgr;
+  NetworkModel model(mgr, config);
+  std::printf("network protocol: %u processors, %u-slot network, bug=%s\n",
+              config.processors, config.processors,
+              config.injectBug ? "yes" : "no");
+  std::printf("method=%s; property: counter_p == outstanding messages of p\n",
+              methodName(method));
+
+  const EngineResult r =
+      runMethod(model.fsm(), method, model.fdCandidates(), options);
+
+  std::printf("\nverdict:      %s\n", verdictName(r.verdict));
+  std::printf("iterations:   %u\n", r.iterations);
+  std::printf("time:         %.3fs\n", r.seconds);
+  std::printf("peak iterate: %llu nodes %s\n",
+              static_cast<unsigned long long>(r.peakIterateNodes),
+              describeMemberSizes(r).c_str());
+  if (method == Method::kFd) {
+    std::printf(
+        "note: with FD the iterate above is the factored form -- the reduced\n"
+        "reachable set over the network bits plus one dependency function per\n"
+        "counter bit; the monolithic reachable set is never built.\n");
+  }
+  if (!r.note.empty()) std::printf("note: %s\n", r.note.c_str());
+
+  if (r.trace.has_value()) {
+    std::printf("\ncounterexample (%zu states):\n", r.trace->states.size());
+    std::cout << formatTrace(model.fsm(), *r.trace);
+    const std::string err =
+        validateTrace(model.fsm(), *r.trace, model.fsm().property(false));
+    std::printf("trace replay: %s\n", err.empty() ? "valid" : err.c_str());
+  }
+  return r.verdict == Verdict::kHolds || r.verdict == Verdict::kViolated ? 0 : 1;
+}

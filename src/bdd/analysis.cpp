@@ -1,0 +1,156 @@
+// Analysis utilities: node counting (single- and shared-root), satisfying
+// assignment counting, support, evaluation, minterm picking, and the
+// node-budget-bounded AND (the paper's SS V wish: "abort any of these
+// operations if the size exceeds a specified bound").
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bdd/manager.hpp"
+#include "util/rng.hpp"
+
+namespace icb {
+
+namespace {
+
+/// DFS node count over one or more roots, shared nodes counted once.
+/// Counts the terminal if any root reaches it (every nonempty set does),
+/// matching the paper's figures (8-bit "<= 128" comparator == 9 nodes).
+std::uint64_t countNodes(const BddManager& mgr, std::span<const Edge> roots) {
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<std::uint32_t> stack;
+  for (const Edge root : roots) {
+    stack.push_back(edgeIndex(root));
+  }
+  while (!stack.empty()) {
+    const std::uint32_t i = stack.back();
+    stack.pop_back();
+    if (!seen.insert(i).second) continue;
+    if (i == 0) continue;
+    if ((seen.size() & 0xFFFFu) == 0) {
+      // Large counts can dominate wall time without ever allocating;
+      // honour the deadline here too.
+      const_cast<BddManager&>(mgr).pollLimits();
+    }
+    const Edge plain = makeEdge(i, false);
+    stack.push_back(edgeIndex(mgr.edgeThen(plain)));
+    stack.push_back(edgeIndex(mgr.edgeElse(plain)));
+  }
+  return seen.size();
+}
+
+}  // namespace
+
+std::uint64_t BddManager::sizeE(Edge e) const {
+  const Edge roots[1] = {e};
+  return countNodes(*this, roots);
+}
+
+std::uint64_t BddManager::sharedSizeE(std::span<const Edge> roots) const {
+  if (roots.empty()) return 0;
+  return countNodes(*this, roots);
+}
+
+double BddManager::satCountE(Edge e, unsigned nvars) const {
+  // Compute the probability that a uniformly random assignment satisfies e;
+  // complement edges fall out naturally as prob(!f) = 1 - prob(f).
+  std::unordered_map<std::uint32_t, double> memo;
+  // Recursive lambda via explicit stack-free recursion (depth <= #vars).
+  auto prob = [&](auto&& self, Edge f) -> double {
+    if (f == kTrueEdge) return 1.0;
+    if (f == kFalseEdge) return 0.0;
+    const bool neg = edgeIsComplemented(f);
+    const std::uint32_t i = edgeIndex(f);
+    double p;
+    if (const auto it = memo.find(i); it != memo.end()) {
+      p = it->second;
+    } else {
+      const Edge plain = makeEdge(i, false);
+      p = 0.5 * (self(self, edgeThen(plain)) + self(self, edgeElse(plain)));
+      memo.emplace(i, p);
+    }
+    return neg ? 1.0 - p : p;
+  };
+  double scale = 1.0;
+  for (unsigned i = 0; i < nvars; ++i) scale *= 2.0;
+  return prob(prob, e) * scale;
+}
+
+std::vector<unsigned> BddManager::supportE(Edge e) const {
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<std::uint32_t> stack{edgeIndex(e)};
+  std::vector<unsigned> vars;
+  while (!stack.empty()) {
+    const std::uint32_t i = stack.back();
+    stack.pop_back();
+    if (i == 0 || !seen.insert(i).second) continue;
+    vars.push_back(nodes_[i].var);
+    stack.push_back(edgeIndex(nodes_[i].hi));
+    stack.push_back(edgeIndex(nodes_[i].lo));
+  }
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return vars;
+}
+
+bool BddManager::evalE(Edge e, std::span<const char> values) const {
+  while (!edgeIsConstant(e)) {
+    const unsigned v = nodeVar(e);
+    if (v >= values.size()) {
+      throw BddUsageError("evalE: assignment misses a support variable");
+    }
+    e = values[v] != 0 ? edgeThen(e) : edgeElse(e);
+  }
+  return e == kTrueEdge;
+}
+
+void BddManager::pickMintermE(Edge e, std::span<const unsigned> vars, Rng& rng,
+                              std::vector<char>& values) const {
+  if (e == kFalseEdge) {
+    throw BddUsageError("pickMintermE on the empty set");
+  }
+  if (values.size() < varEdges_.size()) values.resize(varEdges_.size(), 0);
+  // Unconstrained variables get random values first; the walk below then
+  // overwrites the constrained ones along one satisfying path.
+  for (const unsigned v : vars) values[v] = rng.coin() ? 1 : 0;
+  while (!edgeIsConstant(e)) {
+    const unsigned v = nodeVar(e);
+    const Edge hi = edgeThen(e);
+    const Edge lo = edgeElse(e);
+    bool takeHigh;
+    if (hi == kFalseEdge) {
+      takeHigh = false;
+    } else if (lo == kFalseEdge) {
+      takeHigh = true;
+    } else {
+      takeHigh = rng.coin();
+    }
+    values[v] = takeHigh ? 1 : 0;
+    e = takeHigh ? hi : lo;
+  }
+  // e must have ended at TRUE: we only ever stepped into non-FALSE children.
+}
+
+bool BddManager::andBoundedE(Edge f, Edge g, std::uint64_t nodeBudget,
+                             Edge* result) {
+  const ResourceLimits saved = limits_;
+  const std::uint64_t start = allocatedNodes();
+  const std::uint64_t cap = start + nodeBudget;
+  limits_.maxNodes =
+      saved.maxNodes == 0 ? cap : std::min<std::uint64_t>(saved.maxNodes, cap);
+  try {
+    const Edge r = andE(f, g);
+    limits_ = saved;
+    *result = r;
+    return true;
+  } catch (const ResourceLimitError& err) {
+    limits_ = saved;
+    if (err.kind() == ResourceKind::kTime ||
+        (saved.maxNodes != 0 && allocatedNodes() >= saved.maxNodes)) {
+      throw;  // the caller's own limit is the one that tripped
+    }
+    return false;
+  }
+}
+
+}  // namespace icb

@@ -1,0 +1,101 @@
+// Simultaneous composition (vector compose), variable renaming, and literal
+// cofactors.
+//
+// Vector compose substitutes a function for every variable at once:
+//   composeVec(f, map)(x) = f[v := map[v] for all v]
+// It is the workhorse behind BackImage/PreImage for machines whose
+// transitions are given as next-state functions:
+//   BackImage(Z) = forall inputs . Z[state := F(state, inputs)].
+//
+// The substitution functions can sit anywhere in the variable order, so the
+// recursion rebuilds with ITE rather than mk.  The memo table is local to
+// each call (the cache key would otherwise have to include the whole map).
+#include <unordered_map>
+
+#include "bdd/manager.hpp"
+
+namespace icb {
+
+namespace {
+
+class VectorComposer {
+ public:
+  VectorComposer(BddManager& mgr, std::span<const Edge> map)
+      : mgr_(mgr), map_(map) {}
+
+  Edge compose(Edge f) {
+    if (edgeIsConstant(f)) return f;
+    // compose commutes with negation: memoize plain edges only.
+    const bool neg = edgeIsComplemented(f);
+    const Edge key = edgeRegular(f);
+    if (const auto it = memo_.find(key); it != memo_.end()) {
+      return it->second ^ (neg ? 1u : 0u);
+    }
+    const unsigned v = mgr_.nodeVar(key);
+    const Edge sub = v < map_.size() ? map_[v] : varEdgeOf(v);
+    const Edge hi = compose(mgr_.edgeThen(key));
+    const Edge lo = compose(mgr_.edgeElse(key));
+    const Edge result = mgr_.iteE(sub, hi, lo);
+    memo_.emplace(key, result);
+    return result ^ (neg ? 1u : 0u);
+  }
+
+ private:
+  Edge varEdgeOf(unsigned v) { return mgr_.varEdge(v); }
+
+  BddManager& mgr_;
+  std::span<const Edge> map_;
+  std::unordered_map<Edge, Edge> memo_;
+};
+
+}  // namespace
+
+Edge BddManager::composeVecE(Edge f, std::span<const Edge> map) {
+  VectorComposer composer(*this, map);
+  return composer.compose(f);
+}
+
+Edge BddManager::permuteE(Edge f, std::span<const unsigned> perm) {
+  std::vector<Edge> map(varEdges_.size());
+  for (unsigned v = 0; v < map.size(); ++v) {
+    const unsigned target = v < perm.size() ? perm[v] : v;
+    if (target >= varEdges_.size()) {
+      throw BddUsageError("permute target out of range");
+    }
+    map[v] = varEdges_[target];
+  }
+  VectorComposer composer(*this, map);
+  return composer.compose(f);
+}
+
+Edge BddManager::cofactorE(Edge f, unsigned var, bool value) {
+  if (var >= varEdges_.size()) throw BddUsageError("cofactor var out of range");
+  // restrict by the literal is exactly the cofactor (the care set forces
+  // var to one value, and Restrict's sibling-merge case skips var above f).
+  const Edge literal = value ? varEdges_[var] : edgeNot(varEdges_[var]);
+  return restrictE(f, literal);
+}
+
+Edge BddManager::transferFromE(const BddManager& source, Edge e) {
+  while (varCount() < source.varCount()) {
+    newVar(source.varName(varCount()));
+  }
+  // Memoized rebuild through ITE (the orders may differ).
+  std::unordered_map<Edge, Edge> memo;
+  auto rec = [&](auto&& self, Edge f) -> Edge {
+    if (edgeIsConstant(f)) return f;
+    const bool neg = edgeIsComplemented(f);
+    const Edge key = edgeRegular(f);
+    if (const auto it = memo.find(key); it != memo.end()) {
+      return it->second ^ (neg ? 1u : 0u);
+    }
+    const Edge hi = self(self, source.edgeThen(key));
+    const Edge lo = self(self, source.edgeElse(key));
+    const Edge result = iteE(varEdge(source.nodeVar(key)), hi, lo);
+    memo.emplace(key, result);
+    return result ^ (neg ? 1u : 0u);
+  };
+  return rec(rec, e);
+}
+
+}  // namespace icb

@@ -1,0 +1,44 @@
+// Edge encoding for the BDD package.
+//
+// An Edge packs a node index and a complement bit into one 32-bit word:
+//   bit 0      complement flag (the function is the negation of the node's)
+//   bits 1..31 node index into the manager's node arena
+//
+// Node index 0 is the single terminal node, so:
+//   Edge 0 (index 0, plain)        == constant TRUE
+//   Edge 1 (index 0, complemented) == constant FALSE
+//
+// Complement edges make negation a constant-time bit flip; the paper's exact
+// termination test (step 2: "if any two BDDs in the list are complements")
+// explicitly relies on this property of "efficient BDD implementations".
+#pragma once
+
+#include <cstdint>
+
+namespace icb {
+
+using Edge = std::uint32_t;
+
+inline constexpr Edge kTrueEdge = 0;
+inline constexpr Edge kFalseEdge = 1;
+
+/// Index of the node an edge points to.
+constexpr std::uint32_t edgeIndex(Edge e) { return e >> 1; }
+
+/// Whether the edge carries the complement flag.
+constexpr bool edgeIsComplemented(Edge e) { return (e & 1u) != 0; }
+
+/// Builds an edge from a node index and complement flag.
+constexpr Edge makeEdge(std::uint32_t index, bool complemented) {
+  return (index << 1) | (complemented ? 1u : 0u);
+}
+
+/// Constant-time negation.
+constexpr Edge edgeNot(Edge e) { return e ^ 1u; }
+
+/// Makes `e` plain (clears the complement bit); used when canonicalizing.
+constexpr Edge edgeRegular(Edge e) { return e & ~1u; }
+
+constexpr bool edgeIsConstant(Edge e) { return edgeIndex(e) == 0; }
+
+}  // namespace icb

@@ -1,0 +1,49 @@
+// Graphviz output for debugging and documentation figures.
+#include <ostream>
+#include <unordered_set>
+
+#include "bdd/manager.hpp"
+
+namespace icb {
+
+void BddManager::dumpDot(std::ostream& os, std::span<const Edge> roots,
+                         std::span<const std::string> rootNames) const {
+  os << "digraph bdd {\n";
+  os << "  rankdir=TB;\n";
+  os << "  node [shape=circle];\n";
+  os << "  t1 [shape=box, label=\"1\"];\n";
+
+  std::unordered_set<std::uint32_t> seen;
+  std::vector<std::uint32_t> stack;
+
+  auto edgeTarget = [](Edge e) {
+    return edgeIndex(e) == 0 ? std::string("t1")
+                             : "n" + std::to_string(edgeIndex(e));
+  };
+
+  for (std::size_t r = 0; r < roots.size(); ++r) {
+    const std::string name = r < rootNames.size()
+                                 ? rootNames[r]
+                                 : "f" + std::to_string(r);
+    os << "  r" << r << " [shape=plaintext, label=\"" << name << "\"];\n";
+    os << "  r" << r << " -> " << edgeTarget(roots[r])
+       << (edgeIsComplemented(roots[r]) ? " [style=dotted]" : "") << ";\n";
+    stack.push_back(edgeIndex(roots[r]));
+  }
+
+  while (!stack.empty()) {
+    const std::uint32_t i = stack.back();
+    stack.pop_back();
+    if (i == 0 || !seen.insert(i).second) continue;
+    const Node& n = nodes_[i];
+    os << "  n" << i << " [label=\"" << varNames_[n.var] << "\"];\n";
+    os << "  n" << i << " -> " << edgeTarget(n.hi) << ";\n";
+    os << "  n" << i << " -> " << edgeTarget(n.lo) << " [style=dashed"
+       << (edgeIsComplemented(n.lo) ? ",color=red" : "") << "];\n";
+    stack.push_back(edgeIndex(n.hi));
+    stack.push_back(edgeIndex(n.lo));
+  }
+  os << "}\n";
+}
+
+}  // namespace icb

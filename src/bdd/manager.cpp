@@ -1,0 +1,317 @@
+#include "bdd/manager.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "bdd/bdd.hpp"
+
+namespace icb {
+
+namespace {
+
+/// 64-bit mix (Murmur3 finalizer); good avalanche for table hashing.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+BddManager::BddManager(const BddOptions& options) : options_(options) {
+  nodes_.reserve(options_.initialCapacity);
+  // Node 0: the terminal.  Its var is kFreeVar-1 so it never matches a
+  // variable; it is never on a hash chain.
+  nodes_.push_back(Node{kFreeVar - 1, kTrueEdge, kTrueEdge, kNil, kMaxRef});
+  buckets_.assign(std::bit_ceil<std::size_t>(options_.initialCapacity), kNil);
+  cache_.assign(std::size_t{1} << options_.cacheBitsLog2, CacheEntry{});
+  gcThreshold_ = options_.gcThreshold;
+  stats_.peakNodes = 1;
+}
+
+BddManager::~BddManager() = default;
+
+// ---------------------------------------------------------------------------
+// variables
+
+unsigned BddManager::newVar(const std::string& name) {
+  const auto v = static_cast<unsigned>(varEdges_.size());
+  var2level_.push_back(v);
+  level2var_.push_back(v);
+  varNames_.push_back(name.empty() ? "v" + std::to_string(v) : name);
+  const Edge e = mk(v, kTrueEdge, kFalseEdge);
+  ref(e);  // projection functions stay alive for the manager's lifetime
+  varEdges_.push_back(e);
+  return v;
+}
+
+Bdd BddManager::one() { return Bdd(this, kTrueEdge); }
+Bdd BddManager::zero() { return Bdd(this, kFalseEdge); }
+
+Bdd BddManager::var(unsigned v) {
+  if (v >= varEdges_.size()) throw BddUsageError("var index out of range");
+  return Bdd(this, varEdges_[v]);
+}
+
+Bdd BddManager::nvar(unsigned v) {
+  if (v >= varEdges_.size()) throw BddUsageError("var index out of range");
+  return Bdd(this, edgeNot(varEdges_[v]));
+}
+
+// ---------------------------------------------------------------------------
+// unique table
+
+std::size_t BddManager::hashNode(unsigned var, Edge hi, Edge lo) const {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(var) << 40) ^
+      (static_cast<std::uint64_t>(hi) << 20) ^ static_cast<std::uint64_t>(lo);
+  return mix64(key) & (buckets_.size() - 1);
+}
+
+void BddManager::rehash(std::size_t newBucketCount) {
+  buckets_.assign(newBucketCount, kNil);
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+    Node& n = nodes_[i];
+    if (n.var == kFreeVar) continue;  // free-listed node
+    const std::size_t slot = hashNode(n.var, n.hi, n.lo);
+    n.next = buckets_[slot];
+    buckets_[slot] = i;
+  }
+}
+
+void BddManager::checkResourceLimits() {
+  if (limits_.maxNodes != 0 && allocatedNodes() > limits_.maxNodes) {
+    throw ResourceLimitError(ResourceKind::kNodes);
+  }
+  // The clock is comparatively expensive; sample it.
+  if (limits_.deadline.isSet() && limitCheckCountdown_-- == 0) {
+    limitCheckCountdown_ = 8192;
+    if (limits_.deadline.expired()) {
+      throw ResourceLimitError(ResourceKind::kTime);
+    }
+  }
+}
+
+Edge BddManager::mk(unsigned var, Edge hi, Edge lo) {
+  if (hi == lo) return hi;
+  // Canonical form: the then-arc is never complemented.
+  if (edgeIsComplemented(hi)) {
+    return edgeNot(mk(var, edgeNot(hi), edgeNot(lo)));
+  }
+
+  ++stats_.uniqueLookups;
+  for (std::uint32_t i = buckets_[hashNode(var, hi, lo)]; i != kNil;
+       i = nodes_[i].next) {
+    const Node& n = nodes_[i];
+    if (n.var == var && n.hi == hi && n.lo == lo) {
+      return makeEdge(i, false);
+    }
+  }
+
+  checkResourceLimits();
+
+  std::uint32_t index;
+  if (freeHead_ != kNil) {
+    index = freeHead_;
+    freeHead_ = nodes_[index].next;
+    --freeCount_;
+  } else {
+    index = static_cast<std::uint32_t>(nodes_.size());
+    if (index >= (1u << 31)) {
+      throw ResourceLimitError(ResourceKind::kNodes);  // edge encoding limit
+    }
+    nodes_.push_back(Node{kFreeVar, 0, 0, kNil, 0});
+    // Keep the load factor of the unique table below 1.
+    if (nodes_.size() > buckets_.size()) {
+      rehash(buckets_.size() * 2);
+    }
+  }
+
+  const std::size_t slot = hashNode(var, hi, lo);
+  Node& n = nodes_[index];
+  n.var = var;
+  n.hi = hi;
+  n.lo = lo;
+  n.ref = 0;
+  n.next = buckets_[slot];
+  buckets_[slot] = index;
+
+  ++stats_.nodesCreated;
+  stats_.peakNodes = std::max<std::uint64_t>(stats_.peakNodes, allocatedNodes());
+  return makeEdge(index, false);
+}
+
+// ---------------------------------------------------------------------------
+// computed cache
+
+std::size_t BddManager::cacheSlot(Op op, Edge f, Edge g, Edge h) const {
+  const std::uint64_t k1 =
+      (static_cast<std::uint64_t>(f) << 32) | static_cast<std::uint64_t>(g);
+  const std::uint64_t k2 = (static_cast<std::uint64_t>(h) << 8) |
+                           static_cast<std::uint64_t>(op);
+  return (mix64(k1) ^ mix64(k2 * 0x9E3779B97F4A7C15ull)) & (cache_.size() - 1);
+}
+
+bool BddManager::cacheLookup(Op op, Edge f, Edge g, Edge h, Edge* out) {
+  ++stats_.cacheLookups;
+  const CacheEntry& e = cache_[cacheSlot(op, f, g, h)];
+  if (e.op == op && e.f == f && e.g == g && e.h == h) {
+    ++stats_.cacheHits;
+    *out = e.result;
+    return true;
+  }
+  return false;
+}
+
+void BddManager::cacheInsert(Op op, Edge f, Edge g, Edge h, Edge result) {
+  cache_[cacheSlot(op, f, g, h)] = CacheEntry{f, g, h, op, result};
+}
+
+// ---------------------------------------------------------------------------
+// garbage collection
+
+void BddManager::markRecursive(std::uint32_t index,
+                               std::vector<std::uint8_t>& mark) const {
+  // Iterative DFS to avoid stack overflow on deep BDDs.
+  std::vector<std::uint32_t> stack{index};
+  while (!stack.empty()) {
+    const std::uint32_t i = stack.back();
+    stack.pop_back();
+    if (mark[i] != 0) continue;
+    mark[i] = 1;
+    const Node& n = nodes_[i];
+    if (i == 0) continue;
+    stack.push_back(edgeIndex(n.hi));
+    stack.push_back(edgeIndex(n.lo));
+  }
+}
+
+std::uint64_t BddManager::gc() {
+  std::vector<std::uint8_t> mark(nodes_.size(), 0);
+  mark[0] = 1;
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+    if (nodes_[i].var != kFreeVar && nodes_[i].ref > 0) {
+      markRecursive(i, mark);
+    }
+  }
+
+  std::uint64_t reclaimed = 0;
+  freeHead_ = kNil;
+  freeCount_ = 0;
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+    if (mark[i] != 0) continue;
+    if (nodes_[i].var != kFreeVar) ++reclaimed;
+    nodes_[i].var = kFreeVar;
+    nodes_[i].next = freeHead_;
+    freeHead_ = i;
+    ++freeCount_;
+  }
+
+  rehash(buckets_.size());
+  // Cache entries may now point at freed nodes; drop everything.
+  std::fill(cache_.begin(), cache_.end(), CacheEntry{});
+
+  ++stats_.gcRuns;
+  stats_.gcReclaimed += reclaimed;
+  return reclaimed;
+}
+
+void BddManager::autoGc() {
+  if (nodes_.size() < gcThreshold_) return;
+  gc();
+  // If the table is still mostly live, collecting again soon is pointless:
+  // raise the threshold so we grow instead.
+  if (allocatedNodes() * 4 > nodes_.size() * 3) {
+    gcThreshold_ = std::max<std::uint64_t>(gcThreshold_ * 2, nodes_.size() * 2);
+  }
+}
+
+std::uint64_t BddManager::liveNodes() const {
+  std::vector<std::uint8_t> mark(nodes_.size(), 0);
+  mark[0] = 1;
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+    if (nodes_[i].var != kFreeVar && nodes_[i].ref > 0) {
+      markRecursive(i, mark);
+    }
+  }
+  return static_cast<std::uint64_t>(std::count(mark.begin(), mark.end(), 1));
+}
+
+// ---------------------------------------------------------------------------
+// invariants (test support)
+
+void BddManager::checkInvariants() const {
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.var == kFreeVar) continue;
+    if (n.var >= varEdges_.size()) {
+      throw BddUsageError("node has out-of-range variable");
+    }
+    if (edgeIsComplemented(n.hi)) {
+      throw BddUsageError("then-arc is complemented (canonicity violation)");
+    }
+    if (n.hi == n.lo) {
+      throw BddUsageError("redundant node (hi == lo)");
+    }
+    const unsigned myLevel = var2level_[n.var];
+    for (const Edge child : {n.hi, n.lo}) {
+      if (!edgeIsConstant(child)) {
+        const Node& c = nodes_[edgeIndex(child)];
+        if (c.var == kFreeVar) {
+          throw BddUsageError("live node points at a freed node");
+        }
+        if (var2level_[c.var] <= myLevel) {
+          throw BddUsageError("variable order violated along an arc");
+        }
+      }
+    }
+  }
+  // Every live node must be findable through the unique table.
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.var == kFreeVar) continue;
+    bool found = false;
+    for (std::uint32_t j = buckets_[hashNode(n.var, n.hi, n.lo)]; j != kNil;
+         j = nodes_[j].next) {
+      if (j == i) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) throw BddUsageError("node missing from unique table");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// free-function helpers on handles
+
+Bdd transferTo(BddManager& target, const Bdd& f) {
+  if (f.manager() == &target) return f;
+  target.autoGc();
+  return Bdd(&target, target.transferFromE(*f.manager(), f.edge()));
+}
+
+std::uint64_t sharedSize(std::span<const Bdd> fs) {
+  if (fs.empty()) return 0;
+  BddManager* mgr = fs.front().manager();
+  std::vector<Edge> roots;
+  roots.reserve(fs.size());
+  for (const Bdd& f : fs) {
+    if (f.manager() != mgr) {
+      throw BddUsageError("sharedSize across managers");
+    }
+    roots.push_back(f.edge());
+  }
+  return mgr->sharedSizeE(roots);
+}
+
+Bdd conjoinAll(BddManager& mgr, std::span<const Bdd> fs) {
+  Bdd acc = mgr.one();
+  for (const Bdd& f : fs) acc &= f;
+  return acc;
+}
+
+}  // namespace icb

@@ -1,0 +1,341 @@
+// BddManager: shared-node BDD package with complement edges.
+//
+// Design follows the classic Brace-Rudell-Bryant efficient implementation
+// (the same family as David Long's CMU package used by the paper):
+//   * one node arena, hash-consed through a unique table,
+//   * complement edges restricted to else-arcs and external edges
+//     (the then-arc of a stored node is never complemented), giving a
+//     canonical form with constant-time negation,
+//   * a lossy computed cache for the recursive operators,
+//   * mark-and-sweep garbage collection rooted at the RAII `Bdd` handles.
+//
+// Two API levels coexist:
+//   * the handle level (`Bdd`, see bdd.hpp) -- safe, reference counted,
+//     what the rest of the library uses;
+//   * the edge level (`Edge` methods below) -- used internally by the
+//     recursive algorithms.  Edge-level results are only safe until the next
+//     garbage collection, which can run at any handle-level entry point.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bdd/edge.hpp"
+#include "bdd/options.hpp"
+
+namespace icb {
+
+class Bdd;
+class Rng;
+
+/// Aggregate operation counters, exposed for the benchmark harness.
+struct BddStats {
+  std::uint64_t nodesCreated = 0;   ///< total mk() allocations ever
+  std::uint64_t peakNodes = 0;      ///< max arena occupancy (live + dead)
+  std::uint64_t gcRuns = 0;         ///< number of collections
+  std::uint64_t gcReclaimed = 0;    ///< nodes reclaimed across all GCs
+  std::uint64_t cacheLookups = 0;   ///< computed-cache probes
+  std::uint64_t cacheHits = 0;      ///< computed-cache hits
+  std::uint64_t uniqueLookups = 0;  ///< unique-table probes
+};
+
+class BddManager {
+ public:
+  explicit BddManager(const BddOptions& options = {});
+  ~BddManager();
+
+  BddManager(const BddManager&) = delete;
+  BddManager& operator=(const BddManager&) = delete;
+
+  // ---- variables ---------------------------------------------------------
+
+  /// Creates a new variable at the bottom of the current order.
+  /// Returns its index.  Variable indices are dense, starting at 0.
+  unsigned newVar(const std::string& name = {});
+
+  /// Number of variables created so far.
+  [[nodiscard]] unsigned varCount() const {
+    return static_cast<unsigned>(varEdges_.size());
+  }
+
+  /// Position of variable `var` in the order (0 = top).
+  [[nodiscard]] unsigned varLevel(unsigned var) const {
+    return var2level_[var];
+  }
+
+  /// Variable sitting at order position `level`.
+  [[nodiscard]] unsigned varAtLevel(unsigned level) const {
+    return level2var_[level];
+  }
+
+  [[nodiscard]] const std::string& varName(unsigned var) const {
+    return varNames_[var];
+  }
+
+  // ---- handle-level constants and projections ----------------------------
+
+  Bdd one();
+  Bdd zero();
+  Bdd var(unsigned v);   ///< the projection function of variable v
+  Bdd nvar(unsigned v);  ///< its negation
+
+  // ---- resource limits ----------------------------------------------------
+
+  void setLimits(const ResourceLimits& limits) { limits_ = limits; }
+  [[nodiscard]] const ResourceLimits& limits() const { return limits_; }
+  void clearLimits() { limits_ = ResourceLimits{}; }
+
+  // ---- memory / stats ------------------------------------------------------
+
+  /// Nodes currently allocated in the arena (live + dead-awaiting-GC).
+  [[nodiscard]] std::uint64_t allocatedNodes() const {
+    return nodes_.size() - freeCount_;
+  }
+
+  /// Estimated bytes for `n` nodes, including unique-table overhead.  Used
+  /// to report paper-style "Mem" columns in an implementation-independent
+  /// way (the paper itself warns memory numbers depend on the package).
+  [[nodiscard]] static std::uint64_t bytesForNodes(std::uint64_t n) {
+    return n * (sizeof(Node) + sizeof(std::uint32_t));
+  }
+
+  [[nodiscard]] const BddStats& stats() const { return stats_; }
+  void resetPeak() { stats_.peakNodes = allocatedNodes(); }
+
+  /// Runs a full mark-and-sweep collection now.  Returns nodes reclaimed.
+  std::uint64_t gc();
+
+  /// Runs GC if the arena has outgrown the adaptive threshold.  Called
+  /// automatically at handle-level entry points; harmless to call manually.
+  void autoGc();
+
+  /// Checks the installed resource limits now (mk() polls them itself, but
+  /// long non-allocating walks such as node counting call this explicitly).
+  void pollLimits() { checkResourceLimits(); }
+
+  // ---- edge-level structural accessors ------------------------------------
+
+  [[nodiscard]] unsigned nodeVar(Edge e) const {
+    return nodes_[edgeIndex(e)].var;
+  }
+
+  /// Order position of an edge's top node; constants sit below everything.
+  [[nodiscard]] unsigned edgeLevel(Edge e) const {
+    return edgeIsConstant(e) ? kTermLevel : var2level_[nodes_[edgeIndex(e)].var];
+  }
+
+  /// Then-cofactor of the *function* denoted by `e` at its own top variable
+  /// (complement bit propagated into the child).
+  [[nodiscard]] Edge edgeThen(Edge e) const {
+    return nodes_[edgeIndex(e)].hi ^ (e & 1u);
+  }
+
+  [[nodiscard]] Edge edgeElse(Edge e) const {
+    return nodes_[edgeIndex(e)].lo ^ (e & 1u);
+  }
+
+  /// Edge of the projection function of variable v (edge-level `var(v)`).
+  [[nodiscard]] Edge varEdge(unsigned v) const {
+    if (v >= varEdges_.size()) throw BddUsageError("var index out of range");
+    return varEdges_[v];
+  }
+
+  static constexpr unsigned kTermLevel =
+      std::numeric_limits<unsigned>::max();
+
+  // ---- edge-level operations ----------------------------------------------
+  // These are the recursive workers.  They never trigger GC.
+
+  /// Canonicalizing node constructor ("find or add").
+  Edge mk(unsigned var, Edge hi, Edge lo);
+
+  Edge iteE(Edge f, Edge g, Edge h);
+  Edge andE(Edge f, Edge g);
+  Edge orE(Edge f, Edge g) { return edgeNot(andE(edgeNot(f), edgeNot(g))); }
+  Edge xorE(Edge f, Edge g);
+
+  /// Existential quantification of the positive cube `cube` from f.
+  Edge existsE(Edge f, Edge cube);
+  Edge forallE(Edge f, Edge cube) {
+    return edgeNot(existsE(edgeNot(f), cube));
+  }
+  /// Relational product: exists(cube, f & g) without building f & g.
+  Edge andExistsE(Edge f, Edge g, Edge cube);
+
+  /// Coudert-Berthet-Madre Restrict (sibling-substitution simplification):
+  /// returns some f' with f' & c == f & c, usually smaller than f.
+  Edge restrictE(Edge f, Edge c);
+
+  /// Generalized cofactor (Constrain): f' with f' & c == f & c and the
+  /// image property; can blow up, unlike Restrict it never skips levels.
+  Edge constrainE(Edge f, Edge c);
+
+  /// Simultaneous multi-care-set Restrict (paper SS V future work): returns
+  /// f' with f' & (c1 & ... & ck) == f & (c1 & ... & ck) WITHOUT building
+  /// the conjunction of the care BDDs.  Strictly sharper than iterating
+  /// restrictE when the care sets overlap destructively (the paper's
+  /// "simplify by c1 blows up, then by c2 shrinks below f" scenario).
+  Edge restrictMultiE(Edge f, std::span<const Edge> cares);
+
+  /// Cofactor of f with respect to literal (var = value).
+  Edge cofactorE(Edge f, unsigned var, bool value);
+
+  /// Simultaneous composition: replaces every variable v by map[v].
+  /// map.size() may be less than varCount(); missing vars stay themselves.
+  Edge composeVecE(Edge f, std::span<const Edge> map);
+
+  /// Variable-to-variable renaming (special case of composeVecE).
+  /// perm[v] = target variable for v; missing entries stay.
+  Edge permuteE(Edge f, std::span<const unsigned> perm);
+
+  /// Builds the positive cube of the given variables.
+  Edge cubeE(std::span<const unsigned> vars);
+
+  /// Copies a function from another manager into this one (variables are
+  /// matched by index; missing ones are created).  The managers may use
+  /// different orders -- the rebuild goes through ITE.
+  Edge transferFromE(const BddManager& source, Edge e);
+
+  // ---- edge-level analysis -------------------------------------------------
+
+  /// Number of distinct nodes reachable from e, terminal included
+  /// (an 8-bit "x <= 128" comparator measures 9, as in the paper).
+  [[nodiscard]] std::uint64_t sizeE(Edge e) const;
+
+  /// DAG size of several roots together, counting shared nodes once.
+  /// This is the paper's BDDSize(X_i, X_j) denominator in Figure 1.
+  [[nodiscard]] std::uint64_t sharedSizeE(std::span<const Edge> roots) const;
+
+  /// Number of satisfying assignments over `nvars` variables.
+  [[nodiscard]] double satCountE(Edge e, unsigned nvars) const;
+
+  /// Sorted list of variables the function depends on.
+  [[nodiscard]] std::vector<unsigned> supportE(Edge e) const;
+
+  /// Evaluates the function under a full assignment (indexed by variable).
+  [[nodiscard]] bool evalE(Edge e, std::span<const char> values) const;
+
+  /// Picks one satisfying assignment; values of `vars` not constrained by
+  /// the function are drawn from `rng`.  Precondition: e != FALSE.
+  void pickMintermE(Edge e, std::span<const unsigned> vars, Rng& rng,
+                    std::vector<char>& values) const;
+
+  // ---- bounded operations (paper SS V "future work": abort an AND whose
+  //      result exceeds a known usefulness bound) -----------------------------
+
+  /// Computes f & g but gives up once the operation has created more than
+  /// `nodeBudget` fresh nodes.  Returns true and stores the result on
+  /// success; returns false (result untouched) when the budget is exceeded.
+  bool andBoundedE(Edge f, Edge g, std::uint64_t nodeBudget, Edge* result);
+
+  // ---- reordering -----------------------------------------------------------
+
+  /// Swaps the variables at order positions `level` and `level+1` in place.
+  void swapAdjacentLevels(unsigned level);
+
+  /// Rudell-style sifting over all variables.  Returns live-node delta.
+  /// (Extension: the paper keeps a fixed order; exposed for experiments.)
+  std::int64_t sift(std::uint64_t maxGrowth = 0);
+
+  // ---- debug ---------------------------------------------------------------
+
+  /// Structural sanity check (canonicity, ordering, table consistency).
+  /// Throws BddUsageError on violation.  Intended for tests.
+  void checkInvariants() const;
+
+  /// Writes a Graphviz dot rendering of the given roots.
+  void dumpDot(std::ostream& os, std::span<const Edge> roots,
+               std::span<const std::string> rootNames = {}) const;
+
+  /// Count of live (externally referenced, directly or transitively) nodes.
+  /// Runs a full mark pass; intended for tests and stats, not hot paths.
+  [[nodiscard]] std::uint64_t liveNodes() const;
+
+ private:
+  friend class Bdd;
+
+  struct Node {
+    unsigned var;        // variable index; kFreeVar when on the free list
+    Edge hi;             // then-arc, never complemented
+    Edge lo;             // else-arc, may be complemented
+    std::uint32_t next;  // unique-table chain / free-list link
+    std::uint32_t ref;   // external (handle) reference count, saturating
+  };
+
+  static constexpr unsigned kFreeVar = std::numeric_limits<unsigned>::max();
+  static constexpr std::uint32_t kNil = std::numeric_limits<std::uint32_t>::max();
+  static constexpr std::uint32_t kMaxRef =
+      std::numeric_limits<std::uint32_t>::max();
+
+  enum class Op : std::uint32_t {
+    kInvalid = 0,
+    kIte,
+    kAnd,
+    kXor,
+    kExists,
+    kAndExists,
+    kRestrict,
+    kConstrain,
+  };
+
+  struct CacheEntry {
+    Edge f = 0, g = 0, h = 0;
+    Op op = Op::kInvalid;
+    Edge result = 0;
+  };
+
+  // reference counting (used by Bdd handles only)
+  void ref(Edge e) {
+    Node& n = nodes_[edgeIndex(e)];
+    if (n.ref != kMaxRef) ++n.ref;
+  }
+  void deref(Edge e) {
+    Node& n = nodes_[edgeIndex(e)];
+    if (n.ref != kMaxRef && n.ref != 0) --n.ref;
+  }
+
+  // unique table
+  [[nodiscard]] std::size_t hashNode(unsigned var, Edge hi, Edge lo) const;
+  void rehash(std::size_t newBucketCount);
+
+  // computed cache
+  [[nodiscard]] std::size_t cacheSlot(Op op, Edge f, Edge g, Edge h) const;
+  bool cacheLookup(Op op, Edge f, Edge g, Edge h, Edge* out);
+  void cacheInsert(Op op, Edge f, Edge g, Edge h, Edge result);
+
+  void checkResourceLimits();
+  void markRecursive(std::uint32_t index, std::vector<std::uint8_t>& mark) const;
+
+  // recursive workers
+  Edge iteRec(Edge f, Edge g, Edge h);
+  Edge andRec(Edge f, Edge g);
+  Edge xorRec(Edge f, Edge g);
+  Edge existsRec(Edge f, Edge cube);
+  Edge andExistsRec(Edge f, Edge g, Edge cube);
+  Edge restrictRec(Edge f, Edge c);
+  Edge constrainRec(Edge f, Edge c);
+
+  // data
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> buckets_;  // unique-table heads (size = pow2)
+  std::uint32_t freeHead_ = kNil;       // free list through Node::next
+  std::uint64_t freeCount_ = 0;
+
+  std::vector<CacheEntry> cache_;
+
+  std::vector<Edge> varEdges_;  // projection edge per variable (kept live)
+  std::vector<unsigned> var2level_;
+  std::vector<unsigned> level2var_;
+  std::vector<std::string> varNames_;
+
+  BddOptions options_;
+  ResourceLimits limits_;
+  BddStats stats_;
+  std::uint64_t gcThreshold_ = 0;
+  std::uint32_t limitCheckCountdown_ = 0;
+};
+
+}  // namespace icb

@@ -1,0 +1,60 @@
+// Configuration and resource-limit types for the BDD manager.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "util/timer.hpp"
+
+namespace icb {
+
+/// Tuning knobs for a BddManager.  The defaults are sized for the paper's
+/// laptop-scale experiments.
+struct BddOptions {
+  /// Initial node-arena capacity (number of nodes reserved up front).
+  std::uint32_t initialCapacity = 1u << 14;
+  /// Garbage collection is considered once the arena has grown past this
+  /// many nodes; the threshold doubles whenever a collection frees too little.
+  std::uint32_t gcThreshold = 1u << 16;
+  /// log2 of the computed-cache size in entries.
+  unsigned cacheBitsLog2 = 18;
+};
+
+/// Which resource gave out first when a run is aborted.
+enum class ResourceKind { kNodes, kTime };
+
+/// Hard caps applied to every operation of a manager.  Engines install these
+/// to reproduce the paper's "Exceeded 60MB." / "Exceeded 40 minutes." rows.
+struct ResourceLimits {
+  /// Maximum number of allocated (live + not-yet-collected) nodes.
+  /// 0 means unlimited.
+  std::uint64_t maxNodes = 0;
+  /// Wall-clock deadline.  Default never expires.
+  Deadline deadline;
+};
+
+/// Thrown from inside BDD operations when a ResourceLimits cap is hit.
+/// The manager remains fully usable afterwards: orphaned intermediate nodes
+/// are reclaimed by the next garbage collection.
+class ResourceLimitError : public std::runtime_error {
+ public:
+  explicit ResourceLimitError(ResourceKind kind)
+      : std::runtime_error(kind == ResourceKind::kNodes
+                               ? "BDD node limit exceeded"
+                               : "BDD deadline exceeded"),
+        kind_(kind) {}
+
+  [[nodiscard]] ResourceKind kind() const { return kind_; }
+
+ private:
+  ResourceKind kind_;
+};
+
+/// Thrown on API misuse (mixing managers, bad variable index, ...).
+class BddUsageError : public std::logic_error {
+ public:
+  explicit BddUsageError(const std::string& what) : std::logic_error(what) {}
+};
+
+}  // namespace icb

@@ -1,0 +1,133 @@
+// Simultaneous multi-care-set Restrict -- the paper's Section V wish:
+//
+//   "We really wish to simplify by c1 & c2, which gives a smaller care-set,
+//    but we can't afford to build the BDD for c1 & c2.  What's needed,
+//    therefore, is a routine that simplifies using multiple BDDs
+//    simultaneously."
+//
+// restrictMultiE(f, {c1..ck}) simplifies f against the IMPLICIT conjunction
+// of the care BDDs without ever building it.  The recursion carries the
+// whole care list, cofactoring every member in lock-step:
+//
+//   * if any member is constant FALSE the conjunction is FALSE on this
+//     branch: the sibling's result can be substituted (the defining
+//     sibling-substitution step of Restrict);
+//   * members that become constant TRUE drop out of the list;
+//   * when f does not depend on the branching variable, each member is
+//     replaced by the OR of its own cofactors.  (AND of ORs is a superset
+//     of the exists of the AND, so the care set only ever grows -- which
+//     keeps the operator sound, merely occasionally less sharp.)
+//
+// The contract is the same as Restrict's:  result & C == f & C  for
+// C = c1 & ... & ck.  Detection of an empty conjunction is member-wise
+// (sound but not complete), so this is a heuristic strengthening of
+// iterated pairwise Restrict, not a replacement for building C.
+#include <algorithm>
+#include <map>
+
+#include "bdd/manager.hpp"
+
+namespace icb {
+
+namespace {
+
+class MultiRestrictor {
+ public:
+  explicit MultiRestrictor(BddManager& mgr) : mgr_(mgr) {}
+
+  Edge run(Edge f, std::vector<Edge> cares) {
+    normalize(cares);
+    return rec(f, std::move(cares));
+  }
+
+ private:
+  /// Drops TRUE members and duplicates; sorts for memo-key canonicity.
+  /// Returns true when some member is FALSE (conjunction empty).
+  static bool normalize(std::vector<Edge>& cares) {
+    std::sort(cares.begin(), cares.end());
+    cares.erase(std::unique(cares.begin(), cares.end()), cares.end());
+    bool empty = false;
+    std::erase_if(cares, [&](Edge c) {
+      if (c == kFalseEdge) empty = true;
+      return c == kTrueEdge;
+    });
+    return empty;
+  }
+
+  Edge rec(Edge f, std::vector<Edge> cares) {
+    if (edgeIsConstant(f)) return f;
+    const bool emptyCare = normalize(cares);
+    if (emptyCare) return f;  // vacuous contract; any result is legal
+    if (cares.empty()) return f;
+    // A single care member degenerates to the classic operator (and picks
+    // up its global computed-cache entries).
+    if (cares.size() == 1) return mgr_.restrictE(f, cares.front());
+
+    const auto key = std::make_pair(f, cares);
+    if (const auto it = memo_.find(key); it != memo_.end()) {
+      return it->second;
+    }
+
+    // Branch on the topmost variable of f or any care member.
+    unsigned level = mgr_.edgeLevel(f);
+    for (const Edge c : cares) level = std::min(level, mgr_.edgeLevel(c));
+    const unsigned var = mgr_.varAtLevel(level);
+
+    Edge result;
+    if (mgr_.edgeLevel(f) > level) {
+      // f does not depend on the branching variable: merge each care
+      // member's cofactors (a superset of exists(var, AND cares)).
+      std::vector<Edge> merged;
+      merged.reserve(cares.size());
+      for (const Edge c : cares) {
+        merged.push_back(mgr_.edgeLevel(c) == level
+                             ? mgr_.orE(mgr_.edgeThen(c), mgr_.edgeElse(c))
+                             : c);
+      }
+      result = rec(f, std::move(merged));
+    } else {
+      std::vector<Edge> hiCares;
+      std::vector<Edge> loCares;
+      hiCares.reserve(cares.size());
+      loCares.reserve(cares.size());
+      bool hiEmpty = false;
+      bool loEmpty = false;
+      for (const Edge c : cares) {
+        const Edge ch = mgr_.edgeLevel(c) == level ? mgr_.edgeThen(c) : c;
+        const Edge cl = mgr_.edgeLevel(c) == level ? mgr_.edgeElse(c) : c;
+        hiEmpty |= ch == kFalseEdge;
+        loEmpty |= cl == kFalseEdge;
+        hiCares.push_back(ch);
+        loCares.push_back(cl);
+      }
+      const Edge f1 = mgr_.edgeThen(f);
+      const Edge f0 = mgr_.edgeElse(f);
+      if (hiEmpty && loEmpty) {
+        result = f;  // conjunction empty on both branches: free choice
+      } else if (hiEmpty) {
+        result = rec(f0, std::move(loCares));  // sibling substitution
+      } else if (loEmpty) {
+        result = rec(f1, std::move(hiCares));
+      } else {
+        const Edge r1 = rec(f1, std::move(hiCares));
+        const Edge r0 = rec(f0, std::move(loCares));
+        result = mgr_.mk(var, r1, r0);
+      }
+    }
+
+    memo_.emplace(std::make_pair(f, std::move(cares)), result);
+    return result;
+  }
+
+  BddManager& mgr_;
+  std::map<std::pair<Edge, std::vector<Edge>>, Edge> memo_;
+};
+
+}  // namespace
+
+Edge BddManager::restrictMultiE(Edge f, std::span<const Edge> cares) {
+  MultiRestrictor restrictor(*this);
+  return restrictor.run(f, std::vector<Edge>(cares.begin(), cares.end()));
+}
+
+}  // namespace icb

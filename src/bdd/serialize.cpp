@@ -1,0 +1,180 @@
+#include "bdd/serialize.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+
+namespace icb {
+
+namespace {
+
+constexpr const char* kMagic = "icbdd-bdd-v1";
+
+/// File-local reference: T, F, or [!]<node id>.
+std::string refOf(Edge e,
+                  const std::unordered_map<std::uint32_t, std::size_t>& ids) {
+  if (e == kTrueEdge) return "T";
+  if (e == kFalseEdge) return "F";
+  const std::string id = std::to_string(ids.at(edgeIndex(e)));
+  return edgeIsComplemented(e) ? "!" + id : id;
+}
+
+Edge parseRef(const std::string& token, const std::vector<Edge>& loaded) {
+  if (token == "T") return kTrueEdge;
+  if (token == "F") return kFalseEdge;
+  std::string body = token;
+  bool negate = false;
+  if (!body.empty() && body[0] == '!') {
+    negate = true;
+    body = body.substr(1);
+  }
+  char* end = nullptr;
+  const unsigned long id = std::strtoul(body.c_str(), &end, 10);
+  if (end == body.c_str() || *end != '\0' || id >= loaded.size()) {
+    throw BddUsageError("loadBdds: bad node reference '" + token + "'");
+  }
+  const Edge e = loaded[static_cast<std::size_t>(id)];
+  return negate ? edgeNot(e) : e;
+}
+
+}  // namespace
+
+void saveBdds(std::ostream& os, const BddManager& mgr,
+              std::span<const Bdd> roots) {
+  // Topological order: emit a node after its children (iterative DFS with
+  // an explicit done-flag so shared nodes are emitted once).
+  std::unordered_map<std::uint32_t, std::size_t> ids;
+  std::vector<std::pair<std::uint32_t, bool>> stack;
+  std::vector<std::uint32_t> order;
+  for (const Bdd& root : roots) {
+    if (root.manager() != &mgr) {
+      throw BddUsageError("saveBdds: root from a different manager");
+    }
+    if (!root.isConstant()) stack.emplace_back(edgeIndex(root.edge()), false);
+  }
+  while (!stack.empty()) {
+    auto [index, expanded] = stack.back();
+    stack.pop_back();
+    if (ids.count(index) != 0) continue;
+    const Edge plain = makeEdge(index, false);
+    if (expanded) {
+      ids.emplace(index, order.size());
+      order.push_back(index);
+      continue;
+    }
+    stack.emplace_back(index, true);
+    for (const Edge child : {mgr.edgeThen(plain), mgr.edgeElse(plain)}) {
+      if (!edgeIsConstant(child) && ids.count(edgeIndex(child)) == 0) {
+        stack.emplace_back(edgeIndex(child), false);
+      }
+    }
+  }
+
+  os << kMagic << '\n';
+  os << "vars " << mgr.varCount() << '\n';
+  for (unsigned v = 0; v < mgr.varCount(); ++v) {
+    os << "v " << v << ' ' << mgr.varName(v) << '\n';
+  }
+  os << "nodes " << order.size() << '\n';
+  for (const std::uint32_t index : order) {
+    const Edge plain = makeEdge(index, false);
+    os << "n " << ids.at(index) << ' ' << mgr.nodeVar(plain) << ' '
+       << refOf(mgr.edgeThen(plain), ids) << ' '
+       << refOf(mgr.edgeElse(plain), ids) << '\n';
+  }
+  os << "roots " << roots.size() << '\n';
+  for (const Bdd& root : roots) {
+    os << "r "
+       << (root.isConstant() ? (root.isOne() ? std::string("T") : std::string("F"))
+                             : refOf(root.edge(), ids))
+       << '\n';
+  }
+}
+
+std::vector<Bdd> loadBdds(std::istream& is, BddManager& mgr) {
+  std::string line;
+  auto nextLine = [&]() -> std::istringstream {
+    if (!std::getline(is, line)) {
+      throw BddUsageError("loadBdds: unexpected end of input");
+    }
+    return std::istringstream(line);
+  };
+
+  {
+    auto ls = nextLine();
+    std::string magic;
+    ls >> magic;
+    if (magic != kMagic) throw BddUsageError("loadBdds: bad magic");
+  }
+
+  std::size_t varCount = 0;
+  {
+    auto ls = nextLine();
+    std::string key;
+    ls >> key >> varCount;
+    if (key != "vars") throw BddUsageError("loadBdds: expected vars");
+  }
+  for (std::size_t i = 0; i < varCount; ++i) {
+    auto ls = nextLine();
+    std::string key;
+    std::string name;
+    unsigned index = 0;
+    ls >> key >> index >> name;
+    if (key != "v" || index != i) throw BddUsageError("loadBdds: bad var line");
+    if (index >= mgr.varCount()) mgr.newVar(name);
+  }
+
+  std::size_t nodeCount = 0;
+  {
+    auto ls = nextLine();
+    std::string key;
+    ls >> key >> nodeCount;
+    if (key != "nodes") throw BddUsageError("loadBdds: expected nodes");
+  }
+  std::vector<Edge> loaded;
+  std::vector<Bdd> keepAlive;  // protect intermediates across autoGc
+  loaded.reserve(nodeCount);
+  for (std::size_t i = 0; i < nodeCount; ++i) {
+    auto ls = nextLine();
+    std::string key;
+    std::size_t id = 0;
+    unsigned var = 0;
+    std::string hiTok;
+    std::string loTok;
+    ls >> key >> id >> var >> hiTok >> loTok;
+    if (key != "n" || id != i || var >= mgr.varCount()) {
+      throw BddUsageError("loadBdds: bad node line");
+    }
+    const Edge hi = parseRef(hiTok, loaded);
+    const Edge lo = parseRef(loTok, loaded);
+    // Rebuild with ITE rather than mk: the file may have been written under
+    // a different (e.g. sifted) variable order, in which case raw mk would
+    // create ill-ordered nodes; ITE re-canonicalizes for this manager.
+    const Edge e = mgr.iteE(mgr.varEdge(var), hi, lo);
+    loaded.push_back(e);
+    keepAlive.emplace_back(&mgr, e);
+  }
+
+  std::size_t rootCount = 0;
+  {
+    auto ls = nextLine();
+    std::string key;
+    ls >> key >> rootCount;
+    if (key != "roots") throw BddUsageError("loadBdds: expected roots");
+  }
+  std::vector<Bdd> roots;
+  roots.reserve(rootCount);
+  for (std::size_t i = 0; i < rootCount; ++i) {
+    auto ls = nextLine();
+    std::string key;
+    std::string tok;
+    ls >> key >> tok;
+    if (key != "r") throw BddUsageError("loadBdds: bad root line");
+    roots.emplace_back(&mgr, parseRef(tok, loaded));
+  }
+  return roots;
+}
+
+}  // namespace icb

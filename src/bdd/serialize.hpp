@@ -1,0 +1,35 @@
+// Textual save/load of BDDs, e.g. to checkpoint derived invariant lists.
+//
+// Format (line oriented, self-describing):
+//   icbdd-bdd-v1
+//   vars <count>
+//   v <index> <name>            (one per variable)
+//   nodes <count>
+//   n <id> <var> <hi> <lo>      (children: T, F, or [!]<id> of an earlier n)
+//   roots <count>
+//   r <ref>                     (same reference syntax)
+//
+// Node ids are file-local and topologically ordered (children precede
+// parents), so loading is a single pass of mk() calls; shared subgraphs and
+// complement edges round-trip exactly.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace icb {
+
+/// Writes the DAG reachable from `roots` (shared nodes once).
+void saveBdds(std::ostream& os, const BddManager& mgr,
+              std::span<const Bdd> roots);
+
+/// Reads functions saved by saveBdds into `mgr`.  Missing variables are
+/// created (with their saved names) so the manager may start empty; when
+/// variables already exist they are matched by index.  Throws BddUsageError
+/// on malformed input.
+std::vector<Bdd> loadBdds(std::istream& is, BddManager& mgr);
+
+}  // namespace icb

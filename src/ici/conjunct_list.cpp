@@ -1,0 +1,105 @@
+#include "ici/conjunct_list.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace icb {
+
+ConjunctList& ConjunctList::normalize() {
+  if (mgr_ == nullptr) return *this;
+  std::vector<Bdd> kept;
+  std::unordered_set<Edge> seen;
+  for (Bdd& f : items_) {
+    if (f.isZero()) {
+      items_.clear();
+      items_.push_back(mgr_->zero());
+      return *this;
+    }
+    if (f.isOne()) continue;
+    if (seen.insert(f.edge()).second) kept.push_back(std::move(f));
+  }
+  items_ = std::move(kept);
+  return *this;
+}
+
+bool ConjunctList::isFalse() const {
+  return std::any_of(items_.begin(), items_.end(),
+                     [](const Bdd& f) { return f.isZero(); });
+}
+
+bool ConjunctList::isTrue() const {
+  return std::all_of(items_.begin(), items_.end(),
+                     [](const Bdd& f) { return f.isOne(); });
+}
+
+Bdd ConjunctList::evaluate() const {
+  Bdd acc = mgr_->one();
+  // Conjoin smallest-first: keeps intermediates as small as possible.
+  std::vector<Bdd> sorted = items_;
+  std::sort(sorted.begin(), sorted.end(), [](const Bdd& a, const Bdd& b) {
+    return a.size() < b.size();
+  });
+  for (const Bdd& f : sorted) {
+    acc &= f;
+    if (acc.isZero()) break;
+  }
+  return acc;
+}
+
+std::uint64_t ConjunctList::sharedNodeCount() const {
+  if (items_.empty()) return 0;
+  return sharedSize(items_);
+}
+
+std::vector<std::uint64_t> ConjunctList::memberSizes() const {
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(items_.size());
+  for (const Bdd& f : items_) sizes.push_back(f.size());
+  return sizes;
+}
+
+void ConjunctList::sortBySize() {
+  std::sort(items_.begin(), items_.end(), [](const Bdd& a, const Bdd& b) {
+    return a.size() < b.size();
+  });
+}
+
+bool ConjunctList::structurallyEqual(const ConjunctList& other) const {
+  return items_ == other.items_;
+}
+
+bool ConjunctList::structurallyEqualUnordered(const ConjunctList& other) const {
+  if (items_.size() != other.items_.size()) return false;
+  std::vector<Edge> a;
+  std::vector<Edge> b;
+  a.reserve(items_.size());
+  b.reserve(items_.size());
+  for (const Bdd& f : items_) a.push_back(f.edge());
+  for (const Bdd& f : other.items_) b.push_back(f.edge());
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+bool ConjunctList::evalAssignment(std::span<const char> values) const {
+  return std::all_of(items_.begin(), items_.end(),
+                     [&](const Bdd& f) { return f.eval(values); });
+}
+
+std::string ConjunctList::describe() const {
+  std::string out = std::to_string(items_.size()) + " conjunct" +
+                    (items_.size() == 1 ? "" : "s");
+  if (!items_.empty()) {
+    out += " (";
+    bool first = true;
+    for (const std::uint64_t s : memberSizes()) {
+      if (!first) out += ", ";
+      out += std::to_string(s);
+      first = false;
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace icb

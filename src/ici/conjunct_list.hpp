@@ -1,0 +1,91 @@
+// ConjunctList: an implicitly conjoined list of BDDs.
+//
+// The list X_1, ..., X_n denotes the conjunction X_1 & ... & X_n without
+// ever building that (possibly exponentially larger) BDD.  This is the data
+// structure at the heart of the paper: backward traversal keeps each
+// iterate G_i in this form, BackImage distributes over the members
+// (Theorem 1), and the policies in evaluate_policy / simplify / termination
+// manipulate the representation while preserving the denoted set.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace icb {
+
+class ConjunctList {
+ public:
+  ConjunctList() = default;
+  explicit ConjunctList(BddManager* mgr) : mgr_(mgr) {}
+  ConjunctList(BddManager* mgr, std::vector<Bdd> items)
+      : mgr_(mgr), items_(std::move(items)) {}
+
+  [[nodiscard]] BddManager* manager() const { return mgr_; }
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] const Bdd& operator[](std::size_t i) const { return items_[i]; }
+  [[nodiscard]] const std::vector<Bdd>& items() const { return items_; }
+
+  [[nodiscard]] auto begin() const { return items_.begin(); }
+  [[nodiscard]] auto end() const { return items_.end(); }
+
+  void push(Bdd f) { items_.push_back(std::move(f)); }
+  void replace(std::size_t i, Bdd f) { items_[i] = std::move(f); }
+  void erase(std::size_t i) {
+    items_.erase(items_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  void clear() { items_.clear(); }
+
+  /// Drops constant-TRUE members and duplicates; if any member is FALSE the
+  /// list collapses to the single FALSE conjunct.  Returns *this.
+  ConjunctList& normalize();
+
+  /// True iff some member is the constant FALSE (denoted set empty by
+  /// normalization).
+  [[nodiscard]] bool isFalse() const;
+
+  /// True iff the list is empty or all members are TRUE.
+  [[nodiscard]] bool isTrue() const;
+
+  /// Explicitly evaluates the whole conjunction into one BDD.  This is
+  /// exactly the operation the technique exists to avoid; engines use it for
+  /// the monolithic baselines and tests use it as the oracle.
+  [[nodiscard]] Bdd evaluate() const;
+
+  /// Total size counting shared nodes once (the paper's parenthesized
+  /// "BDD Nodes" column entries sum member sizes; this is the shared count).
+  [[nodiscard]] std::uint64_t sharedNodeCount() const;
+
+  /// Sizes of the individual members, as in the paper's "(1501, 629, ...)".
+  [[nodiscard]] std::vector<std::uint64_t> memberSizes() const;
+
+  /// Sorts members by ascending BDD size (simplification policy order).
+  void sortBySize();
+
+  /// Structural equality: same members in the same order (constant time per
+  /// member thanks to canonicity).  NOT semantic equality -- that is the
+  /// exact termination test's job.
+  [[nodiscard]] bool structurallyEqual(const ConjunctList& other) const;
+
+  /// Structural equality ignoring order (multiset compare of edges).  This
+  /// is the "fast but possibly wrong" convergence check of the original ICI.
+  [[nodiscard]] bool structurallyEqualUnordered(const ConjunctList& other) const;
+
+  /// True iff the given full assignment satisfies every member.
+  [[nodiscard]] bool evalAssignment(std::span<const char> values) const;
+
+  /// Short human-readable description like "4 conjuncts (45, 441, 1345, 6657)".
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  BddManager* mgr_ = nullptr;
+  std::vector<Bdd> items_;
+};
+
+}  // namespace icb

@@ -1,0 +1,53 @@
+#include "ici/evaluate_policy.hpp"
+
+namespace icb {
+
+EvaluatePolicyResult greedyEvaluate(ConjunctList& list,
+                                    const EvaluatePolicyOptions& options) {
+  EvaluatePolicyResult result;
+  result.sizeBefore = list.sharedNodeCount();
+  BddManager* mgr = list.manager();
+  if (mgr == nullptr || list.size() < 2) {
+    result.sizeAfter = result.sizeBefore;
+    return result;
+  }
+
+  PairTable table(*mgr, list.items(), options.pairTable);
+  while (table.count() >= 2) {
+    const auto best = table.best();
+    if (!best || best->ratio > options.growThreshold) break;
+    table.merge(best->i, best->j);
+    ++result.merges;
+    if (options.maxMerges != 0 && result.merges >= options.maxMerges) break;
+  }
+  result.abortedPairBuilds = table.abortedBuilds();
+
+  list = ConjunctList(mgr, table.conjuncts());
+  list.normalize();
+  result.sizeAfter = list.sharedNodeCount();
+  return result;
+}
+
+EvaluatePolicyResult evaluateAndSimplify(ConjunctList& list,
+                                         const EvaluatePolicyOptions& options) {
+  EvaluatePolicyResult result;
+  result.sizeBefore = list.sharedNodeCount();
+
+  list.normalize();
+  if (options.simplifyFirst) {
+    const SimplifyResult s = simplifyList(list, options.simplify);
+    result.simplifyApplications = s.applications;
+  }
+  if (list.isFalse() || list.size() < 2) {
+    result.sizeAfter = list.sharedNodeCount();
+    return result;
+  }
+
+  EvaluatePolicyResult greedy = greedyEvaluate(list, options);
+  result.merges = greedy.merges;
+  result.abortedPairBuilds = greedy.abortedPairBuilds;
+  result.sizeAfter = greedy.sizeAfter;
+  return result;
+}
+
+}  // namespace icb

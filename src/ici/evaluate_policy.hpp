@@ -1,0 +1,56 @@
+// The paper's Figure 1 greedy conjunction-evaluation algorithm, plus the
+// enclosing evaluation-and-simplification policy of Section III.A.
+//
+//   Conjunction Evaluation:
+//     Let GrowThreshold = 1.5.
+//     Build a table P of all pairwise conjunctions: P_ij := X_i & X_j.
+//     Loop
+//       Find the i, j (i != j) minimizing r = BDDSize(P_ij)/BDDSize(X_i, X_j)
+//       If r_min > GrowThreshold, exit.
+//       Replace X_i and X_j with P_ij; update P.
+//     EndLoop
+//
+// "a smaller threshold holds BDD size down, but can get caught in a local
+//  minimum, whereas any threshold greater than 1 could theoretically allow
+//  us to build exponentially-sized BDDs" -- the GrowThreshold is therefore a
+// first-class option here, swept by bench/ablation_growthreshold.
+#pragma once
+
+#include <cstdint>
+
+#include "ici/conjunct_list.hpp"
+#include "ici/pair_table.hpp"
+#include "ici/simplify.hpp"
+
+namespace icb {
+
+struct EvaluatePolicyOptions {
+  double growThreshold = 1.5;  ///< Figure 1's GrowThreshold
+  SimplifyOptions simplify;    ///< cross-simplification pass configuration
+  PairTableOptions pairTable;  ///< bounded pairwise-conjunction builds
+  bool simplifyFirst = true;   ///< run the Restrict pass before the greedy loop
+  /// Hard cap on greedy merges per invocation (0 = unlimited).  A safety
+  /// valve, not part of the paper's algorithm.
+  unsigned maxMerges = 0;
+};
+
+struct EvaluatePolicyResult {
+  std::uint64_t sizeBefore = 0;  ///< shared node count before
+  std::uint64_t sizeAfter = 0;
+  unsigned merges = 0;           ///< pairs evaluated explicitly
+  unsigned simplifyApplications = 0;
+  std::uint64_t abortedPairBuilds = 0;
+};
+
+/// Applies the Section III.A policy to `list` in place: cross-simplify with
+/// Restrict, then greedily evaluate profitable pairwise conjunctions.
+/// The denoted conjunction is unchanged.
+EvaluatePolicyResult evaluateAndSimplify(ConjunctList& list,
+                                         const EvaluatePolicyOptions& options = {});
+
+/// Runs only the Figure 1 greedy loop (no Restrict pass); exposed separately
+/// for tests and the ablation benchmarks.
+EvaluatePolicyResult greedyEvaluate(ConjunctList& list,
+                                    const EvaluatePolicyOptions& options = {});
+
+}  // namespace icb

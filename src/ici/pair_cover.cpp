@@ -1,0 +1,86 @@
+#include "ici/pair_cover.hpp"
+
+#include <limits>
+
+namespace icb {
+
+PairCoverResult optimalPairCover(const ConjunctList& list, std::size_t maxN) {
+  const std::size_t n = list.size();
+  if (n > maxN) {
+    throw BddUsageError("optimalPairCover: list too long for the subset DP");
+  }
+  PairCoverResult result;
+  if (n == 0) return result;
+  BddManager& mgr = *list.manager();
+
+  // Pre-compute the additive costs: singletons and pairwise conjunctions.
+  std::vector<std::uint64_t> single(n);
+  std::vector<std::vector<std::uint64_t>> pairCost(
+      n, std::vector<std::uint64_t>(n, 0));
+  std::vector<std::vector<Bdd>> pairBdd(n, std::vector<Bdd>(n));
+  for (std::size_t i = 0; i < n; ++i) single[i] = list[i].size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      pairBdd[i][j] = list[i] & list[j];
+      pairCost[i][j] = pairBdd[i][j].size();
+    }
+  }
+
+  // dp[mask] = min additive cost to cover exactly the members in mask,
+  // choice[mask] records the subset (i or i,j) used on the lowest element.
+  const std::size_t full = (std::size_t{1} << n) - 1;
+  constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::uint64_t> dp(full + 1, kInf);
+  std::vector<std::pair<std::size_t, std::size_t>> choice(full + 1, {0, 0});
+  dp[0] = 0;
+  for (std::size_t mask = 0; mask < full; ++mask) {
+    if (dp[mask] == kInf) continue;
+    // Cover the lowest uncovered member first (canonical DP order).
+    std::size_t i = 0;
+    while ((mask >> i) & 1u) ++i;
+    const std::size_t withI = mask | (std::size_t{1} << i);
+    if (dp[mask] + single[i] < dp[withI]) {
+      dp[withI] = dp[mask] + single[i];
+      choice[withI] = {i, i};
+    }
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if ((mask >> j) & 1u) continue;
+      const std::size_t withIJ = withI | (std::size_t{1} << j);
+      if (dp[mask] + pairCost[i][j] < dp[withIJ]) {
+        dp[withIJ] = dp[mask] + pairCost[i][j];
+        choice[withIJ] = {i, j};
+      }
+    }
+  }
+
+  result.additiveCost = dp[full];
+  std::size_t mask = full;
+  while (mask != 0) {
+    const auto [i, j] = choice[mask];
+    result.cover.emplace_back(i, j);
+    mask &= ~(std::size_t{1} << i);
+    if (j != i) mask &= ~(std::size_t{1} << j);
+  }
+
+  // Measure what the cover really costs with node sharing.
+  ConjunctList applied = applyPairCover(list, result);
+  result.actualSharedSize = applied.sharedNodeCount();
+  (void)mgr;
+  return result;
+}
+
+ConjunctList applyPairCover(const ConjunctList& list,
+                            const PairCoverResult& cover) {
+  ConjunctList out(list.manager());
+  for (const auto& [i, j] : cover.cover) {
+    if (i == j) {
+      out.push(list[i]);
+    } else {
+      out.push(list[i] & list[j]);
+    }
+  }
+  out.normalize();
+  return out;
+}
+
+}  // namespace icb

@@ -1,0 +1,44 @@
+// Exact minimum-cost *pairwise* cover (paper Theorem 2).
+//
+// The paper shows that if conjunction-evaluation is restricted to subsets of
+// size <= 2, the optimal choice is a minimum-weight edge cover, computable in
+// polynomial time via weighted matching -- and then immediately notes the
+// result "is of limited practical value" because BDD sizes do not add under
+// node sharing, so the greedy heuristic of Figure 1 is used instead.
+//
+// We implement the exact cover for ablation: on small lists (n <= 20) an
+// exponential-in-n but trivially correct subset DP finds the true optimum of
+// the additive cost model, letting bench/ablation_cover quantify how much
+// the greedy policy loses (and how much the additive model itself misstates
+// real shared sizes).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ici/conjunct_list.hpp"
+
+namespace icb {
+
+struct PairCoverResult {
+  /// Chosen cover: each element is either {i, i} (keep X_i alone) or {i, j}
+  /// (evaluate X_i & X_j).  Indices refer to the input list.
+  std::vector<std::pair<std::size_t, std::size_t>> cover;
+  /// Optimal cost under the additive model: sum of BDDSize over the cover.
+  std::uint64_t additiveCost = 0;
+  /// Actual shared node count of the resulting list.
+  std::uint64_t actualSharedSize = 0;
+};
+
+/// Computes the optimal pairwise cover of `list` (additive cost model) and
+/// returns it without modifying the list.  Throws BddUsageError when the
+/// list has more than `maxN` members (the DP is O(2^n * n^2)).
+PairCoverResult optimalPairCover(const ConjunctList& list,
+                                 std::size_t maxN = 20);
+
+/// Applies a cover to a list: members named once stay, pairs are conjoined.
+ConjunctList applyPairCover(const ConjunctList& list,
+                            const PairCoverResult& cover);
+
+}  // namespace icb

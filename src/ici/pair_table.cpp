@@ -1,0 +1,102 @@
+#include "ici/pair_table.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace icb {
+
+PairTable::PairTable(BddManager& mgr, std::vector<Bdd> conjuncts,
+                     const PairTableOptions& options)
+    : mgr_(mgr), conjuncts_(std::move(conjuncts)), options_(options) {
+  sizes_.reserve(conjuncts_.size());
+  for (const Bdd& f : conjuncts_) sizes_.push_back(f.size());
+  const std::size_t n = conjuncts_.size();
+  table_.assign(n, std::vector<Entry>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      table_[i][j] = buildEntry(i, j);
+      if (table_[i][j].aborted) ++aborted_;
+    }
+  }
+}
+
+PairTable::Entry PairTable::buildEntry(std::size_t i, std::size_t j) const {
+  Entry entry;
+  const Edge fi = conjuncts_[i].edge();
+  const Edge fj = conjuncts_[j].edge();
+
+  Edge merged = kFalseEdge;
+  bool ok = true;
+  mgr_.autoGc();
+  if (options_.buildCapFactor > 0.0) {
+    const auto budget = std::max<std::uint64_t>(
+        options_.buildCapFloor,
+        static_cast<std::uint64_t>(options_.buildCapFactor *
+                                   static_cast<double>(sizes_[i] + sizes_[j])));
+    ok = mgr_.andBoundedE(fi, fj, budget, &merged);
+  } else {
+    merged = mgr_.andE(fi, fj);
+  }
+
+  if (!ok) {
+    entry.aborted = true;
+    entry.ratio = std::numeric_limits<double>::infinity();
+    return entry;
+  }
+
+  entry.conjunction = Bdd(&mgr_, merged);
+  entry.size = entry.conjunction.size();
+  // Figure 1: r = BDDSize(P_ij) / BDDSize(X_i, X_j), with the denominator
+  // taking node sharing between the two conjuncts into account.
+  const Edge roots[2] = {fi, fj};
+  const std::uint64_t denom = std::max<std::uint64_t>(1, mgr_.sharedSizeE(roots));
+  entry.ratio = static_cast<double>(entry.size) / static_cast<double>(denom);
+  return entry;
+}
+
+std::optional<PairTable::BestPair> PairTable::best() const {
+  std::optional<BestPair> result;
+  const std::size_t n = conjuncts_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Entry& e = table_[i][j];
+      if (e.aborted) continue;
+      if (!result || e.ratio < result->ratio) {
+        result = BestPair{i, j, e.ratio};
+      }
+    }
+  }
+  return result;
+}
+
+void PairTable::merge(std::size_t i, std::size_t j) {
+  if (i > j) std::swap(i, j);
+  Entry& chosen = table_[i][j];
+  if (chosen.aborted || chosen.conjunction.isNull()) {
+    throw BddUsageError("PairTable::merge on an aborted entry");
+  }
+  conjuncts_[i] = chosen.conjunction;
+  sizes_[i] = chosen.size;
+
+  conjuncts_.erase(conjuncts_.begin() + static_cast<std::ptrdiff_t>(j));
+  sizes_.erase(sizes_.begin() + static_cast<std::ptrdiff_t>(j));
+  table_.erase(table_.begin() + static_cast<std::ptrdiff_t>(j));
+  for (auto& row : table_) {
+    row.erase(row.begin() + static_cast<std::ptrdiff_t>(j));
+  }
+
+  rebuildRow(i);
+}
+
+void PairTable::rebuildRow(std::size_t i) {
+  const std::size_t n = conjuncts_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == i) continue;
+    const std::size_t a = std::min(i, k);
+    const std::size_t b = std::max(i, k);
+    table_[a][b] = buildEntry(a, b);
+    if (table_[a][b].aborted) ++aborted_;
+  }
+}
+
+}  // namespace icb

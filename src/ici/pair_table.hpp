@@ -1,0 +1,74 @@
+// Table of all pairwise conjunctions P_ij = X_i & X_j over a conjunct list
+// (Figure 1: "Build a table P of all pairwise conjunctions").
+//
+// The table supports the incremental update Figure 1 needs: when the pair
+// (i, j) is merged, every P entry involving i or j is discarded and entries
+// pairing the merged BDD with the survivors are built.
+//
+// Building a pairwise conjunction can itself blow up.  The paper flags this
+// in Section V ("we already have a limit on how large it can be and still be
+// useful ... abort any of these operations if the size exceeds a specified
+// bound"); we implement that wish with the node-budget-bounded AND.  An
+// aborted entry is treated as infinitely bad, which is exactly the greedy
+// policy's view of it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ici/conjunct_list.hpp"
+
+namespace icb {
+
+struct PairTableOptions {
+  /// Node budget for building one P_ij, as a multiple of
+  /// size(X_i) + size(X_j).  0 disables bounding (paper's literal Figure 1).
+  double buildCapFactor = 8.0;
+  /// Budget floor so tiny conjuncts still get a fair build allowance.
+  std::uint64_t buildCapFloor = 2048;
+};
+
+class PairTable {
+ public:
+  PairTable(BddManager& mgr, std::vector<Bdd> conjuncts,
+            const PairTableOptions& options = {});
+
+  [[nodiscard]] std::size_t count() const { return conjuncts_.size(); }
+  [[nodiscard]] const std::vector<Bdd>& conjuncts() const { return conjuncts_; }
+
+  struct BestPair {
+    std::size_t i = 0;
+    std::size_t j = 0;
+    double ratio = 0.0;  ///< BDDSize(P_ij) / BDDSize(X_i, X_j)
+  };
+
+  /// Finds the (i, j) minimizing the Figure 1 ratio.  Returns nullopt when
+  /// fewer than two conjuncts remain or every pair build was aborted.
+  [[nodiscard]] std::optional<BestPair> best() const;
+
+  /// Replaces X_i and X_j by P_ij and updates the table.
+  void merge(std::size_t i, std::size_t j);
+
+  [[nodiscard]] std::uint64_t abortedBuilds() const { return aborted_; }
+
+ private:
+  struct Entry {
+    Bdd conjunction;          // null when the bounded build gave up
+    std::uint64_t size = 0;   // cached BDDSize(P_ij)
+    double ratio = 0.0;
+    bool aborted = false;
+  };
+
+  [[nodiscard]] Entry buildEntry(std::size_t i, std::size_t j) const;
+  void rebuildRow(std::size_t i);
+
+  BddManager& mgr_;
+  std::vector<Bdd> conjuncts_;
+  std::vector<std::uint64_t> sizes_;
+  std::vector<std::vector<Entry>> table_;  // table_[i][j] valid for j > i
+  PairTableOptions options_;
+  std::uint64_t aborted_ = 0;
+};
+
+}  // namespace icb

@@ -1,0 +1,82 @@
+#include "ici/simplify.hpp"
+
+#include <algorithm>
+
+namespace icb {
+
+SimplifyResult simplifyList(ConjunctList& list, const SimplifyOptions& options) {
+  SimplifyResult result;
+  BddManager* mgr = list.manager();
+  if (mgr == nullptr || list.size() < 2) {
+    result.sizeBefore = result.sizeAfter = list.sharedNodeCount();
+    return result;
+  }
+
+  list.normalize();
+  result.sizeBefore = list.sharedNodeCount();
+
+  bool changed = true;
+  while (changed && result.passes < options.maxPasses && !list.isFalse()) {
+    changed = false;
+    ++result.passes;
+
+    // Cache sizes for the pass; refreshed whenever a member changes.
+    std::vector<std::uint64_t> sizes = list.memberSizes();
+
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      Bdd current = list[i];
+      if (options.simultaneous) {
+        // One multi-care-set Restrict against every other member at once.
+        std::vector<Bdd> cares;
+        cares.reserve(list.size() - 1);
+        for (std::size_t j = 0; j < list.size(); ++j) {
+          if (i == j) continue;
+          if (options.smallerOnly && sizes[j] > sizes[i]) continue;
+          cares.push_back(list[j]);
+        }
+        if (!cares.empty()) {
+          const Bdd simplified = current.restrictByAll(cares);
+          if (simplified != current) {
+            const std::uint64_t newSize = simplified.size();
+            if (!options.keepOnlyShrinking || newSize < sizes[i] ||
+                simplified.isConstant()) {
+              current = simplified;
+              sizes[i] = newSize;
+              ++result.applications;
+              changed = true;
+            }
+          }
+        }
+      } else {
+        for (std::size_t j = 0; j < list.size(); ++j) {
+          if (i == j) continue;
+          if (options.smallerOnly && sizes[j] > sizes[i]) continue;
+          const Bdd simplified = current.restrictBy(list[j]);
+          if (simplified == current) continue;
+          const std::uint64_t newSize = simplified.size();
+          if (options.keepOnlyShrinking && newSize >= sizes[i] &&
+              !simplified.isConstant()) {
+            continue;
+          }
+          current = simplified;
+          sizes[i] = newSize;
+          ++result.applications;
+          changed = true;
+          if (current.isConstant()) break;
+        }
+      }
+      if (current != list[i]) {
+        list.replace(i, current);
+      }
+      if (current.isZero()) break;
+    }
+
+    list.normalize();
+    if (list.size() < 2) break;
+  }
+
+  result.sizeAfter = list.sharedNodeCount();
+  return result;
+}
+
+}  // namespace icb

@@ -1,0 +1,50 @@
+// Cross-simplification of an implicitly conjoined list (paper Section III.A).
+//
+// "...we first simplify each BDD X_i by every other BDD X_j that's smaller
+//  than it.  (Simplifying a small BDD by a large BDD, in our experience,
+//  does little good.)"
+//
+// Each conjunct is a care set for every other conjunct: where X_j is false
+// the conjunction is false regardless of X_i, so X_i may be replaced by
+// Restrict(X_i, X_j) without changing the denoted set.  A side effect
+// (Theorem 3) is that if any two members have a tautological disjunction of
+// complements, simplification exposes it as a constant.
+#pragma once
+
+#include <cstdint>
+
+#include "ici/conjunct_list.hpp"
+
+namespace icb {
+
+struct SimplifyOptions {
+  /// Upper bound on full passes over the list (each pass simplifies every
+  /// member by every smaller member).  Passes repeat while sizes shrink.
+  unsigned maxPasses = 4;
+  /// Only simplify X_i by X_j when size(X_j) <= size(X_i) (the paper's
+  /// policy).  Disabled for ablation experiments.
+  bool smallerOnly = true;
+  /// Reject a Restrict result that came out *larger* than the original
+  /// member (Restrict does not always shrink).
+  bool keepOnlyShrinking = true;
+  /// Simplify each member against ALL other members at once with the
+  /// simultaneous multi-care-set Restrict (the paper's SS V future-work
+  /// routine) instead of the pairwise loop.  Sharper when two care sets
+  /// only pay off together; costs one multi-restrict per member per pass.
+  bool simultaneous = false;
+};
+
+struct SimplifyResult {
+  std::uint64_t sizeBefore = 0;  ///< shared node count before
+  std::uint64_t sizeAfter = 0;   ///< shared node count after
+  unsigned passes = 0;
+  unsigned applications = 0;     ///< Restrict calls that were kept
+};
+
+/// Simplifies `list` in place; the denoted conjunction is unchanged.
+/// Members that become constant TRUE are dropped; a constant FALSE
+/// collapses the list.
+SimplifyResult simplifyList(ConjunctList& list,
+                            const SimplifyOptions& options = {});
+
+}  // namespace icb

@@ -1,0 +1,185 @@
+#include "ici/termination.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace icb {
+
+namespace {
+
+/// Step 1 + step 2 bookkeeping: drops FALSEs and duplicates in place.
+/// Returns true when the disjunction is already known to be a tautology
+/// (a TRUE member or a complementary pair).
+bool constantAndComplementScan(std::vector<Edge>& d) {
+  std::unordered_set<Edge> seen;
+  std::vector<Edge> kept;
+  kept.reserve(d.size());
+  for (const Edge e : d) {
+    if (e == kTrueEdge) return true;  // step 1
+    if (e == kFalseEdge) continue;    // step 1
+    if (seen.count(edgeNot(e)) != 0) return true;  // step 2: complements
+    if (seen.insert(e).second) kept.push_back(e);  // step 2: duplicates
+  }
+  d = std::move(kept);
+  return false;
+}
+
+}  // namespace
+
+bool TerminationChecker::disjunctionIsTautology(std::vector<Edge> disjuncts) {
+  return tautRec(std::move(disjuncts), 0);
+}
+
+bool TerminationChecker::tautRec(std::vector<Edge> d, std::uint64_t depth) {
+  ++stats_.tautologyCalls;
+  stats_.maxDepth = std::max(stats_.maxDepth, depth);
+
+  if (constantAndComplementScan(d)) {
+    ++stats_.step2Hits;
+    return true;
+  }
+  if (d.empty()) return false;            // empty disjunction is FALSE
+  if (d.size() == 1) return false;        // single non-TRUE member
+
+  // ---- step 3 ----
+  if (options_.restrictShortcut) {
+    // Theorem 3: a | b is a tautology iff Restrict(a, !b) is.  Simplifying
+    // each member by the negations of all the others and re-running step 1
+    // subsumes the pairwise scan, and shrinks the members as a bonus.
+    bool changed = false;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      for (std::size_t j = 0; j < d.size(); ++j) {
+        if (i == j || d[i] == kFalseEdge) continue;
+        const Edge simplified = mgr_.restrictE(d[i], edgeNot(d[j]));
+        if (simplified == kTrueEdge) {
+          ++stats_.step3Hits;
+          return true;
+        }
+        if (simplified != d[i]) {
+          // Keep only results that do not grow (Restrict may enlarge).
+          if (simplified == kFalseEdge ||
+              mgr_.sizeE(simplified) <= mgr_.sizeE(d[i])) {
+            d[i] = simplified;
+            changed = true;
+          }
+        }
+      }
+    }
+    if (changed && constantAndComplementScan(d)) {
+      ++stats_.step3Hits;
+      return true;
+    }
+    if (d.empty()) return false;
+    if (d.size() == 1) return d[0] == kTrueEdge;
+  } else {
+    // Literal step 3: pairwise disjunction equal to TRUE.
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      for (std::size_t j = i + 1; j < d.size(); ++j) {
+        if (mgr_.orE(d[i], d[j]) == kTrueEdge) {
+          ++stats_.step3Hits;
+          return true;
+        }
+      }
+    }
+  }
+
+  // ---- step 4: Shannon expansion ----
+  // Note: the chosen variable need not be at the TOP of every member (with
+  // the paper's "top of the first BDD" policy it usually is not), so each
+  // member needs a genuine cofactor, not just an arc dereference.
+  ++stats_.shannonExpansions;
+  const unsigned var = chooseVar(d);
+  std::vector<Edge> hi;
+  std::vector<Edge> lo;
+  hi.reserve(d.size());
+  lo.reserve(d.size());
+  const unsigned level = mgr_.varLevel(var);
+  for (const Edge e : d) {
+    if (!edgeIsConstant(e) && mgr_.edgeLevel(e) == level) {
+      hi.push_back(mgr_.edgeThen(e));
+      lo.push_back(mgr_.edgeElse(e));
+    } else if (edgeIsConstant(e) || mgr_.edgeLevel(e) > level) {
+      hi.push_back(e);  // e cannot depend on a variable above its top
+      lo.push_back(e);
+    } else {
+      hi.push_back(mgr_.cofactorE(e, var, true));
+      lo.push_back(mgr_.cofactorE(e, var, false));
+    }
+  }
+  return tautRec(std::move(hi), depth + 1) && tautRec(std::move(lo), depth + 1);
+}
+
+unsigned TerminationChecker::chooseVar(const std::vector<Edge>& d) const {
+  switch (options_.cofactorChoice) {
+    case CofactorChoice::kTopOfFirst: {
+      // "we are currently selecting the top BDD variable of the first BDD
+      //  in the list as the variable to cofactor on"
+      for (const Edge e : d) {
+        if (!edgeIsConstant(e)) return mgr_.nodeVar(e);
+      }
+      break;
+    }
+    case CofactorChoice::kHighestLevel: {
+      unsigned bestLevel = BddManager::kTermLevel;
+      unsigned bestVar = 0;
+      for (const Edge e : d) {
+        if (edgeIsConstant(e)) continue;
+        const unsigned l = mgr_.edgeLevel(e);
+        if (l < bestLevel) {
+          bestLevel = l;
+          bestVar = mgr_.nodeVar(e);
+        }
+      }
+      if (bestLevel != BddManager::kTermLevel) return bestVar;
+      break;
+    }
+    case CofactorChoice::kMostCommon: {
+      std::unordered_map<unsigned, unsigned> counts;
+      unsigned bestVar = 0;
+      unsigned bestCount = 0;
+      for (const Edge e : d) {
+        if (edgeIsConstant(e)) continue;
+        const unsigned v = mgr_.nodeVar(e);
+        const unsigned c = ++counts[v];
+        // Tie-break toward the topmost level for progress guarantees.
+        if (c > bestCount ||
+            (c == bestCount && mgr_.varLevel(v) < mgr_.varLevel(bestVar))) {
+          bestVar = v;
+          bestCount = c;
+        }
+      }
+      if (bestCount > 0) return bestVar;
+      break;
+    }
+  }
+  throw BddUsageError("chooseVar on an all-constant disjunction");
+}
+
+bool TerminationChecker::implies(const ConjunctList& x, const Bdd& y) {
+  ++stats_.implicationChecks;
+  if (y.isOne()) return true;
+  std::vector<Edge> disjuncts;
+  disjuncts.reserve(x.size() + 1);
+  for (const Bdd& xi : x) disjuncts.push_back(edgeNot(xi.edge()));
+  disjuncts.push_back(y.edge());
+  return disjunctionIsTautology(std::move(disjuncts));
+}
+
+bool TerminationChecker::implies(const ConjunctList& x, const ConjunctList& y) {
+  return std::all_of(y.begin(), y.end(),
+                     [&](const Bdd& yk) { return implies(x, yk); });
+}
+
+bool TerminationChecker::equal(const ConjunctList& candidateSubset,
+                               const ConjunctList& candidateSuperset) {
+  // Cheap structural screen first: identical lists are trivially equal.
+  if (candidateSubset.structurallyEqualUnordered(candidateSuperset)) {
+    return true;
+  }
+  if (!implies(candidateSuperset, candidateSubset)) return false;
+  if (options_.assumeMonotonic) return true;
+  return implies(candidateSubset, candidateSuperset);
+}
+
+}  // namespace icb

@@ -1,0 +1,167 @@
+#include "models/avg_filter.hpp"
+
+#include <string>
+
+namespace icb {
+
+namespace {
+
+unsigned log2Exact(unsigned v) {
+  unsigned l = 0;
+  while ((1u << l) < v) ++l;
+  if ((1u << l) != v) {
+    throw BddUsageError("AvgFilterModel: depth must be a power of two");
+  }
+  return l;
+}
+
+/// Balanced-tree sum of a vector of BitVecs with full carry-out growth.
+BitVec treeSum(std::vector<BitVec> terms) {
+  while (terms.size() > 1) {
+    std::vector<BitVec> next;
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      next.push_back(add(terms[i], terms[i + 1]));
+    }
+    if (terms.size() % 2 == 1) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  return terms.front();
+}
+
+}  // namespace
+
+AvgFilterModel::AvgFilterModel(BddManager& mgr, const AvgFilterConfig& config)
+    : config_(config), fsm_(std::make_unique<Fsm>(mgr)) {
+  const unsigned d = config.depth;
+  const unsigned w = config.sampleWidth;
+  layers_ = log2Exact(d);
+  const unsigned L = layers_;
+  if (d < 2 || w < 2) {
+    throw BddUsageError("AvgFilterModel: need depth >= 2, sampleWidth >= 2");
+  }
+  VarManager& vars = fsm_->vars();
+
+  // ---- bit-slice interleaved allocation ------------------------------------
+  std::vector<unsigned> inputBitVars(w);
+  std::vector<std::vector<unsigned>> window(d);        // [entry][bit]
+  std::vector<std::vector<std::vector<unsigned>>> stage(L + 1);  // [layer][i][bit]
+  std::vector<std::vector<unsigned>> fifo(L + 1);      // [l][bit], l = 1..L
+  for (unsigned l = 1; l <= L; ++l) {
+    stage[l].assign(d >> l, std::vector<unsigned>(w + l));
+    fifo[l].assign(w, 0);
+  }
+  for (auto& e : window) e.assign(w, 0);
+
+  for (unsigned j = 0; j < w + L; ++j) {
+    if (j < w) {
+      inputBitVars[j] = vars.addInputBit("x_b" + std::to_string(j));
+      for (unsigned k = 0; k < d; ++k) {
+        window[k][j] = vars.addStateBit("w" + std::to_string(k) + "_b" +
+                                        std::to_string(j));
+      }
+    }
+    for (unsigned l = 1; l <= L; ++l) {
+      if (j >= w + l) continue;
+      for (unsigned i = 0; i < (d >> l); ++i) {
+        stage[l][i][j] = vars.addStateBit("s" + std::to_string(l) + "_" +
+                                          std::to_string(i) + "_b" +
+                                          std::to_string(j));
+      }
+    }
+    if (j < w) {
+      for (unsigned l = 1; l <= L; ++l) {
+        fifo[l][j] =
+            vars.addStateBit("f" + std::to_string(l) + "_b" + std::to_string(j));
+      }
+    }
+  }
+
+  auto curVec = [&](const std::vector<unsigned>& bits) {
+    BitVec v;
+    for (const unsigned b : bits) v.push(vars.cur(b));
+    return v;
+  };
+
+  BitVec input;
+  for (unsigned j = 0; j < w; ++j) input.push(vars.input(inputBitVars[j]));
+
+  // ---- implementation: window shift + pipelined adder tree ------------------
+  for (unsigned j = 0; j < w; ++j) {
+    fsm_->setNext(window[0][j], input.bit(j));
+    for (unsigned k = 1; k < d; ++k) {
+      fsm_->setNext(window[k][j], vars.cur(window[k - 1][j]));
+    }
+  }
+
+  for (unsigned l = 1; l <= L; ++l) {
+    for (unsigned i = 0; i < (d >> l); ++i) {
+      const BitVec a = l == 1 ? curVec(window[2 * i]) : curVec(stage[l - 1][2 * i]);
+      const BitVec b =
+          l == 1 ? curVec(window[2 * i + 1]) : curVec(stage[l - 1][2 * i + 1]);
+      BitVec sum;
+      if (config.injectBug && l == 1) {
+        sum = addTrunc(a, b).resized(w + 1);  // dropped carry
+      } else {
+        sum = add(a, b);
+      }
+      for (unsigned j = 0; j < w + l; ++j) {
+        fsm_->setNext(stage[l][i][j], sum.bit(j));
+      }
+    }
+  }
+
+  // ---- specification: direct average + delay FIFO ---------------------------
+  {
+    std::vector<BitVec> samples;
+    samples.reserve(d);
+    for (unsigned k = 0; k < d; ++k) samples.push_back(curVec(window[k]));
+    const BitVec avg = treeSum(std::move(samples)).dropLow(L);  // width w
+    for (unsigned j = 0; j < w; ++j) {
+      fsm_->setNext(fifo[1][j], avg.bit(j));
+      for (unsigned l = 2; l <= L; ++l) {
+        fsm_->setNext(fifo[l][j], vars.cur(fifo[l - 1][j]));
+      }
+    }
+  }
+
+  // ---- init: everything zero -------------------------------------------------
+  Bdd init = mgr.one();
+  for (unsigned k = 0; k < d; ++k) init &= eqConst(curVec(window[k]), 0);
+  for (unsigned l = 1; l <= L; ++l) {
+    for (unsigned i = 0; i < (d >> l); ++i) {
+      init &= eqConst(curVec(stage[l][i]), 0);
+    }
+    init &= eqConst(curVec(fifo[l]), 0);
+  }
+  fsm_->setInit(init);
+
+  // ---- property: the two outputs agree ----------------------------------------
+  const BitVec implOut = curVec(stage[L][0]).dropLow(L);
+  fsm_->addInvariant(eq(implOut, curVec(fifo[L])));
+
+  // ---- assisting invariants (Table 1): per-layer averages match the FIFO ------
+  for (unsigned l = 1; l < L; ++l) {
+    std::vector<BitVec> terms;
+    for (unsigned i = 0; i < (d >> l); ++i) terms.push_back(curVec(stage[l][i]));
+    const BitVec layerAvg = treeSum(std::move(terms)).dropLow(L);
+    fsm_->addAssistInvariant(eq(layerAvg, curVec(fifo[l])));
+  }
+
+  const unsigned Lc = L;
+  std::vector<unsigned> implBits = stage[L][0];
+  std::vector<unsigned> specBits = fifo[L];
+  fsm_->setStatePrinter([Lc, implBits, specBits](
+                            const Fsm& fsm, std::span<const char> values) {
+    auto decode = [&](const std::vector<unsigned>& bits) {
+      unsigned v = 0;
+      for (unsigned j = 0; j < bits.size(); ++j) {
+        if (values[fsm.vars().stateBit(bits[j]).cur] != 0) v |= 1u << j;
+      }
+      return v;
+    };
+    return "impl_out=" + std::to_string(decode(implBits) >> Lc) +
+           " spec_out=" + std::to_string(decode(specBits));
+  });
+}
+
+}  // namespace icb

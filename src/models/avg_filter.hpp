@@ -1,0 +1,57 @@
+// Moving-average filter (paper Figure 2; Tables 1 and 2).
+//
+//                8-bit samples --------------------------+
+//   IMPLEMENTATION                         SPECIFICATION |
+//   window shift register  w[0..d-1]  <------------------+
+//        |   |   |   |
+//       Add Add Add Add     (layer 1, registered)     Average = sum(w) >> L
+//         \   /   \  /                                     |
+//          Add     Add      (layer 2, registered)      delay FIFO f[1..L]
+//             \   /                                        |
+//              Add          (layer L, registered)         |
+//               |                                          |
+//          >> L (discard)                                  |
+//               +--------------  equal?  ------------------+
+//
+// Both sides consume the same sample stream.  The spec computes the average
+// combinationally and delays it L = log2(depth) cycles to match the
+// pipeline.  The property is that the two outputs always agree.
+//
+// Assisting invariants (Table 1 runs): per adder-tree layer l, the layer's
+// total, divided by d, equals delay-FIFO entry l -- exactly the lemmas the
+// paper says the XICI policy re-derives automatically in Table 2.
+//
+// Bug injection: the layer-1 adders drop their carry bit.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sym/bitvector.hpp"
+#include "sym/fsm.hpp"
+
+namespace icb {
+
+struct AvgFilterConfig {
+  unsigned depth = 4;       ///< window size; must be a power of two >= 2
+  unsigned sampleWidth = 8; ///< bits per sample (the paper uses 8)
+  bool injectBug = false;
+};
+
+class AvgFilterModel {
+ public:
+  AvgFilterModel(BddManager& mgr, const AvgFilterConfig& config);
+
+  [[nodiscard]] Fsm& fsm() { return *fsm_; }
+  [[nodiscard]] const AvgFilterConfig& config() const { return config_; }
+  [[nodiscard]] unsigned layers() const { return layers_; }
+
+  [[nodiscard]] std::vector<unsigned> fdCandidates() const { return {}; }
+
+ private:
+  AvgFilterConfig config_;
+  unsigned layers_ = 0;
+  std::unique_ptr<Fsm> fsm_;
+};
+
+}  // namespace icb

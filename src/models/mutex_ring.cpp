@@ -1,0 +1,129 @@
+#include "models/mutex_ring.hpp"
+
+#include <array>
+#include <string>
+
+namespace icb {
+
+namespace {
+
+unsigned bitsFor(unsigned maxValue) {
+  unsigned bits = 1;
+  while ((1u << bits) <= maxValue) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+MutexRingModel::MutexRingModel(BddManager& mgr, const MutexRingConfig& config)
+    : config_(config), fsm_(std::make_unique<Fsm>(mgr)) {
+  const unsigned n = config.cells;
+  if (n < 2) throw BddUsageError("MutexRingModel: need at least 2 cells");
+  VarManager& vars = fsm_->vars();
+  const unsigned selWidth = bitsFor(n - 1);
+
+  // ---- inputs: selected cell + nondeterministic nudge ----------------------
+  BitVec sel;
+  for (unsigned j = 0; j < selWidth; ++j) {
+    sel.push(vars.input(vars.addInputBit("sel" + std::to_string(j))));
+  }
+  const Bdd nudge = vars.input(vars.addInputBit("nudge"));
+
+  // ---- state: per cell, 2 phase bits + token bit -----------------------------
+  std::vector<std::array<unsigned, 2>> phase(n);
+  std::vector<unsigned> token(n);
+  for (unsigned i = 0; i < n; ++i) {
+    phase[i][0] = vars.addStateBit("p" + std::to_string(i) + "_0");
+    phase[i][1] = vars.addStateBit("p" + std::to_string(i) + "_1");
+    token[i] = vars.addStateBit("t" + std::to_string(i));
+  }
+
+  auto phaseVec = [&](unsigned i) {
+    BitVec v;
+    v.push(vars.cur(phase[i][0]));
+    v.push(vars.cur(phase[i][1]));
+    return v;
+  };
+  auto hasToken = [&](unsigned i) { return vars.cur(token[i]); };
+
+  const Bdd selOk = n == (1u << selWidth)
+                        ? mgr.one()
+                        : ult(sel, BitVec::constant(mgr, selWidth, n));
+
+  for (unsigned i = 0; i < n; ++i) {
+    const unsigned left = (i + n - 1) % n;
+    const Bdd here = eqConst(sel, i) & selOk;
+    const Bdd leftSelected = eqConst(sel, left) & selOk;
+
+    const BitVec p = phaseVec(i);
+    const Bdd isIdle = eqConst(p, kIdle);
+    const Bdd isWant = eqConst(p, kWant);
+    const Bdd isCrit = eqConst(p, kCrit);
+
+    // Phase transition of the selected cell.
+    const Bdd toWant = here & isIdle & nudge;
+    const Bdd toCrit = here & isWant & hasToken(i);
+    const Bdd toIdle = here & isCrit;
+    BitVec nextPhase = p;
+    nextPhase = mux(toWant, BitVec::constant(mgr, 2, kWant), nextPhase);
+    nextPhase = mux(toCrit, BitVec::constant(mgr, 2, kCrit), nextPhase);
+    nextPhase = mux(toIdle, BitVec::constant(mgr, 2, kIdle), nextPhase);
+    fsm_->setNext(phase[i][0], nextPhase.bit(0));
+    fsm_->setNext(phase[i][1], nextPhase.bit(1));
+
+    // Token movement.  Cell i's token leaves when i is selected and either
+    // releases the critical section or idles the token along; it arrives
+    // when the LEFT neighbour does the same.
+    const Bdd givesAway =
+        here & hasToken(i) & ((isIdle & !nudge) | isCrit);
+    const BitVec leftPhase = phaseVec(left);
+    const Bdd leftGives = leftSelected & hasToken(left) &
+                          ((eqConst(leftPhase, kIdle) & !nudge) |
+                           eqConst(leftPhase, kCrit));
+    Bdd keep = hasToken(i) & !givesAway;
+    if (config.injectBug) {
+      // Bug: a releasing CRIT cell keeps its token while also handing a
+      // copy to the right neighbour.
+      keep = hasToken(i) & !(here & hasToken(i) & isIdle & !nudge);
+    }
+    fsm_->setNext(token[i], keep | leftGives);
+  }
+
+  // ---- init: token at cell 0, everyone idle ----------------------------------
+  Bdd init = mgr.one();
+  for (unsigned i = 0; i < n; ++i) {
+    init &= eqConst(phaseVec(i), kIdle);
+    init &= i == 0 ? hasToken(i) : !hasToken(i);
+  }
+  fsm_->setInit(init);
+
+  // ---- properties: pairwise exclusion + per-cell token discipline ------------
+  for (unsigned i = 0; i < n; ++i) {
+    for (unsigned j = i + 1; j < n; ++j) {
+      fsm_->addInvariant(!(eqConst(phaseVec(i), kCrit) &
+                           eqConst(phaseVec(j), kCrit)));
+      fsm_->addInvariant(!(hasToken(i) & hasToken(j)));
+    }
+  }
+  for (unsigned i = 0; i < n; ++i) {
+    fsm_->addInvariant((!eqConst(phaseVec(i), kCrit)) | hasToken(i));
+  }
+
+  const unsigned cells = n;
+  fsm_->setStatePrinter([cells, phase, token](const Fsm& fsm,
+                                              std::span<const char> values) {
+    std::string out;
+    for (unsigned i = 0; i < cells; ++i) {
+      const unsigned p =
+          static_cast<unsigned>(values[fsm.vars().stateBit(phase[i][0]).cur]) |
+          (static_cast<unsigned>(values[fsm.vars().stateBit(phase[i][1]).cur])
+           << 1);
+      const char* name = p == kIdle ? "I" : p == kWant ? "W" : "C";
+      out += name;
+      out += values[fsm.vars().stateBit(token[i]).cur] != 0 ? "*" : " ";
+    }
+    return out;
+  });
+}
+
+}  // namespace icb

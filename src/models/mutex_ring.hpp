@@ -1,0 +1,55 @@
+// Token-ring mutual exclusion -- the "rings of mutual exclusion elements"
+// family the paper's introduction cites as the staple benchmark of early
+// BDD verifiers.  Included as a fifth model exercising a property that is
+// naturally a LARGE implicit conjunction of TINY conjuncts: pairwise
+// exclusion over all cell pairs.
+//
+// N cells in a ring.  Each cell has a 2-bit phase (IDLE, WANT, CRIT) and a
+// token bit.  A scheduler input selects one cell per step:
+//   * IDLE, nudge input set        -> WANT
+//   * WANT and holding the token   -> CRIT
+//   * CRIT                         -> IDLE, token passes to the right
+//   * IDLE and holding the token, nudge clear -> token passes to the right
+// All other cells hold their state.
+//
+// Properties (implicit conjunction):
+//   * per unordered pair (i, j): not both in CRIT,
+//   * per pair: not both holding the token,
+//   * per cell: CRIT implies holding the token.
+//
+// Bug injection: releasing the critical section *copies* the token to the
+// right neighbour instead of passing it, so two tokens (and eventually two
+// critical sections) appear.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "sym/bitvector.hpp"
+#include "sym/fsm.hpp"
+
+namespace icb {
+
+struct MutexRingConfig {
+  unsigned cells = 4;  ///< ring size, >= 2
+  bool injectBug = false;
+};
+
+class MutexRingModel {
+ public:
+  MutexRingModel(BddManager& mgr, const MutexRingConfig& config);
+
+  [[nodiscard]] Fsm& fsm() { return *fsm_; }
+  [[nodiscard]] const MutexRingConfig& config() const { return config_; }
+
+  [[nodiscard]] std::vector<unsigned> fdCandidates() const { return {}; }
+
+  enum Phase : unsigned { kIdle = 0, kWant = 1, kCrit = 2 };
+
+ private:
+  MutexRingConfig config_;
+  std::unique_ptr<Fsm> fsm_;
+};
+
+}  // namespace icb

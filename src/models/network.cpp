@@ -1,0 +1,184 @@
+#include "models/network.hpp"
+
+#include <string>
+
+namespace icb {
+
+namespace {
+
+unsigned bitsFor(unsigned maxValue) {
+  unsigned bits = 1;
+  while ((1u << bits) <= maxValue) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+NetworkModel::NetworkModel(BddManager& mgr, const NetworkConfig& config)
+    : config_(config), fsm_(std::make_unique<Fsm>(mgr)) {
+  const unsigned n = config.processors;
+  if (n < 2 || n >= 16) {
+    throw BddUsageError("NetworkModel: need 2 <= processors < 16");
+  }
+  counterWidth_ = bitsFor(n);  // counters range over 0..n
+  const unsigned slotSelWidth = bitsFor(n - 1);
+  VarManager& vars = fsm_->vars();
+
+  // ---- inputs: action, slot choice, processor choice ----------------------
+  BitVec act;
+  for (unsigned j = 0; j < 2; ++j) {
+    act.push(vars.input(vars.addInputBit("act" + std::to_string(j))));
+  }
+  BitVec slotSel;
+  for (unsigned j = 0; j < slotSelWidth; ++j) {
+    slotSel.push(vars.input(vars.addInputBit("slot" + std::to_string(j))));
+  }
+  BitVec procSel;
+  for (unsigned j = 0; j < kIdWidth; ++j) {
+    procSel.push(vars.input(vars.addInputBit("proc" + std::to_string(j))));
+  }
+
+  // ---- state: per-slot message fields, then per-processor counters --------
+  struct Slot {
+    unsigned valid;
+    unsigned isAck;
+    std::vector<unsigned> addr;
+  };
+  std::vector<Slot> slots(n);
+  for (unsigned s = 0; s < n; ++s) {
+    const std::string p = "s" + std::to_string(s) + "_";
+    slots[s].valid = vars.addStateBit(p + "valid");
+    slots[s].isAck = vars.addStateBit(p + "ack");
+    for (unsigned j = 0; j < kIdWidth; ++j) {
+      slots[s].addr.push_back(vars.addStateBit(p + "addr" + std::to_string(j)));
+    }
+  }
+  std::vector<std::vector<unsigned>> counters(n);
+  for (unsigned p = 0; p < n; ++p) {
+    for (unsigned j = 0; j < counterWidth_; ++j) {
+      counters[p].push_back(vars.addStateBit("c" + std::to_string(p) + "_" +
+                                             std::to_string(j)));
+    }
+  }
+  counterStateBits_.clear();
+  for (unsigned p = 0; p < n; ++p) {
+    for (const unsigned b : counters[p]) counterStateBits_.push_back(b);
+  }
+
+  auto slotValid = [&](unsigned s) { return vars.cur(slots[s].valid); };
+  auto slotAck = [&](unsigned s) { return vars.cur(slots[s].isAck); };
+  auto slotAddr = [&](unsigned s) {
+    BitVec v;
+    for (const unsigned b : slots[s].addr) v.push(vars.cur(b));
+    return v;
+  };
+  auto counterVec = [&](unsigned p) {
+    BitVec v;
+    for (const unsigned b : counters[p]) v.push(vars.cur(b));
+    return v;
+  };
+
+  // ---- action decoding -----------------------------------------------------
+  const Bdd actIssue = eqConst(act, 1);
+  const Bdd actServe = eqConst(act, 2);
+  const Bdd actReceive = eqConst(act, 3);
+  const Bdd procOk = ult(procSel, BitVec::constant(mgr, kIdWidth, n));
+  const Bdd slotOk = n == (1u << slotSelWidth)
+                         ? mgr.one()
+                         : ult(slotSel, BitVec::constant(mgr, slotSelWidth, n));
+
+  // Per-slot enable signals.
+  std::vector<Bdd> issueThis(n), serveThis(n), receiveThis(n);
+  for (unsigned s = 0; s < n; ++s) {
+    const Bdd here = eqConst(slotSel, s) & slotOk;
+    issueThis[s] = actIssue & here & !slotValid(s) & procOk;
+    serveThis[s] = actServe & here & slotValid(s) & !slotAck(s);
+    receiveThis[s] = actReceive & here & slotValid(s) & slotAck(s);
+  }
+
+  // ---- next-state functions -------------------------------------------------
+  for (unsigned s = 0; s < n; ++s) {
+    fsm_->setNext(slots[s].valid,
+                  issueThis[s] | (slotValid(s) & !receiveThis[s]));
+    fsm_->setNext(slots[s].isAck,
+                  issueThis[s].ite(mgr.zero(), serveThis[s] | slotAck(s)));
+    const BitVec addrNext = mux(issueThis[s], procSel, slotAddr(s));
+    for (unsigned j = 0; j < kIdWidth; ++j) {
+      fsm_->setNext(slots[s].addr[j], addrNext.bit(j));
+    }
+  }
+
+  for (unsigned p = 0; p < n; ++p) {
+    const Bdd mine = eqConst(procSel, p);
+    // Increment when this processor successfully issues anywhere.
+    Bdd inc = mgr.zero();
+    for (unsigned s = 0; s < n; ++s) inc |= issueThis[s] & mine;
+    // Decrement when an ack addressed to this processor is received
+    // (bug: when the *selected* processor receives, regardless of address).
+    Bdd dec = mgr.zero();
+    for (unsigned s = 0; s < n; ++s) {
+      const Bdd target =
+          config.injectBug ? mine : eqConst(slotAddr(s), p);
+      dec |= receiveThis[s] & target;
+    }
+    const BitVec c = counterVec(p);
+    const BitVec next = mux(inc, incTrunc(c), mux(dec, decTrunc(c), c));
+    for (unsigned j = 0; j < counterWidth_; ++j) {
+      fsm_->setNext(counters[p][j], next.bit(j));
+    }
+  }
+
+  // ---- initial states: empty network, zero counters --------------------------
+  Bdd init = mgr.one();
+  for (unsigned s = 0; s < n; ++s) {
+    init &= (!slotValid(s)) & (!slotAck(s)) & eqConst(slotAddr(s), 0);
+  }
+  for (unsigned p = 0; p < n; ++p) init &= eqConst(counterVec(p), 0);
+  fsm_->setInit(init);
+
+  // ---- property: counter_p == #{valid messages addressed to p} ---------------
+  for (unsigned p = 0; p < n; ++p) {
+    BitVec count = BitVec::constant(mgr, counterWidth_, 0);
+    for (unsigned s = 0; s < n; ++s) {
+      BitVec indicator;
+      indicator.push(slotValid(s) & eqConst(slotAddr(s), p));
+      count = addTrunc(count.resized(counterWidth_), indicator);
+    }
+    fsm_->addInvariant(eq(counterVec(p), count));
+  }
+
+  const unsigned procs = n;
+  const unsigned cw = counterWidth_;
+  fsm_->setStatePrinter([procs, cw, slots, counters](
+                            const Fsm& fsm, std::span<const char> values) {
+    std::string out = "net=[";
+    for (unsigned s = 0; s < procs; ++s) {
+      if (s != 0) out += " ";
+      if (values[fsm.vars().stateBit(slots[s].valid).cur] == 0) {
+        out += "-";
+        continue;
+      }
+      out += values[fsm.vars().stateBit(slots[s].isAck).cur] != 0 ? "A" : "R";
+      unsigned addr = 0;
+      for (unsigned j = 0; j < kIdWidth; ++j) {
+        if (values[fsm.vars().stateBit(slots[s].addr[j]).cur] != 0) {
+          addr |= 1u << j;
+        }
+      }
+      out += std::to_string(addr);
+    }
+    out += "] counters=[";
+    for (unsigned p = 0; p < procs; ++p) {
+      if (p != 0) out += ",";
+      unsigned c = 0;
+      for (unsigned j = 0; j < cw; ++j) {
+        if (values[fsm.vars().stateBit(counters[p][j]).cur] != 0) c |= 1u << j;
+      }
+      out += std::to_string(c);
+    }
+    out += "]";
+    return out;
+  });
+}
+
+}  // namespace icb

@@ -1,0 +1,231 @@
+#include "models/pipeline_cpu.hpp"
+
+#include <string>
+
+namespace icb {
+
+namespace {
+
+unsigned log2Exact(unsigned v) {
+  unsigned l = 0;
+  while ((1u << l) < v) ++l;
+  if ((1u << l) != v || v < 2) {
+    throw BddUsageError("PipelineCpuModel: registers must be a power of two >= 2");
+  }
+  return l;
+}
+
+/// State-bit indices of one latched instruction.
+struct InstrBits {
+  std::vector<unsigned> op;   // 3 bits
+  std::vector<unsigned> src;  // log2(R) bits
+  std::vector<unsigned> dst;  // log2(R) bits
+  std::vector<unsigned> imm;  // B bits
+};
+
+}  // namespace
+
+PipelineCpuModel::PipelineCpuModel(BddManager& mgr,
+                                   const PipelineCpuConfig& config)
+    : config_(config), fsm_(std::make_unique<Fsm>(mgr)) {
+  const unsigned R = config.registers;
+  const unsigned B = config.width;
+  const unsigned ridx = log2Exact(R);
+  if (B < 1) throw BddUsageError("PipelineCpuModel: width must be >= 1");
+  VarManager& vars = fsm_->vars();
+
+  // ---- allocation -----------------------------------------------------------
+  // Control first: input instruction fields, latched instruction fields,
+  // writeback control.  Then the datapath, bit-sliced across every lane.
+  std::vector<unsigned> inOp(3), inSrc(ridx), inDst(ridx), inImm(B);
+  for (unsigned j = 0; j < 3; ++j) inOp[j] = vars.addInputBit("i_op" + std::to_string(j));
+  for (unsigned j = 0; j < ridx; ++j) inSrc[j] = vars.addInputBit("i_src" + std::to_string(j));
+  for (unsigned j = 0; j < ridx; ++j) inDst[j] = vars.addInputBit("i_dst" + std::to_string(j));
+
+  auto allocInstrCtl = [&](const std::string& p) {
+    InstrBits ib;
+    for (unsigned j = 0; j < 3; ++j) ib.op.push_back(vars.addStateBit(p + "_op" + std::to_string(j)));
+    for (unsigned j = 0; j < ridx; ++j) ib.src.push_back(vars.addStateBit(p + "_src" + std::to_string(j)));
+    for (unsigned j = 0; j < ridx; ++j) ib.dst.push_back(vars.addStateBit(p + "_dst" + std::to_string(j)));
+    return ib;
+  };
+  InstrBits i2 = allocInstrCtl("i2");    // pipeline decode/execute latch
+  InstrBits d1 = allocInstrCtl("d1");    // spec delay 1
+  InstrBits d2 = allocInstrCtl("d2");    // spec delay 2
+  const unsigned wWe = vars.addStateBit("w_we");
+  const unsigned wBr = vars.addStateBit("w_br");
+  std::vector<unsigned> wDst(ridx);
+  for (unsigned j = 0; j < ridx; ++j) wDst[j] = vars.addStateBit("w_dst" + std::to_string(j));
+
+  // Datapath lanes, interleaved per bit: input imm, latched imms, writeback
+  // value, implementation registers, specification registers.
+  std::vector<unsigned> wVal(B);
+  std::vector<std::vector<unsigned>> rf(R, std::vector<unsigned>(B));
+  std::vector<std::vector<unsigned>> srf(R, std::vector<unsigned>(B));
+  for (unsigned j = 0; j < B; ++j) {
+    inImm[j] = vars.addInputBit("i_imm" + std::to_string(j));
+    i2.imm.push_back(vars.addStateBit("i2_imm" + std::to_string(j)));
+    d1.imm.push_back(vars.addStateBit("d1_imm" + std::to_string(j)));
+    d2.imm.push_back(vars.addStateBit("d2_imm" + std::to_string(j)));
+    wVal[j] = vars.addStateBit("w_val" + std::to_string(j));
+    for (unsigned r = 0; r < R; ++r) {
+      rf[r][j] = vars.addStateBit("rf" + std::to_string(r) + "_b" + std::to_string(j));
+      srf[r][j] = vars.addStateBit("srf" + std::to_string(r) + "_b" + std::to_string(j));
+    }
+  }
+
+  auto curVec = [&](const std::vector<unsigned>& bits) {
+    BitVec v;
+    for (const unsigned b : bits) v.push(vars.cur(b));
+    return v;
+  };
+
+  // ---- shared instruction semantics ------------------------------------------
+  struct Exec {
+    Bdd we;        // writes a register
+    BitVec dstSel; // destination index
+    BitVec value;  // value written
+    Bdd isBr;
+  };
+  // Computes what an instruction does against a register-read function.
+  auto execute = [&](const BitVec& op, const BitVec& src, const BitVec& dst,
+                     const BitVec& imm, auto readReg) {
+    Exec e;
+    const Bdd isLd = eqConst(op, kLd);
+    const Bdd isAdd = eqConst(op, kAdd);
+    const Bdd isSub = eqConst(op, kSub);
+    const Bdd isMov = eqConst(op, kMov);
+    const Bdd isSr = eqConst(op, kSr);
+    e.isBr = eqConst(op, kBr);
+    e.we = isLd | isAdd | isSub | isMov | isSr;
+    e.dstSel = dst;
+
+    // Operand fetch through the provided read path (bypassed or not).
+    BitVec srcVal = BitVec::constant(mgr, B, 0);
+    BitVec dstVal = BitVec::constant(mgr, B, 0);
+    for (unsigned r = 0; r < R; ++r) {
+      srcVal = mux(eqConst(src, r), readReg(r), srcVal);
+      dstVal = mux(eqConst(dst, r), readReg(r), dstVal);
+    }
+
+    BitVec value = BitVec::constant(mgr, B, 0);
+    value = mux(isLd, imm, value);
+    value = mux(isAdd, addTrunc(dstVal, srcVal), value);
+    value = mux(isSub, subTrunc(dstVal, srcVal), value);
+    value = mux(isMov, srcVal, value);
+    value = mux(isSr, dstVal.shiftRight(1), value);
+    e.value = value;
+    return e;
+  };
+
+  // ---- fetch with branch stall -------------------------------------------------
+  const BitVec i2op = curVec(i2.op);
+  const Bdd stall = eqConst(i2op, kBr) | vars.cur(wBr);
+  auto stalledField = [&](const std::vector<unsigned>& ins) {
+    BitVec v;
+    for (const unsigned i : ins) v.push((!stall) & vars.input(i));
+    return v;  // forced to NOP (all-zero fields) during a stall
+  };
+  const BitVec fOp = stalledField(inOp);
+  const BitVec fSrc = stalledField(inSrc);
+  const BitVec fDst = stalledField(inDst);
+  const BitVec fImm = stalledField(inImm);
+
+  auto setVec = [&](const std::vector<unsigned>& bits, const BitVec& v) {
+    for (unsigned j = 0; j < bits.size(); ++j) fsm_->setNext(bits[j], v.bit(j));
+  };
+
+  // Fetch -> I2 (impl) and -> D1 (spec); D1 -> D2.
+  setVec(i2.op, fOp);
+  setVec(i2.src, fSrc);
+  setVec(i2.dst, fDst);
+  setVec(i2.imm, fImm);
+  setVec(d1.op, fOp);
+  setVec(d1.src, fSrc);
+  setVec(d1.dst, fDst);
+  setVec(d1.imm, fImm);
+  setVec(d2.op, curVec(d1.op));
+  setVec(d2.src, curVec(d1.src));
+  setVec(d2.dst, curVec(d1.dst));
+  setVec(d2.imm, curVec(d1.imm));
+
+  // ---- implementation: execute I2 with bypass from the writeback latch ---------
+  const Bdd wWeCur = vars.cur(wWe);
+  const BitVec wDstCur = curVec(wDst);
+  const BitVec wValCur = curVec(wVal);
+  auto readBypassed = [&](unsigned r) {
+    const Bdd hit = wWeCur & eqConst(wDstCur, r);
+    if (config_.injectBug) return curVec(rf[r]);  // bug: no bypass
+    return mux(hit, wValCur, curVec(rf[r]));
+  };
+  const Exec ex = execute(i2op, curVec(i2.src), curVec(i2.dst), curVec(i2.imm),
+                          readBypassed);
+  fsm_->setNext(wWe, ex.we);
+  fsm_->setNext(wBr, ex.isBr);
+  setVec(wDst, ex.dstSel);
+  setVec(wVal, ex.value);
+
+  // Writeback: the latch contents retire into the register file.
+  for (unsigned r = 0; r < R; ++r) {
+    const Bdd hit = wWeCur & eqConst(wDstCur, r);
+    setVec(rf[r], mux(hit, wValCur, curVec(rf[r])));
+  }
+
+  // ---- specification: execute D2 against SRF in one step -----------------------
+  auto readSpec = [&](unsigned r) { return curVec(srf[r]); };
+  const Exec sx = execute(curVec(d2.op), curVec(d2.src), curVec(d2.dst),
+                          curVec(d2.imm), readSpec);
+  for (unsigned r = 0; r < R; ++r) {
+    const Bdd hit = sx.we & eqConst(sx.dstSel, r);
+    setVec(srf[r], mux(hit, sx.value, curVec(srf[r])));
+  }
+
+  // ---- init: everything zero (NOP latches, zero registers) ---------------------
+  Bdd init = mgr.one();
+  auto zeroed = [&](const std::vector<unsigned>& bits) {
+    for (const unsigned b : bits) init &= !vars.cur(b);
+  };
+  zeroed(i2.op); zeroed(i2.src); zeroed(i2.dst); zeroed(i2.imm);
+  zeroed(d1.op); zeroed(d1.src); zeroed(d1.dst); zeroed(d1.imm);
+  zeroed(d2.op); zeroed(d2.src); zeroed(d2.dst); zeroed(d2.imm);
+  init &= (!vars.cur(wWe)) & (!vars.cur(wBr));
+  zeroed(wDst); zeroed(wVal);
+  for (unsigned r = 0; r < R; ++r) {
+    zeroed(rf[r]);
+    zeroed(srf[r]);
+  }
+  fsm_->setInit(init);
+
+  // ---- property: register files agree, one conjunct per register ----------------
+  for (unsigned r = 0; r < R; ++r) {
+    fsm_->addInvariant(eq(curVec(rf[r]), curVec(srf[r])));
+  }
+
+  const unsigned Rc = R;
+  const unsigned Bc = B;
+  fsm_->setStatePrinter([Rc, Bc, rf, srf](const Fsm& fsm,
+                                          std::span<const char> values) {
+    auto decode = [&](const std::vector<unsigned>& bits) {
+      unsigned v = 0;
+      for (unsigned j = 0; j < bits.size(); ++j) {
+        if (values[fsm.vars().stateBit(bits[j]).cur] != 0) v |= 1u << j;
+      }
+      return v;
+    };
+    std::string out = "rf=[";
+    for (unsigned r = 0; r < Rc; ++r) {
+      if (r != 0) out += ",";
+      out += std::to_string(decode(rf[r]));
+    }
+    out += "] srf=[";
+    for (unsigned r = 0; r < Rc; ++r) {
+      if (r != 0) out += ",";
+      out += std::to_string(decode(srf[r]));
+    }
+    out += "]";
+    (void)Bc;
+    return out;
+  });
+}
+
+}  // namespace icb

@@ -1,0 +1,68 @@
+// Pipelined processor vs. non-pipelined specification (paper Figure 3,
+// Table 3).
+//
+//             non-deterministic instruction stream
+//                  |                        |
+//   IMPLEMENTATION |          SPECIFICATION |
+//   (branch stall) |                        | (stalls with the pipeline)
+//   Instruction Fetch              Instruction Delay D1
+//        |                                  |
+//   Execute  <-- register bypass   Instruction Delay D2
+//        |            from WB               |
+//   Register Writeback             Fetch-Execute-Writeback (one cycle)
+//        |                                  |
+//   Register File  ===== always equal? ===== Register File
+//
+// Instructions: 3-bit opcode (NOP BR LD ST ADD SUB MOV SR), source register,
+// destination register, immediate field (B bits).  BR performs no operation
+// but stalls the pipeline: while a BR sits in Execute or Writeback, fetched
+// instructions are forced to NOP (and the spec sees the same forced NOPs,
+// keeping the two streams identical).  The spec buffers instructions two
+// cycles so its architectural state is phase-aligned with the pipeline.
+//
+// Property (one conjunct per register): the two register files agree.
+//
+// Bug injection: the register bypass path is omitted, so back-to-back
+// dependent instructions read stale operands.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sym/bitvector.hpp"
+#include "sym/fsm.hpp"
+
+namespace icb {
+
+struct PipelineCpuConfig {
+  unsigned registers = 2;  ///< power of two, >= 2
+  unsigned width = 1;      ///< datapath bits ("B" in Table 3)
+  bool injectBug = false;
+};
+
+class PipelineCpuModel {
+ public:
+  PipelineCpuModel(BddManager& mgr, const PipelineCpuConfig& config);
+
+  [[nodiscard]] Fsm& fsm() { return *fsm_; }
+  [[nodiscard]] const PipelineCpuConfig& config() const { return config_; }
+
+  [[nodiscard]] std::vector<unsigned> fdCandidates() const { return {}; }
+
+  enum Opcode : unsigned {
+    kNop = 0,
+    kBr = 1,
+    kLd = 2,
+    kSt = 3,
+    kAdd = 4,
+    kSub = 5,
+    kMov = 6,
+    kSr = 7,
+  };
+
+ private:
+  PipelineCpuConfig config_;
+  std::unique_ptr<Fsm> fsm_;
+};
+
+}  // namespace icb

@@ -1,0 +1,89 @@
+#include "models/typed_fifo.hpp"
+
+#include <string>
+
+namespace icb {
+
+TypedFifoModel::TypedFifoModel(BddManager& mgr, const TypedFifoConfig& config)
+    : config_(config), fsm_(std::make_unique<Fsm>(mgr)) {
+  const unsigned depth = config.depth;
+  const unsigned width = config.width;
+  if (depth == 0 || width < 2) {
+    throw BddUsageError("TypedFifoModel: need depth >= 1, width >= 2");
+  }
+  VarManager& vars = fsm_->vars();
+
+  // Input: selector + (width-1) low bits.
+  const unsigned selIn = vars.addInputBit("in_sel");
+  std::vector<unsigned> lowIn;
+
+  // Bit-slice interleaved allocation: for each bit position, the input's
+  // low bit (if any) then that bit of every entry.
+  entryBits_.assign(depth, std::vector<unsigned>(width));
+  for (unsigned j = 0; j < width; ++j) {
+    if (j < width - 1) {
+      lowIn.push_back(vars.addInputBit("in_b" + std::to_string(j)));
+    }
+    for (unsigned e = 0; e < depth; ++e) {
+      entryBits_[e][j] =
+          vars.addStateBit("q" + std::to_string(e) + "_b" + std::to_string(j));
+    }
+  }
+
+  entries_.reserve(depth);
+  for (unsigned e = 0; e < depth; ++e) {
+    std::vector<Bdd> bits;
+    bits.reserve(width);
+    for (unsigned j = 0; j < width; ++j) bits.push_back(vars.cur(entryBits_[e][j]));
+    entries_.emplace_back(std::move(bits));
+  }
+
+  // Typed input value: sel ? 2^(width-1) : low bits.
+  const Bdd sel = vars.input(selIn);
+  BitVec inputValue;
+  for (unsigned j = 0; j < width; ++j) {
+    if (j == width - 1) {
+      inputValue.push(sel);
+    } else if (config.injectBug && j == 0) {
+      // Bug: the low bit leaks even when the selector picks the bound,
+      // admitting the out-of-range value 2^(width-1) + 1.
+      inputValue.push(vars.input(lowIn[j]));
+    } else {
+      inputValue.push((!sel) & vars.input(lowIn[j]));
+    }
+  }
+
+  // Shift register: entry 0 takes the input, entry e takes entry e-1.
+  for (unsigned j = 0; j < width; ++j) {
+    fsm_->setNext(entryBits_[0][j], inputValue.bit(j));
+    for (unsigned e = 1; e < depth; ++e) {
+      fsm_->setNext(entryBits_[e][j], vars.cur(entryBits_[e - 1][j]));
+    }
+  }
+
+  // Initially the queue holds zeros (well-typed).
+  Bdd init = mgr.one();
+  for (unsigned e = 0; e < depth; ++e) {
+    init &= eqConst(entries_[e], 0);
+  }
+  fsm_->setInit(init);
+
+  // Property: every entry obeys the type constraint -- one conjunct per
+  // entry, each a (width+1)-node comparator.
+  for (unsigned e = 0; e < depth; ++e) {
+    fsm_->addInvariant(uleConst(entries_[e], bound()));
+  }
+
+  fsm_->setStatePrinter(
+      [entries = entries_](const Fsm&, std::span<const char> values) {
+        std::string out = "queue=[";
+        for (std::size_t e = 0; e < entries.size(); ++e) {
+          if (e != 0) out += ", ";
+          out += std::to_string(entries[e].evalUint(values));
+        }
+        out += "]";
+        return out;
+      });
+}
+
+}  // namespace icb

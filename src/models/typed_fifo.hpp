@@ -1,0 +1,62 @@
+// Typed FIFO queue (paper Section IV.A, first example).
+//
+// An 8-bit-wide shift-register FIFO whose input stream obeys a type
+// constraint: every item is between 0 and 128 inclusive.  The property is
+// that every entry always obeys the constraint.
+//
+// The state variables use the standard datapath ordering heuristic the paper
+// cites ([19]): bit slices interleaved across all entries.  Under that order
+// each per-entry constraint "entry <= 128" is a 9-node BDD, but their
+// CONJUNCTION must remember, per entry, whether the MSB was set -- so the
+// monolithic G (what Fwd/Bkwd build) grows exponentially with the depth
+// while the implicit conjunction stays at depth x 9 nodes.
+//
+// Typed input encoding: a selector bit chooses between the value 128
+// (MSB set, low bits forced to zero) and an arbitrary 7-bit value, yielding
+// exactly the range [0, 128] without constraining inputs.
+//
+// Bug injection: the low input bit leaks through when the selector picks
+// 128, so the value 129 can enter the queue.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "sym/bitvector.hpp"
+#include "sym/fsm.hpp"
+
+namespace icb {
+
+struct TypedFifoConfig {
+  unsigned depth = 5;
+  unsigned width = 8;  ///< bits per entry; the type bound is 2^(width-1)
+  bool injectBug = false;
+};
+
+class TypedFifoModel {
+ public:
+  TypedFifoModel(BddManager& mgr, const TypedFifoConfig& config);
+
+  [[nodiscard]] Fsm& fsm() { return *fsm_; }
+  [[nodiscard]] const TypedFifoConfig& config() const { return config_; }
+
+  /// FD candidates: none (no variable is functionally dependent here).
+  [[nodiscard]] std::vector<unsigned> fdCandidates() const { return {}; }
+
+  /// Entry `i` of the queue as a bit vector over current-state vars
+  /// (index 0 is the entry the input shifts into).
+  [[nodiscard]] const BitVec& entry(unsigned i) const { return entries_[i]; }
+
+  /// The type bound (128 for the paper's 8-bit configuration).
+  [[nodiscard]] std::uint64_t bound() const {
+    return std::uint64_t{1} << (config_.width - 1);
+  }
+
+ private:
+  TypedFifoConfig config_;
+  std::unique_ptr<Fsm> fsm_;
+  std::vector<BitVec> entries_;
+  std::vector<std::vector<unsigned>> entryBits_;  // state-bit indices
+};
+
+}  // namespace icb

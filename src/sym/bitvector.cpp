@@ -1,0 +1,196 @@
+#include "sym/bitvector.hpp"
+
+#include <algorithm>
+
+namespace icb {
+
+namespace {
+
+BddManager& managerOf(const BitVec& a, const BitVec& b) {
+  for (const Bdd& bit : a.bits()) {
+    if (!bit.isNull()) return *bit.manager();
+  }
+  for (const Bdd& bit : b.bits()) {
+    if (!bit.isNull()) return *bit.manager();
+  }
+  throw BddUsageError("BitVec operation on empty vectors");
+}
+
+}  // namespace
+
+BitVec BitVec::constant(BddManager& mgr, unsigned width, std::uint64_t value) {
+  std::vector<Bdd> bits;
+  bits.reserve(width);
+  for (unsigned i = 0; i < width; ++i) {
+    bits.push_back(((value >> i) & 1u) != 0 ? mgr.one() : mgr.zero());
+  }
+  return BitVec(std::move(bits));
+}
+
+BitVec BitVec::resized(unsigned width) const {
+  if (bits_.empty()) throw BddUsageError("resized on empty BitVec");
+  BddManager& mgr = *bits_.front().manager();
+  std::vector<Bdd> bits;
+  bits.reserve(width);
+  for (unsigned i = 0; i < width; ++i) {
+    bits.push_back(i < bits_.size() ? bits_[i] : mgr.zero());
+  }
+  return BitVec(std::move(bits));
+}
+
+BitVec BitVec::shiftRight(unsigned amount) const {
+  if (bits_.empty()) throw BddUsageError("shiftRight on empty BitVec");
+  BddManager& mgr = *bits_.front().manager();
+  std::vector<Bdd> bits;
+  bits.reserve(bits_.size());
+  for (unsigned i = 0; i < bits_.size(); ++i) {
+    const std::size_t src = static_cast<std::size_t>(i) + amount;
+    bits.push_back(src < bits_.size() ? bits_[src] : mgr.zero());
+  }
+  return BitVec(std::move(bits));
+}
+
+BitVec BitVec::dropLow(unsigned amount) const {
+  std::vector<Bdd> bits(bits_.begin() + std::min<std::size_t>(amount, bits_.size()),
+                        bits_.end());
+  return BitVec(std::move(bits));
+}
+
+std::uint64_t BitVec::evalUint(std::span<const char> values) const {
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < bits_.size(); ++i) {
+    if (bits_[i].eval(values)) out |= (std::uint64_t{1} << i);
+  }
+  return out;
+}
+
+namespace {
+
+BitVec addImpl(const BitVec& a, const BitVec& b, bool carryOut) {
+  BddManager& mgr = managerOf(a, b);
+  const unsigned w = std::max(a.width(), b.width());
+  const BitVec ax = a.resized(w);
+  const BitVec bx = b.resized(w);
+  std::vector<Bdd> bits;
+  bits.reserve(w + (carryOut ? 1 : 0));
+  Bdd carry = mgr.zero();
+  for (unsigned i = 0; i < w; ++i) {
+    const Bdd& x = ax.bit(i);
+    const Bdd& y = bx.bit(i);
+    bits.push_back(x ^ y ^ carry);
+    carry = (x & y) | (carry & (x ^ y));
+  }
+  if (carryOut) bits.push_back(carry);
+  return BitVec(std::move(bits));
+}
+
+}  // namespace
+
+BitVec add(const BitVec& a, const BitVec& b) { return addImpl(a, b, true); }
+BitVec addTrunc(const BitVec& a, const BitVec& b) {
+  return addImpl(a, b, false);
+}
+
+BitVec subTrunc(const BitVec& a, const BitVec& b) {
+  BddManager& mgr = managerOf(a, b);
+  const unsigned w = std::max(a.width(), b.width());
+  const BitVec ax = a.resized(w);
+  const BitVec bx = b.resized(w);
+  std::vector<Bdd> bits;
+  bits.reserve(w);
+  Bdd borrow = mgr.zero();
+  for (unsigned i = 0; i < w; ++i) {
+    const Bdd& x = ax.bit(i);
+    const Bdd& y = bx.bit(i);
+    bits.push_back(x ^ y ^ borrow);
+    borrow = ((!x) & y) | ((!(x ^ y)) & borrow);
+  }
+  return BitVec(std::move(bits));
+}
+
+Bdd eq(const BitVec& a, const BitVec& b) {
+  BddManager& mgr = managerOf(a, b);
+  const unsigned w = std::max(a.width(), b.width());
+  const BitVec ax = a.resized(w);
+  const BitVec bx = b.resized(w);
+  Bdd acc = mgr.one();
+  // Conjoin from the most significant bit down; with interleaved orders the
+  // MSB comparison usually prunes fastest, and for equal vectors the
+  // direction is irrelevant.
+  for (unsigned i = w; i-- > 0;) {
+    acc &= ax.bit(i).xnor(bx.bit(i));
+  }
+  return acc;
+}
+
+Bdd ule(const BitVec& a, const BitVec& b) {
+  BddManager& mgr = managerOf(a, b);
+  const unsigned w = std::max(a.width(), b.width());
+  const BitVec ax = a.resized(w);
+  const BitVec bx = b.resized(w);
+  // LSB-to-MSB recurrence: le_i = (a_i < b_i) | (a_i == b_i) & le_{i-1}.
+  Bdd le = mgr.one();
+  for (unsigned i = 0; i < w; ++i) {
+    const Bdd& x = ax.bit(i);
+    const Bdd& y = bx.bit(i);
+    le = ((!x) & y) | (x.xnor(y) & le);
+  }
+  return le;
+}
+
+Bdd ult(const BitVec& a, const BitVec& b) { return !ule(b, a); }
+
+BitVec mux(const Bdd& sel, const BitVec& a, const BitVec& b) {
+  const unsigned w = std::max(a.width(), b.width());
+  const BitVec ax = a.resized(w);
+  const BitVec bx = b.resized(w);
+  std::vector<Bdd> bits;
+  bits.reserve(w);
+  for (unsigned i = 0; i < w; ++i) {
+    bits.push_back(sel.ite(ax.bit(i), bx.bit(i)));
+  }
+  return BitVec(std::move(bits));
+}
+
+Bdd eqConst(const BitVec& a, std::uint64_t value) {
+  if (a.width() == 0) throw BddUsageError("eqConst on empty BitVec");
+  BddManager& mgr = *a.bit(0).manager();
+  if (a.width() < 64 && (value >> a.width()) != 0) return mgr.zero();
+  Bdd acc = mgr.one();
+  for (unsigned i = a.width(); i-- > 0;) {
+    acc &= ((value >> i) & 1u) != 0 ? a.bit(i) : !a.bit(i);
+  }
+  return acc;
+}
+
+Bdd uleConst(const BitVec& a, std::uint64_t value) {
+  if (a.width() == 0) throw BddUsageError("uleConst on empty BitVec");
+  BddManager& mgr = *a.bit(0).manager();
+  if (a.width() < 64 && (value >> a.width()) != 0) return mgr.one();
+  // MSB-to-LSB: lt becomes true as soon as a bit of `a` is 0 where the
+  // constant has 1; eq tracks the all-equal prefix.
+  Bdd lt = mgr.zero();
+  Bdd eqAcc = mgr.one();
+  for (unsigned i = a.width(); i-- > 0;) {
+    const bool c = ((value >> i) & 1u) != 0;
+    if (c) {
+      lt |= eqAcc & !a.bit(i);
+      eqAcc &= a.bit(i);
+    } else {
+      eqAcc &= !a.bit(i);
+    }
+  }
+  return lt | eqAcc;
+}
+
+BitVec incTrunc(const BitVec& a) {
+  if (a.width() == 0) throw BddUsageError("incTrunc on empty BitVec");
+  return addTrunc(a, BitVec::constant(*a.bit(0).manager(), a.width(), 1));
+}
+
+BitVec decTrunc(const BitVec& a) {
+  if (a.width() == 0) throw BddUsageError("decTrunc on empty BitVec");
+  return subTrunc(a, BitVec::constant(*a.bit(0).manager(), a.width(), 1));
+}
+
+}  // namespace icb

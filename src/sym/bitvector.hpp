@@ -1,0 +1,78 @@
+// BitVec: a little-endian vector of BDDs, one per bit, with the word-level
+// operations the paper's models need (adders, comparators, shifters, muxes).
+// All arithmetic is unsigned; bit 0 is the least significant bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bdd/bdd.hpp"
+
+namespace icb {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::vector<Bdd> bits) : bits_(std::move(bits)) {}
+
+  /// All-constant vector encoding `value` in `width` bits.
+  static BitVec constant(BddManager& mgr, unsigned width, std::uint64_t value);
+
+  [[nodiscard]] unsigned width() const {
+    return static_cast<unsigned>(bits_.size());
+  }
+  [[nodiscard]] const Bdd& bit(unsigned i) const { return bits_[i]; }
+  [[nodiscard]] const std::vector<Bdd>& bits() const { return bits_; }
+  void push(Bdd b) { bits_.push_back(std::move(b)); }
+
+  /// Zero-extends (or truncates) to exactly `width` bits.
+  [[nodiscard]] BitVec resized(unsigned width) const;
+
+  /// Logical shift right by a constant amount (zero fill, same width).
+  [[nodiscard]] BitVec shiftRight(unsigned amount) const;
+
+  /// Drops the `amount` low bits (the paper's filter "3-bit discard",
+  /// i.e. divide by 2^amount).
+  [[nodiscard]] BitVec dropLow(unsigned amount) const;
+
+  /// Decodes the vector under a full assignment of BDD variables.
+  [[nodiscard]] std::uint64_t evalUint(std::span<const char> values) const;
+
+ private:
+  std::vector<Bdd> bits_;
+};
+
+/// a + b with full carry out: result width = max(width) + 1.
+BitVec add(const BitVec& a, const BitVec& b);
+
+/// a + b truncated to max(width) bits (modular).
+BitVec addTrunc(const BitVec& a, const BitVec& b);
+
+/// a - b modulo 2^width (two's complement; width = max of the inputs).
+BitVec subTrunc(const BitVec& a, const BitVec& b);
+
+/// Bitwise equality of the two vectors (widths are zero-extended to match).
+Bdd eq(const BitVec& a, const BitVec& b);
+
+/// Unsigned a <= b.
+Bdd ule(const BitVec& a, const BitVec& b);
+
+/// Unsigned a < b.
+Bdd ult(const BitVec& a, const BitVec& b);
+
+/// Per-bit if-then-else: sel ? a : b.
+BitVec mux(const Bdd& sel, const BitVec& a, const BitVec& b);
+
+/// Equality against a constant.
+Bdd eqConst(const BitVec& a, std::uint64_t value);
+
+/// a <= constant (unsigned).  This is the typed-FIFO "item <= 128" check.
+Bdd uleConst(const BitVec& a, std::uint64_t value);
+
+/// Increment / decrement truncated to the vector's width.
+BitVec incTrunc(const BitVec& a);
+BitVec decTrunc(const BitVec& a);
+
+}  // namespace icb

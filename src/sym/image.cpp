@@ -1,0 +1,137 @@
+#include "sym/image.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace icb {
+
+Bdd clusteredExistsProduct(BddManager& mgr, const Bdd& base,
+                           const std::vector<Bdd>& conjuncts,
+                           const std::vector<unsigned>& quantVars,
+                           std::uint64_t clusterCap) {
+  std::vector<Bdd> clusters;
+  Bdd acc0;
+  for (const Bdd& t : conjuncts) {
+    if (acc0.isNull()) {
+      acc0 = t;
+      continue;
+    }
+    const Bdd merged = acc0 & t;
+    if (merged.size() > clusterCap) {
+      clusters.push_back(acc0);
+      acc0 = t;
+    } else {
+      acc0 = merged;
+    }
+  }
+  if (!acc0.isNull()) clusters.push_back(std::move(acc0));
+
+  const std::unordered_set<unsigned> quantifiable(quantVars.begin(),
+                                                  quantVars.end());
+  std::vector<int> lastCluster(mgr.varCount(), -1);
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    for (const unsigned v : clusters[c].support()) {
+      if (quantifiable.count(v) != 0) lastCluster[v] = static_cast<int>(c);
+    }
+  }
+  std::vector<std::vector<unsigned>> schedule(clusters.size());
+  std::vector<unsigned> upfront;
+  for (const unsigned v : quantVars) {
+    if (lastCluster[v] >= 0) {
+      schedule[static_cast<std::size_t>(lastCluster[v])].push_back(v);
+    } else {
+      upfront.push_back(v);
+    }
+  }
+
+  Bdd acc = base.exists(Bdd(&mgr, mgr.cubeE(upfront)));
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    acc = acc.andExists(clusters[c], Bdd(&mgr, mgr.cubeE(schedule[c])));
+    if (acc.isZero()) break;
+  }
+  return acc;
+}
+
+ImageComputer::ImageComputer(const Fsm& fsm, const ImageOptions& options)
+    : fsm_(fsm) {
+  BddManager& mgr = fsm.mgr();
+  const VarManager& vars = fsm.vars();
+
+  // Per-bit transition conjuncts in allocation order (locality heuristic).
+  std::vector<Bdd> conjuncts;
+  conjuncts.reserve(vars.stateBitCount());
+  for (unsigned k = 0; k < vars.stateBitCount(); ++k) {
+    conjuncts.push_back(vars.nxt(k).xnor(fsm.next(k)));
+  }
+
+  // Greedy clustering under the node cap.
+  if (options.monolithic) {
+    Bdd all = mgr.one();
+    for (const Bdd& t : conjuncts) all &= t;
+    clusters_.push_back(std::move(all));
+  } else {
+    Bdd current;
+    for (const Bdd& t : conjuncts) {
+      if (current.isNull()) {
+        current = t;
+        continue;
+      }
+      const Bdd merged = current & t;
+      if (merged.size() > options.clusterCap) {
+        clusters_.push_back(current);
+        current = t;
+      } else {
+        current = merged;
+      }
+    }
+    if (!current.isNull()) clusters_.push_back(std::move(current));
+  }
+
+  // Quantification schedule: a cur/input variable can be quantified after
+  // the last cluster mentioning it.  Variables in no cluster are quantified
+  // from the source set before the walk (they are cur vars the relation
+  // ignores, or unused inputs).
+  std::unordered_set<unsigned> quantifiable;
+  for (const StateBit& b : vars.stateBits()) quantifiable.insert(b.cur);
+  for (const unsigned v : vars.inputVars()) quantifiable.insert(v);
+
+  std::vector<int> lastCluster(mgr.varCount(), -1);
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    for (const unsigned v : clusters_[c].support()) {
+      if (quantifiable.count(v) != 0) {
+        lastCluster[v] = static_cast<int>(c);
+      }
+    }
+  }
+
+  std::vector<std::vector<unsigned>> perCluster(clusters_.size());
+  std::vector<unsigned> unused;
+  for (const unsigned v : quantifiable) {
+    if (lastCluster[v] >= 0) {
+      perCluster[static_cast<std::size_t>(lastCluster[v])].push_back(v);
+    } else {
+      unused.push_back(v);
+    }
+  }
+  quantCubes_.reserve(clusters_.size());
+  for (const auto& vs : perCluster) {
+    quantCubes_.push_back(Bdd(&mgr, mgr.cubeE(vs)));
+  }
+  preQuantCube_ = Bdd(&mgr, mgr.cubeE(unused));
+
+  // nxt -> cur renaming for the final product.
+  renameMap_.resize(mgr.varCount());
+  for (unsigned v = 0; v < renameMap_.size(); ++v) renameMap_[v] = v;
+  for (const StateBit& b : vars.stateBits()) renameMap_[b.nxt] = b.cur;
+}
+
+Bdd ImageComputer::image(const Bdd& from) const {
+  Bdd acc = from.exists(preQuantCube_);
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    acc = acc.andExists(clusters_[c], quantCubes_[c]);
+    if (acc.isZero()) break;
+  }
+  return acc.permute(renameMap_);
+}
+
+}  // namespace icb

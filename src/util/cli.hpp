@@ -1,0 +1,39 @@
+// Minimal command-line flag parser for the example and benchmark binaries.
+// Supports "--name value" and "--name=value" forms plus boolean switches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace icb {
+
+/// Parses argv into a flag map.  Unknown positional arguments are kept in
+/// order and retrievable via positional().
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  [[nodiscard]] std::string getString(const std::string& name,
+                                      const std::string& def) const;
+  [[nodiscard]] std::int64_t getInt(const std::string& name,
+                                    std::int64_t def) const;
+  [[nodiscard]] double getDouble(const std::string& name, double def) const;
+  [[nodiscard]] bool getBool(const std::string& name, bool def) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& programName() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace icb

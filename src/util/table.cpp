@@ -1,0 +1,80 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <utility>
+
+namespace icb {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), /*span=*/false});
+}
+
+void TextTable::addSpan(std::string text) {
+  rows_.push_back(Row{{std::move(text)}, /*span=*/true});
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const Row& r : rows_) {
+    if (r.span) continue;
+    for (std::size_t c = 0; c < r.cells.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], r.cells[c].size());
+    }
+  }
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string{};
+      if (c == 0) {
+        os << s << std::string(widths[c] - s.size(), ' ');
+      } else {
+        os << "  " << std::string(widths[c] - s.size(), ' ') << s;
+      }
+    }
+    os << '\n';
+  };
+
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+
+  emit(header_);
+  os << std::string(total, '-') << '\n';
+  for (const Row& r : rows_) {
+    if (r.span) {
+      os << "-- " << r.cells[0] << '\n';
+    } else {
+      emit(r.cells);
+    }
+  }
+}
+
+std::string formatMinSec(double seconds) {
+  if (seconds < 0) seconds = 0;
+  const auto whole = static_cast<std::int64_t>(seconds);
+  const std::int64_t mins = whole / 60;
+  const double rem = seconds - static_cast<double>(mins) * 60.0;
+  char buf[64];
+  if (seconds < 60.0) {
+    std::snprintf(buf, sizeof buf, "%d:%05.2f", 0, rem);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lld:%02d", static_cast<long long>(mins),
+                  static_cast<int>(rem));
+  }
+  return buf;
+}
+
+std::string formatKb(std::uint64_t bytes) {
+  return std::to_string((bytes + 1023) / 1024) + "K";
+}
+
+}  // namespace icb

@@ -1,0 +1,43 @@
+// Plain-text table printer used by the benchmark harness to emit rows in the
+// same layout as the paper's Tables 1-3.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace icb {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+/// Column 0 is left-aligned, all other columns right-aligned (matching the
+/// look of the paper's result tables).
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> cells);
+
+  /// A full-width single-cell row, e.g. "Example: 8-Bit Wide Typed FIFO".
+  void addSpan(std::string text);
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rowCount() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool span = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+/// Formats a duration like the paper: M:SS for >= 1s, else e.g. "0:00.12".
+std::string formatMinSec(double seconds);
+
+/// Formats a byte count as "1234K" (the paper reports memory in kilobytes).
+std::string formatKb(std::uint64_t bytes);
+
+}  // namespace icb

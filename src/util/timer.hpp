@@ -1,0 +1,58 @@
+// Wall-clock stopwatch and deadline helpers used by the verification engines
+// to reproduce the paper's "exceeded 40 minutes"-style resource caps.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+
+namespace icb {
+
+/// Monotonic stopwatch.  Started on construction; `elapsed*` may be called
+/// any number of times without stopping it.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] std::int64_t elapsedMs() const {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A point in time after which resource-limited computations must abort.
+/// `Deadline{}` (default) never expires.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  static Deadline afterSeconds(double seconds) {
+    Deadline d;
+    d.when_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  [[nodiscard]] bool expired() const {
+    return when_.has_value() && Clock::now() >= *when_;
+  }
+
+  [[nodiscard]] bool isSet() const { return when_.has_value(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  std::optional<Clock::time_point> when_;
+};
+
+}  // namespace icb

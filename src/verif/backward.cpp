@@ -1,0 +1,65 @@
+#include "verif/backward.hpp"
+
+#include <algorithm>
+
+#include "util/timer.hpp"
+#include "verif/counterexample.hpp"
+#include "verif/limit_guard.hpp"
+
+namespace icb {
+
+EngineResult runBackward(Fsm& fsm, const EngineOptions& options) {
+  fsm.validate();
+  BddManager& mgr = fsm.mgr();
+  EngineResult result;
+  result.method = Method::kBkwd;
+  Stopwatch watch;
+  mgr.resetPeak();
+  LimitGuard guard(mgr, options);
+
+  try {
+    const ConjunctList property = fsm.property(options.withAssists);
+    const Bdd g0 = property.evaluate();  // the monolithic conjunction
+
+    Bdd g = g0;
+    std::vector<ConjunctList> layers;
+    layers.emplace_back(&mgr, std::vector<Bdd>{g});
+
+    while (true) {
+      result.peakIterateNodes = std::max(result.peakIterateNodes, g.size());
+
+      if (!(fsm.init() & !g).isZero()) {
+        result.verdict = Verdict::kViolated;
+        if (options.wantTrace) {
+          result.trace = buildBackwardTrace(fsm, layers);
+        }
+        break;
+      }
+
+      if (result.iterations >= options.maxIterations) {
+        result.verdict = Verdict::kIterationLimit;
+        break;
+      }
+
+      const Bdd next = g0 & fsm.backImage(g);
+      ++result.iterations;
+      if (next == g) {  // canonical form: O(1) convergence test
+        result.verdict = Verdict::kHolds;
+        break;
+      }
+      g = next;
+      layers.emplace_back(&mgr, std::vector<Bdd>{g});
+    }
+  } catch (const ResourceLimitError& err) {
+    result.verdict = err.kind() == ResourceKind::kNodes ? Verdict::kNodeLimit
+                                                        : Verdict::kTimeLimit;
+    mgr.gc();
+  }
+
+  result.seconds = watch.elapsedSeconds();
+  result.peakAllocatedNodes = mgr.stats().peakNodes;
+  result.memBytesEstimate = BddManager::bytesForNodes(result.peakAllocatedNodes);
+  return result;
+}
+
+}  // namespace icb

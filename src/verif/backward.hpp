@@ -1,0 +1,15 @@
+// Conventional monolithic backward traversal (the paper's "Bkwd" rows):
+//   G_0 = G (evaluated into ONE BDD -- this is where the blowup happens);
+//   G_{i+1} = G_0 & BackImage(delta, G_i)
+// with the violation check S !subset G_i and convergence G_{i+1} == G_i
+// (trivial for single canonical BDDs).
+#pragma once
+
+#include "sym/fsm.hpp"
+#include "verif/engine.hpp"
+
+namespace icb {
+
+EngineResult runBackward(Fsm& fsm, const EngineOptions& options = {});
+
+}  // namespace icb

@@ -1,0 +1,186 @@
+#include "verif/counterexample.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace icb {
+
+namespace {
+
+/// Cube (as a Bdd) fixing every cur variable to its value in `values`.
+Bdd stateCube(const Fsm& fsm, std::span<const char> values) {
+  BddManager& mgr = fsm.mgr();
+  Bdd cube = mgr.one();
+  for (const StateBit& b : fsm.vars().stateBits()) {
+    cube &= values[b.cur] != 0 ? mgr.var(b.cur) : mgr.nvar(b.cur);
+  }
+  return cube;
+}
+
+/// Partial-evaluates `f` at the cur-variable assignment in `values`,
+/// leaving a function over the remaining (input) variables.
+Bdd fixState(const Fsm& fsm, const Bdd& f, std::span<const char> values) {
+  // Restrict by a full cur cube == iterated cofactor (exact, not heuristic).
+  return f.restrictBy(stateCube(fsm, values));
+}
+
+/// Picks the input assignment in `inputsOk` (a function over input vars).
+std::vector<char> pickInputs(const Fsm& fsm, const Bdd& inputsOk, Rng& rng) {
+  std::vector<char> values(fsm.mgr().varCount(), 0);
+  fsm.mgr().pickMintermE(inputsOk.edge(), fsm.vars().inputVars(), rng, values);
+  return values;
+}
+
+/// Builds, over the input variables, the set of inputs driving `state` to a
+/// successor satisfying predicate-on-successor `targetOfNext`, where
+/// `targetOfNext` is given over cur variables.
+Bdd inputsReaching(const Fsm& fsm, std::span<const char> state,
+                   const Bdd& targetOfNext) {
+  // target[cur := F(cur, inputs)] evaluated at `state`.
+  BddManager& mgr = fsm.mgr();
+  std::vector<Edge> map(mgr.varCount());
+  for (unsigned v = 0; v < map.size(); ++v) map[v] = mgr.varEdge(v);
+  std::vector<Bdd> fixedNext;  // keep handles alive while map in use
+  fixedNext.reserve(fsm.vars().stateBitCount());
+  for (unsigned k = 0; k < fsm.vars().stateBitCount(); ++k) {
+    fixedNext.push_back(fixState(fsm, fsm.next(k), state));
+    map[fsm.vars().stateBit(k).cur] = fixedNext.back().edge();
+  }
+  return targetOfNext.composeVec(map);
+}
+
+std::vector<char> extractState(const Fsm& fsm, std::span<const char> values) {
+  std::vector<char> out(fsm.mgr().varCount(), 0);
+  for (const StateBit& b : fsm.vars().stateBits()) out[b.cur] = values[b.cur];
+  return out;
+}
+
+}  // namespace
+
+Trace buildForwardTrace(const Fsm& fsm, const std::vector<Bdd>& rings,
+                        const Bdd& bad) {
+  Rng rng(12345);
+  BddManager& mgr = fsm.mgr();
+  Trace trace;
+  const std::size_t k = rings.size() - 1;
+
+  // End state: in the newest ring and bad.
+  std::vector<char> values(mgr.varCount(), 0);
+  std::vector<unsigned> curVars;
+  for (const StateBit& b : fsm.vars().stateBits()) curVars.push_back(b.cur);
+  mgr.pickMintermE((rings[k] & bad).edge(), curVars, rng, values);
+  std::vector<std::vector<char>> rev{extractState(fsm, values)};
+
+  // Walk back to ring 0 through concrete predecessors.
+  for (std::size_t t = k; t-- > 0;) {
+    const Bdd target = stateCube(fsm, rev.back());
+    const Bdd preds = rings[t] & fsm.preImage(target);
+    std::vector<char> prev(mgr.varCount(), 0);
+    mgr.pickMintermE(preds.edge(), curVars, rng, prev);
+    rev.push_back(extractState(fsm, prev));
+  }
+
+  std::reverse(rev.begin(), rev.end());
+  trace.states = std::move(rev);
+
+  // Recover the inputs for each step.
+  for (std::size_t t = 0; t + 1 < trace.states.size(); ++t) {
+    const Bdd ok =
+        inputsReaching(fsm, trace.states[t], stateCube(fsm, trace.states[t + 1]));
+    trace.inputs.push_back(pickInputs(fsm, ok, rng));
+  }
+  return trace;
+}
+
+Trace buildBackwardTrace(const Fsm& fsm,
+                         const std::vector<ConjunctList>& layers) {
+  Rng rng(54321);
+  BddManager& mgr = fsm.mgr();
+  Trace trace;
+  std::vector<unsigned> curVars;
+  for (const StateBit& b : fsm.vars().stateBits()) curVars.push_back(b.cur);
+
+  // Start state: initial and outside the deepest layer (outside some member).
+  const ConjunctList& deepest = layers.back();
+  Bdd seed;
+  for (const Bdd& c : deepest) {
+    const Bdd outside = fsm.init() & !c;
+    if (!outside.isZero()) {
+      seed = outside;
+      break;
+    }
+  }
+  if (seed.isNull()) {
+    throw BddUsageError("buildBackwardTrace: init is inside the last layer");
+  }
+  std::vector<char> values(mgr.varCount(), 0);
+  mgr.pickMintermE(seed.edge(), curVars, rng, values);
+  trace.states.push_back(extractState(fsm, values));
+
+  const ConjunctList& property = layers.front();  // G_0 == G
+  // Walk forward, escaping one layer per step.
+  std::size_t layer = layers.size() - 1;
+  while (true) {
+    const std::vector<char>& s = trace.states.back();
+    if (!property.evalAssignment(s)) break;  // reached a violating state
+    if (layer == 0) {
+      throw BddUsageError("buildBackwardTrace: ran out of layers");
+    }
+    --layer;
+    // Inputs whose successor escapes layer `layer`:  OR over members of
+    // NOT(member o F) evaluated at s.
+    Bdd bad = mgr.zero();
+    for (const Bdd& c : layers[layer]) {
+      bad |= !inputsReaching(fsm, s, c);
+      if (bad.isOne()) break;
+    }
+    if (bad.isZero()) {
+      throw BddUsageError("buildBackwardTrace: no escaping successor");
+    }
+    std::vector<char> inputs = pickInputs(fsm, bad, rng);
+    // Merge state and inputs for the step evaluation.
+    std::vector<char> full = s;
+    for (const unsigned v : fsm.vars().inputVars()) full[v] = inputs[v];
+    trace.inputs.push_back(std::move(inputs));
+    trace.states.push_back(fsm.step(full));
+  }
+  return trace;
+}
+
+std::string validateTrace(const Fsm& fsm, const Trace& trace,
+                          const ConjunctList& property) {
+  if (trace.states.empty()) return "empty trace";
+  if (trace.inputs.size() + 1 != trace.states.size()) {
+    return "inputs/states length mismatch";
+  }
+  std::vector<char> init = trace.states.front();
+  if (!fsm.init().eval(init)) return "first state is not initial";
+  for (std::size_t t = 0; t + 1 < trace.states.size(); ++t) {
+    std::vector<char> full = trace.states[t];
+    for (const unsigned v : fsm.vars().inputVars()) {
+      full[v] = trace.inputs[t][v];
+    }
+    const std::vector<char> next = fsm.step(full);
+    for (const StateBit& b : fsm.vars().stateBits()) {
+      if (next[b.cur] != trace.states[t + 1][b.cur]) {
+        return "transition " + std::to_string(t) + " does not follow the machine";
+      }
+    }
+  }
+  if (property.evalAssignment(trace.states.back())) {
+    return "final state satisfies the property";
+  }
+  return {};
+}
+
+std::string formatTrace(const Fsm& fsm, const Trace& trace) {
+  std::string out;
+  for (std::size_t t = 0; t < trace.states.size(); ++t) {
+    out += "  step " + std::to_string(t) + ": " +
+           fsm.describeState(trace.states[t]) + "\n";
+  }
+  return out;
+}
+
+}  // namespace icb

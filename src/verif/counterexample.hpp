@@ -1,0 +1,40 @@
+// Counterexample construction for both traversal directions.
+//
+// Forward: from the onion rings R_0 subset R_1 subset ... and a bad state in
+// ring k, walk backwards through the rings picking concrete predecessors.
+//
+// Backward: the paper's algorithm -- "If we reach a point where G_i does not
+// contain all of the start states, then there exists a sequence of i
+// transitions from a start state to a violating state."  From a start state
+// outside G_N, walk forward: while the current state satisfies G, pick an
+// input whose successor falls outside the next-shallower G layer.
+#pragma once
+
+#include <vector>
+
+#include "ici/conjunct_list.hpp"
+#include "sym/fsm.hpp"
+#include "verif/engine.hpp"
+
+namespace icb {
+
+/// `rings[t]` holds the states first reached at distance t (ring 0 contains
+/// the initial states); `bad` intersects rings[k] for k = rings.size()-1.
+Trace buildForwardTrace(const Fsm& fsm, const std::vector<Bdd>& rings,
+                        const Bdd& bad);
+
+/// `layers[i]` is G_i (deepest, i.e. most constrained, last);
+/// some initial state lies outside the last layer.
+Trace buildBackwardTrace(const Fsm& fsm,
+                         const std::vector<ConjunctList>& layers);
+
+/// Replays a trace through the machine's next-state functions, checking
+/// every transition and that the final state violates the property.
+/// Returns an empty string on success, else a diagnostic.
+std::string validateTrace(const Fsm& fsm, const Trace& trace,
+                          const ConjunctList& property);
+
+/// Pretty-prints a trace using the machine's state printer.
+std::string formatTrace(const Fsm& fsm, const Trace& trace);
+
+}  // namespace icb

@@ -1,0 +1,55 @@
+#include "verif/engine.hpp"
+
+namespace icb {
+
+const char* verdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kHolds:
+      return "holds";
+    case Verdict::kViolated:
+      return "violated";
+    case Verdict::kNodeLimit:
+      return "node-limit";
+    case Verdict::kTimeLimit:
+      return "time-limit";
+    case Verdict::kIterationLimit:
+      return "iteration-limit";
+  }
+  return "?";
+}
+
+bool verdictExceeded(Verdict v) {
+  return v == Verdict::kNodeLimit || v == Verdict::kTimeLimit ||
+         v == Verdict::kIterationLimit;
+}
+
+const char* methodName(Method m) {
+  switch (m) {
+    case Method::kFwd:
+      return "Fwd";
+    case Method::kBkwd:
+      return "Bkwd";
+    case Method::kFd:
+      return "FD";
+    case Method::kIci:
+      return "ICI";
+    case Method::kXici:
+      return "XICI";
+  }
+  return "?";
+}
+
+std::string describeMemberSizes(const EngineResult& r) {
+  if (r.peakIterateMemberSizes.size() < 2) return {};
+  std::string out = "(";
+  bool first = true;
+  for (const std::uint64_t s : r.peakIterateMemberSizes) {
+    if (!first) out += ", ";
+    out += std::to_string(s);
+    first = false;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace icb

@@ -1,0 +1,89 @@
+// Shared types for the five verification engines the paper compares:
+//   Fwd   conventional forward traversal,
+//   Bkwd  conventional (monolithic) backward traversal,
+//   FD    forward traversal exploiting functional dependencies [16],
+//   ICI   backward traversal with the original CAV'93 implicit-conjunction
+//         heuristics [17],
+//   XICI  ICI extended with this paper's evaluation/simplification policy
+//         and exact termination test.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ici/evaluate_policy.hpp"
+#include "ici/termination.hpp"
+#include "sym/image.hpp"
+
+namespace icb {
+
+enum class Verdict {
+  kHolds,           ///< fixpoint reached, property holds in all reachable states
+  kViolated,        ///< counterexample found
+  kNodeLimit,       ///< paper's "Exceeded 60MB."
+  kTimeLimit,       ///< paper's "Exceeded 40 minutes."
+  kIterationLimit,  ///< safety valve (inexact termination tests can miss)
+};
+
+[[nodiscard]] const char* verdictName(Verdict v);
+[[nodiscard]] bool verdictExceeded(Verdict v);
+
+enum class Method { kFwd, kBkwd, kFd, kIci, kXici };
+
+[[nodiscard]] const char* methodName(Method m);
+
+struct EngineOptions {
+  /// Node-count cap (manager-wide).  0 = unlimited.
+  std::uint64_t maxNodes = 0;
+  /// Wall-clock cap in seconds.  0 = unlimited.
+  double timeLimitSeconds = 0.0;
+  /// Iteration cap.
+  unsigned maxIterations = 100000;
+  /// Include the model's user-supplied assisting invariants in G.
+  bool withAssists = false;
+  /// Produce a counterexample trace on violation.
+  bool wantTrace = true;
+
+  EvaluatePolicyOptions policy;     ///< XICI evaluation policy knobs
+  TerminationOptions termination;   ///< XICI exact-test knobs
+  ImageOptions image;               ///< forward-engine partitioning knobs
+};
+
+/// A counterexample: states[0] is an initial state; inputs[t] drives the
+/// transition from states[t] to states[t+1]; the last state violates G.
+/// Each entry is a full assignment vector indexed by BDD variable.
+struct Trace {
+  std::vector<std::vector<char>> states;
+  std::vector<std::vector<char>> inputs;
+};
+
+struct EngineResult {
+  Verdict verdict = Verdict::kIterationLimit;
+  Method method = Method::kFwd;
+  unsigned iterations = 0;          ///< image computations performed
+  double seconds = 0.0;
+  /// Largest node count used to represent any iterate R_i / G_i
+  /// (shared count for implicitly conjoined lists) -- the paper's
+  /// implementation-independent "BDD Nodes" column.
+  std::uint64_t peakIterateNodes = 0;
+  /// Member sizes of the largest iterate when it was a conjunct list,
+  /// the paper's parenthesized breakdown like "(1501, 629, 290, 141)".
+  std::vector<std::uint64_t> peakIterateMemberSizes;
+  /// Manager-wide peak of allocated nodes (live + not-yet-collected):
+  /// the "total memory used" analogue.
+  std::uint64_t peakAllocatedNodes = 0;
+  std::uint64_t memBytesEstimate = 0;
+  std::string note;
+  std::optional<Trace> trace;
+  TerminationStats terminationStats;  ///< XICI only
+
+  [[nodiscard]] bool holds() const { return verdict == Verdict::kHolds; }
+  [[nodiscard]] bool violated() const { return verdict == Verdict::kViolated; }
+};
+
+/// Formats the member-size breakdown "(a, b, c)" or "" when not a list.
+[[nodiscard]] std::string describeMemberSizes(const EngineResult& r);
+
+}  // namespace icb

@@ -1,0 +1,25 @@
+// Forward traversal exploiting user-specified functional dependencies
+// (Hu & Dill, DAC'93 [16] -- the paper's "FD" rows in Table 1).
+//
+// The reachable set is represented in factored form
+//   R_full = R_reduced(independent vars)  AND_k  (v_k == h_k(independent))
+// for the state bits the user nominates as dependency candidates.  Images,
+// property checks and the convergence test all run on the reduced pieces;
+// the monolithic R_full (whose BDD carries the cross-product blowup of the
+// dependency relations, e.g. every per-processor counter times every other)
+// is never built.  A candidate whose dependency breaks -- in the image or on
+// the overlap when uniting -- is promoted back into the independent set.
+#pragma once
+
+#include "sym/fsm.hpp"
+#include "verif/engine.hpp"
+
+namespace icb {
+
+/// `candidateBits` are state-bit indices (VarManager numbering) expected to
+/// be functions of the remaining state.  An empty list degenerates to plain
+/// forward traversal over a monolithic R.
+EngineResult runFdForward(Fsm& fsm, std::vector<unsigned> candidateBits,
+                          const EngineOptions& options = {});
+
+}  // namespace icb

@@ -1,0 +1,76 @@
+#include "verif/forward.hpp"
+
+#include <algorithm>
+
+#include "util/timer.hpp"
+#include "verif/counterexample.hpp"
+#include "verif/limit_guard.hpp"
+
+namespace icb {
+
+EngineResult runForward(Fsm& fsm, const EngineOptions& options) {
+  fsm.validate();
+  BddManager& mgr = fsm.mgr();
+  EngineResult result;
+  result.method = Method::kFwd;
+  Stopwatch watch;
+  mgr.resetPeak();
+  LimitGuard guard(mgr, options);
+
+  try {
+    const ConjunctList property = fsm.property(options.withAssists);
+    const Bdd notGood = !property.evaluate();
+
+    ImageComputer imager(fsm, options.image);
+
+    Bdd reached = fsm.init();
+    std::vector<Bdd> rings{fsm.init()};
+
+    while (true) {
+      result.peakIterateNodes =
+          std::max(result.peakIterateNodes, reached.size());
+
+      const Bdd bad = reached & notGood;
+      if (!bad.isZero()) {
+        result.verdict = Verdict::kViolated;
+        if (options.wantTrace) {
+          // Identify the first ring that touches the bad set so the trace
+          // is as short as possible.
+          while (rings.size() > 1 && !(rings[rings.size() - 2] & notGood).isZero()) {
+            rings.pop_back();
+          }
+          std::vector<Bdd> trimmed(rings.begin(), rings.end());
+          result.trace = buildForwardTrace(fsm, trimmed, notGood);
+        }
+        break;
+      }
+
+      if (result.iterations >= options.maxIterations) {
+        result.verdict = Verdict::kIterationLimit;
+        break;
+      }
+
+      const Bdd frontier = rings.back();
+      const Bdd next = imager.image(frontier);
+      const Bdd fresh = next & !reached;
+      ++result.iterations;
+      if (fresh.isZero()) {
+        result.verdict = Verdict::kHolds;
+        break;
+      }
+      rings.push_back(fresh);
+      reached |= fresh;
+    }
+  } catch (const ResourceLimitError& err) {
+    result.verdict = err.kind() == ResourceKind::kNodes ? Verdict::kNodeLimit
+                                                        : Verdict::kTimeLimit;
+    mgr.gc();  // reclaim orphaned intermediates so the manager stays usable
+  }
+
+  result.seconds = watch.elapsedSeconds();
+  result.peakAllocatedNodes = mgr.stats().peakNodes;
+  result.memBytesEstimate = BddManager::bytesForNodes(result.peakAllocatedNodes);
+  return result;
+}
+
+}  // namespace icb

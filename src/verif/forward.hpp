@@ -1,0 +1,14 @@
+// Conventional forward traversal (the paper's "Fwd" rows):
+//   R_0 = S;  R_{i+1} = R_i | Image(delta, R_i)
+// with the violation check R_i & !G != 0 each iteration, counterexamples
+// from the onion rings, and convergence when no new states appear.
+#pragma once
+
+#include "sym/fsm.hpp"
+#include "verif/engine.hpp"
+
+namespace icb {
+
+EngineResult runForward(Fsm& fsm, const EngineOptions& options = {});
+
+}  // namespace icb

@@ -1,0 +1,25 @@
+// Backward traversal with the *original* implicitly conjoined invariants
+// heuristics (Hu & Dill, CAV'93 -- the paper's "ICI" baseline rows).
+//
+// Faithful-in-spirit reconstruction (the DAC'94 paper deliberately elides
+// the details: "The details of these heuristics do not concern us here"),
+// keeping the three properties its comparisons rely on:
+//   * the conjunct partition is exactly the one the USER supplied -- the
+//     list length never grows: position j is updated in place as
+//        L'[j] = G_0[j] & BackImage(L[j]),
+//     so with a single user conjunct the method degenerates to the ordinary
+//     monolithic backward traversal (Table 2's identical Bkwd/ICI rows);
+//   * members are cross-simplified with Restrict after each update;
+//   * termination is the fast *syntactic* test (same list of BDDs), which
+//     is cheap but not proven to detect convergence -- hence the engine's
+//     iteration-limit verdict as the safety valve.
+#pragma once
+
+#include "sym/fsm.hpp"
+#include "verif/engine.hpp"
+
+namespace icb {
+
+EngineResult runIciBackward(Fsm& fsm, const EngineOptions& options = {});
+
+}  // namespace icb

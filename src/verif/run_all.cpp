@@ -1,0 +1,45 @@
+#include "verif/run_all.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace icb {
+
+EngineResult runMethod(Fsm& fsm, Method method,
+                       const std::vector<unsigned>& fdCandidates,
+                       const EngineOptions& options) {
+  switch (method) {
+    case Method::kFwd:
+      return runForward(fsm, options);
+    case Method::kBkwd:
+      return runBackward(fsm, options);
+    case Method::kFd:
+      return runFdForward(fsm, fdCandidates, options);
+    case Method::kIci:
+      return runIciBackward(fsm, options);
+    case Method::kXici:
+      return runXiciBackward(fsm, options);
+  }
+  throw std::invalid_argument("unknown method");
+}
+
+Method parseMethod(const std::string& name) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "fwd" || lower == "forward") return Method::kFwd;
+  if (lower == "bkwd" || lower == "backward") return Method::kBkwd;
+  if (lower == "fd") return Method::kFd;
+  if (lower == "ici") return Method::kIci;
+  if (lower == "xici") return Method::kXici;
+  throw std::invalid_argument("unknown method: " + name);
+}
+
+const std::vector<Method>& allMethods() {
+  static const std::vector<Method> methods{Method::kFwd, Method::kBkwd,
+                                           Method::kFd, Method::kIci,
+                                           Method::kXici};
+  return methods;
+}
+
+}  // namespace icb

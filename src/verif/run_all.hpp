@@ -1,0 +1,30 @@
+// Convenience dispatcher: run one of the five methods on a model-provided
+// machine, used by the examples and the table benchmarks.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "verif/backward.hpp"
+#include "verif/engine.hpp"
+#include "verif/fd_forward.hpp"
+#include "verif/forward.hpp"
+#include "verif/ici_backward.hpp"
+#include "verif/xici_backward.hpp"
+
+namespace icb {
+
+/// Runs `method` on the machine.  `fdCandidates` is only consulted by FD.
+EngineResult runMethod(Fsm& fsm, Method method,
+                       const std::vector<unsigned>& fdCandidates,
+                       const EngineOptions& options = {});
+
+/// Parses "fwd" / "bkwd" / "fd" / "ici" / "xici" (case-insensitive).
+/// Throws std::invalid_argument on anything else.
+Method parseMethod(const std::string& name);
+
+/// All five methods, in the paper's table order.
+const std::vector<Method>& allMethods();
+
+}  // namespace icb

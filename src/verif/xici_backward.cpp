@@ -1,0 +1,99 @@
+#include "verif/xici_backward.hpp"
+
+#include <algorithm>
+
+#include "util/timer.hpp"
+#include "verif/counterexample.hpp"
+#include "verif/limit_guard.hpp"
+
+namespace icb {
+
+namespace {
+
+void trackPeak(EngineResult& result, const ConjunctList& list) {
+  const std::uint64_t nodes = list.sharedNodeCount();
+  if (nodes > result.peakIterateNodes) {
+    result.peakIterateNodes = nodes;
+    result.peakIterateMemberSizes = list.memberSizes();
+  }
+}
+
+}  // namespace
+
+EngineResult runXiciBackward(Fsm& fsm, const EngineOptions& options) {
+  fsm.validate();
+  BddManager& mgr = fsm.mgr();
+  EngineResult result;
+  result.method = Method::kXici;
+  Stopwatch watch;
+  mgr.resetPeak();
+  LimitGuard guard(mgr, options);
+
+  TerminationChecker checker(mgr, options.termination);
+
+  try {
+    ConjunctList g0 = fsm.property(options.withAssists);
+    evaluateAndSimplify(g0, options.policy);
+
+    ConjunctList current = g0;
+    std::vector<ConjunctList> layers{current};
+
+    while (true) {
+      trackPeak(result, current);
+
+      // Violation check, member by member: S !subset L[j].  (A constant
+      // FALSE member needs no special case -- init & !FALSE == init, which
+      // is nonzero exactly when some start state exists to violate.)
+      bool violated = false;
+      for (const Bdd& c : current) {
+        if (!(fsm.init() & !c).isZero()) {
+          violated = true;
+          break;
+        }
+      }
+      if (violated) {
+        result.verdict = Verdict::kViolated;
+        if (options.wantTrace) {
+          result.trace = buildBackwardTrace(fsm, layers);
+        }
+        break;
+      }
+
+      if (result.iterations >= options.maxIterations) {
+        result.verdict = Verdict::kIterationLimit;
+        break;
+      }
+
+      // G_{i+1} = G_0 & BackImage(G_i), kept implicitly conjoined:
+      // Theorem 1 turns BackImage of the list into a list of BackImages.
+      ConjunctList next(&mgr);
+      for (const Bdd& c : g0) next.push(c);
+      for (const Bdd& c : current) next.push(fsm.backImage(c));
+      next.normalize();
+
+      // Section III.A policy: simplify, then greedily evaluate conjunctions.
+      evaluateAndSimplify(next, options.policy);
+      ++result.iterations;
+
+      // Section III.B: exact termination test on the two implicit lists.
+      if (checker.equal(next, current)) {
+        result.verdict = Verdict::kHolds;
+        break;
+      }
+      current = next;
+      layers.push_back(current);
+    }
+  } catch (const ResourceLimitError& err) {
+    result.verdict = err.kind() == ResourceKind::kNodes ? Verdict::kNodeLimit
+                                                        : Verdict::kTimeLimit;
+    mgr.gc();
+  }
+
+  result.terminationStats = checker.stats();
+  result.seconds = watch.elapsedSeconds();
+  result.peakAllocatedNodes = mgr.stats().peakNodes;
+  result.memBytesEstimate = BddManager::bytesForNodes(result.peakAllocatedNodes);
+  return result;
+}
+
+}  // namespace icb

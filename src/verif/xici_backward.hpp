@@ -1,0 +1,22 @@
+// Backward traversal with the DAC'94 extended techniques (the "XICI" rows):
+//
+//   * the iterate is an implicitly conjoined list that GROWS as needed:
+//       G_{i+1} = normalize( G_0 list  ++  [BackImage(c) for c in G_i] )
+//     (Theorem 1 justifies the member-by-member BackImage);
+//   * the Section III.A policy (Restrict cross-simplification followed by
+//     Figure 1's greedy pairwise conjunction evaluation) compacts the list
+//     each iteration -- this is what "derives the assisting invariants
+//     automatically": the iterated BackImages of the output property ARE
+//     the per-layer lemmas a user would otherwise have to supply;
+//   * convergence is decided by the Section III.B exact termination test,
+//     so the verdict never depends on a syntactic coincidence.
+#pragma once
+
+#include "sym/fsm.hpp"
+#include "verif/engine.hpp"
+
+namespace icb {
+
+EngineResult runXiciBackward(Fsm& fsm, const EngineOptions& options = {});
+
+}  // namespace icb

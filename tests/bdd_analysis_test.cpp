@@ -1,0 +1,161 @@
+// Node counting (including the paper's 9-node comparator), shared sizes,
+// satisfying-assignment counts, support, minterm picking and the bounded AND.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bdd/bdd.hpp"
+#include "sym/bitvector.hpp"
+#include "test_util.hpp"
+
+namespace icb {
+namespace {
+
+TEST(BddAnalysis, ConstantAndLiteralSizes) {
+  BddManager mgr;
+  mgr.newVar();
+  EXPECT_EQ(mgr.one().size(), 1u);   // terminal only
+  EXPECT_EQ(mgr.zero().size(), 1u);  // complement edge to the same terminal
+  EXPECT_EQ(mgr.var(0).size(), 2u);  // one decision node + terminal
+  EXPECT_EQ((!mgr.var(0)).size(), 2u);
+}
+
+TEST(BddAnalysis, PaperNineNodeComparator) {
+  // The paper's typed FIFO counts each "entry <= 128" constraint as 9 BDD
+  // nodes for an 8-bit entry.  Reproduce that exact count.
+  BddManager mgr;
+  BitVec entry;
+  for (unsigned j = 0; j < 8; ++j) {
+    entry.push(mgr.var(mgr.newVar()));
+  }
+  const Bdd constraint = uleConst(entry, 128);
+  EXPECT_EQ(constraint.size(), 9u);
+}
+
+TEST(BddAnalysis, SharedSizeCountsOverlapOnce) {
+  BddManager mgr;
+  for (unsigned i = 0; i < 6; ++i) mgr.newVar();
+  const Bdd common = mgr.var(2) & mgr.var(3);
+  const Bdd a = mgr.var(0) & common;
+  const Bdd b = mgr.var(1) & common;
+  const std::vector<Bdd> both{a, b};
+  EXPECT_LT(sharedSize(both), a.size() + b.size());
+  EXPECT_GE(sharedSize(both), std::max(a.size(), b.size()));
+  const std::vector<Bdd> same{a, a};
+  EXPECT_EQ(sharedSize(same), a.size());
+}
+
+TEST(BddAnalysis, SatCountMatchesOracle) {
+  BddManager mgr;
+  constexpr unsigned kVars = 6;
+  for (unsigned i = 0; i < kVars; ++i) mgr.newVar();
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const Bdd f = test::randomBdd(mgr, kVars, rng);
+    const auto table = test::truthTable(f, kVars);
+    double expected = 0;
+    for (const char c : table) expected += c;
+    EXPECT_DOUBLE_EQ(f.satCount(kVars), expected);
+  }
+}
+
+TEST(BddAnalysis, SupportIsExact) {
+  BddManager mgr;
+  for (unsigned i = 0; i < 6; ++i) mgr.newVar();
+  const Bdd f = (mgr.var(1) & mgr.var(4)) | mgr.var(5);
+  EXPECT_EQ(f.support(), (std::vector<unsigned>{1, 4, 5}));
+  EXPECT_TRUE(mgr.one().support().empty());
+}
+
+TEST(BddAnalysis, PickMintermSatisfiesFunction) {
+  BddManager mgr;
+  constexpr unsigned kVars = 8;
+  std::vector<unsigned> vars;
+  for (unsigned i = 0; i < kVars; ++i) vars.push_back(mgr.newVar());
+  Rng rng(17);
+  int nontrivial = 0;
+  for (int i = 0; i < 40; ++i) {
+    const Bdd f = test::randomBdd(mgr, kVars, rng);
+    if (f.isZero()) continue;
+    ++nontrivial;
+    std::vector<char> values;
+    mgr.pickMintermE(f.edge(), vars, rng, values);
+    EXPECT_TRUE(f.eval(values));
+  }
+  EXPECT_GT(nontrivial, 10);
+}
+
+TEST(BddAnalysis, PickMintermOnEmptySetThrows) {
+  BddManager mgr;
+  mgr.newVar();
+  Rng rng(1);
+  std::vector<char> values;
+  std::vector<unsigned> vars{0};
+  EXPECT_THROW(mgr.pickMintermE(kFalseEdge, vars, rng, values), BddUsageError);
+}
+
+TEST(BddAnalysis, EvalWalksAssignments) {
+  BddManager mgr;
+  for (unsigned i = 0; i < 3; ++i) mgr.newVar();
+  const Bdd f = mgr.var(0).ite(mgr.var(1), !mgr.var(2));
+  const std::vector<char> a{1, 1, 0};
+  const std::vector<char> b{1, 0, 0};
+  const std::vector<char> c{0, 0, 1};
+  EXPECT_TRUE(f.eval(a));
+  EXPECT_FALSE(f.eval(b));
+  EXPECT_FALSE(f.eval(c));
+}
+
+TEST(BddAnalysis, AndBoundedSucceedsWithGenerousBudget) {
+  BddManager mgr;
+  for (unsigned i = 0; i < 8; ++i) mgr.newVar();
+  Rng rng(23);
+  const Bdd a = test::randomBdd(mgr, 8, rng);
+  const Bdd b = test::randomBdd(mgr, 8, rng);
+  Edge out = kFalseEdge;
+  ASSERT_TRUE(mgr.andBoundedE(a.edge(), b.edge(), 1u << 20, &out));
+  EXPECT_EQ(Bdd(&mgr, out), a & b);
+}
+
+TEST(BddAnalysis, AndBoundedAbortsOnTinyBudget) {
+  BddManager mgr;
+  // Two functions whose conjunction needs fresh nodes: interleaved
+  // comparators over disjoint variable groups.
+  BitVec x;
+  BitVec y;
+  for (unsigned j = 0; j < 12; ++j) {
+    x.push(mgr.var(mgr.newVar()));
+    y.push(mgr.var(mgr.newVar()));
+  }
+  const Bdd a = ule(x, y);
+  const Bdd b = ule(y, x);
+  mgr.gc();
+  Edge out = kFalseEdge;
+  const bool ok = mgr.andBoundedE(a.edge(), b.edge(), 2, &out);
+  EXPECT_FALSE(ok);
+  // The manager must remain fully usable.
+  mgr.gc();
+  mgr.checkInvariants();
+  Edge out2 = kFalseEdge;
+  ASSERT_TRUE(mgr.andBoundedE(a.edge(), b.edge(), 1u << 22, &out2));
+  EXPECT_EQ(Bdd(&mgr, out2), a & b);
+}
+
+TEST(BddAnalysis, DotDumpMentionsRootsAndVariables) {
+  BddManager mgr;
+  mgr.newVar("alpha");
+  mgr.newVar("beta");
+  const Bdd f = mgr.var(0) & !mgr.var(1);
+  std::ostringstream os;
+  const Edge roots[1] = {f.edge()};
+  const std::string names[1] = {"f"};
+  mgr.dumpDot(os, roots, names);
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("alpha"), std::string::npos);
+  EXPECT_NE(dot.find("beta"), std::string::npos);
+  EXPECT_NE(dot.find("\"f\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace icb

@@ -1,0 +1,214 @@
+// Structural fundamentals: constants, projection functions, canonicity,
+// complement edges, handle lifetime, garbage collection, resource limits.
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "test_util.hpp"
+
+namespace icb {
+namespace {
+
+TEST(BddBasic, ConstantsAreDistinctAndComplementary) {
+  BddManager mgr;
+  EXPECT_TRUE(mgr.one().isOne());
+  EXPECT_TRUE(mgr.zero().isZero());
+  EXPECT_NE(mgr.one(), mgr.zero());
+  EXPECT_EQ(!mgr.one(), mgr.zero());
+  EXPECT_EQ(!mgr.zero(), mgr.one());
+}
+
+TEST(BddBasic, NegationIsConstantTimeInvolution) {
+  BddManager mgr;
+  mgr.newVar();
+  mgr.newVar();
+  const Bdd f = mgr.var(0) & !mgr.var(1);
+  EXPECT_EQ(!!f, f);
+  EXPECT_NE(!f, f);
+  // Complement edges: negation allocates no nodes.
+  const auto before = mgr.stats().nodesCreated;
+  const Bdd g = !f;
+  EXPECT_EQ(mgr.stats().nodesCreated, before);
+  EXPECT_EQ(g.size(), f.size());
+}
+
+TEST(BddBasic, ProjectionFunctions) {
+  BddManager mgr;
+  mgr.newVar("x");
+  mgr.newVar("y");
+  const Bdd x = mgr.var(0);
+  EXPECT_FALSE(x.isConstant());
+  EXPECT_EQ(x.topVar(), 0u);
+  EXPECT_TRUE(x.high().isOne());
+  EXPECT_TRUE(x.low().isZero());
+  EXPECT_EQ(mgr.nvar(0), !x);
+}
+
+TEST(BddBasic, CanonicityHashConsing) {
+  BddManager mgr;
+  mgr.newVar();
+  mgr.newVar();
+  mgr.newVar();
+  // Same function built two different ways must be pointer-identical.
+  const Bdd a = (mgr.var(0) & mgr.var(1)) | mgr.var(2);
+  const Bdd b = !(((!mgr.var(0)) | (!mgr.var(1))) & (!mgr.var(2)));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.edge(), b.edge());
+}
+
+TEST(BddBasic, DeMorganAndXorIdentities) {
+  BddManager mgr;
+  mgr.newVar();
+  mgr.newVar();
+  const Bdd x = mgr.var(0);
+  const Bdd y = mgr.var(1);
+  EXPECT_EQ(!(x & y), (!x) | (!y));
+  EXPECT_EQ(x ^ y, (x & (!y)) | ((!x) & y));
+  EXPECT_EQ(x ^ x, mgr.zero());
+  EXPECT_EQ(x ^ !x, mgr.one());
+  EXPECT_EQ(x.xnor(y), !(x ^ y));
+}
+
+TEST(BddBasic, IteAgreesWithDefinition) {
+  BddManager mgr;
+  mgr.newVar();
+  mgr.newVar();
+  mgr.newVar();
+  const Bdd f = mgr.var(0);
+  const Bdd g = mgr.var(1);
+  const Bdd h = mgr.var(2);
+  EXPECT_EQ(f.ite(g, h), (f & g) | ((!f) & h));
+  EXPECT_EQ(f.ite(mgr.one(), mgr.zero()), f);
+  EXPECT_EQ(f.ite(mgr.zero(), mgr.one()), !f);
+}
+
+TEST(BddBasic, ImplicationAndDisjointness) {
+  BddManager mgr;
+  mgr.newVar();
+  mgr.newVar();
+  const Bdd x = mgr.var(0);
+  const Bdd y = mgr.var(1);
+  EXPECT_TRUE((x & y).implies(x));
+  EXPECT_FALSE(x.implies(x & y));
+  EXPECT_TRUE(x.disjointFrom(!x));
+  EXPECT_FALSE(x.disjointFrom(x | y));
+}
+
+TEST(BddBasic, GcKeepsReferencedNodesAndReclaimsGarbage) {
+  BddManager mgr;
+  for (unsigned i = 0; i < 10; ++i) mgr.newVar();
+  Rng rng(7);
+  Bdd keep = test::randomBdd(mgr, 10, rng, 6);
+  const std::vector<char> table = test::truthTable(keep, 10);
+  {
+    // Create garbage that dies at scope exit.
+    for (int i = 0; i < 50; ++i) {
+      const Bdd tmp = test::randomBdd(mgr, 10, rng, 6);
+      (void)tmp;
+    }
+  }
+  const std::uint64_t liveBefore = mgr.liveNodes();
+  mgr.gc();
+  EXPECT_LE(mgr.liveNodes(), liveBefore);
+  mgr.checkInvariants();
+  // The kept function must be untouched.
+  EXPECT_EQ(test::truthTable(keep, 10), table);
+  // And still usable in new operations.
+  EXPECT_EQ(keep & keep, keep);
+}
+
+TEST(BddBasic, GcReclaimsEverythingWhenNothingIsHeld) {
+  BddManager mgr;
+  for (unsigned i = 0; i < 8; ++i) mgr.newVar();
+  const std::uint64_t baseline = mgr.liveNodes();
+  Rng rng(9);
+  {
+    Bdd tmp = test::randomBdd(mgr, 8, rng, 7);
+    (void)tmp;
+  }
+  mgr.gc();
+  EXPECT_EQ(mgr.liveNodes(), baseline);
+}
+
+TEST(BddBasic, HandleCopyAndMoveSemantics) {
+  BddManager mgr;
+  mgr.newVar();
+  Bdd a = mgr.var(0);
+  Bdd b = a;             // copy
+  Bdd c = std::move(a);  // move
+  EXPECT_TRUE(a.isNull());
+  EXPECT_EQ(b, c);
+  b = b;  // self-assignment must be safe
+  EXPECT_EQ(b, c);
+  mgr.gc();
+  EXPECT_EQ(b & c, c);
+}
+
+TEST(BddBasic, NodeLimitThrowsAndManagerStaysUsable) {
+  BddManager mgr;
+  for (unsigned i = 0; i < 24; ++i) mgr.newVar();
+  ResourceLimits limits;
+  limits.maxNodes = 200;
+  mgr.setLimits(limits);
+  Rng rng(11);
+  bool threw = false;
+  try {
+    Bdd acc = mgr.one();
+    for (int i = 0; i < 100 && !threw; ++i) {
+      acc &= test::randomBdd(mgr, 24, rng, 6);
+    }
+  } catch (const ResourceLimitError& e) {
+    threw = true;
+    EXPECT_EQ(e.kind(), ResourceKind::kNodes);
+  }
+  EXPECT_TRUE(threw);
+  mgr.clearLimits();
+  mgr.gc();
+  mgr.checkInvariants();
+  EXPECT_EQ(mgr.var(0) & mgr.var(1), mgr.var(1) & mgr.var(0));
+}
+
+TEST(BddBasic, DeadlineLimitThrows) {
+  BddManager mgr;
+  for (unsigned i = 0; i < 30; ++i) mgr.newVar();
+  ResourceLimits limits;
+  limits.deadline = Deadline::afterSeconds(0.0);
+  mgr.setLimits(limits);
+  Rng rng(13);
+  bool threw = false;
+  try {
+    for (int i = 0; i < 10000 && !threw; ++i) {
+      const Bdd f = test::randomBdd(mgr, 30, rng, 8);
+      (void)f;
+    }
+  } catch (const ResourceLimitError& e) {
+    threw = true;
+    EXPECT_EQ(e.kind(), ResourceKind::kTime);
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(BddBasic, MixedManagerOperandsRejected) {
+  BddManager m1;
+  BddManager m2;
+  m1.newVar();
+  m2.newVar();
+  EXPECT_THROW((void)(m1.var(0) & m2.var(0)), BddUsageError);
+}
+
+TEST(BddBasic, CheckInvariantsOnRandomWorkload) {
+  BddManager mgr;
+  for (unsigned i = 0; i < 12; ++i) mgr.newVar();
+  Rng rng(17);
+  std::vector<Bdd> keep;
+  for (int i = 0; i < 40; ++i) {
+    keep.push_back(test::randomBdd(mgr, 12, rng, 6));
+    if (i % 10 == 9) {
+      mgr.gc();
+      mgr.checkInvariants();
+    }
+  }
+  mgr.checkInvariants();
+}
+
+}  // namespace
+}  // namespace icb

@@ -1,0 +1,136 @@
+// Vector composition and variable renaming.
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "test_util.hpp"
+
+namespace icb {
+namespace {
+
+TEST(BddCompose, IdentityMapIsIdentity) {
+  BddManager mgr;
+  for (unsigned i = 0; i < 5; ++i) mgr.newVar();
+  Rng rng(3);
+  const Bdd f = test::randomBdd(mgr, 5, rng);
+  std::vector<Edge> map;
+  for (unsigned v = 0; v < 5; ++v) map.push_back(mgr.varEdge(v));
+  EXPECT_EQ(f.composeVec(map), f);
+}
+
+TEST(BddCompose, ConstantSubstitutionEqualsCofactor) {
+  BddManager mgr;
+  for (unsigned i = 0; i < 5; ++i) mgr.newVar();
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    const Bdd f = test::randomBdd(mgr, 5, rng);
+    for (unsigned v = 0; v < 5; ++v) {
+      std::vector<Edge> map;
+      for (unsigned u = 0; u < 5; ++u) map.push_back(mgr.varEdge(u));
+      map[v] = kTrueEdge;
+      EXPECT_EQ(f.composeVec(map), f.cofactor(v, true));
+      map[v] = kFalseEdge;
+      EXPECT_EQ(f.composeVec(map), f.cofactor(v, false));
+    }
+  }
+}
+
+TEST(BddCompose, SimultaneousSwapSubstitution) {
+  // Substituting x<->y simultaneously must not cascade.
+  BddManager mgr;
+  for (unsigned i = 0; i < 2; ++i) mgr.newVar();
+  const Bdd x = mgr.var(0);
+  const Bdd y = mgr.var(1);
+  const Bdd f = x & !y;
+  std::vector<Edge> map{mgr.varEdge(1), mgr.varEdge(0)};
+  EXPECT_EQ(f.composeVec(map), y & !x);
+}
+
+TEST(BddCompose, MatchesTruthTableOracle) {
+  BddManager mgr;
+  constexpr unsigned kVars = 5;
+  for (unsigned i = 0; i < kVars; ++i) mgr.newVar();
+  Rng rng(11);
+  for (int round = 0; round < 10; ++round) {
+    const Bdd f = test::randomBdd(mgr, kVars, rng);
+    std::vector<Bdd> subs;
+    std::vector<Edge> map;
+    for (unsigned v = 0; v < kVars; ++v) {
+      subs.push_back(test::randomBdd(mgr, kVars, rng, 3));
+      map.push_back(subs.back().edge());
+    }
+    const Bdd composed = f.composeVec(map);
+    // Oracle: evaluate g(x) = f(subs(x)) pointwise.
+    std::vector<char> values(mgr.varCount(), 0);
+    for (std::size_t m = 0; m < (std::size_t{1} << kVars); ++m) {
+      for (unsigned v = 0; v < kVars; ++v) {
+        values[v] = static_cast<char>((m >> v) & 1u);
+      }
+      std::vector<char> inner(mgr.varCount(), 0);
+      for (unsigned v = 0; v < kVars; ++v) {
+        inner[v] = subs[v].eval(values) ? 1 : 0;
+      }
+      EXPECT_EQ(composed.eval(values), f.eval(inner));
+    }
+  }
+}
+
+TEST(BddCompose, PermuteRenamesVariables) {
+  BddManager mgr;
+  for (unsigned i = 0; i < 6; ++i) mgr.newVar();
+  const Bdd f = (mgr.var(0) & mgr.var(1)) ^ mgr.var(2);
+  // Shift all variables up by 3.
+  std::vector<unsigned> perm{3, 4, 5, 3, 4, 5};
+  const Bdd g = f.permute(perm);
+  EXPECT_EQ(g, (mgr.var(3) & mgr.var(4)) ^ mgr.var(5));
+}
+
+TEST(BddCompose, PermuteRoundTrip) {
+  BddManager mgr;
+  for (unsigned i = 0; i < 8; ++i) mgr.newVar();
+  Rng rng(13);
+  // Swap pairs (2k, 2k+1) -- an involution.
+  std::vector<unsigned> perm;
+  for (unsigned v = 0; v < 8; ++v) perm.push_back(v ^ 1u);
+  for (int i = 0; i < 10; ++i) {
+    const Bdd f = test::randomBdd(mgr, 8, rng);
+    EXPECT_EQ(f.permute(perm).permute(perm), f);
+  }
+}
+
+TEST(BddTransfer, CopiesFunctionsAcrossManagers) {
+  BddManager src;
+  constexpr unsigned kVars = 8;
+  for (unsigned i = 0; i < kVars; ++i) src.newVar("n" + std::to_string(i));
+  Rng rng(41);
+  for (int round = 0; round < 10; ++round) {
+    const Bdd f = test::randomBdd(src, kVars, rng);
+    BddManager dst;
+    const Bdd g = transferTo(dst, f);
+    EXPECT_EQ(dst.varCount(), kVars);
+    EXPECT_EQ(dst.varName(2), "n2");
+    EXPECT_EQ(test::truthTable(g, kVars), test::truthTable(f, kVars));
+  }
+}
+
+TEST(BddTransfer, SameManagerIsIdentity) {
+  BddManager mgr;
+  mgr.newVar();
+  const Bdd f = mgr.var(0);
+  EXPECT_EQ(transferTo(mgr, f), f);
+}
+
+TEST(BddTransfer, WorksAcrossDifferentOrders) {
+  BddManager src;
+  for (unsigned i = 0; i < 6; ++i) src.newVar();
+  Rng rng(43);
+  const Bdd f = test::randomBdd(src, 6, rng, 5);
+  const auto table = test::truthTable(f, 6);
+  src.sift();  // scramble the source order
+  BddManager dst;
+  const Bdd g = transferTo(dst, f);
+  EXPECT_EQ(test::truthTable(g, 6), table);
+  dst.checkInvariants();
+}
+
+}  // namespace
+}  // namespace icb

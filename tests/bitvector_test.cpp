@@ -1,0 +1,154 @@
+// Word-level arithmetic over BDD bit vectors, checked exhaustively against
+// machine integers on small widths (parameterized sweeps).
+#include <gtest/gtest.h>
+
+#include "sym/bitvector.hpp"
+#include "test_util.hpp"
+
+namespace icb {
+namespace {
+
+/// Two symbolic vectors of the given width over fresh variables, interleaved.
+struct Pair {
+  BitVec a, b;
+  unsigned width;
+};
+
+Pair makePair(BddManager& mgr, unsigned width) {
+  Pair p;
+  p.width = width;
+  for (unsigned j = 0; j < width; ++j) {
+    p.a.push(mgr.var(mgr.newVar()));
+    p.b.push(mgr.var(mgr.newVar()));
+  }
+  return p;
+}
+
+/// Evaluates `f` with a/b bound to the given integers.
+bool evalWith(const BddManager& mgr, const Bdd& f, unsigned width,
+              std::uint64_t av, std::uint64_t bv) {
+  std::vector<char> values(mgr.varCount(), 0);
+  for (unsigned j = 0; j < width; ++j) {
+    values[2 * j] = static_cast<char>((av >> j) & 1u);
+    values[2 * j + 1] = static_cast<char>((bv >> j) & 1u);
+  }
+  return f.eval(values);
+}
+
+std::uint64_t evalVec(const BddManager& mgr, const BitVec& v, unsigned width,
+                      std::uint64_t av, std::uint64_t bv) {
+  std::vector<char> values(mgr.varCount(), 0);
+  for (unsigned j = 0; j < width; ++j) {
+    values[2 * j] = static_cast<char>((av >> j) & 1u);
+    values[2 * j + 1] = static_cast<char>((bv >> j) & 1u);
+  }
+  return v.evalUint(values);
+}
+
+class BitVecSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitVecSweep, AddSubCompareExhaustive) {
+  const unsigned w = GetParam();
+  BddManager mgr;
+  const Pair p = makePair(mgr, w);
+  const BitVec sum = add(p.a, p.b);
+  const BitVec sumT = addTrunc(p.a, p.b);
+  const BitVec diff = subTrunc(p.a, p.b);
+  const Bdd equal = eq(p.a, p.b);
+  const Bdd le = ule(p.a, p.b);
+  const Bdd lt = ult(p.a, p.b);
+  ASSERT_EQ(sum.width(), w + 1);
+  ASSERT_EQ(sumT.width(), w);
+
+  const std::uint64_t mask = (std::uint64_t{1} << w) - 1;
+  for (std::uint64_t av = 0; av <= mask; ++av) {
+    for (std::uint64_t bv = 0; bv <= mask; ++bv) {
+      EXPECT_EQ(evalVec(mgr, sum, w, av, bv), av + bv);
+      EXPECT_EQ(evalVec(mgr, sumT, w, av, bv), (av + bv) & mask);
+      EXPECT_EQ(evalVec(mgr, diff, w, av, bv), (av - bv) & mask);
+      EXPECT_EQ(evalWith(mgr, equal, w, av, bv), av == bv);
+      EXPECT_EQ(evalWith(mgr, le, w, av, bv), av <= bv);
+      EXPECT_EQ(evalWith(mgr, lt, w, av, bv), av < bv);
+    }
+  }
+}
+
+TEST_P(BitVecSweep, ConstantComparisonsExhaustive) {
+  const unsigned w = GetParam();
+  BddManager mgr;
+  const Pair p = makePair(mgr, w);
+  const std::uint64_t mask = (std::uint64_t{1} << w) - 1;
+  for (std::uint64_t k = 0; k <= mask; k += (mask / 5) + 1) {
+    const Bdd eqK = eqConst(p.a, k);
+    const Bdd leK = uleConst(p.a, k);
+    for (std::uint64_t av = 0; av <= mask; ++av) {
+      EXPECT_EQ(evalWith(mgr, eqK, w, av, 0), av == k);
+      EXPECT_EQ(evalWith(mgr, leK, w, av, 0), av <= k);
+    }
+  }
+}
+
+TEST_P(BitVecSweep, IncDecShiftMux) {
+  const unsigned w = GetParam();
+  BddManager mgr;
+  const Pair p = makePair(mgr, w);
+  const BitVec inc = incTrunc(p.a);
+  const BitVec dec = decTrunc(p.a);
+  const BitVec shr = p.a.shiftRight(1);
+  const Bdd sel = eq(p.a, p.b);
+  const BitVec m = mux(sel, p.a, p.b);
+  const std::uint64_t mask = (std::uint64_t{1} << w) - 1;
+  for (std::uint64_t av = 0; av <= mask; ++av) {
+    EXPECT_EQ(evalVec(mgr, inc, w, av, 0), (av + 1) & mask);
+    EXPECT_EQ(evalVec(mgr, dec, w, av, 0), (av - 1) & mask);
+    EXPECT_EQ(evalVec(mgr, shr, w, av, 0), av >> 1);
+    for (std::uint64_t bv = 0; bv <= mask; bv += 3) {
+      EXPECT_EQ(evalVec(mgr, m, w, av, bv), av == bv ? av : bv);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitVecSweep, ::testing::Values(1u, 2u, 3u, 4u, 5u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "w" + std::to_string(info.param);
+                         });
+
+TEST(BitVec, ConstantRoundTrip) {
+  BddManager mgr;
+  for (std::uint64_t v : {0ull, 1ull, 41ull, 128ull, 255ull}) {
+    const BitVec c = BitVec::constant(mgr, 8, v);
+    std::vector<char> none;
+    EXPECT_EQ(c.evalUint(none), v);
+  }
+}
+
+TEST(BitVec, ResizeAndDropLow) {
+  BddManager mgr;
+  const BitVec c = BitVec::constant(mgr, 8, 0b10110100);
+  std::vector<char> none;
+  EXPECT_EQ(c.resized(10).evalUint(none), 0b10110100u);
+  EXPECT_EQ(c.resized(4).evalUint(none), 0b0100u);
+  EXPECT_EQ(c.dropLow(2).evalUint(none), 0b101101u);
+  EXPECT_EQ(c.dropLow(2).width(), 6u);
+}
+
+TEST(BitVec, MixedWidthOperandsZeroExtend) {
+  BddManager mgr;
+  const BitVec a = BitVec::constant(mgr, 3, 5);
+  const BitVec b = BitVec::constant(mgr, 6, 40);
+  std::vector<char> none;
+  EXPECT_EQ(add(a, b).evalUint(none), 45u);
+  EXPECT_TRUE(ult(a, b).isOne());
+  EXPECT_TRUE(eq(a, BitVec::constant(mgr, 8, 5)).isOne());
+}
+
+TEST(BitVec, UleConstWideConstantIsTrue) {
+  BddManager mgr;
+  BitVec a;
+  for (unsigned j = 0; j < 4; ++j) a.push(mgr.var(mgr.newVar()));
+  EXPECT_TRUE(uleConst(a, 1000).isOne());
+  EXPECT_TRUE(eqConst(a, 1000).isZero());
+}
+
+}  // namespace
+}  // namespace icb

@@ -1,0 +1,119 @@
+// ConjunctList semantics: normalization, evaluation, size accounting,
+// structural comparison.
+#include <gtest/gtest.h>
+
+#include "ici/conjunct_list.hpp"
+#include "test_util.hpp"
+
+namespace icb {
+namespace {
+
+TEST(ConjunctList, EmptyListIsTrue) {
+  BddManager mgr;
+  ConjunctList list(&mgr);
+  EXPECT_TRUE(list.isTrue());
+  EXPECT_FALSE(list.isFalse());
+  EXPECT_TRUE(list.evaluate().isOne());
+}
+
+TEST(ConjunctList, NormalizeDropsTruesAndDuplicates) {
+  BddManager mgr;
+  for (unsigned i = 0; i < 3; ++i) mgr.newVar();
+  ConjunctList list(&mgr);
+  list.push(mgr.one());
+  list.push(mgr.var(0));
+  list.push(mgr.var(0));
+  list.push(mgr.one());
+  list.push(mgr.var(1));
+  list.normalize();
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.evaluate(), mgr.var(0) & mgr.var(1));
+}
+
+TEST(ConjunctList, NormalizeCollapsesOnFalse) {
+  BddManager mgr;
+  mgr.newVar();
+  ConjunctList list(&mgr);
+  list.push(mgr.var(0));
+  list.push(mgr.zero());
+  list.normalize();
+  EXPECT_TRUE(list.isFalse());
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_TRUE(list.evaluate().isZero());
+}
+
+TEST(ConjunctList, EvaluateEqualsExplicitConjunction) {
+  BddManager mgr;
+  for (unsigned i = 0; i < 8; ++i) mgr.newVar();
+  Rng rng(3);
+  for (int round = 0; round < 10; ++round) {
+    ConjunctList list(&mgr);
+    Bdd expected = mgr.one();
+    for (int i = 0; i < 5; ++i) {
+      const Bdd f = test::randomBdd(mgr, 8, rng);
+      list.push(f);
+      expected &= f;
+    }
+    EXPECT_EQ(list.evaluate(), expected);
+  }
+}
+
+TEST(ConjunctList, SharedNodeCountNeverExceedsSumOfSizes) {
+  BddManager mgr;
+  for (unsigned i = 0; i < 8; ++i) mgr.newVar();
+  Rng rng(7);
+  ConjunctList list(&mgr);
+  std::uint64_t total = 0;
+  for (int i = 0; i < 6; ++i) {
+    const Bdd f = test::randomBdd(mgr, 8, rng);
+    list.push(f);
+    total += f.size();
+  }
+  EXPECT_LE(list.sharedNodeCount(), total);
+  EXPECT_EQ(list.memberSizes().size(), list.size());
+}
+
+TEST(ConjunctList, StructuralEqualityModes) {
+  BddManager mgr;
+  for (unsigned i = 0; i < 2; ++i) mgr.newVar();
+  ConjunctList a(&mgr, {mgr.var(0), mgr.var(1)});
+  ConjunctList b(&mgr, {mgr.var(1), mgr.var(0)});
+  EXPECT_FALSE(a.structurallyEqual(b));
+  EXPECT_TRUE(a.structurallyEqualUnordered(b));
+  ConjunctList c(&mgr, {mgr.var(0)});
+  EXPECT_FALSE(a.structurallyEqualUnordered(c));
+}
+
+TEST(ConjunctList, EvalAssignmentIsConjunction) {
+  BddManager mgr;
+  for (unsigned i = 0; i < 3; ++i) mgr.newVar();
+  ConjunctList list(&mgr, {mgr.var(0), !mgr.var(2)});
+  const std::vector<char> yes{1, 0, 0};
+  const std::vector<char> no{1, 0, 1};
+  EXPECT_TRUE(list.evalAssignment(yes));
+  EXPECT_FALSE(list.evalAssignment(no));
+}
+
+TEST(ConjunctList, DescribeListsMemberSizes) {
+  BddManager mgr;
+  for (unsigned i = 0; i < 2; ++i) mgr.newVar();
+  ConjunctList list(&mgr, {mgr.var(0), mgr.var(0) & mgr.var(1)});
+  const std::string d = list.describe();
+  EXPECT_NE(d.find("2 conjuncts"), std::string::npos);
+  EXPECT_NE(d.find("("), std::string::npos);
+}
+
+TEST(ConjunctList, SortBySizeIsStable) {
+  BddManager mgr;
+  for (unsigned i = 0; i < 6; ++i) mgr.newVar();
+  ConjunctList list(&mgr);
+  list.push(mgr.var(0) & mgr.var(1) & mgr.var(2));
+  list.push(mgr.var(3));
+  list.push(mgr.var(4) & mgr.var(5));
+  list.sortBySize();
+  EXPECT_LE(list[0].size(), list[1].size());
+  EXPECT_LE(list[1].size(), list[2].size());
+}
+
+}  // namespace
+}  // namespace icb

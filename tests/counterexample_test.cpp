@@ -1,0 +1,144 @@
+// Counterexample machinery details: trace validation catches corrupt
+// traces, formatting, and traces through nondeterministic branching.
+#include <gtest/gtest.h>
+
+#include "sym/bitvector.hpp"
+#include "verif/counterexample.hpp"
+#include "verif/run_all.hpp"
+#include "test_util.hpp"
+
+namespace icb {
+namespace {
+
+/// Machine with a nondeterministic choice: from 0, input picks branch A
+/// (safe plateau at 2) or branch B (reaches the bad value 7 in 3 steps).
+struct Branchy {
+  std::unique_ptr<Fsm> fsm;
+  std::vector<unsigned> bits;
+};
+
+Branchy makeBranchy(BddManager& mgr) {
+  Branchy b;
+  b.fsm = std::make_unique<Fsm>(mgr);
+  VarManager& vars = b.fsm->vars();
+  const unsigned pick = vars.addInputBit("pick");
+  for (unsigned j = 0; j < 3; ++j) {
+    b.bits.push_back(vars.addStateBit("s" + std::to_string(j)));
+  }
+  BitVec v;
+  for (unsigned j = 0; j < 3; ++j) v.push(vars.cur(b.bits[j]));
+  // Branch A: 0 -> 1 -> 2 -> 2 ...; branch B: 0 -> 5 -> 6 -> 7 -> 7.
+  const Bdd atZero = eqConst(v, 0);
+  const Bdd inA = ult(v, BitVec::constant(mgr, 3, 2));
+  const Bdd inB = uleConst(v, 6) & !uleConst(v, 4);
+  BitVec next = v;
+  next = mux(inB, incTrunc(v), next);
+  next = mux(inA & !atZero, incTrunc(v), next);
+  next = mux(atZero,
+             mux(vars.input(pick), BitVec::constant(mgr, 3, 5),
+                 BitVec::constant(mgr, 3, 1)),
+             next);
+  for (unsigned j = 0; j < 3; ++j) b.fsm->setNext(b.bits[j], next.bit(j));
+  b.fsm->setInit(atZero);
+  b.fsm->addInvariant(ult(v, BitVec::constant(mgr, 3, 7)));
+  return b;
+}
+
+TEST(Counterexample, TraceThroughNondeterministicChoice) {
+  BddManager mgr;
+  Branchy b = makeBranchy(mgr);
+  for (const Method m :
+       {Method::kFwd, Method::kBkwd, Method::kIci, Method::kXici}) {
+    BddManager local;
+    Branchy fresh = makeBranchy(local);
+    const EngineResult r = runMethod(*fresh.fsm, m, {});
+    ASSERT_EQ(r.verdict, Verdict::kViolated) << methodName(m);
+    ASSERT_TRUE(r.trace.has_value()) << methodName(m);
+    EXPECT_EQ(validateTrace(*fresh.fsm, *r.trace, fresh.fsm->property(false)),
+              "")
+        << methodName(m);
+    // Shortest violation: 0 -> 5 -> 6 -> 7 (4 states).
+    EXPECT_EQ(r.trace->states.size(), 4u) << methodName(m);
+  }
+}
+
+TEST(Counterexample, ValidateRejectsCorruptedTraces) {
+  BddManager mgr;
+  Branchy b = makeBranchy(mgr);
+  const EngineResult r = runMethod(*b.fsm, Method::kFwd, {});
+  ASSERT_TRUE(r.trace.has_value());
+  const ConjunctList prop = b.fsm->property(false);
+
+  {
+    Trace broken = *r.trace;
+    broken.states.front()[b.fsm->vars().stateBit(0).cur] ^= 1;
+    EXPECT_NE(validateTrace(*b.fsm, broken, prop), "");
+  }
+  {
+    Trace broken = *r.trace;
+    broken.states.back() = broken.states.front();  // ends in a good state
+    EXPECT_NE(validateTrace(*b.fsm, broken, prop), "");
+  }
+  {
+    Trace broken = *r.trace;
+    broken.inputs.pop_back();
+    EXPECT_NE(validateTrace(*b.fsm, broken, prop), "");
+  }
+  {
+    Trace broken;
+    EXPECT_NE(validateTrace(*b.fsm, broken, prop), "");
+  }
+}
+
+TEST(Counterexample, FormatUsesStatePrinter) {
+  BddManager mgr;
+  Branchy b = makeBranchy(mgr);
+  b.fsm->setStatePrinter([](const Fsm&, std::span<const char>) {
+    return std::string("CUSTOM");
+  });
+  const EngineResult r = runMethod(*b.fsm, Method::kFwd, {});
+  ASSERT_TRUE(r.trace.has_value());
+  const std::string text = formatTrace(*b.fsm, *r.trace);
+  EXPECT_NE(text.find("CUSTOM"), std::string::npos);
+  EXPECT_NE(text.find("step 0"), std::string::npos);
+}
+
+TEST(Counterexample, NoTraceWhenDisabled) {
+  BddManager mgr;
+  Branchy b = makeBranchy(mgr);
+  EngineOptions options;
+  options.wantTrace = false;
+  const EngineResult r = runMethod(*b.fsm, Method::kFwd, {}, options);
+  EXPECT_EQ(r.verdict, Verdict::kViolated);
+  EXPECT_FALSE(r.trace.has_value());
+}
+
+TEST(Counterexample, ImmediateViolationGivesSingleStateTrace) {
+  BddManager mgr;
+  Fsm fsm(mgr);
+  VarManager& vars = fsm.vars();
+  vars.addInputBit("i");
+  const unsigned s = vars.addStateBit("s");
+  fsm.setNext(0, vars.cur(s));
+  fsm.setInit(vars.cur(s));       // starts at 1
+  fsm.addInvariant(!vars.cur(s)); // requires 0
+  for (const Method m :
+       {Method::kFwd, Method::kBkwd, Method::kIci, Method::kXici}) {
+    BddManager local;
+    Fsm f2(local);
+    VarManager& v2 = f2.vars();
+    v2.addInputBit("i");
+    const unsigned s2 = v2.addStateBit("s");
+    f2.setNext(0, v2.cur(s2));
+    f2.setInit(v2.cur(s2));
+    f2.addInvariant(!v2.cur(s2));
+    const EngineResult r = runMethod(f2, m, {});
+    ASSERT_EQ(r.verdict, Verdict::kViolated) << methodName(m);
+    ASSERT_TRUE(r.trace.has_value());
+    EXPECT_EQ(r.trace->states.size(), 1u) << methodName(m);
+    EXPECT_EQ(validateTrace(f2, *r.trace, f2.property(false)), "");
+  }
+}
+
+}  // namespace
+}  // namespace icb

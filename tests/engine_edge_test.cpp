@@ -1,0 +1,164 @@
+// Engine corner cases: degenerate initial sets, trivial properties,
+// already-violated properties, option interplay.
+#include <gtest/gtest.h>
+
+#include "sym/bitvector.hpp"
+#include "verif/counterexample.hpp"
+#include "verif/run_all.hpp"
+
+namespace icb {
+namespace {
+
+struct Toy {
+  std::unique_ptr<Fsm> fsm;
+};
+
+/// One-bit toggler: s' = s ^ in.
+Toy makeToggler(BddManager& mgr, Bdd init, Bdd invariant) {
+  Toy t;
+  t.fsm = std::make_unique<Fsm>(mgr);
+  VarManager& vars = t.fsm->vars();
+  const unsigned in = vars.addInputBit("in");
+  const unsigned s = vars.addStateBit("s");
+  t.fsm->setNext(s, vars.cur(s) ^ vars.input(in));
+  t.fsm->setInit(std::move(init));
+  t.fsm->addInvariant(std::move(invariant));
+  return t;
+}
+
+TEST(EngineEdge, EmptyInitialSetHoldsVacuously) {
+  for (const Method m : allMethods()) {
+    BddManager mgr;
+    Toy t = makeToggler(mgr, mgr.zero(), mgr.zero());  // even G == FALSE
+    const EngineResult r = runMethod(*t.fsm, m, {});
+    EXPECT_EQ(r.verdict, Verdict::kHolds) << methodName(m);
+  }
+}
+
+TEST(EngineEdge, TrivialTruePropertyHolds) {
+  for (const Method m : allMethods()) {
+    BddManager mgr;
+    Toy t = makeToggler(mgr, mgr.one(), mgr.one());
+    const EngineResult r = runMethod(*t.fsm, m, {});
+    EXPECT_EQ(r.verdict, Verdict::kHolds) << methodName(m);
+  }
+}
+
+TEST(EngineEdge, FalsePropertyViolatedImmediately) {
+  for (const Method m : allMethods()) {
+    BddManager mgr;
+    Toy t = makeToggler(mgr, mgr.one(), mgr.zero());
+    const EngineResult r = runMethod(*t.fsm, m, {});
+    EXPECT_EQ(r.verdict, Verdict::kViolated) << methodName(m);
+    if (r.trace.has_value()) {
+      EXPECT_EQ(r.trace->states.size(), 1u);
+    }
+  }
+}
+
+TEST(EngineEdge, FullyReachableTogglerConverges) {
+  // s toggles freely: both values reachable; the TRUE property holds.
+  for (const Method m : allMethods()) {
+    BddManager mgr;
+    Toy t = makeToggler(mgr, mgr.one(), mgr.one());
+    // Start from s == 0 only (var 1 is the state bit; var 0 the input).
+    t.fsm->setInit(mgr.nvar(1));
+    const EngineResult r = runMethod(*t.fsm, m, {});
+    EXPECT_EQ(r.verdict, Verdict::kHolds) << methodName(m);
+  }
+}
+
+TEST(EngineEdge, SelfLoopOnlyMachine) {
+  // No inputs at all: s' = s.  Exercises empty input cubes everywhere.
+  for (const Method m : allMethods()) {
+    BddManager mgr;
+    Fsm fsm(mgr);
+    const unsigned s = fsm.vars().addStateBit("s");
+    fsm.setNext(s, fsm.vars().cur(s));
+    fsm.setInit(!fsm.vars().cur(s));
+    fsm.addInvariant(!fsm.vars().cur(s));
+    const EngineResult r = runMethod(fsm, m, {});
+    EXPECT_EQ(r.verdict, Verdict::kHolds) << methodName(m);
+  }
+}
+
+TEST(EngineEdge, FdWithBogusCandidatesStillCorrect) {
+  // Candidates that are NOT functionally dependent must be skipped or
+  // promoted without affecting the verdict.
+  BddManager mgr;
+  Fsm fsm(mgr);
+  VarManager& vars = fsm.vars();
+  const unsigned in = vars.addInputBit("in");
+  const unsigned a = vars.addStateBit("a");
+  const unsigned b = vars.addStateBit("b");
+  // a counts mod 2 on input; b follows a XOR input: b is NOT a function of
+  // a on the reachable set (it can differ), and init leaves b free.
+  fsm.setNext(a, vars.cur(a) ^ vars.input(in));
+  fsm.setNext(b, vars.cur(a) ^ vars.input(in) ^ vars.cur(b));
+  fsm.setInit(!vars.cur(a));
+  fsm.addInvariant(mgr.one());
+  (void)b;
+  const EngineResult r = runFdForward(fsm, {1}, {});
+  EXPECT_EQ(r.verdict, Verdict::kHolds);
+}
+
+TEST(EngineEdge, FdPromotionPathExercised) {
+  // Dependency holds in the initial state but breaks after one step:
+  // b starts equal to a but then evolves independently via its own input.
+  BddManager mgr;
+  Fsm fsm(mgr);
+  VarManager& vars = fsm.vars();
+  const unsigned i1 = vars.addInputBit("i1");
+  const unsigned i2 = vars.addInputBit("i2");
+  const unsigned a = vars.addStateBit("a");
+  const unsigned b = vars.addStateBit("b");
+  fsm.setNext(a, vars.input(i1));
+  fsm.setNext(b, vars.input(i2));
+  fsm.setInit((!vars.cur(a)) & (!vars.cur(b)));
+  fsm.addInvariant(mgr.one());
+  const EngineResult r = runFdForward(fsm, {0, 1}, {});
+  EXPECT_EQ(r.verdict, Verdict::kHolds);
+  EXPECT_NE(r.note.find("promoted"), std::string::npos);
+}
+
+TEST(EngineEdge, AssistsThatAreRedundantDoNotChangeVerdicts) {
+  BddManager mgr;
+  Fsm fsm(mgr);
+  VarManager& vars = fsm.vars();
+  const unsigned in = vars.addInputBit("in");
+  BitVec v;
+  for (unsigned j = 0; j < 3; ++j) {
+    v.push(vars.cur(vars.addStateBit("c" + std::to_string(j))));
+  }
+  const BitVec next = mux(vars.input(in) & !eqConst(v, 5), incTrunc(v), v);
+  for (unsigned j = 0; j < 3; ++j) fsm.setNext(j, next.bit(j));
+  fsm.setInit(eqConst(v, 0));
+  fsm.addInvariant(uleConst(v, 5));
+  fsm.addAssistInvariant(uleConst(v, 7));  // trivially true (width 3)
+  fsm.addAssistInvariant(uleConst(v, 6));  // implied by the main invariant
+
+  for (const Method m : allMethods()) {
+    EngineOptions options;
+    options.withAssists = true;
+    const EngineResult r = runMethod(fsm, m, {}, options);
+    EXPECT_EQ(r.verdict, Verdict::kHolds) << methodName(m);
+  }
+}
+
+TEST(EngineEdge, PolicyMaxMergesRespected) {
+  BddManager mgr;
+  for (unsigned i = 0; i < 8; ++i) mgr.newVar();
+  ConjunctList list(&mgr);
+  for (unsigned i = 0; i < 8; ++i) list.push(mgr.var(i));
+  EvaluatePolicyOptions options;
+  options.growThreshold = 1e9;
+  options.pairTable.buildCapFactor = 0.0;
+  options.maxMerges = 3;
+  options.simplifyFirst = false;
+  const auto r = greedyEvaluate(list, options);
+  EXPECT_EQ(r.merges, 3u);
+  EXPECT_EQ(list.size(), 5u);
+}
+
+}  // namespace
+}  // namespace icb

@@ -1,0 +1,261 @@
+// Symbolic machine layer: Image / PreImage / BackImage against explicit
+// enumeration oracles on random small machines; Theorem 1; duality.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sym/image.hpp"
+#include "test_util.hpp"
+
+namespace icb {
+namespace {
+
+/// A random machine over `bits` state bits and `ins` input bits.
+struct RandomMachine {
+  std::unique_ptr<Fsm> fsm;
+  unsigned bits;
+  unsigned ins;
+};
+
+RandomMachine makeRandom(BddManager& mgr, unsigned bits, unsigned ins,
+                         Rng& rng) {
+  RandomMachine m;
+  m.fsm = std::make_unique<Fsm>(mgr);
+  m.bits = bits;
+  m.ins = ins;
+  VarManager& vars = m.fsm->vars();
+  for (unsigned i = 0; i < ins; ++i) vars.addInputBit("i" + std::to_string(i));
+  for (unsigned b = 0; b < bits; ++b) vars.addStateBit("s" + std::to_string(b));
+  const unsigned nvars = mgr.varCount();
+  for (unsigned b = 0; b < bits; ++b) {
+    // Next function over cur-state and input vars only (never nxt vars).
+    Bdd f;
+    do {
+      f = test::randomBdd(mgr, nvars, rng, 3);
+      bool ok = true;
+      for (const unsigned v : f.support()) {
+        bool legal = false;
+        for (unsigned i = 0; i < bits; ++i) {
+          if (v == vars.stateBit(i).cur) legal = true;
+        }
+        for (const unsigned iv : vars.inputVars()) {
+          if (v == iv) legal = true;
+        }
+        if (!legal) ok = false;
+      }
+      if (ok) break;
+    } while (true);
+    m.fsm->setNext(b, f);
+  }
+  m.fsm->setInit(mgr.one());  // not used in these tests
+  m.fsm->addInvariant(mgr.one());
+  return m;
+}
+
+/// Explicit-state one-step successors of the states in `fromStates`.
+std::set<unsigned> explicitImage(const RandomMachine& m,
+                                 const std::set<unsigned>& fromStates) {
+  BddManager& mgr = m.fsm->mgr();
+  std::set<unsigned> out;
+  const VarManager& vars = m.fsm->vars();
+  for (const unsigned s : fromStates) {
+    for (unsigned in = 0; in < (1u << m.ins); ++in) {
+      std::vector<char> values(mgr.varCount(), 0);
+      for (unsigned b = 0; b < m.bits; ++b) {
+        values[vars.stateBit(b).cur] = static_cast<char>((s >> b) & 1u);
+      }
+      for (unsigned i = 0; i < m.ins; ++i) {
+        values[vars.inputVars()[i]] = static_cast<char>((in >> i) & 1u);
+      }
+      const std::vector<char> next = m.fsm->step(values);
+      unsigned t = 0;
+      for (unsigned b = 0; b < m.bits; ++b) {
+        if (next[vars.stateBit(b).cur] != 0) t |= 1u << b;
+      }
+      out.insert(t);
+    }
+  }
+  return out;
+}
+
+/// Decodes a state-set BDD (over cur vars) into explicit state numbers.
+std::set<unsigned> explicitStates(const RandomMachine& m, const Bdd& z) {
+  std::set<unsigned> out;
+  BddManager& mgr = m.fsm->mgr();
+  const VarManager& vars = m.fsm->vars();
+  for (unsigned s = 0; s < (1u << m.bits); ++s) {
+    std::vector<char> values(mgr.varCount(), 0);
+    for (unsigned b = 0; b < m.bits; ++b) {
+      values[vars.stateBit(b).cur] = static_cast<char>((s >> b) & 1u);
+    }
+    if (z.eval(values)) out.insert(s);
+  }
+  return out;
+}
+
+Bdd encodeStates(const RandomMachine& m, const std::set<unsigned>& states) {
+  BddManager& mgr = m.fsm->mgr();
+  const VarManager& vars = m.fsm->vars();
+  Bdd out = mgr.zero();
+  for (const unsigned s : states) {
+    Bdd cube = mgr.one();
+    for (unsigned b = 0; b < m.bits; ++b) {
+      const unsigned v = vars.stateBit(b).cur;
+      cube &= ((s >> b) & 1u) != 0 ? mgr.var(v) : mgr.nvar(v);
+    }
+    out |= cube;
+  }
+  return out;
+}
+
+class ImageSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ImageSweep, ImageMatchesExplicitEnumeration) {
+  BddManager mgr;
+  Rng rng(GetParam());
+  RandomMachine m = makeRandom(mgr, 4, 2, rng);
+  ImageComputer imager(*m.fsm);
+  for (int round = 0; round < 8; ++round) {
+    std::set<unsigned> from;
+    for (unsigned s = 0; s < 16; ++s) {
+      if (rng.coin()) from.insert(s);
+    }
+    const Bdd z = encodeStates(m, from);
+    EXPECT_EQ(explicitStates(m, imager.image(z)), explicitImage(m, from));
+  }
+}
+
+TEST_P(ImageSweep, MonolithicAndClusteredImagesAgree) {
+  BddManager mgr;
+  Rng rng(GetParam() * 3 + 1);
+  RandomMachine m = makeRandom(mgr, 5, 2, rng);
+  ImageOptions mono;
+  mono.monolithic = true;
+  ImageOptions tiny;
+  tiny.clusterCap = 1;  // force one cluster per conjunct
+  ImageComputer a(*m.fsm, mono);
+  ImageComputer b(*m.fsm, tiny);
+  ImageComputer c(*m.fsm);
+  EXPECT_GT(b.clusterCount(), a.clusterCount());
+  for (int round = 0; round < 6; ++round) {
+    const Bdd z = test::randomBdd(mgr, mgr.varCount(), rng, 3)
+                      .exists(m.fsm->vars().inputCube())
+                      .exists(m.fsm->vars().nxtCube());
+    EXPECT_EQ(a.image(z), b.image(z));
+    EXPECT_EQ(a.image(z), c.image(z));
+  }
+}
+
+TEST_P(ImageSweep, RelationalImagesMatchComposeOracle) {
+  BddManager mgr;
+  Rng rng(GetParam() * 29 + 17);
+  RandomMachine m = makeRandom(mgr, 5, 2, rng);
+  for (int round = 0; round < 8; ++round) {
+    std::set<unsigned> target;
+    for (unsigned s = 0; s < 32; ++s) {
+      if (rng.coin()) target.insert(s);
+    }
+    const Bdd z = encodeStates(m, target);
+    EXPECT_EQ(m.fsm->preImage(z), m.fsm->preImageByCompose(z));
+    EXPECT_EQ(m.fsm->backImage(z), m.fsm->backImageByCompose(z));
+  }
+}
+
+TEST_P(ImageSweep, BackImageIsDualOfPreImage) {
+  BddManager mgr;
+  Rng rng(GetParam() * 7 + 3);
+  RandomMachine m = makeRandom(mgr, 4, 2, rng);
+  for (int round = 0; round < 8; ++round) {
+    std::set<unsigned> target;
+    for (unsigned s = 0; s < 16; ++s) {
+      if (rng.coin()) target.insert(s);
+    }
+    const Bdd z = encodeStates(m, target);
+    EXPECT_EQ(m.fsm->backImage(z), !m.fsm->preImage(!z));
+  }
+}
+
+TEST_P(ImageSweep, PreImageMatchesExplicitEnumeration) {
+  BddManager mgr;
+  Rng rng(GetParam() * 13 + 7);
+  RandomMachine m = makeRandom(mgr, 4, 2, rng);
+  for (int round = 0; round < 6; ++round) {
+    std::set<unsigned> target;
+    for (unsigned s = 0; s < 16; ++s) {
+      if (rng.coin()) target.insert(s);
+    }
+    const Bdd z = encodeStates(m, target);
+    // Explicit PreImage: states with at least one successor in target.
+    std::set<unsigned> expected;
+    for (unsigned s = 0; s < 16; ++s) {
+      const auto succs = explicitImage(m, {s});
+      for (const unsigned t : succs) {
+        if (target.count(t) != 0) {
+          expected.insert(s);
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(explicitStates(m, m.fsm->preImage(z)), expected);
+  }
+}
+
+TEST_P(ImageSweep, BackImageMatchesExplicitEnumeration) {
+  BddManager mgr;
+  Rng rng(GetParam() * 17 + 11);
+  RandomMachine m = makeRandom(mgr, 4, 2, rng);
+  for (int round = 0; round < 6; ++round) {
+    std::set<unsigned> target;
+    for (unsigned s = 0; s < 16; ++s) {
+      if (rng.coin()) target.insert(s);
+    }
+    const Bdd z = encodeStates(m, target);
+    // Explicit BackImage: states ALL of whose successors land in target.
+    std::set<unsigned> expected;
+    for (unsigned s = 0; s < 16; ++s) {
+      const auto succs = explicitImage(m, {s});
+      bool all = true;
+      for (const unsigned t : succs) {
+        if (target.count(t) == 0) all = false;
+      }
+      if (all) expected.insert(s);
+    }
+    EXPECT_EQ(explicitStates(m, m.fsm->backImage(z)), expected);
+  }
+}
+
+TEST_P(ImageSweep, Theorem1BackImageDistributesOverConjunction) {
+  BddManager mgr;
+  Rng rng(GetParam() * 23 + 13);
+  RandomMachine m = makeRandom(mgr, 5, 2, rng);
+  for (int round = 0; round < 8; ++round) {
+    const Bdd y = encodeStates(m, explicitStates(m, test::randomBdd(
+                                      mgr, mgr.varCount(), rng, 3)));
+    const Bdd z = encodeStates(m, explicitStates(m, test::randomBdd(
+                                      mgr, mgr.varCount(), rng, 3)));
+    EXPECT_EQ(m.fsm->backImage(y & z),
+              m.fsm->backImage(y) & m.fsm->backImage(z));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImageSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& i) {
+                           return "seed" + std::to_string(i.param);
+                         });
+
+TEST(FsmBasics, ValidationCatchesIncompleteMachines) {
+  BddManager mgr;
+  Fsm fsm(mgr);
+  fsm.vars().addStateBit("s");
+  EXPECT_THROW(fsm.validate(), BddUsageError);
+  fsm.setInit(mgr.one());
+  EXPECT_THROW(fsm.validate(), BddUsageError);  // missing next fn
+  fsm.setNext(0, mgr.zero());
+  EXPECT_THROW(fsm.validate(), BddUsageError);  // missing invariant
+  fsm.addInvariant(mgr.one());
+  EXPECT_NO_THROW(fsm.validate());
+}
+
+}  // namespace
+}  // namespace icb

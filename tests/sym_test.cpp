@@ -1,0 +1,143 @@
+// Symbolic layer plumbing: variable manager cubes and naming, the shared
+// clustered relational product, and FSM step/describe helpers.
+#include <gtest/gtest.h>
+
+#include "sym/bitvector.hpp"
+#include "sym/image.hpp"
+#include "test_util.hpp"
+
+namespace icb {
+namespace {
+
+TEST(VarManager, StateBitsAllocateAdjacentPairs) {
+  BddManager mgr;
+  VarManager vars(mgr);
+  const unsigned a = vars.addStateBit("a");
+  const unsigned b = vars.addStateBit("b");
+  EXPECT_EQ(vars.stateBit(a).nxt, vars.stateBit(a).cur + 1);
+  EXPECT_EQ(vars.stateBit(b).cur, vars.stateBit(a).nxt + 1);
+  EXPECT_EQ(mgr.varName(vars.stateBit(a).cur), "a");
+  EXPECT_EQ(mgr.varName(vars.stateBit(a).nxt), "a'");
+  EXPECT_EQ(vars.stateBitCount(), 2u);
+}
+
+TEST(VarManager, CubesCoverExactlyTheirVariables) {
+  BddManager mgr;
+  VarManager vars(mgr);
+  vars.addInputBit("i0");
+  vars.addStateBit("s0");
+  vars.addInputBit("i1");
+  vars.addStateBit("s1");
+
+  const auto supportOf = [](const Bdd& f) { return f.support(); };
+  std::vector<unsigned> inputSupport = supportOf(vars.inputCube());
+  std::vector<unsigned> curSupport = supportOf(vars.curCube());
+  std::vector<unsigned> nxtSupport = supportOf(vars.nxtCube());
+
+  EXPECT_EQ(inputSupport.size(), 2u);
+  EXPECT_EQ(curSupport.size(), 2u);
+  EXPECT_EQ(nxtSupport.size(), 2u);
+  // The three cubes are disjoint and cover all variables.
+  std::vector<unsigned> all;
+  all.insert(all.end(), inputSupport.begin(), inputSupport.end());
+  all.insert(all.end(), curSupport.begin(), curSupport.end());
+  all.insert(all.end(), nxtSupport.begin(), nxtSupport.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all, (std::vector<unsigned>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(ClusteredProduct, MatchesMonolithicConjunction) {
+  BddManager mgr;
+  constexpr unsigned kVars = 10;
+  for (unsigned i = 0; i < kVars; ++i) mgr.newVar();
+  Rng rng(3);
+  for (int round = 0; round < 10; ++round) {
+    const Bdd base = test::randomBdd(mgr, kVars, rng, 3);
+    std::vector<Bdd> conjuncts;
+    Bdd all = base;
+    for (int i = 0; i < 5; ++i) {
+      conjuncts.push_back(test::randomBdd(mgr, kVars, rng, 3));
+      all &= conjuncts.back();
+    }
+    std::vector<unsigned> qs;
+    for (unsigned v = 0; v < kVars; v += 2) qs.push_back(v);
+    const Bdd expected = all.exists(Bdd(&mgr, mgr.cubeE(qs)));
+    // Tiny cluster cap (every conjunct its own cluster) and a huge one
+    // (single cluster) must both agree with the monolithic computation.
+    EXPECT_EQ(clusteredExistsProduct(mgr, base, conjuncts, qs, 1), expected);
+    EXPECT_EQ(clusteredExistsProduct(mgr, base, conjuncts, qs, 1u << 30),
+              expected);
+  }
+}
+
+TEST(ClusteredProduct, EmptyConjunctsQuantifiesBaseOnly) {
+  BddManager mgr;
+  for (unsigned i = 0; i < 4; ++i) mgr.newVar();
+  const Bdd base = mgr.var(0) & mgr.var(1);
+  const std::vector<unsigned> qs{1};
+  EXPECT_EQ(clusteredExistsProduct(mgr, base, {}, qs, 100), mgr.var(0));
+}
+
+TEST(FsmStep, AgreesWithNextFunctionEvaluation) {
+  BddManager mgr;
+  Fsm fsm(mgr);
+  VarManager& vars = fsm.vars();
+  const unsigned in = vars.addInputBit("in");
+  const unsigned s0 = vars.addStateBit("s0");
+  const unsigned s1 = vars.addStateBit("s1");
+  fsm.setNext(s0, vars.cur(s0) ^ vars.input(in));
+  fsm.setNext(s1, vars.cur(s0) & vars.cur(s1));
+  fsm.setInit(mgr.one());
+  fsm.addInvariant(mgr.one());
+
+  std::vector<char> values(mgr.varCount(), 0);
+  values[vars.stateBit(s0).cur] = 1;
+  values[vars.stateBit(s1).cur] = 1;
+  values[vars.inputVars()[0]] = 1;
+  const std::vector<char> next = fsm.step(values);
+  EXPECT_EQ(next[vars.stateBit(s0).cur], 0);  // 1 ^ 1
+  EXPECT_EQ(next[vars.stateBit(s1).cur], 1);  // 1 & 1
+  // Inputs and nxt positions are zeroed in the result.
+  EXPECT_EQ(next[vars.inputVars()[0]], 0);
+}
+
+TEST(FsmDescribe, DefaultPrinterListsBits) {
+  BddManager mgr;
+  Fsm fsm(mgr);
+  fsm.vars().addStateBit("alpha");
+  fsm.vars().addStateBit("beta");
+  std::vector<char> values(mgr.varCount(), 0);
+  values[fsm.vars().stateBit(0).cur] = 1;
+  const std::string s = fsm.describeState(values);
+  EXPECT_NE(s.find("alpha=1"), std::string::npos);
+  EXPECT_NE(s.find("beta=0"), std::string::npos);
+}
+
+TEST(ImageComputer, ClusterCapControlsClusterCount) {
+  BddManager mgr;
+  Fsm fsm(mgr);
+  VarManager& vars = fsm.vars();
+  const unsigned in = vars.addInputBit("in");
+  BitVec v;
+  for (unsigned j = 0; j < 6; ++j) {
+    v.push(vars.cur(vars.addStateBit("b" + std::to_string(j))));
+  }
+  const BitVec next = mux(vars.input(in), incTrunc(v), v);
+  for (unsigned j = 0; j < 6; ++j) fsm.setNext(j, next.bit(j));
+  fsm.setInit(eqConst(v, 0));
+  fsm.addInvariant(mgr.one());
+
+  ImageOptions fine;
+  fine.clusterCap = 1;
+  ImageOptions coarse;
+  coarse.clusterCap = 1u << 20;
+  ImageComputer a(fsm, fine);
+  ImageComputer b(fsm, coarse);
+  EXPECT_GT(a.clusterCount(), b.clusterCount());
+  EXPECT_EQ(b.clusterCount(), 1u);
+  // Both compute the same image of the initial states.
+  EXPECT_EQ(a.image(fsm.init()), b.image(fsm.init()));
+}
+
+}  // namespace
+}  // namespace icb
