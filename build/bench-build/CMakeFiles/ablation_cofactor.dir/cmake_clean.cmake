@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cofactor"
+  "../bench/ablation_cofactor.pdb"
+  "CMakeFiles/ablation_cofactor.dir/ablation_cofactor.cpp.o"
+  "CMakeFiles/ablation_cofactor.dir/ablation_cofactor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cofactor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cover"
+  "../bench/ablation_cover.pdb"
+  "CMakeFiles/ablation_cover.dir/ablation_cover.cpp.o"
+  "CMakeFiles/ablation_cover.dir/ablation_cover.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_growthreshold"
+  "../bench/ablation_growthreshold.pdb"
+  "CMakeFiles/ablation_growthreshold.dir/ablation_growthreshold.cpp.o"
+  "CMakeFiles/ablation_growthreshold.dir/ablation_growthreshold.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_growthreshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

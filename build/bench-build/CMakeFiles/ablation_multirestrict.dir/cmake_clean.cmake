@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_multirestrict"
+  "../bench/ablation_multirestrict.pdb"
+  "CMakeFiles/ablation_multirestrict.dir/ablation_multirestrict.cpp.o"
+  "CMakeFiles/ablation_multirestrict.dir/ablation_multirestrict.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multirestrict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

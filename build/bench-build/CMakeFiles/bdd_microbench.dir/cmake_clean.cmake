@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bdd_microbench"
+  "../bench/bdd_microbench.pdb"
+  "CMakeFiles/bdd_microbench.dir/bdd_microbench.cpp.o"
+  "CMakeFiles/bdd_microbench.dir/bdd_microbench.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdd_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_fifo"
+  "../bench/table1_fifo.pdb"
+  "CMakeFiles/table1_fifo.dir/table1_fifo.cpp.o"
+  "CMakeFiles/table1_fifo.dir/table1_fifo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

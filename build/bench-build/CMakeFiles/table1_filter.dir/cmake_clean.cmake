@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_filter"
+  "../bench/table1_filter.pdb"
+  "CMakeFiles/table1_filter.dir/table1_filter.cpp.o"
+  "CMakeFiles/table1_filter.dir/table1_filter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_filter_auto"
+  "../bench/table2_filter_auto.pdb"
+  "CMakeFiles/table2_filter_auto.dir/table2_filter_auto.cpp.o"
+  "CMakeFiles/table2_filter_auto.dir/table2_filter_auto.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_filter_auto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

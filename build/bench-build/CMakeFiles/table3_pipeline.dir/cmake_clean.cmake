@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_pipeline"
+  "../bench/table3_pipeline.pdb"
+  "CMakeFiles/table3_pipeline.dir/table3_pipeline.cpp.o"
+  "CMakeFiles/table3_pipeline.dir/table3_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fifo_verify.dir/fifo_verify.cpp.o"
+  "CMakeFiles/fifo_verify.dir/fifo_verify.cpp.o.d"
+  "fifo_verify"
+  "fifo_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fifo_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

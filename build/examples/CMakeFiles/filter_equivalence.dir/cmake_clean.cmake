@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_equivalence.dir/filter_equivalence.cpp.o"
+  "CMakeFiles/filter_equivalence.dir/filter_equivalence.cpp.o.d"
+  "filter_equivalence"
+  "filter_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutex_ring_verify.dir/mutex_ring_verify.cpp.o"
+  "CMakeFiles/mutex_ring_verify.dir/mutex_ring_verify.cpp.o.d"
+  "mutex_ring_verify"
+  "mutex_ring_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutex_ring_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

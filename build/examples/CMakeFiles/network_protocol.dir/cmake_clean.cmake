@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_protocol.dir/network_protocol.cpp.o"
+  "CMakeFiles/network_protocol.dir/network_protocol.cpp.o.d"
+  "network_protocol"
+  "network_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_verify.dir/pipeline_verify.cpp.o"
+  "CMakeFiles/pipeline_verify.dir/pipeline_verify.cpp.o.d"
+  "pipeline_verify"
+  "pipeline_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdd/analysis.cpp" "src/CMakeFiles/icbdd.dir/bdd/analysis.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/bdd/analysis.cpp.o.d"
+  "/root/repo/src/bdd/compose.cpp" "src/CMakeFiles/icbdd.dir/bdd/compose.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/bdd/compose.cpp.o.d"
+  "/root/repo/src/bdd/io.cpp" "src/CMakeFiles/icbdd.dir/bdd/io.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/bdd/io.cpp.o.d"
+  "/root/repo/src/bdd/manager.cpp" "src/CMakeFiles/icbdd.dir/bdd/manager.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/bdd/manager.cpp.o.d"
+  "/root/repo/src/bdd/ops.cpp" "src/CMakeFiles/icbdd.dir/bdd/ops.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/bdd/ops.cpp.o.d"
+  "/root/repo/src/bdd/quant.cpp" "src/CMakeFiles/icbdd.dir/bdd/quant.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/bdd/quant.cpp.o.d"
+  "/root/repo/src/bdd/reorder.cpp" "src/CMakeFiles/icbdd.dir/bdd/reorder.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/bdd/reorder.cpp.o.d"
+  "/root/repo/src/bdd/restrict.cpp" "src/CMakeFiles/icbdd.dir/bdd/restrict.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/bdd/restrict.cpp.o.d"
+  "/root/repo/src/bdd/restrict_multi.cpp" "src/CMakeFiles/icbdd.dir/bdd/restrict_multi.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/bdd/restrict_multi.cpp.o.d"
+  "/root/repo/src/bdd/serialize.cpp" "src/CMakeFiles/icbdd.dir/bdd/serialize.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/bdd/serialize.cpp.o.d"
+  "/root/repo/src/ici/conjunct_list.cpp" "src/CMakeFiles/icbdd.dir/ici/conjunct_list.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/ici/conjunct_list.cpp.o.d"
+  "/root/repo/src/ici/evaluate_policy.cpp" "src/CMakeFiles/icbdd.dir/ici/evaluate_policy.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/ici/evaluate_policy.cpp.o.d"
+  "/root/repo/src/ici/pair_cover.cpp" "src/CMakeFiles/icbdd.dir/ici/pair_cover.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/ici/pair_cover.cpp.o.d"
+  "/root/repo/src/ici/pair_table.cpp" "src/CMakeFiles/icbdd.dir/ici/pair_table.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/ici/pair_table.cpp.o.d"
+  "/root/repo/src/ici/simplify.cpp" "src/CMakeFiles/icbdd.dir/ici/simplify.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/ici/simplify.cpp.o.d"
+  "/root/repo/src/ici/termination.cpp" "src/CMakeFiles/icbdd.dir/ici/termination.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/ici/termination.cpp.o.d"
+  "/root/repo/src/models/avg_filter.cpp" "src/CMakeFiles/icbdd.dir/models/avg_filter.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/models/avg_filter.cpp.o.d"
+  "/root/repo/src/models/mutex_ring.cpp" "src/CMakeFiles/icbdd.dir/models/mutex_ring.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/models/mutex_ring.cpp.o.d"
+  "/root/repo/src/models/network.cpp" "src/CMakeFiles/icbdd.dir/models/network.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/models/network.cpp.o.d"
+  "/root/repo/src/models/pipeline_cpu.cpp" "src/CMakeFiles/icbdd.dir/models/pipeline_cpu.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/models/pipeline_cpu.cpp.o.d"
+  "/root/repo/src/models/typed_fifo.cpp" "src/CMakeFiles/icbdd.dir/models/typed_fifo.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/models/typed_fifo.cpp.o.d"
+  "/root/repo/src/sym/bitvector.cpp" "src/CMakeFiles/icbdd.dir/sym/bitvector.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/sym/bitvector.cpp.o.d"
+  "/root/repo/src/sym/fsm.cpp" "src/CMakeFiles/icbdd.dir/sym/fsm.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/sym/fsm.cpp.o.d"
+  "/root/repo/src/sym/image.cpp" "src/CMakeFiles/icbdd.dir/sym/image.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/sym/image.cpp.o.d"
+  "/root/repo/src/sym/var_manager.cpp" "src/CMakeFiles/icbdd.dir/sym/var_manager.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/sym/var_manager.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/icbdd.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/icbdd.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/util/table.cpp.o.d"
+  "/root/repo/src/verif/backward.cpp" "src/CMakeFiles/icbdd.dir/verif/backward.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/verif/backward.cpp.o.d"
+  "/root/repo/src/verif/counterexample.cpp" "src/CMakeFiles/icbdd.dir/verif/counterexample.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/verif/counterexample.cpp.o.d"
+  "/root/repo/src/verif/engine.cpp" "src/CMakeFiles/icbdd.dir/verif/engine.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/verif/engine.cpp.o.d"
+  "/root/repo/src/verif/fd_forward.cpp" "src/CMakeFiles/icbdd.dir/verif/fd_forward.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/verif/fd_forward.cpp.o.d"
+  "/root/repo/src/verif/forward.cpp" "src/CMakeFiles/icbdd.dir/verif/forward.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/verif/forward.cpp.o.d"
+  "/root/repo/src/verif/ici_backward.cpp" "src/CMakeFiles/icbdd.dir/verif/ici_backward.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/verif/ici_backward.cpp.o.d"
+  "/root/repo/src/verif/run_all.cpp" "src/CMakeFiles/icbdd.dir/verif/run_all.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/verif/run_all.cpp.o.d"
+  "/root/repo/src/verif/xici_backward.cpp" "src/CMakeFiles/icbdd.dir/verif/xici_backward.cpp.o" "gcc" "src/CMakeFiles/icbdd.dir/verif/xici_backward.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

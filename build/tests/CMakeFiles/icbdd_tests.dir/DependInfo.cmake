@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bdd_analysis_test.cpp" "tests/CMakeFiles/icbdd_tests.dir/bdd_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/icbdd_tests.dir/bdd_analysis_test.cpp.o.d"
+  "/root/repo/tests/bdd_basic_test.cpp" "tests/CMakeFiles/icbdd_tests.dir/bdd_basic_test.cpp.o" "gcc" "tests/CMakeFiles/icbdd_tests.dir/bdd_basic_test.cpp.o.d"
+  "/root/repo/tests/bdd_compose_test.cpp" "tests/CMakeFiles/icbdd_tests.dir/bdd_compose_test.cpp.o" "gcc" "tests/CMakeFiles/icbdd_tests.dir/bdd_compose_test.cpp.o.d"
+  "/root/repo/tests/bdd_manager_test.cpp" "tests/CMakeFiles/icbdd_tests.dir/bdd_manager_test.cpp.o" "gcc" "tests/CMakeFiles/icbdd_tests.dir/bdd_manager_test.cpp.o.d"
+  "/root/repo/tests/bdd_ops_test.cpp" "tests/CMakeFiles/icbdd_tests.dir/bdd_ops_test.cpp.o" "gcc" "tests/CMakeFiles/icbdd_tests.dir/bdd_ops_test.cpp.o.d"
+  "/root/repo/tests/bdd_quant_test.cpp" "tests/CMakeFiles/icbdd_tests.dir/bdd_quant_test.cpp.o" "gcc" "tests/CMakeFiles/icbdd_tests.dir/bdd_quant_test.cpp.o.d"
+  "/root/repo/tests/bdd_reorder_test.cpp" "tests/CMakeFiles/icbdd_tests.dir/bdd_reorder_test.cpp.o" "gcc" "tests/CMakeFiles/icbdd_tests.dir/bdd_reorder_test.cpp.o.d"
+  "/root/repo/tests/bdd_restrict_test.cpp" "tests/CMakeFiles/icbdd_tests.dir/bdd_restrict_test.cpp.o" "gcc" "tests/CMakeFiles/icbdd_tests.dir/bdd_restrict_test.cpp.o.d"
+  "/root/repo/tests/bitvector_test.cpp" "tests/CMakeFiles/icbdd_tests.dir/bitvector_test.cpp.o" "gcc" "tests/CMakeFiles/icbdd_tests.dir/bitvector_test.cpp.o.d"
+  "/root/repo/tests/conjunct_list_test.cpp" "tests/CMakeFiles/icbdd_tests.dir/conjunct_list_test.cpp.o" "gcc" "tests/CMakeFiles/icbdd_tests.dir/conjunct_list_test.cpp.o.d"
+  "/root/repo/tests/counterexample_test.cpp" "tests/CMakeFiles/icbdd_tests.dir/counterexample_test.cpp.o" "gcc" "tests/CMakeFiles/icbdd_tests.dir/counterexample_test.cpp.o.d"
+  "/root/repo/tests/engine_edge_test.cpp" "tests/CMakeFiles/icbdd_tests.dir/engine_edge_test.cpp.o" "gcc" "tests/CMakeFiles/icbdd_tests.dir/engine_edge_test.cpp.o.d"
+  "/root/repo/tests/engine_test.cpp" "tests/CMakeFiles/icbdd_tests.dir/engine_test.cpp.o" "gcc" "tests/CMakeFiles/icbdd_tests.dir/engine_test.cpp.o.d"
+  "/root/repo/tests/fsm_image_test.cpp" "tests/CMakeFiles/icbdd_tests.dir/fsm_image_test.cpp.o" "gcc" "tests/CMakeFiles/icbdd_tests.dir/fsm_image_test.cpp.o.d"
+  "/root/repo/tests/ici_policy_test.cpp" "tests/CMakeFiles/icbdd_tests.dir/ici_policy_test.cpp.o" "gcc" "tests/CMakeFiles/icbdd_tests.dir/ici_policy_test.cpp.o.d"
+  "/root/repo/tests/models_test.cpp" "tests/CMakeFiles/icbdd_tests.dir/models_test.cpp.o" "gcc" "tests/CMakeFiles/icbdd_tests.dir/models_test.cpp.o.d"
+  "/root/repo/tests/mutex_ring_test.cpp" "tests/CMakeFiles/icbdd_tests.dir/mutex_ring_test.cpp.o" "gcc" "tests/CMakeFiles/icbdd_tests.dir/mutex_ring_test.cpp.o.d"
+  "/root/repo/tests/paper_numbers_test.cpp" "tests/CMakeFiles/icbdd_tests.dir/paper_numbers_test.cpp.o" "gcc" "tests/CMakeFiles/icbdd_tests.dir/paper_numbers_test.cpp.o.d"
+  "/root/repo/tests/restrict_multi_test.cpp" "tests/CMakeFiles/icbdd_tests.dir/restrict_multi_test.cpp.o" "gcc" "tests/CMakeFiles/icbdd_tests.dir/restrict_multi_test.cpp.o.d"
+  "/root/repo/tests/serialize_test.cpp" "tests/CMakeFiles/icbdd_tests.dir/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/icbdd_tests.dir/serialize_test.cpp.o.d"
+  "/root/repo/tests/sym_test.cpp" "tests/CMakeFiles/icbdd_tests.dir/sym_test.cpp.o" "gcc" "tests/CMakeFiles/icbdd_tests.dir/sym_test.cpp.o.d"
+  "/root/repo/tests/termination_test.cpp" "tests/CMakeFiles/icbdd_tests.dir/termination_test.cpp.o" "gcc" "tests/CMakeFiles/icbdd_tests.dir/termination_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/icbdd_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/icbdd_tests.dir/util_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/icbdd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
