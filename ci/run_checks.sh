@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Local equivalent of .github/workflows/ci.yml: release gate, sanitizer
+# gate, and the static-analysis gate.  Tools that are not installed are
+# skipped with a notice instead of failing, so the script is useful on
+# minimal machines; CI runs the full set.
+#
+# Usage: ci/run_checks.sh [release|sanitize|lint|all]   (default: all)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+what="${1:-all}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+note() { printf '\n== %s ==\n' "$*"; }
+
+run_release() {
+  note "release gate: -Werror build, tests at off and full check levels"
+  cmake --preset werror
+  cmake --build --preset werror -j "${jobs}"
+  ctest --test-dir build-werror --output-on-failure -j "${jobs}"
+  ICBDD_CHECK_LEVEL=full ctest --test-dir build-werror --output-on-failure \
+    -j "${jobs}"
+}
+
+run_sanitize() {
+  note "sanitizer gate: ASan + UBSan, cheap per-op checking"
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan -j "${jobs}"
+  ICBDD_CHECK_LEVEL=cheap \
+  ASAN_OPTIONS=strict_string_checks=1:detect_stack_use_after_return=1 \
+  UBSAN_OPTIONS=print_stacktrace=1 \
+    ctest --test-dir build-asan --output-on-failure -j "${jobs}"
+}
+
+run_lint() {
+  note "static-analysis gate: cppcheck + clang-tidy"
+  cmake --preset dev >/dev/null
+  if command -v cppcheck >/dev/null 2>&1; then
+    cmake --build build --target cppcheck
+  else
+    echo "cppcheck not installed -- skipped (CI runs it)"
+  fi
+  if command -v clang-tidy >/dev/null 2>&1; then
+    cmake --build build --target tidy
+  else
+    echo "clang-tidy not installed -- skipped (CI runs it)"
+  fi
+}
+
+case "${what}" in
+  release)  run_release ;;
+  sanitize) run_sanitize ;;
+  lint)     run_lint ;;
+  all)      run_release; run_sanitize; run_lint ;;
+  *) echo "usage: $0 [release|sanitize|lint|all]" >&2; exit 2 ;;
+esac
+
+note "done"

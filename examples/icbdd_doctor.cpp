@@ -1,0 +1,188 @@
+// icbdd-doctor: full invariant audit of the BDD core and the ICI layer.
+//
+// Exercises a model (or loads a saved BDD dump), then turns every checker
+// in src/check/ loose on the resulting manager:
+//
+//   * StructuralChecker -- arena walk, canonical form, unique-table
+//     completeness, free-list and GC-root consistency;
+//   * CacheAuditor      -- computed-cache validity scan plus sampled
+//     re-execution of cached operator results;
+//   * IciChecker        -- the property list must denote the same set after
+//     Restrict-based simplification (paper Section III.A), and a pairwise
+//     conjunction table must match freshly computed P_ij (Figure 1).
+//
+// Exit status: 0 when every audit is clean, 1 when any violation is found,
+// 2 on usage errors.  Run it when the package misbehaves and you need to
+// know whether the core's invariants still stand.
+//
+//   icbdd_doctor --model fifo|mutex|network|filter|pipeline [--method xici]
+//   icbdd_doctor --bdd dump.txt
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bdd/serialize.hpp"
+#include "check/cache_auditor.hpp"
+#include "check/check.hpp"
+#include "check/ici_checker.hpp"
+#include "check/structural_checker.hpp"
+#include "ici/simplify.hpp"
+#include "models/avg_filter.hpp"
+#include "models/mutex_ring.hpp"
+#include "models/network.hpp"
+#include "models/pipeline_cpu.hpp"
+#include "models/typed_fifo.hpp"
+#include "util/cli.hpp"
+#include "verif/run_all.hpp"
+
+using namespace icb;
+
+namespace {
+
+/// Prints one audit's outcome and accumulates its violation count.
+std::size_t reportAudit(const char* what, const CheckReport& report) {
+  std::printf("  %-22s %s\n", what, report.summary().c_str());
+  return report.violations.size();
+}
+
+std::size_t auditCore(BddManager& mgr) {
+  std::size_t bad = 0;
+  bad += reportAudit("structural", StructuralChecker(mgr).run(CheckLevel::kFull));
+  bad += reportAudit("computed cache", CacheAuditor(mgr).audit());
+  return bad;
+}
+
+/// The ICI-layer audit: simplification must preserve the denoted set, and a
+/// pairwise table over the list must agree with fresh conjunctions.
+std::size_t auditIciLayer(BddManager& mgr, const ConjunctList& property) {
+  std::size_t bad = 0;
+  const IciChecker checker(mgr);
+
+  ConjunctList simplified = property;
+  simplifyList(simplified);
+  bad += reportAudit("simplify denotation",
+                     checker.checkDenotationPreserved(property, simplified));
+
+  if (simplified.size() >= 2) {
+    const PairTable table(mgr, simplified.items());
+    bad += reportAudit("pair table", checker.checkPairTable(table));
+  }
+  return bad;
+}
+
+struct ModelUnderTest {
+  std::shared_ptr<void> holder;  // keeps the model (and its Fsm) alive
+  Fsm* fsm = nullptr;
+  std::vector<unsigned> fdCandidates;
+};
+
+/// Builds one of the five example machines at a small, fast configuration:
+/// the doctor's job is to exercise every code path, not to reproduce the
+/// paper's table sizes.
+ModelUnderTest buildModel(BddManager& mgr, const std::string& name) {
+  ModelUnderTest out;
+  if (name == "fifo") {
+    auto m = std::make_shared<TypedFifoModel>(mgr,
+                                              TypedFifoConfig{3, 4, false});
+    out.fsm = &m->fsm();
+    out.fdCandidates = m->fdCandidates();
+    out.holder = std::move(m);
+  } else if (name == "mutex") {
+    auto m = std::make_shared<MutexRingModel>(mgr, MutexRingConfig{3, false});
+    out.fsm = &m->fsm();
+    out.fdCandidates = m->fdCandidates();
+    out.holder = std::move(m);
+  } else if (name == "network") {
+    auto m = std::make_shared<NetworkModel>(mgr, NetworkConfig{3, false});
+    out.fsm = &m->fsm();
+    out.fdCandidates = m->fdCandidates();
+    out.holder = std::move(m);
+  } else if (name == "filter") {
+    auto m = std::make_shared<AvgFilterModel>(mgr,
+                                              AvgFilterConfig{2, 4, false});
+    out.fsm = &m->fsm();
+    out.fdCandidates = m->fdCandidates();
+    out.holder = std::move(m);
+  } else if (name == "pipeline") {
+    auto m = std::make_shared<PipelineCpuModel>(mgr,
+                                                PipelineCpuConfig{2, 1, false});
+    out.fsm = &m->fsm();
+    out.fdCandidates = m->fdCandidates();
+    out.holder = std::move(m);
+  }
+  return out;
+}
+
+int doctorModel(const std::string& name, const std::string& methodName) {
+  BddManager mgr;
+  ModelUnderTest model = buildModel(mgr, name);
+  if (model.fsm == nullptr) {
+    std::fprintf(stderr,
+                 "unknown model '%s' (fifo|mutex|network|filter|pipeline)\n",
+                 name.c_str());
+    return 2;
+  }
+
+  Method method = Method::kXici;
+  try {
+    method = parseMethod(methodName);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  // Exercise the full pipeline first so the audits see a manager that has
+  // actually worked: images, caches, GC, and the ICI machinery.
+  const EngineResult run =
+      runMethod(*model.fsm, method, model.fdCandidates);
+  std::printf("model %s via %s: %s after %u iterations (%llu peak nodes)\n",
+              name.c_str(), icb::methodName(method),
+              run.holds() ? "property holds" : "property NOT proven",
+              run.iterations,
+              static_cast<unsigned long long>(run.peakIterateNodes));
+
+  std::size_t bad = auditCore(mgr);
+  bad += auditIciLayer(mgr, model.fsm->property(true));
+
+  std::printf("diagnosis: %s\n", bad == 0 ? "CLEAN" : "CORRUPT");
+  return bad == 0 ? 0 : 1;
+}
+
+int doctorDump(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+    return 2;
+  }
+  BddManager mgr;
+  std::vector<Bdd> loaded;
+  try {
+    loaded = loadBdds(in, mgr);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "failed to load '%s': %s\n", path.c_str(), e.what());
+    return 2;
+  }
+  std::printf("loaded %zu function(s) over %u variable(s) from %s\n",
+              loaded.size(), mgr.varCount(), path.c_str());
+
+  std::size_t bad = auditCore(mgr);
+  if (!loaded.empty()) {
+    bad += auditIciLayer(mgr, ConjunctList(&mgr, loaded));
+  }
+
+  std::printf("diagnosis: %s\n", bad == 0 ? "CLEAN" : "CORRUPT");
+  return bad == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  if (args.has("bdd")) {
+    return doctorDump(args.getString("bdd", ""));
+  }
+  return doctorModel(args.getString("model", "fifo"),
+                     args.getString("method", "xici"));
+}

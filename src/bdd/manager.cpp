@@ -4,6 +4,8 @@
 #include <bit>
 
 #include "bdd/bdd.hpp"
+#include "check/check.hpp"
+#include "check/structural_checker.hpp"
 
 namespace icb {
 
@@ -45,6 +47,7 @@ unsigned BddManager::newVar(const std::string& name) {
   const Edge e = mk(v, kTrueEdge, kFalseEdge);
   ref(e);  // projection functions stay alive for the manager's lifetime
   varEdges_.push_back(e);
+  ICBDD_CHECK(kCheap, StructuralChecker(*this).throwIfBroken(CheckLevel::kCheap));
   return v;
 }
 
@@ -216,6 +219,9 @@ std::uint64_t BddManager::gc() {
 
   ++stats_.gcRuns;
   stats_.gcReclaimed += reclaimed;
+  // GC is the phase boundary where every structural invariant must hold:
+  // the sweep rebuilt the unique table and the free list from scratch.
+  ICBDD_CHECK(kFull, auditArenaCreditingTime(*this));
   return reclaimed;
 }
 
@@ -244,44 +250,20 @@ std::uint64_t BddManager::liveNodes() const {
 // invariants (test support)
 
 void BddManager::checkInvariants() const {
-  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
-    const Node& n = nodes_[i];
-    if (n.var == kFreeVar) continue;
-    if (n.var >= varEdges_.size()) {
-      throw BddUsageError("node has out-of-range variable");
-    }
-    if (edgeIsComplemented(n.hi)) {
-      throw BddUsageError("then-arc is complemented (canonicity violation)");
-    }
-    if (n.hi == n.lo) {
-      throw BddUsageError("redundant node (hi == lo)");
-    }
-    const unsigned myLevel = var2level_[n.var];
-    for (const Edge child : {n.hi, n.lo}) {
-      if (!edgeIsConstant(child)) {
-        const Node& c = nodes_[edgeIndex(child)];
-        if (c.var == kFreeVar) {
-          throw BddUsageError("live node points at a freed node");
-        }
-        if (var2level_[c.var] <= myLevel) {
-          throw BddUsageError("variable order violated along an arc");
-        }
-      }
-    }
+  const CheckReport report = StructuralChecker(*this).run(CheckLevel::kFull);
+  if (!report.ok()) {
+    throw BddUsageError(report.summary());
   }
-  // Every live node must be findable through the unique table.
-  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
-    const Node& n = nodes_[i];
-    if (n.var == kFreeVar) continue;
-    bool found = false;
-    for (std::uint32_t j = buckets_[hashNode(n.var, n.hi, n.lo)]; j != kNil;
-         j = nodes_[j].next) {
-      if (j == i) {
-        found = true;
-        break;
-      }
-    }
-    if (!found) throw BddUsageError("node missing from unique table");
+}
+
+void BddManager::validateEdge(Edge e) const {
+  if (edgeIndex(e) >= nodes_.size()) {
+    throw CheckFailure(ViolationKind::kInvalidEdge,
+                       "edge " + std::to_string(e) + " points outside the arena");
+  }
+  if (!edgeIsConstant(e) && nodes_[edgeIndex(e)].var == kFreeVar) {
+    throw CheckFailure(ViolationKind::kInvalidEdge,
+                       "edge " + std::to_string(e) + " points at a freed node");
   }
 }
 

@@ -243,7 +243,9 @@ class BddManager {
   // ---- debug ---------------------------------------------------------------
 
   /// Structural sanity check (canonicity, ordering, table consistency).
-  /// Throws BddUsageError on violation.  Intended for tests.
+  /// Delegates to check/StructuralChecker at full effort and throws
+  /// BddUsageError on the first violation.  Intended for tests; the richer
+  /// CheckReport interface lives on StructuralChecker itself.
   void checkInvariants() const;
 
   /// Writes a Graphviz dot rendering of the given roots.
@@ -256,6 +258,12 @@ class BddManager {
 
  private:
   friend class Bdd;
+  // The invariant-checker subsystem (src/check) reads -- and, for the cache
+  // auditor's evict-and-recompute probe, writes -- private state directly.
+  friend class StructuralChecker;
+  friend class CacheAuditor;
+  // Test-only corruption hook (src/check/test_hooks.hpp).
+  friend class NodeSurgeon;
 
   struct Node {
     unsigned var;        // variable index; kFreeVar when on the free list
@@ -308,6 +316,11 @@ class BddManager {
 
   void checkResourceLimits();
   void markRecursive(std::uint32_t index, std::vector<std::uint8_t>& mark) const;
+
+  /// ICBDD_CHECK(kCheap) helper for operator entry/exit points: throws
+  /// CheckFailure(kInvalidEdge) when `e` points outside the arena or at a
+  /// free-listed node.
+  void validateEdge(Edge e) const;
 
   // recursive workers
   Edge iteRec(Edge f, Edge g, Edge h);

@@ -8,12 +8,35 @@
 #include <algorithm>
 
 #include "bdd/manager.hpp"
+#include "check/check.hpp"
 
 namespace icb {
 
-Edge BddManager::andE(Edge f, Edge g) { return andRec(f, g); }
-Edge BddManager::xorE(Edge f, Edge g) { return xorRec(f, g); }
-Edge BddManager::iteE(Edge f, Edge g, Edge h) { return iteRec(f, g, h); }
+// The non-recursive wrappers are the operator entry points; at kCheap they
+// validate that every argument and result edge points at a live node (a
+// stale edge-level value surviving past a GC is the classic misuse the
+// manager header warns about).  The recursive workers stay check-free.
+
+Edge BddManager::andE(Edge f, Edge g) {
+  ICBDD_CHECK(kCheap, validateEdge(f); validateEdge(g));
+  const Edge result = andRec(f, g);
+  ICBDD_CHECK(kCheap, validateEdge(result));
+  return result;
+}
+
+Edge BddManager::xorE(Edge f, Edge g) {
+  ICBDD_CHECK(kCheap, validateEdge(f); validateEdge(g));
+  const Edge result = xorRec(f, g);
+  ICBDD_CHECK(kCheap, validateEdge(result));
+  return result;
+}
+
+Edge BddManager::iteE(Edge f, Edge g, Edge h) {
+  ICBDD_CHECK(kCheap, validateEdge(f); validateEdge(g); validateEdge(h));
+  const Edge result = iteRec(f, g, h);
+  ICBDD_CHECK(kCheap, validateEdge(result));
+  return result;
+}
 
 Edge BddManager::andRec(Edge f, Edge g) {
   // terminal cases

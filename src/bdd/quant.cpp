@@ -4,6 +4,7 @@
 #include <algorithm>
 
 #include "bdd/manager.hpp"
+#include "check/check.hpp"
 
 namespace icb {
 
@@ -17,9 +18,13 @@ inline Edge cubeNext(const BddManager& mgr, Edge cube) {
 
 }  // namespace
 
-Edge BddManager::existsE(Edge f, Edge cube) { return existsRec(f, cube); }
+Edge BddManager::existsE(Edge f, Edge cube) {
+  ICBDD_CHECK(kCheap, validateEdge(f); validateEdge(cube));
+  return existsRec(f, cube);
+}
 
 Edge BddManager::andExistsE(Edge f, Edge g, Edge cube) {
+  ICBDD_CHECK(kCheap, validateEdge(f); validateEdge(g); validateEdge(cube));
   return andExistsRec(f, g, cube);
 }
 

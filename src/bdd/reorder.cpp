@@ -18,6 +18,8 @@
 #include <numeric>
 
 #include "bdd/manager.hpp"
+#include "check/check.hpp"
+#include "check/structural_checker.hpp"
 
 namespace icb {
 
@@ -66,6 +68,11 @@ void BddManager::swapAdjacentLevels(unsigned level) {
 
   // Rewritten nodes sit in stale unique-table chains; rebuild.
   rehash(buckets_.size());
+
+  // The in-place mutation above is the single most invariant-hostile code
+  // path in the package (canonicity, order, and table completeness are all
+  // re-established by hand), so audit the whole arena after every swap.
+  ICBDD_CHECK(kFull, auditArenaCreditingTime(*this));
 }
 
 std::int64_t BddManager::sift(std::uint64_t maxGrowth) {
@@ -120,6 +127,7 @@ std::int64_t BddManager::sift(std::uint64_t maxGrowth) {
   }
 
   const std::int64_t after = static_cast<std::int64_t>(liveNodes());
+  ICBDD_CHECK(kFull, auditArenaCreditingTime(*this));
   return after - before;
 }
 

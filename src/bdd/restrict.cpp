@@ -19,11 +19,19 @@
 #include <algorithm>
 
 #include "bdd/manager.hpp"
+#include "check/check.hpp"
 
 namespace icb {
 
-Edge BddManager::restrictE(Edge f, Edge c) { return restrictRec(f, c); }
-Edge BddManager::constrainE(Edge f, Edge c) { return constrainRec(f, c); }
+Edge BddManager::restrictE(Edge f, Edge c) {
+  ICBDD_CHECK(kCheap, validateEdge(f); validateEdge(c));
+  return restrictRec(f, c);
+}
+
+Edge BddManager::constrainE(Edge f, Edge c) {
+  ICBDD_CHECK(kCheap, validateEdge(f); validateEdge(c));
+  return constrainRec(f, c);
+}
 
 Edge BddManager::restrictRec(Edge f, Edge c) {
   if (c == kTrueEdge || edgeIsConstant(f)) return f;

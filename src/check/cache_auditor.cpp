@@ -1,0 +1,115 @@
+#include "check/cache_auditor.hpp"
+
+#include <vector>
+
+#include "bdd/manager.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace icb {
+
+CheckReport CacheAuditor::audit() {
+  // Local because BddManager::Op is private; member functions of the friend
+  // class see it, free functions would not.
+  const auto opName = [](BddManager::Op op) -> const char* {
+    switch (op) {
+      case BddManager::Op::kInvalid: return "invalid";
+      case BddManager::Op::kIte: return "ite";
+      case BddManager::Op::kAnd: return "and";
+      case BddManager::Op::kXor: return "xor";
+      case BddManager::Op::kExists: return "exists";
+      case BddManager::Op::kAndExists: return "and-exists";
+      case BddManager::Op::kRestrict: return "restrict";
+      case BddManager::Op::kConstrain: return "constrain";
+    }
+    return "?";
+  };
+
+  CheckReport report;
+  // Suspend the manager's limits: audit re-execution is diagnostic work and
+  // must not trip the engine's node / deadline caps.  The audit's own wall
+  // time is credited back to the deadline on restore.
+  const Stopwatch watch;
+  ResourceLimits saved = mgr_.limits();
+  mgr_.clearLimits();
+  auto& cache = mgr_.cache_;
+  const auto& nodes = mgr_.nodes_;
+
+  const auto edgeOk = [&](Edge e) {
+    return edgeIndex(e) < nodes.size() &&
+           (edgeIsConstant(e) || nodes[edgeIndex(e)].var != BddManager::kFreeVar);
+  };
+
+  // Pass 1: every referenced edge of every valid entry must be alive.
+  std::vector<std::size_t> sampleable;
+  for (std::size_t slot = 0; slot < cache.size(); ++slot) {
+    const BddManager::CacheEntry& entry = cache[slot];
+    if (entry.op == BddManager::Op::kInvalid) continue;
+    ++report.itemsChecked;
+    if (!edgeOk(entry.f) || !edgeOk(entry.g) || !edgeOk(entry.h) ||
+        !edgeOk(entry.result)) {
+      report.add(ViolationKind::kCacheDanglingEdge,
+                 std::string("slot ") + std::to_string(slot) + " (" +
+                     opName(entry.op) + ") references a dead node");
+      continue;
+    }
+    sampleable.push_back(slot);
+  }
+
+  // Pass 2: rate-limited soundness sampling.  Evict the entry first so the
+  // re-execution is forced down the miss path instead of reading back the
+  // very value under audit.
+  Rng rng(options_.seed);
+  std::size_t budget = options_.maxSamples;
+  while (budget > 0 && !sampleable.empty()) {
+    --budget;
+    const std::size_t pick = rng.below(sampleable.size());
+    const std::size_t slot = sampleable[pick];
+    sampleable[pick] = sampleable.back();
+    sampleable.pop_back();
+
+    const BddManager::CacheEntry entry = cache[slot];
+    cache[slot] = BddManager::CacheEntry{};
+
+    Edge fresh = kFalseEdge;
+    switch (entry.op) {
+      case BddManager::Op::kIte:
+        fresh = mgr_.iteE(entry.f, entry.g, entry.h);
+        break;
+      case BddManager::Op::kAnd:
+        fresh = mgr_.andE(entry.f, entry.g);
+        break;
+      case BddManager::Op::kXor:
+        fresh = mgr_.xorE(entry.f, entry.g);
+        break;
+      case BddManager::Op::kExists:
+        fresh = mgr_.existsE(entry.f, entry.g);
+        break;
+      case BddManager::Op::kAndExists:
+        fresh = mgr_.andExistsE(entry.f, entry.g, entry.h);
+        break;
+      case BddManager::Op::kRestrict:
+        fresh = mgr_.restrictE(entry.f, entry.g);
+        break;
+      case BddManager::Op::kConstrain:
+        fresh = mgr_.constrainE(entry.f, entry.g);
+        break;
+      case BddManager::Op::kInvalid:
+        continue;  // unreachable: filtered in pass 1
+    }
+
+    if (fresh != entry.result) {
+      report.add(ViolationKind::kCacheWrongResult,
+                 std::string("slot ") + std::to_string(slot) + " (" +
+                     opName(entry.op) + "): stored " +
+                     std::to_string(entry.result) + ", re-execution gives " +
+                     std::to_string(fresh));
+    }
+  }
+
+  saved.deadline.extendBySeconds(watch.elapsedSeconds());
+  mgr_.setLimits(saved);
+  return report;
+}
+
+}  // namespace icb

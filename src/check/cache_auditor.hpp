@@ -1,0 +1,54 @@
+// CacheAuditor: soundness sampling of the computed cache.
+//
+// A wrong computed-cache entry is the quietest corruption a BDD package can
+// have: every operator result stays canonical and structurally healthy, it
+// just denotes the wrong function.  The auditor makes that class loud by
+// sampling valid entries, evicting each sample, re-executing the operator on
+// the now-guaranteed miss path, and comparing the fresh result against what
+// the cache had stored.
+//
+// Two passes:
+//   * validity scan (whole cache, cheap): every referenced edge must point
+//     inside the arena at a live node;
+//   * soundness sampling (rate-limited): at most `maxSamples` entries are
+//     re-executed per audit, chosen by a deterministic PRNG so failures
+//     reproduce.
+//
+// Re-execution allocates nodes (never GCs); the manager's resource limits
+// are suspended for the duration of the audit so diagnostic work cannot
+// trip an engine's node or deadline caps.
+#pragma once
+
+#include <cstdint>
+
+#include "check/check.hpp"
+
+namespace icb {
+
+class BddManager;
+
+struct CacheAuditOptions {
+  /// Cap on entries re-executed per audit() call (the validity scan always
+  /// covers the whole table).  0 disables re-execution.
+  std::size_t maxSamples = 64;
+  /// Sampling PRNG seed; fixed by default so audits are reproducible.
+  std::uint64_t seed = 0xC0FFEE0DDBA11ull;
+};
+
+class CacheAuditor {
+ public:
+  explicit CacheAuditor(BddManager& mgr, const CacheAuditOptions& options = {})
+      : mgr_(mgr), options_(options) {}
+
+  /// Runs the validity scan plus the soundness sampling.
+  [[nodiscard]] CheckReport audit();
+
+  /// audit() + CheckReport::throwIfBroken().
+  void throwIfBroken() { audit().throwIfBroken(); }
+
+ private:
+  BddManager& mgr_;
+  CacheAuditOptions options_;
+};
+
+}  // namespace icb

@@ -1,0 +1,150 @@
+#include "check/ici_checker.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "bdd/manager.hpp"
+#include "ici/conjunct_list.hpp"
+#include "ici/pair_table.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace icb {
+
+namespace {
+
+/// Suspends the manager's resource limits for the duration of an audit:
+/// checker work is diagnostic and must not trip (or be aborted by) the
+/// engine's node / deadline caps.  On restore, the time the audit took is
+/// credited back to the deadline so full-level checking slows a limited run
+/// down without ever flipping it to a spurious deadline abort.
+class LimitsPause {
+ public:
+  explicit LimitsPause(BddManager& mgr) : mgr_(mgr), saved_(mgr.limits()) {
+    mgr_.clearLimits();
+  }
+  ~LimitsPause() {
+    saved_.deadline.extendBySeconds(watch_.elapsedSeconds());
+    mgr_.setLimits(saved_);
+  }
+  LimitsPause(const LimitsPause&) = delete;
+  LimitsPause& operator=(const LimitsPause&) = delete;
+
+ private:
+  BddManager& mgr_;
+  ResourceLimits saved_;
+  Stopwatch watch_;
+};
+
+/// Conjoins a list explicitly under a node budget, smallest member first.
+/// Returns false when the budget runs out (the conjunction is one the ICI
+/// technique exists to avoid building -- give up rather than blow up).
+bool boundedConjunction(BddManager& mgr, const ConjunctList& list,
+                        std::uint64_t budget, Edge* out) {
+  std::vector<Bdd> sorted = list.items();
+  std::sort(sorted.begin(), sorted.end(), [](const Bdd& a, const Bdd& b) {
+    return a.size() < b.size();
+  });
+  Edge acc = kTrueEdge;
+  for (const Bdd& f : sorted) {
+    // Edge-level only from here: andBoundedE never garbage-collects, so the
+    // unprotected accumulator edge stays valid across iterations.
+    if (!mgr.andBoundedE(acc, f.edge(), budget, &acc)) return false;
+    if (acc == kFalseEdge) break;
+  }
+  *out = acc;
+  return true;
+}
+
+}  // namespace
+
+CheckReport IciChecker::checkDenotationPreserved(
+    const ConjunctList& before, const ConjunctList& after) const {
+  CheckReport report;
+  LimitsPause pause(mgr_);
+
+  const std::uint64_t sizeBefore = before.sharedNodeCount();
+  const std::uint64_t sizeAfter = after.sharedNodeCount();
+  ++report.itemsChecked;
+
+  // Exact path: explicitly evaluate both conjunctions under a budget and
+  // compare the canonical results.
+  if (sizeBefore <= options_.exactNodeLimit &&
+      sizeAfter <= options_.exactNodeLimit) {
+    const std::uint64_t budget =
+        options_.exactBudgetFactor * (sizeBefore + sizeAfter + 1) + 4096;
+    Edge a = kTrueEdge;
+    Edge b = kTrueEdge;
+    if (boundedConjunction(mgr_, before, budget, &a) &&
+        boundedConjunction(mgr_, after, budget, &b)) {
+      if (a != b) {
+        report.add(ViolationKind::kDenotationChanged,
+                   "explicit conjunctions differ: before " + before.describe() +
+                       ", after " + after.describe());
+      }
+      return report;
+    }
+    // Budget exceeded: fall through to the sampling path.
+  }
+
+  // Spot-check path: the two conjunctions must agree on random assignments.
+  const unsigned nvars = mgr_.varCount();
+  Rng rng(options_.seed);
+  std::vector<char> values(nvars, 0);
+  for (unsigned s = 0; s < options_.sampleCount; ++s) {
+    for (unsigned v = 0; v < nvars; ++v) {
+      values[v] = rng.coin() ? 1 : 0;
+    }
+    if (before.evalAssignment(values) != after.evalAssignment(values)) {
+      report.add(ViolationKind::kDenotationChanged,
+                 "lists disagree on a sampled assignment (sample " +
+                     std::to_string(s) + "): before " + before.describe() +
+                     ", after " + after.describe());
+      return report;
+    }
+  }
+  return report;
+}
+
+CheckReport IciChecker::checkPairTable(const PairTable& table) const {
+  CheckReport report;
+  LimitsPause pause(mgr_);
+  const std::size_t n = table.conjuncts_.size();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Size column: Figure 1's ratio bookkeeping divides by these.
+    if (table.sizes_[i] != table.conjuncts_[i].size()) {
+      report.add(ViolationKind::kPairTableStaleSize,
+                 "conjunct " + std::to_string(i) + " size column says " +
+                     std::to_string(table.sizes_[i]) + " but the BDD has " +
+                     std::to_string(table.conjuncts_[i].size()) + " nodes");
+    }
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const PairTable::Entry& entry = table.table_[i][j];
+      ++report.itemsChecked;
+      if (entry.aborted) continue;  // over budget by design, nothing stored
+      const std::string pair =
+          "P(" + std::to_string(i) + "," + std::to_string(j) + ")";
+      if (entry.conjunction.isNull()) {
+        report.add(ViolationKind::kPairTableMismatch,
+                   pair + " is neither aborted nor built");
+        continue;
+      }
+      const Edge fresh =
+          mgr_.andE(table.conjuncts_[i].edge(), table.conjuncts_[j].edge());
+      if (fresh != entry.conjunction.edge()) {
+        report.add(ViolationKind::kPairTableMismatch,
+                   pair + " differs from a freshly computed conjunction");
+      }
+      if (entry.size != entry.conjunction.size()) {
+        report.add(ViolationKind::kPairTableStaleSize,
+                   pair + " caches size " + std::to_string(entry.size) +
+                       " but stores a " +
+                       std::to_string(entry.conjunction.size()) + "-node BDD");
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace icb

@@ -1,0 +1,61 @@
+// IciChecker: semantic audits for the implicitly-conjoined layer.
+//
+// The ICI transformations are only allowed to change the *representation*
+// of a conjunction, never the denoted set:
+//   * simplifyList / evaluateAndSimplify replace members by Restrict
+//     results and greedy pairwise evaluations (paper Section III.A) -- both
+//     preserve X_1 & ... & X_n;
+//   * PairTable caches every pairwise conjunction P_ij = X_i & X_j plus its
+//     size column (Figure 1's ratio bookkeeping) and must stay in sync with
+//     the conjuncts across merges.
+//
+// checkDenotationPreserved compares two lists semantically: exactly (via
+// bounded explicit evaluation) when both sides are small enough, and by
+// random-assignment spot checks otherwise -- explicit evaluation of a large
+// implicit conjunction is the very blow-up the technique exists to avoid,
+// so the checker must not force it.
+#pragma once
+
+#include <cstdint>
+
+#include "check/check.hpp"
+
+namespace icb {
+
+class BddManager;
+class ConjunctList;
+class PairTable;
+
+struct IciCheckOptions {
+  /// Exact equivalence check is attempted only when each list's shared node
+  /// count is at or below this; larger lists get spot checks only.
+  std::uint64_t exactNodeLimit = 4096;
+  /// Node budget multiple granted to the bounded explicit evaluation used
+  /// by the exact path (relative to the lists' shared sizes).
+  std::uint64_t exactBudgetFactor = 64;
+  /// Random full assignments evaluated on the spot-check path.
+  unsigned sampleCount = 64;
+  /// Spot-check PRNG seed; fixed so failures reproduce.
+  std::uint64_t seed = 0x1C1C1C1C5EEDull;
+};
+
+class IciChecker {
+ public:
+  explicit IciChecker(BddManager& mgr, const IciCheckOptions& options = {})
+      : mgr_(mgr), options_(options) {}
+
+  /// Verifies that `after` still denotes the same conjunction as `before`.
+  /// Both lists must live in this checker's manager.
+  [[nodiscard]] CheckReport checkDenotationPreserved(
+      const ConjunctList& before, const ConjunctList& after) const;
+
+  /// Verifies every non-aborted PairTable entry against a freshly computed
+  /// X_i & X_j, and the cached size columns against the live BDDs.
+  [[nodiscard]] CheckReport checkPairTable(const PairTable& table) const;
+
+ private:
+  BddManager& mgr_;
+  IciCheckOptions options_;
+};
+
+}  // namespace icb

@@ -1,0 +1,133 @@
+// Test-only surgical access to the private state of BddManager and
+// PairTable, used by the mutation tests (tests/check_test.cpp) to break one
+// invariant at a time and assert the matching checker diagnostic.
+//
+// NOTHING outside tests and the checker test-bench may include this header:
+// every method here violates the package's invariants on purpose.  A manager
+// operated on by a surgeon is only good for being diagnosed afterwards.
+#pragma once
+
+#include "bdd/manager.hpp"
+#include "ici/pair_table.hpp"
+
+namespace icb {
+
+class NodeSurgeon {
+ public:
+  static std::uint32_t nodeCount(const BddManager& mgr) {
+    return static_cast<std::uint32_t>(mgr.nodes_.size());
+  }
+
+  static unsigned rawVar(const BddManager& mgr, std::uint32_t index) {
+    return mgr.nodes_[index].var;
+  }
+  static bool isFree(const BddManager& mgr, std::uint32_t index) {
+    return mgr.nodes_[index].var == BddManager::kFreeVar;
+  }
+  static Edge rawHi(const BddManager& mgr, std::uint32_t index) {
+    return mgr.nodes_[index].hi;
+  }
+  static Edge rawLo(const BddManager& mgr, std::uint32_t index) {
+    return mgr.nodes_[index].lo;
+  }
+
+  /// Overwrites a node's function fields, bypassing mk() and the unique
+  /// table entirely.
+  static void setNodeFields(BddManager& mgr, std::uint32_t index, unsigned var,
+                            Edge hi, Edge lo) {
+    BddManager::Node& n = mgr.nodes_[index];
+    n.var = var;
+    n.hi = hi;
+    n.lo = lo;
+  }
+
+  /// Swaps a node's children in place (breaks canonicity: the then-arc
+  /// inherits the else-arc's complement bit, or the function changes).
+  static void swapChildren(BddManager& mgr, std::uint32_t index) {
+    BddManager::Node& n = mgr.nodes_[index];
+    std::swap(n.hi, n.lo);
+  }
+
+  /// Sets the complement bit on a stored then-arc.
+  static void complementThenArc(BddManager& mgr, std::uint32_t index) {
+    mgr.nodes_[index].hi = edgeNot(mgr.nodes_[index].hi);
+  }
+
+  /// Forces a node's external reference count.
+  static void setRef(BddManager& mgr, std::uint32_t index, std::uint32_t ref) {
+    mgr.nodes_[index].ref = ref;
+  }
+
+  /// Unlinks a node from its unique-table chain without freeing it (the
+  /// node stays live but becomes unfindable -- a rehash-completeness hole).
+  static bool detachFromUniqueTable(BddManager& mgr, std::uint32_t index) {
+    const BddManager::Node& n = mgr.nodes_[index];
+    const std::size_t slot = mgr.hashNode(n.var, n.hi, n.lo);
+    std::uint32_t* link = &mgr.buckets_[slot];
+    while (*link != BddManager::kNil) {
+      if (*link == index) {
+        *link = mgr.nodes_[index].next;
+        mgr.nodes_[index].next = BddManager::kNil;
+        return true;
+      }
+      link = &mgr.nodes_[*link].next;
+    }
+    return false;
+  }
+
+  /// Desynchronizes the free-list counter from the actual chain.
+  static void bumpFreeCount(BddManager& mgr, std::uint64_t delta) {
+    mgr.freeCount_ += delta;
+  }
+
+  /// Repoints a projection edge at an arbitrary edge.
+  static void setVarEdge(BddManager& mgr, unsigned var, Edge e) {
+    mgr.varEdges_[var] = e;
+  }
+
+  /// Flips the result of the first valid computed-cache entry found.
+  /// Returns false when the cache is empty.
+  static bool corruptFirstCacheEntry(BddManager& mgr) {
+    for (BddManager::CacheEntry& entry : mgr.cache_) {
+      if (entry.op != BddManager::Op::kInvalid) {
+        entry.result = edgeNot(entry.result);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Plants a cache entry whose operand points outside the arena.
+  static void plantDanglingCacheEntry(BddManager& mgr) {
+    BddManager::CacheEntry entry;
+    entry.op = BddManager::Op::kAnd;
+    entry.f = makeEdge(static_cast<std::uint32_t>(mgr.nodes_.size()) + 7, false);
+    entry.g = kTrueEdge;
+    entry.result = kTrueEdge;
+    mgr.cache_[0] = entry;
+  }
+};
+
+class PairTableSurgeon {
+ public:
+  /// Replaces the stored conjunction P_ij with an arbitrary BDD.
+  static void replaceEntry(PairTable& table, std::size_t i, std::size_t j,
+                           Bdd wrong) {
+    PairTable::Entry& entry = table.table_[i][j];
+    entry.conjunction = std::move(wrong);
+  }
+
+  /// Corrupts the cached size column of entry (i, j).
+  static void corruptEntrySize(PairTable& table, std::size_t i, std::size_t j,
+                               std::uint64_t size) {
+    table.table_[i][j].size = size;
+  }
+
+  /// Corrupts the cached size of conjunct i.
+  static void corruptConjunctSize(PairTable& table, std::size_t i,
+                                  std::uint64_t size) {
+    table.sizes_[i] = size;
+  }
+};
+
+}  // namespace icb

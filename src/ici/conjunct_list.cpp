@@ -3,10 +3,28 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "check/check.hpp"
+
 namespace icb {
+
+namespace {
+
+/// kCheap guard: every member must be a live handle of the list's manager.
+void validateMembers(const BddManager* mgr, const std::vector<Bdd>& items) {
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items[i].isNull() || items[i].manager() != mgr) {
+      throw CheckFailure(ViolationKind::kInvalidEdge,
+                         "conjunct " + std::to_string(i) +
+                             " is null or from a different manager");
+    }
+  }
+}
+
+}  // namespace
 
 ConjunctList& ConjunctList::normalize() {
   if (mgr_ == nullptr) return *this;
+  ICBDD_CHECK(kCheap, validateMembers(mgr_, items_));
   std::vector<Bdd> kept;
   std::unordered_set<Edge> seen;
   for (Bdd& f : items_) {
@@ -33,6 +51,7 @@ bool ConjunctList::isTrue() const {
 }
 
 Bdd ConjunctList::evaluate() const {
+  ICBDD_CHECK(kCheap, validateMembers(mgr_, items_));
   Bdd acc = mgr_->one();
   // Conjoin smallest-first: keeps intermediates as small as possible.
   std::vector<Bdd> sorted = items_;

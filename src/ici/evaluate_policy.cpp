@@ -1,5 +1,8 @@
 #include "ici/evaluate_policy.hpp"
 
+#include "check/check.hpp"
+#include "check/ici_checker.hpp"
+
 namespace icb {
 
 EvaluatePolicyResult greedyEvaluate(ConjunctList& list,
@@ -12,6 +15,11 @@ EvaluatePolicyResult greedyEvaluate(ConjunctList& list,
     return result;
   }
 
+  // Figure 1 merges only ever *replace members by their conjunction*, so the
+  // denoted set must come out unchanged; audited at kFull.
+  ConjunctList snapshot;
+  ICBDD_CHECK(kFull, snapshot = list);
+
   PairTable table(*mgr, list.items(), options.pairTable);
   while (table.count() >= 2) {
     const auto best = table.best();
@@ -21,10 +29,14 @@ EvaluatePolicyResult greedyEvaluate(ConjunctList& list,
     if (options.maxMerges != 0 && result.merges >= options.maxMerges) break;
   }
   result.abortedPairBuilds = table.abortedBuilds();
+  ICBDD_CHECK(kFull, IciChecker(*mgr).checkPairTable(table).throwIfBroken());
 
   list = ConjunctList(mgr, table.conjuncts());
   list.normalize();
   result.sizeAfter = list.sharedNodeCount();
+  ICBDD_CHECK(kFull, IciChecker(*mgr)
+                         .checkDenotationPreserved(snapshot, list)
+                         .throwIfBroken());
   return result;
 }
 

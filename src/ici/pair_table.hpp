@@ -53,6 +53,11 @@ class PairTable {
   [[nodiscard]] std::uint64_t abortedBuilds() const { return aborted_; }
 
  private:
+  // The ICI invariant checker verifies entries against freshly computed
+  // conjunctions; the surgeon is the test-only corruption hook.
+  friend class IciChecker;
+  friend class PairTableSurgeon;
+
   struct Entry {
     Bdd conjunction;          // null when the bounded build gave up
     std::uint64_t size = 0;   // cached BDDSize(P_ij)

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "check/check.hpp"
+#include "check/ici_checker.hpp"
+
 namespace icb {
 
 SimplifyResult simplifyList(ConjunctList& list, const SimplifyOptions& options) {
@@ -11,6 +14,12 @@ SimplifyResult simplifyList(ConjunctList& list, const SimplifyOptions& options) 
     result.sizeBefore = result.sizeAfter = list.sharedNodeCount();
     return result;
   }
+
+  // At kFull, snapshot the incoming list (handles only -- cheap) so the
+  // Section III.A contract "the denoted conjunction is unchanged" can be
+  // audited on the way out.
+  ConjunctList snapshot;
+  ICBDD_CHECK(kFull, snapshot = list);
 
   list.normalize();
   result.sizeBefore = list.sharedNodeCount();
@@ -76,6 +85,9 @@ SimplifyResult simplifyList(ConjunctList& list, const SimplifyOptions& options) 
   }
 
   result.sizeAfter = list.sharedNodeCount();
+  ICBDD_CHECK(kFull, IciChecker(*mgr)
+                         .checkDenotationPreserved(snapshot, list)
+                         .throwIfBroken());
   return result;
 }
 

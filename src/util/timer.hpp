@@ -50,6 +50,17 @@ class Deadline {
 
   [[nodiscard]] bool isSet() const { return when_.has_value(); }
 
+  /// Pushes the deadline back; no-op when unset.  Used to credit time spent
+  /// in diagnostic audits (ICBDD_CHECK_LEVEL) back to the computation being
+  /// limited, so enabling the checkers cannot flip a verdict to a spurious
+  /// deadline abort.
+  void extendBySeconds(double seconds) {
+    if (when_.has_value()) {
+      *when_ += std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(seconds));
+    }
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   std::optional<Clock::time_point> when_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/check.hpp"
+#include "check/structural_checker.hpp"
 #include "util/timer.hpp"
 #include "verif/counterexample.hpp"
 #include "verif/limit_guard.hpp"
@@ -43,6 +45,9 @@ EngineResult runBackward(Fsm& fsm, const EngineOptions& options) {
 
       const Bdd next = g0 & fsm.backImage(g);
       ++result.iterations;
+      // Phase boundary: this step's iterate is complete; at kFull,
+      // audit the whole arena before trusting it.
+      ICBDD_CHECK(kFull, auditArenaCreditingTime(mgr));
       if (next == g) {  // canonical form: O(1) convergence test
         result.verdict = Verdict::kHolds;
         break;

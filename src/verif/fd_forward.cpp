@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "check/check.hpp"
+#include "check/structural_checker.hpp"
 #include "util/timer.hpp"
 #include "sym/image.hpp"
 #include "verif/limit_guard.hpp"
@@ -211,6 +213,9 @@ EngineResult runFdForward(Fsm& fsm, std::vector<unsigned> candidateBits,
       if (promoted) continue;
 
       ++result.iterations;
+      // Phase boundary: this step's iterate is complete; at kFull,
+      // audit the whole arena before trusting it.
+      ICBDD_CHECK(kFull, auditArenaCreditingTime(mgr));
 
       // Converged when the image adds no new independent-part states AND
       // the image dependencies agree with the current ones on the image.

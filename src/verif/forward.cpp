@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/check.hpp"
+#include "check/structural_checker.hpp"
 #include "util/timer.hpp"
 #include "verif/counterexample.hpp"
 #include "verif/limit_guard.hpp"
@@ -54,6 +56,9 @@ EngineResult runForward(Fsm& fsm, const EngineOptions& options) {
       const Bdd next = imager.image(frontier);
       const Bdd fresh = next & !reached;
       ++result.iterations;
+      // Phase boundary: this step's iterate is complete; at kFull,
+      // audit the whole arena before trusting it.
+      ICBDD_CHECK(kFull, auditArenaCreditingTime(mgr));
       if (fresh.isZero()) {
         result.verdict = Verdict::kHolds;
         break;

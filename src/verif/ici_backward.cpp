@@ -4,6 +4,8 @@
 #include <set>
 
 #include "ici/simplify.hpp"
+#include "check/check.hpp"
+#include "check/structural_checker.hpp"
 #include "util/timer.hpp"
 #include "verif/counterexample.hpp"
 #include "verif/limit_guard.hpp"
@@ -136,6 +138,9 @@ EngineResult runIciBackward(Fsm& fsm, const EngineOptions& options) {
       }
       simplifyPositionwise(next, simplify);
       ++result.iterations;
+      // Phase boundary: this step's iterate is complete; at kFull,
+      // audit the whole arena before trusting it.
+      ICBDD_CHECK(kFull, auditArenaCreditingTime(mgr));
 
       // Fast syntactic convergence test (the CAV'93-style one), extended
       // with the cycle check described above.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/check.hpp"
+#include "check/structural_checker.hpp"
 #include "util/timer.hpp"
 #include "verif/counterexample.hpp"
 #include "verif/limit_guard.hpp"
@@ -74,6 +76,9 @@ EngineResult runXiciBackward(Fsm& fsm, const EngineOptions& options) {
       // Section III.A policy: simplify, then greedily evaluate conjunctions.
       evaluateAndSimplify(next, options.policy);
       ++result.iterations;
+      // Phase boundary: this step's iterate is complete; at kFull,
+      // audit the whole arena before trusting it.
+      ICBDD_CHECK(kFull, auditArenaCreditingTime(mgr));
 
       // Section III.B: exact termination test on the two implicit lists.
       if (checker.equal(next, current)) {

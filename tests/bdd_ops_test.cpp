@@ -82,9 +82,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(SweepParam{2, 1}, SweepParam{3, 2}, SweepParam{4, 3},
                       SweepParam{5, 4}, SweepParam{6, 5}, SweepParam{6, 6},
                       SweepParam{7, 7}, SweepParam{8, 8}),
-    [](const ::testing::TestParamInfo<SweepParam>& info) {
-      return "v" + std::to_string(info.param.nvars) + "s" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<SweepParam>& paramInfo) {
+      return "v" + std::to_string(paramInfo.param.nvars) + "s" +
+             std::to_string(paramInfo.param.seed);
     });
 
 TEST(BddOps, AbsorptionAndIdempotence) {

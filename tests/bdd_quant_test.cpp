@@ -80,9 +80,9 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, QuantSweep,
     ::testing::Values(QuantParam{3, 1}, QuantParam{4, 2}, QuantParam{5, 3},
                       QuantParam{6, 4}, QuantParam{7, 5}),
-    [](const ::testing::TestParamInfo<QuantParam>& info) {
-      return "v" + std::to_string(info.param.nvars) + "s" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<QuantParam>& paramInfo) {
+      return "v" + std::to_string(paramInfo.param.nvars) + "s" +
+             std::to_string(paramInfo.param.seed);
     });
 
 TEST(BddQuant, QuantifyingAbsentVariableIsIdentity) {

@@ -83,9 +83,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(RestrictParam{3, 1}, RestrictParam{4, 2},
                       RestrictParam{5, 3}, RestrictParam{6, 4},
                       RestrictParam{7, 5}, RestrictParam{8, 6}),
-    [](const ::testing::TestParamInfo<RestrictParam>& info) {
-      return "v" + std::to_string(info.param.nvars) + "s" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<RestrictParam>& paramInfo) {
+      return "v" + std::to_string(paramInfo.param.nvars) + "s" +
+             std::to_string(paramInfo.param.seed);
     });
 
 TEST(BddRestrict, TrueCareSetIsIdentity) {

@@ -109,8 +109,8 @@ TEST_P(BitVecSweep, IncDecShiftMux) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Widths, BitVecSweep, ::testing::Values(1u, 2u, 3u, 4u, 5u),
-                         [](const ::testing::TestParamInfo<unsigned>& info) {
-                           return "w" + std::to_string(info.param);
+                         [](const ::testing::TestParamInfo<unsigned>& paramInfo) {
+                           return "w" + std::to_string(paramInfo.param);
                          });
 
 TEST(BitVec, ConstantRoundTrip) {

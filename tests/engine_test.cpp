@@ -77,8 +77,8 @@ INSTANTIATE_TEST_SUITE_P(AllMethods, EngineAgreement,
                          ::testing::Values(Method::kFwd, Method::kBkwd,
                                            Method::kFd, Method::kIci,
                                            Method::kXici),
-                         [](const ::testing::TestParamInfo<Method>& info) {
-                           return methodName(info.param);
+                         [](const ::testing::TestParamInfo<Method>& paramInfo) {
+                           return methodName(paramInfo.param);
                          });
 
 TEST(Engines, ForwardIterationCountMatchesDiameter) {

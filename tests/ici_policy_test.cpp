@@ -74,10 +74,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(PolicyParam{4, 3, 1}, PolicyParam{6, 4, 2},
                       PolicyParam{8, 5, 3}, PolicyParam{8, 8, 4},
                       PolicyParam{10, 6, 5}),
-    [](const ::testing::TestParamInfo<PolicyParam>& info) {
-      return "v" + std::to_string(info.param.nvars) + "c" +
-             std::to_string(info.param.count) + "s" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<PolicyParam>& paramInfo) {
+      return "v" + std::to_string(paramInfo.param.nvars) + "c" +
+             std::to_string(paramInfo.param.count) + "s" +
+             std::to_string(paramInfo.param.seed);
     });
 
 TEST(PairTable, RatiosMatchDefinition) {

@@ -17,6 +17,11 @@ EngineOptions quickOptions() {
   EngineOptions options;
   options.maxNodes = 2'000'000;
   options.timeLimitSeconds = 60.0;
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  // Sanitizer instrumentation slows the engines several-fold; scale the
+  // wall-clock cap so the verdicts under test stay deterministic.
+  options.timeLimitSeconds *= 10.0;
+#endif
   return options;
 }
 

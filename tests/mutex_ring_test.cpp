@@ -34,6 +34,9 @@ TEST(MutexRing, XiciScalesToLargerRings) {
   EngineOptions options;
   options.maxNodes = 4'000'000;
   options.timeLimitSeconds = 60.0;
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  options.timeLimitSeconds *= 10.0;  // sanitizer slowdown headroom
+#endif
   const EngineResult r = runXiciBackward(model.fsm(), options);
   EXPECT_EQ(r.verdict, Verdict::kHolds);
 }

@@ -79,6 +79,9 @@ TEST(PaperNumbers, Table1FilterWithAssists) {
       options.withAssists = true;
       options.maxNodes = 24'000'000;
       options.timeLimitSeconds = 120;
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+      options.timeLimitSeconds *= 10;  // sanitizer slowdown headroom
+#endif
       const EngineResult r = runMethod(model.fsm(), m, {}, options);
       ASSERT_EQ(r.verdict, Verdict::kHolds) << methodName(m);
       EXPECT_EQ(r.iterations, 1u) << methodName(m);
@@ -105,6 +108,9 @@ TEST(PaperNumbers, Table2XiciDerivesTheLemmasAutomatically) {
     options.withAssists = false;
     options.maxNodes = 24'000'000;
     options.timeLimitSeconds = 120;
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+    options.timeLimitSeconds *= 10;  // sanitizer slowdown headroom
+#endif
     const EngineResult r = runXiciBackward(model.fsm(), options);
     ASSERT_EQ(r.verdict, Verdict::kHolds);
     EXPECT_EQ(r.iterations, e.iters);

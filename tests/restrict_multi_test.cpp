@@ -54,10 +54,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(MultiParam{4, 2, 1}, MultiParam{6, 3, 2},
                       MultiParam{8, 3, 3}, MultiParam{8, 5, 4},
                       MultiParam{10, 4, 5}),
-    [](const ::testing::TestParamInfo<MultiParam>& info) {
-      return "v" + std::to_string(info.param.nvars) + "c" +
-             std::to_string(info.param.count) + "s" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<MultiParam>& paramInfo) {
+      return "v" + std::to_string(paramInfo.param.nvars) + "c" +
+             std::to_string(paramInfo.param.count) + "s" +
+             std::to_string(paramInfo.param.seed);
     });
 
 TEST(RestrictMulti, PaperSectionVScenario) {

@@ -125,15 +125,15 @@ INSTANTIATE_TEST_SUITE_P(
         TermParam{CofactorChoice::kHighestLevel, false, 4},
         TermParam{CofactorChoice::kMostCommon, true, 5},
         TermParam{CofactorChoice::kMostCommon, false, 6}),
-    [](const ::testing::TestParamInfo<TermParam>& info) {
+    [](const ::testing::TestParamInfo<TermParam>& paramInfo) {
       std::string name;
-      switch (info.param.choice) {
+      switch (paramInfo.param.choice) {
         case CofactorChoice::kTopOfFirst: name = "TopOfFirst"; break;
         case CofactorChoice::kHighestLevel: name = "HighestLevel"; break;
         case CofactorChoice::kMostCommon: name = "MostCommon"; break;
       }
-      name += info.param.shortcut ? "Shortcut" : "Literal";
-      name += "s" + std::to_string(info.param.seed);
+      name += paramInfo.param.shortcut ? "Shortcut" : "Literal";
+      name += "s" + std::to_string(paramInfo.param.seed);
       return name;
     });
 
