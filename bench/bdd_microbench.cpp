@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bdd/bdd.hpp"
+#include "obs/trace.hpp"
 #include "sym/bitvector.hpp"
 #include "util/rng.hpp"
 
@@ -126,6 +127,24 @@ void BM_SharedSize(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SharedSize);
+
+// The <1% overhead contract of obs/trace.hpp: with no sink installed, the
+// traceEnabled() guard at every emit site must reduce to a relaxed pointer
+// load.  Same workload as BM_AndComparators; compare the two directly (and
+// against a pre-obs baseline) to audit the disabled path.
+void BM_AndComparatorsTraceDisabled(benchmark::State& state) {
+  obs::setDefaultTraceSink(nullptr);
+  Comparator c(static_cast<unsigned>(state.range(0)));
+  const Bdd ge = ule(c.b, c.a);
+  for (auto _ : state) {
+    if (obs::traceEnabled()) {  // the per-phase pattern engines use
+      benchmark::DoNotOptimize(c.le.edge());
+    }
+    benchmark::DoNotOptimize((c.le & ge).edge());
+    benchmark::DoNotOptimize((c.le ^ ge).edge());
+  }
+}
+BENCHMARK(BM_AndComparatorsTraceDisabled)->Arg(8)->Arg(16)->Arg(24);
 
 void BM_GarbageCollection(benchmark::State& state) {
   for (auto _ : state) {

@@ -7,7 +7,10 @@
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "obs/jsonl.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "verif/run_all.hpp"
@@ -17,6 +20,12 @@ namespace icb::bench {
 /// Resource caps standing in for the paper's "Exceeded 60MB." (Sun 4/75
 /// memory) and "Exceeded 40 minutes." rows.  Overridable per binary via
 /// --max-nodes / --time-limit.
+///
+/// The time cap excludes observability costs by construction: trace-sink
+/// writes (obs::TraceSession) and kFull audits both credit their own wall
+/// time back to the manager's deadline, so enabling ICBDD_TRACE or
+/// ICBDD_CHECK_LEVEL on a capped bench cannot flip a verdict to a spurious
+/// "Exceeded time cap."
 struct BenchCaps {
   std::uint64_t maxNodes = 24'000'000;  // ~0.6 GB of node storage
   double timeLimitSeconds = 60.0;
@@ -72,5 +81,79 @@ inline void addResultRow(TextTable& table, const EngineResult& r) {
 inline TextTable paperTable() {
   return TextTable({"Meth.", "Time", "Iter", "Mem", "BDD Nodes"});
 }
+
+/// Collects a table binary's cells and renders them either as the classic
+/// paper-style text table (default) or, under --json, as "icbdd-bench-v1"
+/// JSONL: one header line followed by one line per (group, method) cell
+/// with the run's MetricsRegistry inlined.  docs/observability.md documents
+/// the schema.
+class BenchReport {
+ public:
+  BenchReport(std::string tableName, const CliArgs& args, const BenchCaps& caps)
+      : tableName_(std::move(tableName)),
+        caps_(caps),
+        json_(args.getBool("json", false)) {}
+
+  /// True when --json was passed; callers skip their printf banners then.
+  [[nodiscard]] bool jsonMode() const { return json_; }
+
+  /// Starts a new row group (one span line of the text table, the "group"
+  /// field of every following JSONL cell).
+  void beginGroup(std::string title) { groups_.push_back({std::move(title), {}}); }
+
+  void add(const EngineResult& r) {
+    if (groups_.empty()) beginGroup("");
+    groups_.back().second.push_back(r);
+  }
+
+  void print(std::ostream& os) const {
+    if (json_) {
+      printJson(os);
+      return;
+    }
+    TextTable table = paperTable();
+    for (const auto& [title, cells] : groups_) {
+      if (!title.empty()) table.addSpan(title);
+      for (const EngineResult& r : cells) addResultRow(table, r);
+    }
+    table.print(os);
+  }
+
+ private:
+  void printJson(std::ostream& os) const {
+    std::size_t count = 0;
+    for (const auto& [title, cells] : groups_) count += cells.size();
+    os << std::move(obs::JsonObject()
+                        .put("schema", "icbdd-bench-v1")
+                        .put("table", tableName_)
+                        .put("max_nodes", caps_.maxNodes)
+                        .put("time_limit_s", caps_.timeLimitSeconds)
+                        .put("cells", static_cast<std::uint64_t>(count)))
+              .str()
+       << '\n';
+    for (const auto& [title, cells] : groups_) {
+      for (const EngineResult& r : cells) {
+        obs::JsonObject cell;
+        cell.put("group", title)
+            .put("method", methodName(r.method))
+            .put("verdict", verdictName(r.verdict))
+            .put("time_s", r.seconds)
+            .put("iterations", r.iterations)
+            .put("mem_bytes", r.memBytesEstimate)
+            .put("peak_iterate_nodes", r.peakIterateNodes)
+            .putRaw("member_sizes", obs::jsonArray(r.peakIterateMemberSizes))
+            .put("peak_allocated_nodes", r.peakAllocatedNodes)
+            .putRaw("metrics", r.metrics.toJson());
+        if (!r.note.empty()) cell.put("note", r.note);
+        os << std::move(cell).str() << '\n';
+      }
+    }
+  }
+
+  std::string tableName_;
+  BenchCaps caps_;
+  bool json_;
+  std::vector<std::pair<std::string, std::vector<EngineResult>>> groups_;
+};
 
 }  // namespace icb::bench

@@ -14,23 +14,32 @@ using namespace icb::bench;
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const BenchCaps caps = BenchCaps::fromArgs(args);
-  std::printf("Table 1 / typed FIFO (node cap %llu, time cap %.0fs)\n\n",
-              static_cast<unsigned long long>(caps.maxNodes),
-              caps.timeLimitSeconds);
+  BenchReport report("table1_fifo", args, caps);
+  if (!report.jsonMode()) {
+    std::printf("Table 1 / typed FIFO (node cap %llu, time cap %.0fs)\n\n",
+                static_cast<unsigned long long>(caps.maxNodes),
+                caps.timeLimitSeconds);
+  }
 
-  TextTable table = paperTable();
-  for (const unsigned depth : {5u, 10u}) {
-    table.addSpan("8-bit wide typed FIFO buffer, depth " +
-                  std::to_string(depth));
+  // --depth runs a single configuration (CI uses a small one); the default
+  // is the paper's depth {5, 10} pair.
+  std::vector<unsigned> depths{5u, 10u};
+  if (args.has("depth")) {
+    depths = {static_cast<unsigned>(args.getInt("depth", 5))};
+  }
+
+  for (const unsigned depth : depths) {
+    report.beginGroup("8-bit wide typed FIFO buffer, depth " +
+                      std::to_string(depth));
     for (const Method m :
          {Method::kFwd, Method::kBkwd, Method::kIci, Method::kXici}) {
       BddManager mgr;
       TypedFifoModel model(mgr, {.depth = depth, .width = 8});
       const EngineResult r = runMethod(model.fsm(), m, model.fdCandidates(),
                                        caps.engineOptions());
-      addResultRow(table, r);
+      report.add(r);
     }
   }
-  table.print(std::cout);
+  report.print(std::cout);
   return 0;
 }

@@ -18,15 +18,17 @@ using namespace icb::bench;
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const BenchCaps caps = BenchCaps::fromArgs(args);
-  std::printf(
-      "Table 1 / moving-average filter WITH assisting invariants\n"
-      "(node cap %llu, time cap %.0fs)\n\n",
-      static_cast<unsigned long long>(caps.maxNodes), caps.timeLimitSeconds);
+  BenchReport report("table1_filter", args, caps);
+  if (!report.jsonMode()) {
+    std::printf(
+        "Table 1 / moving-average filter WITH assisting invariants\n"
+        "(node cap %llu, time cap %.0fs)\n\n",
+        static_cast<unsigned long long>(caps.maxNodes), caps.timeLimitSeconds);
+  }
 
-  TextTable table = paperTable();
   for (const unsigned depth : {4u, 8u, 16u}) {
-    table.addSpan("filter depth " + std::to_string(depth) +
-                  ", 8-bit samples, assists supplied");
+    report.beginGroup("filter depth " + std::to_string(depth) +
+                      ", 8-bit samples, assists supplied");
     for (const Method m :
          {Method::kFwd, Method::kBkwd, Method::kIci, Method::kXici}) {
       BddManager mgr;
@@ -35,9 +37,9 @@ int main(int argc, char** argv) {
       options.withAssists = true;
       const EngineResult r =
           runMethod(model.fsm(), m, model.fdCandidates(), options);
-      addResultRow(table, r);
+      report.add(r);
     }
   }
-  table.print(std::cout);
+  report.print(std::cout);
   return 0;
 }

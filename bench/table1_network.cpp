@@ -20,22 +20,24 @@ int main(int argc, char** argv) {
   if (!args.has("time-limit")) {
     caps.timeLimitSeconds = 240.0;  // the Fwd/FD rows are iteration-heavy
   }
-  std::printf("Table 1 / processors & network (node cap %llu, time cap %.0fs)\n\n",
-              static_cast<unsigned long long>(caps.maxNodes),
-              caps.timeLimitSeconds);
+  BenchReport report("table1_network", args, caps);
+  if (!report.jsonMode()) {
+    std::printf(
+        "Table 1 / processors & network (node cap %llu, time cap %.0fs)\n\n",
+        static_cast<unsigned long long>(caps.maxNodes), caps.timeLimitSeconds);
+  }
 
-  TextTable table = paperTable();
   for (const unsigned procs : {4u, 7u}) {
-    table.addSpan(std::to_string(procs) + " processors, " +
-                  std::to_string(procs) + "-slot network");
+    report.beginGroup(std::to_string(procs) + " processors, " +
+                      std::to_string(procs) + "-slot network");
     for (const Method m : allMethods()) {
       BddManager mgr;
       NetworkModel model(mgr, {.processors = procs});
       const EngineResult r = runMethod(model.fsm(), m, model.fdCandidates(),
                                        caps.engineOptions());
-      addResultRow(table, r);
+      report.add(r);
     }
   }
-  table.print(std::cout);
+  report.print(std::cout);
   return 0;
 }

@@ -18,15 +18,17 @@ using namespace icb::bench;
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const BenchCaps caps = BenchCaps::fromArgs(args);
-  std::printf(
-      "Table 2 / moving-average filter WITHOUT assisting invariants\n"
-      "(node cap %llu, time cap %.0fs)\n\n",
-      static_cast<unsigned long long>(caps.maxNodes), caps.timeLimitSeconds);
+  BenchReport report("table2_filter_auto", args, caps);
+  if (!report.jsonMode()) {
+    std::printf(
+        "Table 2 / moving-average filter WITHOUT assisting invariants\n"
+        "(node cap %llu, time cap %.0fs)\n\n",
+        static_cast<unsigned long long>(caps.maxNodes), caps.timeLimitSeconds);
+  }
 
-  TextTable table = paperTable();
   for (const unsigned depth : {4u, 8u, 16u}) {
-    table.addSpan("filter depth " + std::to_string(depth) +
-                  ", 8-bit samples, NO assists");
+    report.beginGroup("filter depth " + std::to_string(depth) +
+                      ", 8-bit samples, NO assists");
     for (const Method m :
          {Method::kFwd, Method::kBkwd, Method::kIci, Method::kXici}) {
       // Skip the hopeless monolithic runs at depth 16 (the paper's Table 2
@@ -38,14 +40,16 @@ int main(int argc, char** argv) {
       options.withAssists = false;
       const EngineResult r =
           runMethod(model.fsm(), m, model.fdCandidates(), options);
-      addResultRow(table, r);
+      report.add(r);
     }
   }
-  table.print(std::cout);
-  std::printf(
-      "\nReading the table: at depth 4 the ICI row equals the Bkwd row\n"
-      "(no user partition -> the method degenerates), and the XICI\n"
-      "multi-conjunct breakdowns match the per-layer assisting invariants\n"
-      "of Table 1 -- derived fully automatically.\n");
+  report.print(std::cout);
+  if (!report.jsonMode()) {
+    std::printf(
+        "\nReading the table: at depth 4 the ICI row equals the Bkwd row\n"
+        "(no user partition -> the method degenerates), and the XICI\n"
+        "multi-conjunct breakdowns match the per-layer assisting invariants\n"
+        "of Table 1 -- derived fully automatically.\n");
+  }
   return 0;
 }

@@ -22,15 +22,17 @@ int main(int argc, char** argv) {
   if (!args.has("max-nodes")) {
     caps.maxNodes = 32'000'000;  // the (4,1) XICI run peaks near 8M nodes
   }
-  std::printf("Table 3 / pipelined processor (node cap %llu, time cap %.0fs)\n\n",
-              static_cast<unsigned long long>(caps.maxNodes),
-              caps.timeLimitSeconds);
+  BenchReport report("table3_pipeline", args, caps);
+  if (!report.jsonMode()) {
+    std::printf(
+        "Table 3 / pipelined processor (node cap %llu, time cap %.0fs)\n\n",
+        static_cast<unsigned long long>(caps.maxNodes), caps.timeLimitSeconds);
+  }
 
   struct Config {
     unsigned registers;
     unsigned width;
   };
-  TextTable table = paperTable();
   // The paper's four configurations plus (4,2): on modern hardware with
   // partitioned relational images every method survives the 1994 sizes, so
   // the row where the monolithic iterate visibly outgrows the implicit list
@@ -38,8 +40,8 @@ int main(int argc, char** argv) {
   for (const Config cfg :
        {Config{2, 1}, Config{2, 2}, Config{2, 3}, Config{4, 1},
         Config{4, 2}}) {
-    table.addSpan(std::to_string(cfg.registers) + " registers, " +
-                  std::to_string(cfg.width) + "-bit datapath");
+    report.beginGroup(std::to_string(cfg.registers) + " registers, " +
+                      std::to_string(cfg.width) + "-bit datapath");
     for (const Method m :
          {Method::kFwd, Method::kBkwd, Method::kIci, Method::kXici}) {
       BddManager mgr;
@@ -47,9 +49,9 @@ int main(int argc, char** argv) {
                              {.registers = cfg.registers, .width = cfg.width});
       const EngineResult r = runMethod(model.fsm(), m, model.fdCandidates(),
                                        caps.engineOptions());
-      addResultRow(table, r);
+      report.add(r);
     }
   }
-  table.print(std::cout);
+  report.print(std::cout);
   return 0;
 }

@@ -4,7 +4,7 @@
 # skipped with a notice instead of failing, so the script is useful on
 # minimal machines; CI runs the full set.
 #
-# Usage: ci/run_checks.sh [release|sanitize|lint|all]   (default: all)
+# Usage: ci/run_checks.sh [release|sanitize|lint|bench|all]   (default: all)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,6 +20,33 @@ run_release() {
   ctest --test-dir build-werror --output-on-failure -j "${jobs}"
   ICBDD_CHECK_LEVEL=full ctest --test-dir build-werror --output-on-failure \
     -j "${jobs}"
+}
+
+run_bench_json() {
+  note "observability gate: bench --json + ICBDD_TRACE schema validation"
+  ICBDD_TRACE=build-werror/bench-trace.jsonl \
+    ./build-werror/bench/table1_fifo --json --depth 3 \
+    > build-werror/bench-table1.jsonl
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+import json
+lines = [json.loads(l)
+         for l in open('build-werror/bench-table1.jsonl') if l.strip()]
+header, cells = lines[0], lines[1:]
+assert header['schema'] == 'icbdd-bench-v1', header
+assert header['cells'] == len(cells), (header['cells'], len(cells))
+for c in cells:
+    for key in ('group', 'method', 'verdict', 'time_s', 'iterations',
+                'peak_iterate_nodes', 'member_sizes', 'metrics'):
+        assert key in c, (key, c)
+events = [json.loads(l)
+          for l in open('build-werror/bench-trace.jsonl') if l.strip()]
+assert any(e['ev'] == 'run_end' for e in events), 'trace has no run_end'
+print(f"ok: {len(cells)} bench cells, {len(events)} trace events")
+EOF
+  else
+    echo "python3 not installed -- schema validation skipped (CI runs it)"
+  fi
 }
 
 run_sanitize() {
@@ -48,11 +75,12 @@ run_lint() {
 }
 
 case "${what}" in
-  release)  run_release ;;
+  release)  run_release; run_bench_json ;;
   sanitize) run_sanitize ;;
   lint)     run_lint ;;
-  all)      run_release; run_sanitize; run_lint ;;
-  *) echo "usage: $0 [release|sanitize|lint|all]" >&2; exit 2 ;;
+  bench)    run_bench_json ;;
+  all)      run_release; run_bench_json; run_sanitize; run_lint ;;
+  *) echo "usage: $0 [release|sanitize|lint|bench|all]" >&2; exit 2 ;;
 esac
 
 note "done"

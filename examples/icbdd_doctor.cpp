@@ -19,6 +19,7 @@
 //   icbdd_doctor --bdd dump.txt
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -34,6 +35,7 @@
 #include "models/network.hpp"
 #include "models/pipeline_cpu.hpp"
 #include "models/typed_fifo.hpp"
+#include "obs/metrics.hpp"
 #include "util/cli.hpp"
 #include "verif/run_all.hpp"
 
@@ -146,6 +148,11 @@ int doctorModel(const std::string& name, const std::string& methodName) {
   std::size_t bad = auditCore(mgr);
   bad += auditIciLayer(mgr, model.fsm->property(true));
 
+  // The run's counter snapshot: when the diagnosis is CORRUPT, the metrics
+  // often localize the misbehaving layer before any debugger is attached.
+  std::printf("run metrics:\n");
+  run.metrics.print(std::cout);
+
   std::printf("diagnosis: %s\n", bad == 0 ? "CLEAN" : "CORRUPT");
   return bad == 0 ? 0 : 1;
 }
@@ -171,6 +178,11 @@ int doctorDump(const std::string& path) {
   if (!loaded.empty()) {
     bad += auditIciLayer(mgr, ConjunctList(&mgr, loaded));
   }
+
+  obs::MetricsRegistry metrics;
+  metrics.captureBdd(mgr);
+  std::printf("manager metrics:\n");
+  metrics.print(std::cout);
 
   std::printf("diagnosis: %s\n", bad == 0 ? "CLEAN" : "CORRUPT");
   return bad == 0 ? 0 : 1;

@@ -6,8 +6,24 @@
 #include "bdd/bdd.hpp"
 #include "check/check.hpp"
 #include "check/structural_checker.hpp"
+#include "obs/trace.hpp"
+#include "util/timer.hpp"
 
 namespace icb {
+
+const char* bddOpName(BddOp op) {
+  switch (op) {
+    case BddOp::kInvalid: return "invalid";
+    case BddOp::kIte: return "ite";
+    case BddOp::kAnd: return "and";
+    case BddOp::kXor: return "xor";
+    case BddOp::kExists: return "exists";
+    case BddOp::kAndExists: return "and_exists";
+    case BddOp::kRestrict: return "restrict";
+    case BddOp::kConstrain: return "constrain";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -108,6 +124,7 @@ Edge BddManager::mk(unsigned var, Edge hi, Edge lo) {
   ++stats_.uniqueLookups;
   for (std::uint32_t i = buckets_[hashNode(var, hi, lo)]; i != kNil;
        i = nodes_[i].next) {
+    ++stats_.uniqueChainSteps;
     const Node& n = nodes_[i];
     if (n.var == var && n.hi == hi && n.lo == lo) {
       return makeEdge(i, false);
@@ -159,10 +176,11 @@ std::size_t BddManager::cacheSlot(Op op, Edge f, Edge g, Edge h) const {
 }
 
 bool BddManager::cacheLookup(Op op, Edge f, Edge g, Edge h, Edge* out) {
-  ++stats_.cacheLookups;
+  BddOpCacheStats& opStats = stats_.opCache[static_cast<std::size_t>(op)];
+  ++opStats.lookups;
   const CacheEntry& e = cache_[cacheSlot(op, f, g, h)];
   if (e.op == op && e.f == f && e.g == g && e.h == h) {
-    ++stats_.cacheHits;
+    ++opStats.hits;
     *out = e.result;
     return true;
   }
@@ -193,6 +211,7 @@ void BddManager::markRecursive(std::uint32_t index,
 }
 
 std::uint64_t BddManager::gc() {
+  const Stopwatch gcWatch;
   std::vector<std::uint8_t> mark(nodes_.size(), 0);
   mark[0] = 1;
   for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
@@ -219,6 +238,13 @@ std::uint64_t BddManager::gc() {
 
   ++stats_.gcRuns;
   stats_.gcReclaimed += reclaimed;
+  if (obs::traceEnabled()) {
+    obs::emitGlobalEvent("gc", *this,
+                         obs::JsonObject()
+                             .put("reclaimed", reclaimed)
+                             .put("allocated", allocatedNodes())
+                             .put("wall_s", gcWatch.elapsedSeconds()));
+  }
   // GC is the phase boundary where every structural invariant must hold:
   // the sweep rebuilt the unique table and the free list from scratch.
   ICBDD_CHECK(kFull, auditArenaCreditingTime(*this));

@@ -17,6 +17,7 @@
 //     garbage collection, which can run at any handle-level entry point.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -31,15 +32,70 @@ namespace icb {
 class Bdd;
 class Rng;
 
-/// Aggregate operation counters, exposed for the benchmark harness.
+/// Operation kinds of the computed cache, public so the per-operation
+/// statistics below (and the obs/ metrics layer naming them) can be indexed
+/// outside the manager.  kInvalid tags empty cache slots and records no
+/// statistics.
+enum class BddOp : std::uint32_t {
+  kInvalid = 0,
+  kIte,
+  kAnd,
+  kXor,
+  kExists,
+  kAndExists,
+  kRestrict,
+  kConstrain,
+};
+
+inline constexpr std::size_t kBddOpCount = 8;  ///< including kInvalid
+
+/// Short lowercase name ("ite", "and", ...) for counter naming and reports.
+[[nodiscard]] const char* bddOpName(BddOp op);
+
+/// Computed-cache traffic for one operation kind.
+struct BddOpCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+
+  [[nodiscard]] std::uint64_t misses() const { return lookups - hits; }
+};
+
+/// Aggregate operation counters, exposed for the benchmark harness and the
+/// obs/ metrics layer.  Engines call BddManager::resetStats() on entry so a
+/// manager reused across runs (or back-to-back bench cells) reports each
+/// run's workload in isolation.
 struct BddStats {
   std::uint64_t nodesCreated = 0;   ///< total mk() allocations ever
   std::uint64_t peakNodes = 0;      ///< max arena occupancy (live + dead)
   std::uint64_t gcRuns = 0;         ///< number of collections
   std::uint64_t gcReclaimed = 0;    ///< nodes reclaimed across all GCs
-  std::uint64_t cacheLookups = 0;   ///< computed-cache probes
-  std::uint64_t cacheHits = 0;      ///< computed-cache hits
   std::uint64_t uniqueLookups = 0;  ///< unique-table probes
+  std::uint64_t uniqueChainSteps = 0;  ///< hash-chain nodes visited probing
+  std::uint64_t reorderSwaps = 0;   ///< adjacent-level swaps performed
+  std::uint64_t restrictCalls = 0;  ///< top-level restrictE invocations
+  std::uint64_t constrainCalls = 0; ///< top-level constrainE invocations
+  std::uint64_t multiRestrictCalls = 0;  ///< top-level restrictMultiE calls
+
+  /// Computed-cache hit/miss per operation kind, indexed by BddOp.
+  std::array<BddOpCacheStats, kBddOpCount> opCache{};
+
+  [[nodiscard]] const BddOpCacheStats& cacheFor(BddOp op) const {
+    return opCache[static_cast<std::size_t>(op)];
+  }
+
+  /// Aggregate probes across every operation kind.
+  [[nodiscard]] std::uint64_t cacheLookups() const {
+    std::uint64_t total = 0;
+    for (const BddOpCacheStats& s : opCache) total += s.lookups;
+    return total;
+  }
+
+  /// Aggregate hits across every operation kind.
+  [[nodiscard]] std::uint64_t cacheHits() const {
+    std::uint64_t total = 0;
+    for (const BddOpCacheStats& s : opCache) total += s.hits;
+    return total;
+  }
 };
 
 class BddManager {
@@ -104,6 +160,14 @@ class BddManager {
 
   [[nodiscard]] const BddStats& stats() const { return stats_; }
   void resetPeak() { stats_.peakNodes = allocatedNodes(); }
+
+  /// Zeroes every counter and re-bases the peak at the current occupancy.
+  /// Engines call this on entry so a reused manager (doctor runs, bench
+  /// cells sharing a manager) never bleeds one run's counters into the next.
+  void resetStats() {
+    stats_ = BddStats{};
+    stats_.peakNodes = allocatedNodes();
+  }
 
   /// Runs a full mark-and-sweep collection now.  Returns nodes reclaimed.
   std::uint64_t gc();
@@ -278,16 +342,9 @@ class BddManager {
   static constexpr std::uint32_t kMaxRef =
       std::numeric_limits<std::uint32_t>::max();
 
-  enum class Op : std::uint32_t {
-    kInvalid = 0,
-    kIte,
-    kAnd,
-    kXor,
-    kExists,
-    kAndExists,
-    kRestrict,
-    kConstrain,
-  };
+  // Operation tags for the computed cache; the public BddOp so per-op
+  // statistics and the cache auditor's re-execution switch share one enum.
+  using Op = BddOp;
 
   struct CacheEntry {
     Edge f = 0, g = 0, h = 0;

@@ -20,6 +20,8 @@
 #include "bdd/manager.hpp"
 #include "check/check.hpp"
 #include "check/structural_checker.hpp"
+#include "obs/trace.hpp"
+#include "util/timer.hpp"
 
 namespace icb {
 
@@ -65,6 +67,7 @@ void BddManager::swapAdjacentLevels(unsigned level) {
   level2var_[level + 1] = x;
   var2level_[x] = level + 1;
   var2level_[y] = level;
+  ++stats_.reorderSwaps;
 
   // Rewritten nodes sit in stale unique-table chains; rebuild.
   rehash(buckets_.size());
@@ -76,6 +79,8 @@ void BddManager::swapAdjacentLevels(unsigned level) {
 }
 
 std::int64_t BddManager::sift(std::uint64_t maxGrowth) {
+  const Stopwatch siftWatch;
+  const std::uint64_t swapsBefore = stats_.reorderSwaps;
   gc();
   const std::int64_t before = static_cast<std::int64_t>(liveNodes());
   if (maxGrowth == 0) maxGrowth = static_cast<std::uint64_t>(before) * 2 + 1024;
@@ -127,6 +132,14 @@ std::int64_t BddManager::sift(std::uint64_t maxGrowth) {
   }
 
   const std::int64_t after = static_cast<std::int64_t>(liveNodes());
+  if (obs::traceEnabled()) {
+    obs::emitGlobalEvent("reorder", *this,
+                         obs::JsonObject()
+                             .put("swaps", stats_.reorderSwaps - swapsBefore)
+                             .put("live_before", static_cast<std::int64_t>(before))
+                             .put("live_after", static_cast<std::int64_t>(after))
+                             .put("wall_s", siftWatch.elapsedSeconds()));
+  }
   ICBDD_CHECK(kFull, auditArenaCreditingTime(*this));
   return after - before;
 }

@@ -25,11 +25,13 @@ namespace icb {
 
 Edge BddManager::restrictE(Edge f, Edge c) {
   ICBDD_CHECK(kCheap, validateEdge(f); validateEdge(c));
+  ++stats_.restrictCalls;
   return restrictRec(f, c);
 }
 
 Edge BddManager::constrainE(Edge f, Edge c) {
   ICBDD_CHECK(kCheap, validateEdge(f); validateEdge(c));
+  ++stats_.constrainCalls;
   return constrainRec(f, c);
 }
 

@@ -126,6 +126,7 @@ class MultiRestrictor {
 }  // namespace
 
 Edge BddManager::restrictMultiE(Edge f, std::span<const Edge> cares) {
+  ++stats_.multiRestrictCalls;
   MultiRestrictor restrictor(*this);
   return restrictor.run(f, std::vector<Edge>(cares.begin(), cares.end()));
 }

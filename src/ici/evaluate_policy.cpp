@@ -23,12 +23,20 @@ EvaluatePolicyResult greedyEvaluate(ConjunctList& list,
   PairTable table(*mgr, list.items(), options.pairTable);
   while (table.count() >= 2) {
     const auto best = table.best();
-    if (!best || best->ratio > options.growThreshold) break;
+    if (!best) break;
+    if (best->ratio > options.growThreshold) {
+      ++result.rejections;
+      result.rejectedRatio = best->ratio;
+      break;
+    }
     table.merge(best->i, best->j);
     ++result.merges;
+    result.acceptedRatios.push_back(best->ratio);
     if (options.maxMerges != 0 && result.merges >= options.maxMerges) break;
   }
   result.abortedPairBuilds = table.abortedBuilds();
+  result.pairEntriesBuilt = table.entriesBuilt();
+  result.pairEntriesReused = table.entriesReused();
   ICBDD_CHECK(kFull, IciChecker(*mgr).checkPairTable(table).throwIfBroken());
 
   list = ConjunctList(mgr, table.conjuncts());
@@ -57,7 +65,12 @@ EvaluatePolicyResult evaluateAndSimplify(ConjunctList& list,
 
   EvaluatePolicyResult greedy = greedyEvaluate(list, options);
   result.merges = greedy.merges;
+  result.rejections = greedy.rejections;
   result.abortedPairBuilds = greedy.abortedPairBuilds;
+  result.pairEntriesBuilt = greedy.pairEntriesBuilt;
+  result.pairEntriesReused = greedy.pairEntriesReused;
+  result.acceptedRatios = std::move(greedy.acceptedRatios);
+  result.rejectedRatio = greedy.rejectedRatio;
   result.sizeAfter = greedy.sizeAfter;
   return result;
 }

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "ici/conjunct_list.hpp"
 #include "ici/pair_table.hpp"
@@ -38,8 +39,15 @@ struct EvaluatePolicyResult {
   std::uint64_t sizeBefore = 0;  ///< shared node count before
   std::uint64_t sizeAfter = 0;
   unsigned merges = 0;           ///< pairs evaluated explicitly
+  unsigned rejections = 0;       ///< loop exits because r_min > GrowThreshold
   unsigned simplifyApplications = 0;
   std::uint64_t abortedPairBuilds = 0;
+  std::uint64_t pairEntriesBuilt = 0;   ///< P_ij conjunctions computed
+  std::uint64_t pairEntriesReused = 0;  ///< P_ij entries kept across merges
+  /// The winning Figure 1 ratio of each accepted merge, in merge order.
+  std::vector<double> acceptedRatios;
+  /// The r_min that ended the loop (0 when it ended for another reason).
+  double rejectedRatio = 0.0;
 };
 
 /// Applies the Section III.A policy to `list` in place: cross-simplify with

@@ -15,6 +15,7 @@ PairTable::PairTable(BddManager& mgr, std::vector<Bdd> conjuncts,
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
       table_[i][j] = buildEntry(i, j);
+      ++built_;
       if (table_[i][j].aborted) ++aborted_;
     }
   }
@@ -85,6 +86,10 @@ void PairTable::merge(std::size_t i, std::size_t j) {
     row.erase(row.begin() + static_cast<std::ptrdiff_t>(j));
   }
 
+  // Every surviving entry not touching the merged slot is kept as-is.
+  const std::size_t n = conjuncts_.size();
+  if (n >= 2) reused_ += (n - 1) * (n - 2) / 2;
+
   rebuildRow(i);
 }
 
@@ -95,6 +100,7 @@ void PairTable::rebuildRow(std::size_t i) {
     const std::size_t a = std::min(i, k);
     const std::size_t b = std::max(i, k);
     table_[a][b] = buildEntry(a, b);
+    ++built_;
     if (table_[a][b].aborted) ++aborted_;
   }
 }

@@ -51,6 +51,11 @@ class PairTable {
   void merge(std::size_t i, std::size_t j);
 
   [[nodiscard]] std::uint64_t abortedBuilds() const { return aborted_; }
+  /// P_ij conjunctions actually computed (construction + row rebuilds).
+  [[nodiscard]] std::uint64_t entriesBuilt() const { return built_; }
+  /// Entries carried across a merge unchanged -- the incremental-update
+  /// payoff over rebuilding the whole table each round.
+  [[nodiscard]] std::uint64_t entriesReused() const { return reused_; }
 
  private:
   // The ICI invariant checker verifies entries against freshly computed
@@ -74,6 +79,8 @@ class PairTable {
   std::vector<std::vector<Entry>> table_;  // table_[i][j] valid for j > i
   PairTableOptions options_;
   std::uint64_t aborted_ = 0;
+  std::uint64_t built_ = 0;
+  std::uint64_t reused_ = 0;
 };
 
 }  // namespace icb

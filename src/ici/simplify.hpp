@@ -39,6 +39,12 @@ struct SimplifyResult {
   std::uint64_t sizeAfter = 0;   ///< shared node count after
   unsigned passes = 0;
   unsigned applications = 0;     ///< Restrict calls that were kept
+
+  /// Net shrinkage (saturating: keepOnlyShrinking can still leave growth
+  /// when disabled, and a grown list saved nothing).
+  [[nodiscard]] std::uint64_t nodesSaved() const {
+    return sizeBefore > sizeAfter ? sizeBefore - sizeAfter : 0;
+  }
 };
 
 /// Simplifies `list` in place; the denoted conjunction is unchanged.

@@ -8,21 +8,23 @@ namespace icb {
 
 namespace {
 
+enum class ScanVerdict { kOpen, kStep1Tautology, kStep2Tautology };
+
 /// Step 1 + step 2 bookkeeping: drops FALSEs and duplicates in place.
-/// Returns true when the disjunction is already known to be a tautology
-/// (a TRUE member or a complementary pair).
-bool constantAndComplementScan(std::vector<Edge>& d) {
+/// Reports which rule (if any) already proves the disjunction a tautology
+/// (a TRUE member is step 1, a complementary pair step 2).
+ScanVerdict constantAndComplementScan(std::vector<Edge>& d) {
   std::unordered_set<Edge> seen;
   std::vector<Edge> kept;
   kept.reserve(d.size());
   for (const Edge e : d) {
-    if (e == kTrueEdge) return true;  // step 1
-    if (e == kFalseEdge) continue;    // step 1
-    if (seen.count(edgeNot(e)) != 0) return true;  // step 2: complements
+    if (e == kTrueEdge) return ScanVerdict::kStep1Tautology;
+    if (e == kFalseEdge) continue;  // step 1: drop
+    if (seen.count(edgeNot(e)) != 0) return ScanVerdict::kStep2Tautology;
     if (seen.insert(e).second) kept.push_back(e);  // step 2: duplicates
   }
   d = std::move(kept);
-  return false;
+  return ScanVerdict::kOpen;
 }
 
 }  // namespace
@@ -35,9 +37,15 @@ bool TerminationChecker::tautRec(std::vector<Edge> d, std::uint64_t depth) {
   ++stats_.tautologyCalls;
   stats_.maxDepth = std::max(stats_.maxDepth, depth);
 
-  if (constantAndComplementScan(d)) {
-    ++stats_.step2Hits;
-    return true;
+  switch (constantAndComplementScan(d)) {
+    case ScanVerdict::kStep1Tautology:
+      ++stats_.step1Hits;
+      return true;
+    case ScanVerdict::kStep2Tautology:
+      ++stats_.step2Hits;
+      return true;
+    case ScanVerdict::kOpen:
+      break;
   }
   if (d.empty()) return false;            // empty disjunction is FALSE
   if (d.size() == 1) return false;        // single non-TRUE member
@@ -66,7 +74,9 @@ bool TerminationChecker::tautRec(std::vector<Edge> d, std::uint64_t depth) {
         }
       }
     }
-    if (changed && constantAndComplementScan(d)) {
+    // Any conclusion the re-scan reaches was exposed by the Restrict pass,
+    // so it is attributed to step 3 regardless of the closing rule.
+    if (changed && constantAndComplementScan(d) != ScanVerdict::kOpen) {
       ++stats_.step3Hits;
       return true;
     }

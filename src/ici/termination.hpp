@@ -49,6 +49,7 @@ struct TerminationOptions {
 struct TerminationStats {
   std::uint64_t tautologyCalls = 0;      ///< recursive step-1..4 invocations
   std::uint64_t shannonExpansions = 0;   ///< step-4 activations
+  std::uint64_t step1Hits = 0;           ///< constant-TRUE-member conclusions
   std::uint64_t step2Hits = 0;           ///< complement-pair conclusions
   std::uint64_t step3Hits = 0;           ///< pairwise/Restrict conclusions
   std::uint64_t implicationChecks = 0;   ///< X => Y_k sub-problems

@@ -1,0 +1,101 @@
+// Minimal JSON support for the observability layer: an incremental object
+// builder for emitting JSONL trace events and machine-readable bench output,
+// and a small recursive-descent reader for the trace tooling and the schema
+// round-trip tests.  Deliberately tiny -- this is not a general JSON library,
+// just enough for the schemas documented in docs/observability.md.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace icb::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes excluded).
+[[nodiscard]] std::string jsonEscape(std::string_view s);
+
+/// Renders a double the way the trace schema expects: plain decimal, enough
+/// precision to round-trip the timings we record, never NaN/Inf (clamped to
+/// 0 -- JSON has no spelling for them).
+[[nodiscard]] std::string jsonNumber(double value);
+
+[[nodiscard]] std::string jsonArray(std::span<const std::uint64_t> values);
+[[nodiscard]] std::string jsonArray(std::span<const double> values);
+
+/// Builds one {"key":value,...} object incrementally.  Keys are emitted in
+/// call order; callers are responsible for uniqueness.
+class JsonObject {
+ public:
+  JsonObject() : out_("{") {}
+
+  JsonObject& put(std::string_view key, std::string_view value);
+  JsonObject& put(std::string_view key, const char* value) {
+    return put(key, std::string_view(value));
+  }
+  JsonObject& put(std::string_view key, const std::string& value) {
+    return put(key, std::string_view(value));
+  }
+  JsonObject& put(std::string_view key, bool value);
+  JsonObject& put(std::string_view key, double value);
+  JsonObject& put(std::string_view key, std::uint64_t value);
+  JsonObject& put(std::string_view key, std::int64_t value);
+  JsonObject& put(std::string_view key, unsigned value) {
+    return put(key, static_cast<std::uint64_t>(value));
+  }
+  JsonObject& put(std::string_view key, int value) {
+    return put(key, static_cast<std::int64_t>(value));
+  }
+  /// Splices pre-rendered JSON (a nested object or array) as the value.
+  JsonObject& putRaw(std::string_view key, std::string_view rawJson);
+
+  /// Closes the object and returns it.  The builder must not be reused.
+  [[nodiscard]] std::string str() && {
+    out_ += '}';
+    return std::move(out_);
+  }
+
+ private:
+  void keyPrefix(std::string_view key);
+
+  std::string out_;
+  bool first_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// reader
+
+/// One parsed JSON value.  Numbers are kept as doubles (every counter the
+/// schemas emit fits a double's 53-bit mantissa comfortably).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  [[nodiscard]] double numberOr(double def) const {
+    return kind == Kind::kNumber ? number : def;
+  }
+  [[nodiscard]] std::string_view textOr(std::string_view def) const {
+    return kind == Kind::kString ? std::string_view(text) : def;
+  }
+};
+
+/// Parses one JSON document.  Throws std::runtime_error on malformed input
+/// or trailing garbage.
+[[nodiscard]] JsonValue parseJson(std::string_view text);
+
+/// Parses a JSONL stream: one JSON value per non-empty line.
+[[nodiscard]] std::vector<JsonValue> parseJsonLines(std::istream& in);
+
+}  // namespace icb::obs

@@ -1,0 +1,75 @@
+// Cold-path metrics aggregation.
+//
+// The hot paths keep their statistics in plain per-object structs (BddStats,
+// TerminationStats, EvaluatePolicyResult, ...) -- no maps, no atomics, no
+// string keys anywhere near an inner loop.  A MetricsRegistry is the
+// *snapshot* side: engines and tools fold those native structs into one
+// flat, dotted-name catalog (bdd.cache.ite.hits, ici.term.step4_shannon,
+// ...) that prints uniformly and serializes to JSON for the bench --json
+// output.  docs/observability.md lists every name the capture helpers emit.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace icb {
+class BddManager;
+struct TerminationStats;
+struct EvaluatePolicyResult;
+struct SimplifyResult;
+}  // namespace icb
+
+namespace icb::obs {
+
+/// A named bag of monotonic counters (uint64, merged by addition) and
+/// gauges (double, merged by last-writer-wins unless noted).  Ordered maps
+/// keep the output deterministic.
+class MetricsRegistry {
+ public:
+  void add(std::string_view name, std::uint64_t delta = 1);
+  void setGauge(std::string_view name, double value);
+  /// Keeps the larger of the existing gauge and `value` (for high-water
+  /// marks like recursion depth, where merging runs must not lose the peak).
+  void setGaugeMax(std::string_view name, double value);
+
+  /// Reads a counter; absent names read as 0.
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  /// Reads a gauge; absent names read as 0.0.
+  [[nodiscard]] double gauge(std::string_view name) const;
+
+  [[nodiscard]] bool empty() const {
+    return counters_.empty() && gauges_.empty();
+  }
+  void clear();
+
+  /// Folds `other` in: counters add, gauges overwrite (latest wins).
+  void merge(const MetricsRegistry& other);
+
+  // -- capture helpers: native stat structs -> catalog names --------------
+  void captureBdd(const BddManager& mgr);
+  void captureTermination(const TerminationStats& stats);
+  void capturePolicy(const EvaluatePolicyResult& result);
+  void captureSimplify(const SimplifyResult& result);
+
+  /// One JSON object: {"counters": {...}, "gauges": {...}}.
+  [[nodiscard]] std::string toJson() const;
+
+  /// Aligned name = value lines, one metric per line.
+  void print(std::ostream& os, std::string_view indent = "  ") const;
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, double>& gauges() const {
+    return gauges_;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+};
+
+}  // namespace icb::obs

@@ -1,0 +1,204 @@
+#include "obs/trace.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <stdexcept>
+
+#include "bdd/manager.hpp"
+
+namespace icb::obs {
+
+// ---------------------------------------------------------------------------
+// sink
+
+TraceSink::TraceSink(const std::string& path)
+    : owned_(path, std::ios::out | std::ios::trunc), os_(&owned_) {
+  if (!owned_) {
+    throw std::runtime_error("TraceSink: cannot open '" + path + "'");
+  }
+}
+
+void TraceSink::writeLine(std::string_view line) {
+  const Stopwatch watch;
+  os_->write(line.data(), static_cast<std::streamsize>(line.size()));
+  os_->put('\n');
+  ++lines_;
+  writeSeconds_ += watch.elapsedSeconds();
+}
+
+void TraceSink::flush() {
+  const Stopwatch watch;
+  os_->flush();
+  writeSeconds_ += watch.elapsedSeconds();
+}
+
+// ---------------------------------------------------------------------------
+// process-wide default sink, installed from ICBDD_TRACE at startup
+
+namespace {
+
+const Stopwatch g_traceEpoch;
+
+/// Owns the sink built from the environment, when there is one.
+std::unique_ptr<TraceSink>& envSinkHolder() {
+  static std::unique_ptr<TraceSink> holder;
+  return holder;
+}
+
+TraceSink* sinkFromEnv() {
+  const char* env = std::getenv("ICBDD_TRACE");
+  if (env == nullptr) return nullptr;
+  const std::string value(env);
+  if (value.empty() || value == "off" || value == "0" || value == "none") {
+    return nullptr;
+  }
+  try {
+    if (value == "stderr") {
+      envSinkHolder() = std::make_unique<TraceSink>(std::cerr);
+    } else if (value == "stdout") {
+      envSinkHolder() = std::make_unique<TraceSink>(std::cout);
+    } else {
+      envSinkHolder() = std::make_unique<TraceSink>(value);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "ICBDD_TRACE: " << e.what() << " -- tracing disabled\n";
+    return nullptr;
+  }
+  return envSinkHolder().get();
+}
+
+}  // namespace
+
+namespace trace_detail {
+std::atomic<TraceSink*> g_sink{sinkFromEnv()};
+}  // namespace trace_detail
+
+void setDefaultTraceSink(TraceSink* sink) {
+  trace_detail::g_sink.store(sink, std::memory_order_relaxed);
+}
+
+double traceClockSeconds() { return g_traceEpoch.elapsedSeconds(); }
+
+// ---------------------------------------------------------------------------
+// deadline crediting
+
+namespace {
+
+void creditDeadline(BddManager* mgr, double seconds) {
+  if (mgr == nullptr || seconds <= 0.0) return;
+  ResourceLimits limits = mgr->limits();
+  if (!limits.deadline.isSet()) return;
+  limits.deadline.extendBySeconds(seconds);
+  mgr->setLimits(limits);
+}
+
+}  // namespace
+
+void emitGlobalEvent(std::string_view event, BddManager& mgr,
+                     JsonObject fields) {
+  TraceSink* sink = defaultTraceSink();
+  if (sink == nullptr) return;
+  const Stopwatch watch;
+  std::string line = std::move(JsonObject()
+                                   .put("ev", event)
+                                   .put("t", traceClockSeconds()))
+                         .str();
+  // Splice the caller's fields into the envelope: "{...}" + "{...}".
+  std::string body = std::move(fields).str();
+  line.back() = ',';           // replace the closing '}' of the envelope
+  line += body.substr(1);      // drop the opening '{' of the body
+  sink->writeLine(line);
+  creditDeadline(&mgr, watch.elapsedSeconds());
+}
+
+// ---------------------------------------------------------------------------
+// session
+
+void TraceSession::writeCrediting(const Stopwatch& sinceEmitEntry,
+                                  std::string&& line) {
+  sink_->writeLine(line);
+  creditDeadline(mgr_, sinceEmitEntry.elapsedSeconds());
+}
+
+void TraceSession::runBegin(std::string_view method, std::string_view detail) {
+  if (!enabled()) return;
+  const Stopwatch watch;
+  JsonObject obj;
+  obj.put("ev", "run_begin").put("t", traceClockSeconds()).put("method", method);
+  if (!detail.empty()) obj.put("detail", detail);
+  writeCrediting(watch, std::move(obj).str());
+}
+
+void TraceSession::runEnd(std::string_view verdict, unsigned iterations,
+                          double seconds, std::uint64_t peakIterateNodes,
+                          std::uint64_t peakAllocatedNodes) {
+  if (!enabled()) return;
+  const Stopwatch watch;
+  writeCrediting(watch, std::move(JsonObject()
+                                      .put("ev", "run_end")
+                                      .put("t", traceClockSeconds())
+                                      .put("verdict", verdict)
+                                      .put("iterations", iterations)
+                                      .put("seconds", seconds)
+                                      .put("peak_iterate_nodes", peakIterateNodes)
+                                      .put("peak_allocated_nodes",
+                                           peakAllocatedNodes))
+                            .str());
+  sink_->flush();
+}
+
+void TraceSession::phaseBegin(std::string_view phase, std::uint64_t iteration) {
+  if (!enabled()) return;
+  const Stopwatch watch;
+  open_.push_back(OpenSpan{std::string(phase), iteration, traceClockSeconds()});
+  writeCrediting(watch, std::move(JsonObject()
+                                      .put("ev", "phase_begin")
+                                      .put("t", open_.back().startSeconds)
+                                      .put("phase", phase)
+                                      .put("iter", iteration))
+                            .str());
+}
+
+void TraceSession::phaseEnd(std::string_view phase, std::uint64_t iteration,
+                            std::uint64_t allocatedNodes,
+                            std::uint64_t peakNodes,
+                            std::span<const std::uint64_t> conjunctSizes) {
+  if (!enabled()) return;
+  const Stopwatch watch;
+  double wall = 0.0;
+  if (!open_.empty() && open_.back().phase == phase &&
+      open_.back().iteration == iteration) {
+    wall = traceClockSeconds() - open_.back().startSeconds;
+    open_.pop_back();
+  }
+  std::uint64_t total = 0;
+  for (const std::uint64_t s : conjunctSizes) total += s;
+  writeCrediting(watch,
+                 std::move(JsonObject()
+                               .put("ev", "phase_end")
+                               .put("t", traceClockSeconds())
+                               .put("phase", phase)
+                               .put("iter", iteration)
+                               .put("wall_s", wall)
+                               .put("allocated_nodes", allocatedNodes)
+                               .put("peak_nodes", peakNodes)
+                               .put("iterate_nodes", total)
+                               .putRaw("conjunct_sizes", jsonArray(conjunctSizes)))
+                     .str());
+}
+
+void TraceSession::emit(std::string_view event, JsonObject fields) {
+  if (!enabled()) return;
+  const Stopwatch watch;
+  std::string line = std::move(JsonObject()
+                                   .put("ev", event)
+                                   .put("t", traceClockSeconds()))
+                         .str();
+  std::string body = std::move(fields).str();
+  line.back() = ',';
+  line += body.substr(1);
+  writeCrediting(watch, std::move(line));
+}
+
+}  // namespace icb::obs

@@ -1,0 +1,144 @@
+// JSONL run tracing for the verification engines and the BDD core.
+//
+// A TraceSession emits one JSON object per line (docs/observability.md has
+// the schema): run_begin / run_end bracketing an engine run, phase_begin /
+// phase_end spans for each backward- or forward-image iteration (carrying
+// wall time, live-node counts, and the per-conjunct size vector), and
+// loose events for the ICI policy passes, termination tests, GC, and
+// reordering.
+//
+// Enablement mirrors the ICBDD_CHECK_LEVEL design from src/check/:
+//
+//   * the ICBDD_TRACE environment variable installs a process-wide sink at
+//     startup ("off" / "0" / "" disable; "stderr" / "stdout" stream there;
+//     anything else is a file path, truncated on open);
+//   * EngineOptions::traceSink overrides the process sink for one run;
+//   * every emit path starts with an inline null-check, so a disabled
+//     session costs one pointer compare per call site and never allocates
+//     (verified by the zero-allocation test and a microbench).
+//
+// Emission time is credited back to the manager's resource deadline the
+// same way ICBDD_CHECK audits credit theirs, so tracing a resource-capped
+// bench can never flip its verdict to a spurious timeout.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/jsonl.hpp"
+#include "util/timer.hpp"
+
+namespace icb {
+class BddManager;
+}  // namespace icb
+
+namespace icb::obs {
+
+/// Destination for JSONL trace lines.  Accounts the wall time spent writing
+/// so callers can exclude sink flushes from resource-capped phases.  Not
+/// thread-safe (the package is single-threaded).
+class TraceSink {
+ public:
+  /// Writes to a borrowed stream (kept alive by the caller).
+  explicit TraceSink(std::ostream& os) : os_(&os) {}
+
+  /// Opens (and truncates) `path`; throws std::runtime_error on failure.
+  explicit TraceSink(const std::string& path);
+
+  void writeLine(std::string_view line);
+  void flush();
+
+  [[nodiscard]] double writeSeconds() const { return writeSeconds_; }
+  [[nodiscard]] std::uint64_t linesWritten() const { return lines_; }
+
+ private:
+  std::ofstream owned_;
+  std::ostream* os_ = nullptr;
+  double writeSeconds_ = 0.0;
+  std::uint64_t lines_ = 0;
+};
+
+namespace trace_detail {
+extern std::atomic<TraceSink*> g_sink;  // installed from ICBDD_TRACE
+}  // namespace trace_detail
+
+/// The process-wide default sink (nullptr when tracing is off).
+[[nodiscard]] inline TraceSink* defaultTraceSink() {
+  return trace_detail::g_sink.load(std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline bool traceEnabled() {
+  return defaultTraceSink() != nullptr;
+}
+
+/// Replaces the process-wide sink (nullptr disables).  The caller keeps
+/// ownership of the sink and must outlive any traced work.
+void setDefaultTraceSink(TraceSink* sink);
+
+/// Seconds since the process-wide trace epoch; every event's "t" field uses
+/// this clock so events from different sessions interleave consistently.
+[[nodiscard]] double traceClockSeconds();
+
+/// Emits a one-shot event on the process-wide sink, crediting the emission
+/// time back to `mgr`'s deadline.  Used by BddManager phases (GC, reorder)
+/// that have no session.  Callers must guard with traceEnabled() so the
+/// disabled path never builds the JsonObject.
+void emitGlobalEvent(std::string_view event, BddManager& mgr, JsonObject fields);
+
+/// One engine run's (or bench cell's) trace stream.
+///
+/// The sink is resolved at construction: an explicit sink wins, else the
+/// process-wide ICBDD_TRACE sink, else the session is disabled.  When a
+/// manager is attached, the time spent building and writing every event is
+/// credited back to its deadline (the BenchCaps "tracing must not flip a
+/// verdict" guarantee).
+class TraceSession {
+ public:
+  explicit TraceSession(TraceSink* sink = nullptr, BddManager* creditMgr = nullptr)
+      : sink_(sink != nullptr ? sink : defaultTraceSink()), mgr_(creditMgr) {}
+
+  [[nodiscard]] bool enabled() const { return sink_ != nullptr; }
+  [[nodiscard]] TraceSink* sink() const { return sink_; }
+
+  /// Opens the run span.  `method` is the engine name, `detail` optional
+  /// free-form context (model name, variable count).
+  void runBegin(std::string_view method, std::string_view detail = {});
+
+  /// Closes the run span.  `verdict` is verdictName(result.verdict).
+  void runEnd(std::string_view verdict, unsigned iterations, double seconds,
+              std::uint64_t peakIterateNodes, std::uint64_t peakAllocatedNodes);
+
+  /// Opens an iteration span.  Nested spans close innermost-first.
+  void phaseBegin(std::string_view phase, std::uint64_t iteration);
+
+  /// Closes the innermost span opened with `phase`/`iteration`, recording
+  /// its wall time, the manager-independent iterate sizes, and node counts.
+  void phaseEnd(std::string_view phase, std::uint64_t iteration,
+                std::uint64_t allocatedNodes, std::uint64_t peakNodes,
+                std::span<const std::uint64_t> conjunctSizes);
+
+  /// Emits one arbitrary event.  Build the JsonObject only after checking
+  /// enabled() -- the builder allocates.
+  void emit(std::string_view event, JsonObject fields);
+
+ private:
+  struct OpenSpan {
+    std::string phase;
+    std::uint64_t iteration;
+    double startSeconds;
+  };
+
+  void writeCrediting(const Stopwatch& sinceEmitEntry, std::string&& line);
+
+  TraceSink* sink_;
+  BddManager* mgr_;
+  std::vector<OpenSpan> open_;
+};
+
+}  // namespace icb::obs

@@ -4,6 +4,7 @@
 
 #include "check/check.hpp"
 #include "check/structural_checker.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 #include "verif/counterexample.hpp"
 #include "verif/limit_guard.hpp"
@@ -16,8 +17,10 @@ EngineResult runBackward(Fsm& fsm, const EngineOptions& options) {
   EngineResult result;
   result.method = Method::kBkwd;
   Stopwatch watch;
-  mgr.resetPeak();
+  mgr.resetStats();
   LimitGuard guard(mgr, options);
+  obs::TraceSession trace(options.traceSink, &mgr);
+  trace.runBegin(methodName(result.method));
 
   try {
     const ConjunctList property = fsm.property(options.withAssists);
@@ -43,11 +46,17 @@ EngineResult runBackward(Fsm& fsm, const EngineOptions& options) {
         break;
       }
 
+      trace.phaseBegin("back_image", result.iterations + 1);
       const Bdd next = g0 & fsm.backImage(g);
       ++result.iterations;
       // Phase boundary: this step's iterate is complete; at kFull,
       // audit the whole arena before trusting it.
       ICBDD_CHECK(kFull, auditArenaCreditingTime(mgr));
+      if (trace.enabled()) {
+        const std::uint64_t sizes[] = {next.size()};
+        trace.phaseEnd("back_image", result.iterations, mgr.allocatedNodes(),
+                       mgr.stats().peakNodes, sizes);
+      }
       if (next == g) {  // canonical form: O(1) convergence test
         result.verdict = Verdict::kHolds;
         break;
@@ -64,6 +73,9 @@ EngineResult runBackward(Fsm& fsm, const EngineOptions& options) {
   result.seconds = watch.elapsedSeconds();
   result.peakAllocatedNodes = mgr.stats().peakNodes;
   result.memBytesEstimate = BddManager::bytesForNodes(result.peakAllocatedNodes);
+  result.metrics.captureBdd(mgr);
+  trace.runEnd(verdictName(result.verdict), result.iterations, result.seconds,
+               result.peakIterateNodes, result.peakAllocatedNodes);
   return result;
 }
 

@@ -15,9 +15,14 @@
 
 #include "ici/evaluate_policy.hpp"
 #include "ici/termination.hpp"
+#include "obs/metrics.hpp"
 #include "sym/image.hpp"
 
 namespace icb {
+
+namespace obs {
+class TraceSink;
+}  // namespace obs
 
 enum class Verdict {
   kHolds,           ///< fixpoint reached, property holds in all reachable states
@@ -45,6 +50,9 @@ struct EngineOptions {
   bool withAssists = false;
   /// Produce a counterexample trace on violation.
   bool wantTrace = true;
+  /// JSONL observability sink for this run (not the counterexample trace).
+  /// Null falls back to the process-wide ICBDD_TRACE sink; see obs/trace.hpp.
+  obs::TraceSink* traceSink = nullptr;
 
   EvaluatePolicyOptions policy;     ///< XICI evaluation policy knobs
   TerminationOptions termination;   ///< XICI exact-test knobs
@@ -78,6 +86,9 @@ struct EngineResult {
   std::string note;
   std::optional<Trace> trace;
   TerminationStats terminationStats;  ///< XICI only
+  /// Counter/gauge snapshot of the run (BDD core always; ICI policy and
+  /// termination metrics where the method uses them).
+  obs::MetricsRegistry metrics;
 
   [[nodiscard]] bool holds() const { return verdict == Verdict::kHolds; }
   [[nodiscard]] bool violated() const { return verdict == Verdict::kViolated; }

@@ -6,6 +6,7 @@
 
 #include "check/check.hpp"
 #include "check/structural_checker.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 #include "sym/image.hpp"
 #include "verif/limit_guard.hpp"
@@ -57,8 +58,10 @@ EngineResult runFdForward(Fsm& fsm, std::vector<unsigned> candidateBits,
   EngineResult result;
   result.method = Method::kFd;
   Stopwatch watch;
-  mgr.resetPeak();
+  mgr.resetStats();
   LimitGuard guard(mgr, options);
+  obs::TraceSession trace(options.traceSink, &mgr);
+  trace.runBegin(methodName(result.method));
 
   try {
     const ConjunctList property = fsm.property(options.withAssists);
@@ -133,6 +136,7 @@ EngineResult runFdForward(Fsm& fsm, std::vector<unsigned> candidateBits,
       }
 
       // ---- image over the independent bits -------------------------------
+      trace.phaseBegin("image", result.iterations + 1);
       const std::vector<unsigned> ind = independentBits();
       std::vector<Bdd> nextFns(fsm.vars().stateBitCount());
       for (unsigned k = 0; k < fsm.vars().stateBitCount(); ++k) {
@@ -200,7 +204,15 @@ EngineResult runFdForward(Fsm& fsm, std::vector<unsigned> candidateBits,
           imageH[d] = a1;
         }
       }
-      if (promoted) continue;  // rebuild images with the bit independent
+      if (promoted) {
+        // Close the span: this attempt's work is re-done next pass with the
+        // promoted bit independent, under the same iteration number.
+        if (trace.enabled()) {
+          trace.phaseEnd("image", result.iterations + 1, mgr.allocatedNodes(),
+                         mgr.stats().peakNodes, {});
+        }
+        continue;  // rebuild images with the bit independent
+      }
 
       // ---- consistency on the overlap, then unite -------------------------
       const Bdd overlap = reduced & image;
@@ -210,12 +222,24 @@ EngineResult runFdForward(Fsm& fsm, std::vector<unsigned> candidateBits,
           promoted = true;
         }
       }
-      if (promoted) continue;
+      if (promoted) {
+        if (trace.enabled()) {
+          trace.phaseEnd("image", result.iterations + 1, mgr.allocatedNodes(),
+                         mgr.stats().peakNodes, {});
+        }
+        continue;
+      }
 
       ++result.iterations;
       // Phase boundary: this step's iterate is complete; at kFull,
       // audit the whole arena before trusting it.
       ICBDD_CHECK(kFull, auditArenaCreditingTime(mgr));
+      if (trace.enabled()) {
+        std::vector<std::uint64_t> sizes{reduced.size()};
+        for (const Dep& d : deps) sizes.push_back(d.h.size());
+        trace.phaseEnd("image", result.iterations, mgr.allocatedNodes(),
+                       mgr.stats().peakNodes, sizes);
+      }
 
       // Converged when the image adds no new independent-part states AND
       // the image dependencies agree with the current ones on the image.
@@ -247,6 +271,9 @@ EngineResult runFdForward(Fsm& fsm, std::vector<unsigned> candidateBits,
   result.seconds = watch.elapsedSeconds();
   result.peakAllocatedNodes = mgr.stats().peakNodes;
   result.memBytesEstimate = BddManager::bytesForNodes(result.peakAllocatedNodes);
+  result.metrics.captureBdd(mgr);
+  trace.runEnd(verdictName(result.verdict), result.iterations, result.seconds,
+               result.peakIterateNodes, result.peakAllocatedNodes);
   return result;
 }
 

@@ -4,6 +4,7 @@
 
 #include "check/check.hpp"
 #include "check/structural_checker.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 #include "verif/counterexample.hpp"
 #include "verif/limit_guard.hpp"
@@ -16,8 +17,10 @@ EngineResult runForward(Fsm& fsm, const EngineOptions& options) {
   EngineResult result;
   result.method = Method::kFwd;
   Stopwatch watch;
-  mgr.resetPeak();
+  mgr.resetStats();
   LimitGuard guard(mgr, options);
+  obs::TraceSession trace(options.traceSink, &mgr);
+  trace.runBegin(methodName(result.method));
 
   try {
     const ConjunctList property = fsm.property(options.withAssists);
@@ -52,6 +55,7 @@ EngineResult runForward(Fsm& fsm, const EngineOptions& options) {
         break;
       }
 
+      trace.phaseBegin("image", result.iterations + 1);
       const Bdd frontier = rings.back();
       const Bdd next = imager.image(frontier);
       const Bdd fresh = next & !reached;
@@ -59,6 +63,11 @@ EngineResult runForward(Fsm& fsm, const EngineOptions& options) {
       // Phase boundary: this step's iterate is complete; at kFull,
       // audit the whole arena before trusting it.
       ICBDD_CHECK(kFull, auditArenaCreditingTime(mgr));
+      if (trace.enabled()) {
+        const std::uint64_t sizes[] = {reached.size(), fresh.size()};
+        trace.phaseEnd("image", result.iterations, mgr.allocatedNodes(),
+                       mgr.stats().peakNodes, sizes);
+      }
       if (fresh.isZero()) {
         result.verdict = Verdict::kHolds;
         break;
@@ -75,6 +84,9 @@ EngineResult runForward(Fsm& fsm, const EngineOptions& options) {
   result.seconds = watch.elapsedSeconds();
   result.peakAllocatedNodes = mgr.stats().peakNodes;
   result.memBytesEstimate = BddManager::bytesForNodes(result.peakAllocatedNodes);
+  result.metrics.captureBdd(mgr);
+  trace.runEnd(verdictName(result.verdict), result.iterations, result.seconds,
+               result.peakIterateNodes, result.peakAllocatedNodes);
   return result;
 }
 

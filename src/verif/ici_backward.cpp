@@ -6,6 +6,7 @@
 #include "ici/simplify.hpp"
 #include "check/check.hpp"
 #include "check/structural_checker.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 #include "verif/counterexample.hpp"
 #include "verif/limit_guard.hpp"
@@ -63,8 +64,10 @@ EngineResult runIciBackward(Fsm& fsm, const EngineOptions& options) {
   EngineResult result;
   result.method = Method::kIci;
   Stopwatch watch;
-  mgr.resetPeak();
+  mgr.resetStats();
   LimitGuard guard(mgr, options);
+  obs::TraceSession trace(options.traceSink, &mgr);
+  trace.runBegin(methodName(result.method));
 
   try {
     // The user-supplied partition, positions fixed for the whole run.
@@ -125,6 +128,7 @@ EngineResult runIciBackward(Fsm& fsm, const EngineOptions& options) {
       // invariants" setup of Table 1 -- this collapses BackImages that are
       // implied by other members to TRUE, keeping positions from absorbing
       // their neighbours' relations.
+      trace.phaseBegin("back_image", result.iterations + 1);
       ConjunctList next(&mgr);
       for (std::size_t j = 0; j < current.size(); ++j) {
         Bdd back = current[j].isOne() ? mgr.one() : fsm.backImage(current[j]);
@@ -141,6 +145,10 @@ EngineResult runIciBackward(Fsm& fsm, const EngineOptions& options) {
       // Phase boundary: this step's iterate is complete; at kFull,
       // audit the whole arena before trusting it.
       ICBDD_CHECK(kFull, auditArenaCreditingTime(mgr));
+      if (trace.enabled()) {
+        trace.phaseEnd("back_image", result.iterations, mgr.allocatedNodes(),
+                       mgr.stats().peakNodes, next.memberSizes());
+      }
 
       // Fast syntactic convergence test (the CAV'93-style one), extended
       // with the cycle check described above.
@@ -160,6 +168,9 @@ EngineResult runIciBackward(Fsm& fsm, const EngineOptions& options) {
   result.seconds = watch.elapsedSeconds();
   result.peakAllocatedNodes = mgr.stats().peakNodes;
   result.memBytesEstimate = BddManager::bytesForNodes(result.peakAllocatedNodes);
+  result.metrics.captureBdd(mgr);
+  trace.runEnd(verdictName(result.verdict), result.iterations, result.seconds,
+               result.peakIterateNodes, result.peakAllocatedNodes);
   return result;
 }
 

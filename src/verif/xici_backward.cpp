@@ -4,6 +4,7 @@
 
 #include "check/check.hpp"
 #include "check/structural_checker.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 #include "verif/counterexample.hpp"
 #include "verif/limit_guard.hpp"
@@ -28,14 +29,32 @@ EngineResult runXiciBackward(Fsm& fsm, const EngineOptions& options) {
   EngineResult result;
   result.method = Method::kXici;
   Stopwatch watch;
-  mgr.resetPeak();
+  mgr.resetStats();
   LimitGuard guard(mgr, options);
+  obs::TraceSession trace(options.traceSink, &mgr);
+  trace.runBegin(methodName(result.method));
 
   TerminationChecker checker(mgr, options.termination);
 
+  // Folds one Section III.A policy application into the run's metrics and
+  // trace stream.
+  auto recordPolicy = [&](const EvaluatePolicyResult& pol, std::uint64_t iter) {
+    result.metrics.capturePolicy(pol);
+    if (trace.enabled()) {
+      trace.emit("policy", obs::JsonObject()
+                               .put("iter", iter)
+                               .put("merges", pol.merges)
+                               .put("rejections", pol.rejections)
+                               .put("size_before", pol.sizeBefore)
+                               .put("size_after", pol.sizeAfter)
+                               .put("aborted_builds", pol.abortedPairBuilds)
+                               .put("rejected_ratio", pol.rejectedRatio));
+    }
+  };
+
   try {
     ConjunctList g0 = fsm.property(options.withAssists);
-    evaluateAndSimplify(g0, options.policy);
+    recordPolicy(evaluateAndSimplify(g0, options.policy), 0);
 
     ConjunctList current = g0;
     std::vector<ConjunctList> layers{current};
@@ -68,20 +87,38 @@ EngineResult runXiciBackward(Fsm& fsm, const EngineOptions& options) {
 
       // G_{i+1} = G_0 & BackImage(G_i), kept implicitly conjoined:
       // Theorem 1 turns BackImage of the list into a list of BackImages.
+      trace.phaseBegin("back_image", result.iterations + 1);
       ConjunctList next(&mgr);
       for (const Bdd& c : g0) next.push(c);
       for (const Bdd& c : current) next.push(fsm.backImage(c));
       next.normalize();
 
       // Section III.A policy: simplify, then greedily evaluate conjunctions.
-      evaluateAndSimplify(next, options.policy);
+      recordPolicy(evaluateAndSimplify(next, options.policy),
+                   result.iterations + 1);
       ++result.iterations;
       // Phase boundary: this step's iterate is complete; at kFull,
       // audit the whole arena before trusting it.
       ICBDD_CHECK(kFull, auditArenaCreditingTime(mgr));
+      if (trace.enabled()) {
+        trace.phaseEnd("back_image", result.iterations, mgr.allocatedNodes(),
+                       mgr.stats().peakNodes, next.memberSizes());
+      }
 
       // Section III.B: exact termination test on the two implicit lists.
-      if (checker.equal(next, current)) {
+      const TerminationStats termBefore = checker.stats();
+      const bool converged = checker.equal(next, current);
+      if (trace.enabled()) {
+        const TerminationStats& t = checker.stats();
+        trace.emit("termination",
+                   obs::JsonObject()
+                       .put("iter", result.iterations)
+                       .put("equal", converged)
+                       .put("calls", t.tautologyCalls - termBefore.tautologyCalls)
+                       .put("shannon",
+                            t.shannonExpansions - termBefore.shannonExpansions));
+      }
+      if (converged) {
         result.verdict = Verdict::kHolds;
         break;
       }
@@ -98,6 +135,10 @@ EngineResult runXiciBackward(Fsm& fsm, const EngineOptions& options) {
   result.seconds = watch.elapsedSeconds();
   result.peakAllocatedNodes = mgr.stats().peakNodes;
   result.memBytesEstimate = BddManager::bytesForNodes(result.peakAllocatedNodes);
+  result.metrics.captureBdd(mgr);
+  result.metrics.captureTermination(result.terminationStats);
+  trace.runEnd(verdictName(result.verdict), result.iterations, result.seconds,
+               result.peakIterateNodes, result.peakAllocatedNodes);
   return result;
 }
 

@@ -35,7 +35,7 @@ TEST(BddManagerBehaviour, StatsCountersMove) {
   const auto after = mgr.stats();
   EXPECT_GT(after.nodesCreated, before.nodesCreated);
   EXPECT_GT(after.uniqueLookups, before.uniqueLookups);
-  EXPECT_GT(after.cacheLookups, before.cacheLookups);
+  EXPECT_GT(after.cacheLookups(), before.cacheLookups());
   EXPECT_GE(after.peakNodes, before.peakNodes);
   mgr.gc();
   EXPECT_EQ(mgr.stats().gcRuns, after.gcRuns + 1);

@@ -1,0 +1,251 @@
+// The observability layer in isolation: JSONL writer/reader round trips,
+// MetricsRegistry semantics, TraceSink accounting, and the zero-allocation
+// guarantee of the disabled trace path.
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "obs/jsonl.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+// ---------------------------------------------------------------------------
+// Counting global operator new: the disabled-trace-path test asserts that
+// engines' emit sites allocate NOTHING when no sink is installed.  The
+// replacement is binary-wide but only adds one relaxed counter bump.
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace icb {
+namespace {
+
+using obs::JsonObject;
+using obs::JsonValue;
+
+TEST(Jsonl, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(obs::jsonEscape("plain"), "plain");
+  EXPECT_EQ(obs::jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::jsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(obs::jsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+}
+
+TEST(Jsonl, NumberFormattingClampsNonFinite) {
+  EXPECT_EQ(obs::jsonNumber(0.0), "0");
+  EXPECT_EQ(obs::jsonNumber(1.5), "1.5");
+  EXPECT_EQ(obs::jsonNumber(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(obs::jsonNumber(std::numeric_limits<double>::quiet_NaN()), "0");
+}
+
+TEST(Jsonl, ObjectBuilderRoundTripsThroughParser) {
+  const std::uint64_t sizes[] = {12, 7, 3};
+  const std::string doc =
+      std::move(JsonObject()
+                    .put("ev", "phase_end")
+                    .put("phase", "back_image")
+                    .put("iter", std::uint64_t{4})
+                    .put("wall_s", 0.25)
+                    .put("ok", true)
+                    .put("delta", std::int64_t{-3})
+                    .putRaw("conjunct_sizes", obs::jsonArray(sizes)))
+          .str();
+
+  const JsonValue v = obs::parseJson(doc);
+  ASSERT_EQ(v.kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(v.find("ev")->textOr(""), "phase_end");
+  EXPECT_EQ(v.find("phase")->textOr(""), "back_image");
+  EXPECT_DOUBLE_EQ(v.find("iter")->numberOr(-1), 4.0);
+  EXPECT_DOUBLE_EQ(v.find("wall_s")->numberOr(-1), 0.25);
+  EXPECT_TRUE(v.find("ok")->boolean);
+  EXPECT_DOUBLE_EQ(v.find("delta")->numberOr(0), -3.0);
+  const JsonValue* arr = v.find("conjunct_sizes");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->items.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr->items[1].numberOr(0), 7.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Jsonl, StringEscapesRoundTrip) {
+  const std::string doc =
+      std::move(JsonObject().put("s", "a\"b\\c\nd\te")).str();
+  const JsonValue v = obs::parseJson(doc);
+  EXPECT_EQ(v.find("s")->textOr(""), "a\"b\\c\nd\te");
+  // \uXXXX escapes up to 0x7f are decoded.
+  EXPECT_EQ(obs::parseJson("\"\\u0041\\u002f\"").textOr(""), "A/");
+}
+
+TEST(Jsonl, ParserRejectsMalformedInput) {
+  EXPECT_THROW((void)obs::parseJson("{"), std::runtime_error);
+  EXPECT_THROW((void)obs::parseJson("{\"a\":}"), std::runtime_error);
+  EXPECT_THROW((void)obs::parseJson("[1,2,]"), std::runtime_error);
+  EXPECT_THROW((void)obs::parseJson("{} trailing"), std::runtime_error);
+  EXPECT_THROW((void)obs::parseJson("nul"), std::runtime_error);
+}
+
+TEST(Jsonl, ParseJsonLinesSkipsBlankLines) {
+  std::istringstream in("{\"a\":1}\n\n{\"a\":2}\n");
+  const std::vector<JsonValue> lines = obs::parseJsonLines(in);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_DOUBLE_EQ(lines[1].find("a")->numberOr(0), 2.0);
+}
+
+TEST(Metrics, CountersAddAndGaugesTrackMax) {
+  obs::MetricsRegistry m;
+  EXPECT_TRUE(m.empty());
+  m.add("a.count", 2);
+  m.add("a.count", 3);
+  m.add("zero", 0);  // zero deltas never materialize a counter
+  EXPECT_EQ(m.counter("a.count"), 5u);
+  EXPECT_EQ(m.counter("zero"), 0u);
+  EXPECT_EQ(m.counters().count("zero"), 0u);
+
+  m.setGauge("g", 2.0);
+  m.setGauge("g", 1.0);
+  EXPECT_DOUBLE_EQ(m.gauge("g"), 1.0);
+  m.setGaugeMax("peak", 3.0);
+  m.setGaugeMax("peak", 2.0);
+  EXPECT_DOUBLE_EQ(m.gauge("peak"), 3.0);
+
+  obs::MetricsRegistry other;
+  other.add("a.count", 1);
+  other.setGauge("g", 9.0);
+  m.merge(other);
+  EXPECT_EQ(m.counter("a.count"), 6u);
+  EXPECT_DOUBLE_EQ(m.gauge("g"), 9.0);
+
+  m.clear();
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Metrics, ToJsonRoundTrips) {
+  obs::MetricsRegistry m;
+  m.add("bdd.cache.hits", 7);
+  m.setGauge("bdd.cache.hit_rate", 0.5);
+  const JsonValue v = obs::parseJson(m.toJson());
+  EXPECT_DOUBLE_EQ(v.find("counters")->find("bdd.cache.hits")->numberOr(0), 7.0);
+  EXPECT_DOUBLE_EQ(v.find("gauges")->find("bdd.cache.hit_rate")->numberOr(0), 0.5);
+}
+
+TEST(Metrics, CaptureBddFoldsManagerStats) {
+  BddManager mgr;
+  const Bdd a = mgr.var(mgr.newVar());
+  const Bdd b = mgr.var(mgr.newVar());
+  const Bdd f = a & b;
+  (void)(f ^ a);
+  (void)f.restrictBy(a);
+
+  obs::MetricsRegistry m;
+  m.captureBdd(mgr);
+  EXPECT_GT(m.counter("bdd.nodes_created"), 0u);
+  EXPECT_GT(m.counter("bdd.cache.lookups"), 0u);
+  EXPECT_EQ(m.counter("bdd.cache.and.lookups"),
+            mgr.stats().cacheFor(BddOp::kAnd).lookups);
+  EXPECT_EQ(m.counter("bdd.restrict.calls"), mgr.stats().restrictCalls);
+  EXPECT_GT(m.gauge("bdd.peak_nodes"), 0.0);
+}
+
+TEST(TraceSink, CountsLinesAndWriteTime) {
+  std::ostringstream out;
+  obs::TraceSink sink(out);
+  sink.writeLine("{\"a\":1}");
+  sink.writeLine("{\"a\":2}");
+  sink.flush();
+  EXPECT_EQ(sink.linesWritten(), 2u);
+  EXPECT_GE(sink.writeSeconds(), 0.0);
+  EXPECT_EQ(out.str(), "{\"a\":1}\n{\"a\":2}\n");
+}
+
+TEST(TraceSink, FileCtorThrowsOnUnopenablePath) {
+  EXPECT_THROW(obs::TraceSink("/nonexistent-dir-xyz/trace.jsonl"),
+               std::runtime_error);
+}
+
+TEST(TraceSession, SpansRecordWallTimeAndNest) {
+  std::ostringstream out;
+  obs::TraceSink sink(out);
+  obs::TraceSession session(&sink);
+  ASSERT_TRUE(session.enabled());
+
+  session.runBegin("XICI", "unit test");
+  session.phaseBegin("outer", 1);
+  session.phaseBegin("inner", 1);
+  const std::uint64_t innerSizes[] = {5};
+  session.phaseEnd("inner", 1, 10, 10, innerSizes);
+  const std::uint64_t outerSizes[] = {4, 3};
+  session.phaseEnd("outer", 1, 20, 20, outerSizes);
+  session.runEnd("holds", 1, 0.5, 7, 20);
+
+  std::istringstream in(out.str());
+  const std::vector<JsonValue> events = obs::parseJsonLines(in);
+  ASSERT_EQ(events.size(), 6u);
+  EXPECT_EQ(events[0].find("ev")->textOr(""), "run_begin");
+  EXPECT_EQ(events[0].find("detail")->textOr(""), "unit test");
+  EXPECT_EQ(events[1].find("phase")->textOr(""), "outer");
+  EXPECT_EQ(events[3].find("ev")->textOr(""), "phase_end");
+  EXPECT_EQ(events[3].find("phase")->textOr(""), "inner");
+  EXPECT_GE(events[3].find("wall_s")->numberOr(-1), 0.0);
+  // Inner span closed first; outer's wall time covers it.
+  EXPECT_GE(events[4].find("wall_s")->numberOr(-1),
+            events[3].find("wall_s")->numberOr(1e9));
+  EXPECT_EQ(events[4].find("conjunct_sizes")->items.size(), 2u);
+  EXPECT_DOUBLE_EQ(events[4].find("iterate_nodes")->numberOr(0), 7.0);
+  EXPECT_EQ(events[5].find("verdict")->textOr(""), "holds");
+  // The shared trace clock is monotone across events.
+  double last = -1.0;
+  for (const JsonValue& ev : events) {
+    const double t = ev.find("t")->numberOr(-1);
+    EXPECT_GE(t, last);
+    last = t;
+  }
+}
+
+TEST(TraceSession, DisabledSessionIsInertAndAllocationFree) {
+  obs::setDefaultTraceSink(nullptr);
+  ASSERT_FALSE(obs::traceEnabled());
+  obs::TraceSession session;  // resolves to the (null) process sink
+  EXPECT_FALSE(session.enabled());
+
+  const std::uint64_t sizes[] = {1, 2};
+  const std::uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    session.phaseBegin("image", 1);
+    session.phaseEnd("image", 1, 0, 0, sizes);
+    session.runBegin("Fwd");
+    session.runEnd("holds", 0, 0.0, 0, 0);
+    if (obs::traceEnabled()) FAIL() << "sink appeared out of nowhere";
+  }
+  const std::uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "disabled trace path must not allocate";
+}
+
+TEST(TraceSession, ExplicitSinkOverridesProcessSink) {
+  std::ostringstream processOut;
+  obs::TraceSink processSink(processOut);
+  obs::setDefaultTraceSink(&processSink);
+
+  std::ostringstream runOut;
+  obs::TraceSink runSink(runOut);
+  obs::TraceSession session(&runSink);
+  session.runBegin("Bkwd");
+
+  obs::setDefaultTraceSink(nullptr);
+  EXPECT_EQ(processSink.linesWritten(), 0u);
+  EXPECT_EQ(runSink.linesWritten(), 1u);
+}
+
+}  // namespace
+}  // namespace icb

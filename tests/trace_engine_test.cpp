@@ -1,0 +1,164 @@
+// Engine-level tracing: running a model with EngineOptions::traceSink must
+// produce a well-formed JSONL stream whose span structure matches the
+// engine's phase order, and the EngineResult must carry a populated metrics
+// snapshot.  The mutex ring at 3 stations is the reference workload -- small
+// enough to converge in a handful of iterations, rich enough to exercise the
+// ICI policy and termination paths.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "models/mutex_ring.hpp"
+#include "obs/jsonl.hpp"
+#include "obs/trace.hpp"
+#include "verif/run_all.hpp"
+
+namespace icb {
+namespace {
+
+using obs::JsonValue;
+
+struct TracedRun {
+  EngineResult result;
+  std::vector<JsonValue> events;
+};
+
+TracedRun runTraced(Method method) {
+  BddManager mgr;
+  MutexRingModel model(mgr, MutexRingConfig{3, false});
+
+  std::ostringstream out;
+  obs::TraceSink sink(out);
+  EngineOptions options;
+  options.traceSink = &sink;
+
+  TracedRun run;
+  run.result = runMethod(model.fsm(), method, model.fdCandidates(), options);
+
+  std::istringstream in(out.str());
+  run.events = obs::parseJsonLines(in);
+  return run;
+}
+
+std::string_view eventName(const JsonValue& ev) {
+  const JsonValue* name = ev.find("ev");
+  return name != nullptr ? name->textOr("") : "";
+}
+
+/// Every phase_begin must be closed by a phase_end with the same phase and
+/// iteration before the next span of the same engine opens; iterations are
+/// 1-based and non-decreasing.  Returns the number of matched spans.
+std::size_t checkSpanNesting(const std::vector<JsonValue>& events,
+                             std::string_view expectedPhase) {
+  struct Open {
+    std::string phase;
+    std::uint64_t iter;
+  };
+  std::vector<Open> stack;
+  std::size_t matched = 0;
+  std::uint64_t lastIter = 0;
+
+  for (const JsonValue& ev : events) {
+    const std::string_view name = eventName(ev);
+    if (name == "phase_begin") {
+      const std::string phase(ev.find("phase")->textOr("?"));
+      const auto iter =
+          static_cast<std::uint64_t>(ev.find("iter")->numberOr(0));
+      EXPECT_EQ(phase, expectedPhase);
+      EXPECT_GE(iter, 1u) << "iterations are 1-based";
+      EXPECT_GE(iter, lastIter) << "iteration numbers must not go backwards";
+      lastIter = iter;
+      stack.push_back(Open{phase, iter});
+    } else if (name == "phase_end") {
+      EXPECT_FALSE(stack.empty()) << "phase_end without matching phase_begin";
+      if (stack.empty()) continue;
+      EXPECT_EQ(std::string(ev.find("phase")->textOr("?")), stack.back().phase);
+      EXPECT_EQ(static_cast<std::uint64_t>(ev.find("iter")->numberOr(0)),
+                stack.back().iter);
+      EXPECT_GE(ev.find("wall_s")->numberOr(-1.0), 0.0);
+      stack.pop_back();
+      ++matched;
+    }
+  }
+  EXPECT_TRUE(stack.empty()) << stack.size() << " span(s) left open";
+  return matched;
+}
+
+TEST(TraceEngine, XiciMutexRingSpansMatchPhaseOrder) {
+  const TracedRun run = runTraced(Method::kXici);
+  ASSERT_EQ(run.result.verdict, Verdict::kHolds);
+  ASSERT_GE(run.events.size(), 4u);
+
+  // The stream is bracketed by run_begin / run_end.
+  EXPECT_EQ(eventName(run.events.front()), "run_begin");
+  EXPECT_EQ(run.events.front().find("method")->textOr(""), "XICI");
+  EXPECT_EQ(eventName(run.events.back()), "run_end");
+  EXPECT_EQ(run.events.back().find("verdict")->textOr(""), "holds");
+  EXPECT_DOUBLE_EQ(run.events.back().find("iterations")->numberOr(-1),
+                   static_cast<double>(run.result.iterations));
+
+  // One back_image span per engine iteration, properly nested.
+  const std::size_t spans = checkSpanNesting(run.events, "back_image");
+  EXPECT_EQ(spans, run.result.iterations);
+
+  // Every closed span reports the implicit-conjunction members it ended with.
+  std::size_t policyEvents = 0;
+  std::size_t terminationEvents = 0;
+  for (const JsonValue& ev : run.events) {
+    if (eventName(ev) == "phase_end") {
+      const JsonValue* sizes = ev.find("conjunct_sizes");
+      ASSERT_NE(sizes, nullptr);
+      EXPECT_FALSE(sizes->items.empty());
+      std::uint64_t total = 0;
+      for (const JsonValue& s : sizes->items) {
+        total += static_cast<std::uint64_t>(s.numberOr(0));
+      }
+      EXPECT_DOUBLE_EQ(ev.find("iterate_nodes")->numberOr(-1),
+                       static_cast<double>(total));
+    } else if (eventName(ev) == "policy") {
+      ++policyEvents;
+    } else if (eventName(ev) == "termination") {
+      ++terminationEvents;
+    }
+  }
+  // The XICI engine evaluates the merge policy on the initial list and once
+  // per iteration, and runs the paper's termination test once per iteration.
+  EXPECT_EQ(policyEvents, run.result.iterations + 1u);
+  EXPECT_EQ(terminationEvents, run.result.iterations);
+
+  // The run's metrics snapshot is populated alongside the trace.
+  EXPECT_FALSE(run.result.metrics.empty());
+  EXPECT_GT(run.result.metrics.counter("bdd.nodes_created"), 0u);
+  EXPECT_GT(run.result.metrics.counter("bdd.cache.lookups"), 0u);
+  EXPECT_GT(run.result.metrics.counter("ici.pair_table.entries_built"), 0u);
+  EXPECT_GT(run.result.metrics.counter("ici.policy.merges_accepted"), 0u);
+}
+
+TEST(TraceEngine, ForwardMutexRingUsesImagePhase) {
+  const TracedRun run = runTraced(Method::kFwd);
+  ASSERT_EQ(run.result.verdict, Verdict::kHolds);
+  EXPECT_EQ(run.events.front().find("method")->textOr(""), "Fwd");
+  const std::size_t spans = checkSpanNesting(run.events, "image");
+  EXPECT_EQ(spans, run.result.iterations);
+  EXPECT_GT(run.result.metrics.counter("bdd.nodes_created"), 0u);
+}
+
+TEST(TraceEngine, AllMethodsTraceCleanlyAndAgree) {
+  for (const Method method : allMethods()) {
+    const TracedRun run = runTraced(method);
+    EXPECT_EQ(run.result.verdict, Verdict::kHolds)
+        << "method " << methodName(method);
+    ASSERT_GE(run.events.size(), 2u) << "method " << methodName(method);
+    EXPECT_EQ(eventName(run.events.front()), "run_begin");
+    EXPECT_EQ(eventName(run.events.back()), "run_end");
+    EXPECT_EQ(run.events.front().find("method")->textOr(""),
+              methodName(method));
+    EXPECT_FALSE(run.result.metrics.empty())
+        << "method " << methodName(method);
+  }
+}
+
+}  // namespace
+}  // namespace icb
