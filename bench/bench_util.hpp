@@ -11,11 +11,24 @@
 #include <vector>
 
 #include "obs/jsonl.hpp"
+#include "par/scheduler.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 #include "verif/run_all.hpp"
 
 namespace icb::bench {
+
+/// Reads the scheduler knobs shared by every table binary:
+///   --jobs N       worker threads (default 0 = hardware concurrency;
+///                  --jobs 1 reproduces the historical serial sweep
+///                  byte-for-byte)
+///   --deadline S   global wall-clock budget for the whole table (0 = none)
+inline par::SchedulerOptions schedulerOptions(const CliArgs& args) {
+  par::SchedulerOptions options;
+  options.jobs = static_cast<unsigned>(args.getInt("jobs", 0));
+  options.globalDeadlineSeconds = args.getDouble("deadline", 0.0);
+  return options;
+}
 
 /// Resource caps standing in for the paper's "Exceeded 60MB." (Sun 4/75
 /// memory) and "Exceeded 40 minutes." rows.  Overridable per binary via
@@ -103,7 +116,20 @@ class BenchReport {
 
   void add(const EngineResult& r) {
     if (groups_.empty()) beginGroup("");
-    groups_.back().second.push_back(r);
+    groups_.back().second.push_back(Row{r.method, r, -1, false, {}});
+  }
+
+  /// Adds one scheduler cell, opening a new row group whenever the cell's
+  /// group label changes.  Feeding scheduler results (already in submission
+  /// order) straight through this renders the same table a serial sweep
+  /// renders, plus per-cell worker attribution in the JSON output.
+  void addCell(const par::CellResult& cell) {
+    if (groups_.empty() || groups_.back().first != cell.group) {
+      beginGroup(cell.group);
+    }
+    groups_.back().second.push_back(Row{cell.method, cell.result,
+                                        static_cast<int>(cell.worker),
+                                        cell.skipped, cell.skipReason});
   }
 
   void print(std::ostream& os) const {
@@ -114,12 +140,26 @@ class BenchReport {
     TextTable table = paperTable();
     for (const auto& [title, cells] : groups_) {
       if (!title.empty()) table.addSpan(title);
-      for (const EngineResult& r : cells) addResultRow(table, r);
+      for (const Row& row : cells) {
+        if (row.skipped) {
+          table.addRow({methodName(row.method), "Cancelled.", "", "", ""});
+        } else {
+          addResultRow(table, row.result);
+        }
+      }
     }
     table.print(os);
   }
 
  private:
+  struct Row {
+    Method method = Method::kFwd;
+    EngineResult result;
+    int worker = -1;  ///< executing worker; -1 = serial add(), no attribution
+    bool skipped = false;
+    std::string skipReason;
+  };
+
   void printJson(std::ostream& os) const {
     std::size_t count = 0;
     for (const auto& [title, cells] : groups_) count += cells.size();
@@ -132,18 +172,23 @@ class BenchReport {
               .str()
        << '\n';
     for (const auto& [title, cells] : groups_) {
-      for (const EngineResult& r : cells) {
+      for (const Row& row : cells) {
+        const EngineResult& r = row.result;
         obs::JsonObject cell;
-        cell.put("group", title)
-            .put("method", methodName(r.method))
-            .put("verdict", verdictName(r.verdict))
-            .put("time_s", r.seconds)
-            .put("iterations", r.iterations)
-            .put("mem_bytes", r.memBytesEstimate)
-            .put("peak_iterate_nodes", r.peakIterateNodes)
-            .putRaw("member_sizes", obs::jsonArray(r.peakIterateMemberSizes))
-            .put("peak_allocated_nodes", r.peakAllocatedNodes)
-            .putRaw("metrics", r.metrics.toJson());
+        cell.put("group", title).put("method", methodName(row.method));
+        if (row.skipped) {
+          cell.put("skipped", true).put("skip_reason", row.skipReason);
+        } else {
+          cell.put("verdict", verdictName(r.verdict))
+              .put("time_s", r.seconds)
+              .put("iterations", r.iterations)
+              .put("mem_bytes", r.memBytesEstimate)
+              .put("peak_iterate_nodes", r.peakIterateNodes)
+              .putRaw("member_sizes", obs::jsonArray(r.peakIterateMemberSizes))
+              .put("peak_allocated_nodes", r.peakAllocatedNodes)
+              .putRaw("metrics", r.metrics.toJson());
+        }
+        if (row.worker >= 0) cell.put("worker", row.worker);
         if (!r.note.empty()) cell.put("note", r.note);
         os << std::move(cell).str() << '\n';
       }
@@ -153,7 +198,7 @@ class BenchReport {
   std::string tableName_;
   BenchCaps caps_;
   bool json_;
-  std::vector<std::pair<std::string, std::vector<EngineResult>>> groups_;
+  std::vector<std::pair<std::string, std::vector<Row>>> groups_;
 };
 
 }  // namespace icb::bench

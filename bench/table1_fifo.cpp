@@ -28,18 +28,22 @@ int main(int argc, char** argv) {
     depths = {static_cast<unsigned>(args.getInt("depth", 5))};
   }
 
+  par::VerifyScheduler scheduler(schedulerOptions(args));
   for (const unsigned depth : depths) {
-    report.beginGroup("8-bit wide typed FIFO buffer, depth " +
-                      std::to_string(depth));
+    const std::string group =
+        "8-bit wide typed FIFO buffer, depth " + std::to_string(depth);
     for (const Method m :
          {Method::kFwd, Method::kBkwd, Method::kIci, Method::kXici}) {
-      BddManager mgr;
-      TypedFifoModel model(mgr, {.depth = depth, .width = 8});
-      const EngineResult r = runMethod(model.fsm(), m, model.fdCandidates(),
-                                       caps.engineOptions());
-      report.add(r);
+      scheduler.submit(group, m, [depth, m, &caps](const par::CellContext& ctx) {
+        BddManager mgr;
+        TypedFifoModel model(mgr, {.depth = depth, .width = 8});
+        EngineOptions options = caps.engineOptions();
+        ctx.apply(options);
+        return runMethod(model.fsm(), m, model.fdCandidates(), options);
+      });
     }
   }
+  for (const par::CellResult& cell : scheduler.run()) report.addCell(cell);
   report.print(std::cout);
   return 0;
 }

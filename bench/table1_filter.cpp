@@ -26,20 +26,23 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(caps.maxNodes), caps.timeLimitSeconds);
   }
 
+  par::VerifyScheduler scheduler(schedulerOptions(args));
   for (const unsigned depth : {4u, 8u, 16u}) {
-    report.beginGroup("filter depth " + std::to_string(depth) +
-                      ", 8-bit samples, assists supplied");
+    const std::string group = "filter depth " + std::to_string(depth) +
+                              ", 8-bit samples, assists supplied";
     for (const Method m :
          {Method::kFwd, Method::kBkwd, Method::kIci, Method::kXici}) {
-      BddManager mgr;
-      AvgFilterModel model(mgr, {.depth = depth, .sampleWidth = 8});
-      EngineOptions options = caps.engineOptions();
-      options.withAssists = true;
-      const EngineResult r =
-          runMethod(model.fsm(), m, model.fdCandidates(), options);
-      report.add(r);
+      scheduler.submit(group, m, [depth, m, &caps](const par::CellContext& ctx) {
+        BddManager mgr;
+        AvgFilterModel model(mgr, {.depth = depth, .sampleWidth = 8});
+        EngineOptions options = caps.engineOptions();
+        options.withAssists = true;
+        ctx.apply(options);
+        return runMethod(model.fsm(), m, model.fdCandidates(), options);
+      });
     }
   }
+  for (const par::CellResult& cell : scheduler.run()) report.addCell(cell);
   report.print(std::cout);
   return 0;
 }

@@ -27,17 +27,21 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(caps.maxNodes), caps.timeLimitSeconds);
   }
 
+  par::VerifyScheduler scheduler(schedulerOptions(args));
   for (const unsigned procs : {4u, 7u}) {
-    report.beginGroup(std::to_string(procs) + " processors, " +
-                      std::to_string(procs) + "-slot network");
+    const std::string group = std::to_string(procs) + " processors, " +
+                              std::to_string(procs) + "-slot network";
     for (const Method m : allMethods()) {
-      BddManager mgr;
-      NetworkModel model(mgr, {.processors = procs});
-      const EngineResult r = runMethod(model.fsm(), m, model.fdCandidates(),
-                                       caps.engineOptions());
-      report.add(r);
+      scheduler.submit(group, m, [procs, m, &caps](const par::CellContext& ctx) {
+        BddManager mgr;
+        NetworkModel model(mgr, {.processors = procs});
+        EngineOptions options = caps.engineOptions();
+        ctx.apply(options);
+        return runMethod(model.fsm(), m, model.fdCandidates(), options);
+      });
     }
   }
+  for (const par::CellResult& cell : scheduler.run()) report.addCell(cell);
   report.print(std::cout);
   return 0;
 }

@@ -26,23 +26,26 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(caps.maxNodes), caps.timeLimitSeconds);
   }
 
+  par::VerifyScheduler scheduler(schedulerOptions(args));
   for (const unsigned depth : {4u, 8u, 16u}) {
-    report.beginGroup("filter depth " + std::to_string(depth) +
-                      ", 8-bit samples, NO assists");
+    const std::string group = "filter depth " + std::to_string(depth) +
+                              ", 8-bit samples, NO assists";
     for (const Method m :
          {Method::kFwd, Method::kBkwd, Method::kIci, Method::kXici}) {
       // Skip the hopeless monolithic runs at depth 16 (the paper's Table 2
       // does not even list them); they would only burn the time cap.
       if (depth == 16 && m != Method::kXici) continue;
-      BddManager mgr;
-      AvgFilterModel model(mgr, {.depth = depth, .sampleWidth = 8});
-      EngineOptions options = caps.engineOptions();
-      options.withAssists = false;
-      const EngineResult r =
-          runMethod(model.fsm(), m, model.fdCandidates(), options);
-      report.add(r);
+      scheduler.submit(group, m, [depth, m, &caps](const par::CellContext& ctx) {
+        BddManager mgr;
+        AvgFilterModel model(mgr, {.depth = depth, .sampleWidth = 8});
+        EngineOptions options = caps.engineOptions();
+        options.withAssists = false;
+        ctx.apply(options);
+        return runMethod(model.fsm(), m, model.fdCandidates(), options);
+      });
     }
   }
+  for (const par::CellResult& cell : scheduler.run()) report.addCell(cell);
   report.print(std::cout);
   if (!report.jsonMode()) {
     std::printf(

@@ -37,21 +37,25 @@ int main(int argc, char** argv) {
   // partitioned relational images every method survives the 1994 sizes, so
   // the row where the monolithic iterate visibly outgrows the implicit list
   // sits one notch higher today.
+  par::VerifyScheduler scheduler(schedulerOptions(args));
   for (const Config cfg :
        {Config{2, 1}, Config{2, 2}, Config{2, 3}, Config{4, 1},
         Config{4, 2}}) {
-    report.beginGroup(std::to_string(cfg.registers) + " registers, " +
-                      std::to_string(cfg.width) + "-bit datapath");
+    const std::string group = std::to_string(cfg.registers) + " registers, " +
+                              std::to_string(cfg.width) + "-bit datapath";
     for (const Method m :
          {Method::kFwd, Method::kBkwd, Method::kIci, Method::kXici}) {
-      BddManager mgr;
-      PipelineCpuModel model(mgr,
-                             {.registers = cfg.registers, .width = cfg.width});
-      const EngineResult r = runMethod(model.fsm(), m, model.fdCandidates(),
-                                       caps.engineOptions());
-      report.add(r);
+      scheduler.submit(group, m, [cfg, m, &caps](const par::CellContext& ctx) {
+        BddManager mgr;
+        PipelineCpuModel model(
+            mgr, {.registers = cfg.registers, .width = cfg.width});
+        EngineOptions options = caps.engineOptions();
+        ctx.apply(options);
+        return runMethod(model.fsm(), m, model.fdCandidates(), options);
+      });
     }
   }
+  for (const par::CellResult& cell : scheduler.run()) report.addCell(cell);
   report.print(std::cout);
   return 0;
 }

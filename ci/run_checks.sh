@@ -4,7 +4,7 @@
 # skipped with a notice instead of failing, so the script is useful on
 # minimal machines; CI runs the full set.
 #
-# Usage: ci/run_checks.sh [release|sanitize|lint|bench|all]   (default: all)
+# Usage: ci/run_checks.sh [release|sanitize|tsan|lint|bench|all]  (default: all)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -59,6 +59,14 @@ run_sanitize() {
     ctest --test-dir build-asan --output-on-failure -j "${jobs}"
 }
 
+run_tsan() {
+  note "thread-sanitizer gate: parallel scheduler raced under --jobs 4"
+  cmake --preset tsan
+  cmake --build --preset tsan -j "${jobs}"
+  TSAN_OPTIONS=halt_on_error=1 ctest --preset tsan
+  ./build-tsan/bench/table1_fifo --depth 3 --jobs 4 >/dev/null
+}
+
 run_lint() {
   note "static-analysis gate: cppcheck + clang-tidy"
   cmake --preset dev >/dev/null
@@ -77,10 +85,11 @@ run_lint() {
 case "${what}" in
   release)  run_release; run_bench_json ;;
   sanitize) run_sanitize ;;
+  tsan)     run_tsan ;;
   lint)     run_lint ;;
   bench)    run_bench_json ;;
-  all)      run_release; run_bench_json; run_sanitize; run_lint ;;
-  *) echo "usage: $0 [release|sanitize|lint|bench|all]" >&2; exit 2 ;;
+  all)      run_release; run_bench_json; run_sanitize; run_tsan; run_lint ;;
+  *) echo "usage: $0 [release|sanitize|tsan|lint|bench|all]" >&2; exit 2 ;;
 esac
 
 note "done"

@@ -15,12 +15,20 @@
 // 2 on usage errors.  Run it when the package misbehaves and you need to
 // know whether the core's invariants still stand.
 //
-//   icbdd_doctor --model fifo|mutex|network|filter|pipeline [--method xici]
+//   icbdd_doctor --model fifo|mutex|network|filter|pipeline|all
+//                [--method xici] [--jobs N]
 //   icbdd_doctor --bdd dump.txt
+//
+// --model all audits every machine; --jobs N runs the model cells on the
+// parallel verification scheduler (each with a private manager), with the
+// reports printed in model order regardless of completion order.
 #include <cstdio>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <memory>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -43,33 +51,39 @@ using namespace icb;
 
 namespace {
 
-/// Prints one audit's outcome and accumulates its violation count.
-std::size_t reportAudit(const char* what, const CheckReport& report) {
-  std::printf("  %-22s %s\n", what, report.summary().c_str());
+/// Writes one audit's outcome into `os` and returns its violation count.
+/// The audits render into a stream (not straight to stdout) so parallel
+/// --model all cells can aggregate their reports in model order.
+std::size_t reportAudit(std::ostream& os, const char* what,
+                        const CheckReport& report) {
+  os << "  " << std::left << std::setw(22) << what << ' ' << report.summary()
+     << '\n';
   return report.violations.size();
 }
 
-std::size_t auditCore(BddManager& mgr) {
+std::size_t auditCore(BddManager& mgr, std::ostream& os) {
   std::size_t bad = 0;
-  bad += reportAudit("structural", StructuralChecker(mgr).run(CheckLevel::kFull));
-  bad += reportAudit("computed cache", CacheAuditor(mgr).audit());
+  bad += reportAudit(os, "structural",
+                     StructuralChecker(mgr).run(CheckLevel::kFull));
+  bad += reportAudit(os, "computed cache", CacheAuditor(mgr).audit());
   return bad;
 }
 
 /// The ICI-layer audit: simplification must preserve the denoted set, and a
 /// pairwise table over the list must agree with fresh conjunctions.
-std::size_t auditIciLayer(BddManager& mgr, const ConjunctList& property) {
+std::size_t auditIciLayer(BddManager& mgr, const ConjunctList& property,
+                          std::ostream& os) {
   std::size_t bad = 0;
   const IciChecker checker(mgr);
 
   ConjunctList simplified = property;
   simplifyList(simplified);
-  bad += reportAudit("simplify denotation",
+  bad += reportAudit(os, "simplify denotation",
                      checker.checkDenotationPreserved(property, simplified));
 
   if (simplified.size() >= 2) {
     const PairTable table(mgr, simplified.items());
-    bad += reportAudit("pair table", checker.checkPairTable(table));
+    bad += reportAudit(os, "pair table", checker.checkPairTable(table));
   }
   return bad;
 }
@@ -117,44 +131,104 @@ ModelUnderTest buildModel(BddManager& mgr, const std::string& name) {
   return out;
 }
 
-int doctorModel(const std::string& name, const std::string& methodName) {
+/// One model's full report text plus its violation count.
+struct ModelAudit {
+  std::string text;
+  std::size_t violations = 0;
+};
+
+/// Runs one model end-to-end in a private manager, audits it, and renders
+/// the report into `audit`.  Safe to call concurrently for different models.
+EngineResult doctorOneModel(const std::string& name, Method method,
+                            const EngineOptions& engineOptions,
+                            ModelAudit& audit) {
+  std::ostringstream os;
   BddManager mgr;
   ModelUnderTest model = buildModel(mgr, name);
   if (model.fsm == nullptr) {
-    std::fprintf(stderr,
-                 "unknown model '%s' (fifo|mutex|network|filter|pipeline)\n",
-                 name.c_str());
-    return 2;
-  }
-
-  Method method = Method::kXici;
-  try {
-    method = parseMethod(methodName);
-  } catch (const std::invalid_argument& e) {
-    std::fprintf(stderr, "%s\n", e.what());
-    return 2;
+    throw std::invalid_argument("unknown model '" + name + "'");
   }
 
   // Exercise the full pipeline first so the audits see a manager that has
   // actually worked: images, caches, GC, and the ICI machinery.
   const EngineResult run =
-      runMethod(*model.fsm, method, model.fdCandidates);
-  std::printf("model %s via %s: %s after %u iterations (%llu peak nodes)\n",
-              name.c_str(), icb::methodName(method),
-              run.holds() ? "property holds" : "property NOT proven",
-              run.iterations,
-              static_cast<unsigned long long>(run.peakIterateNodes));
+      runMethod(*model.fsm, method, model.fdCandidates, engineOptions);
+  os << "model " << name << " via " << icb::methodName(method) << ": "
+     << (run.holds() ? "property holds" : "property NOT proven") << " after "
+     << run.iterations << " iterations (" << run.peakIterateNodes
+     << " peak nodes)\n";
 
-  std::size_t bad = auditCore(mgr);
-  bad += auditIciLayer(mgr, model.fsm->property(true));
+  std::size_t bad = auditCore(mgr, os);
+  bad += auditIciLayer(mgr, model.fsm->property(true), os);
 
   // The run's counter snapshot: when the diagnosis is CORRUPT, the metrics
   // often localize the misbehaving layer before any debugger is attached.
-  std::printf("run metrics:\n");
-  run.metrics.print(std::cout);
+  os << "run metrics:\n";
+  run.metrics.print(os);
 
-  std::printf("diagnosis: %s\n", bad == 0 ? "CLEAN" : "CORRUPT");
-  return bad == 0 ? 0 : 1;
+  audit.text = os.str();
+  audit.violations = bad;
+  return run;
+}
+
+int doctorModel(const std::string& name, Method method) {
+  {
+    BddManager probe;
+    if (buildModel(probe, name).fsm == nullptr) {
+      std::fprintf(stderr,
+                   "unknown model '%s' (fifo|mutex|network|filter|pipeline|all)\n",
+                   name.c_str());
+      return 2;
+    }
+  }
+
+  ModelAudit audit;
+  doctorOneModel(name, method, EngineOptions{}, audit);
+  std::cout << audit.text;
+  std::printf("diagnosis: %s\n", audit.violations == 0 ? "CLEAN" : "CORRUPT");
+  return audit.violations == 0 ? 0 : 1;
+}
+
+/// --model all: every machine as one scheduler cell, each with its own
+/// manager.  Reports print in model order whatever the completion order.
+int doctorAllModels(Method method, unsigned jobs) {
+  const std::vector<std::string> names{"fifo", "mutex", "network", "filter",
+                                       "pipeline"};
+  std::vector<ModelAudit> audits(names.size());
+
+  par::SchedulerOptions schedOptions;
+  schedOptions.jobs = jobs;
+  par::VerifyScheduler scheduler(schedOptions);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    scheduler.submit(names[i], method,
+                     [i, method, &names, &audits](const par::CellContext& ctx) {
+                       EngineOptions options;
+                       ctx.apply(options);
+                       // Each cell writes only audits[i]; aggregation below
+                       // reads after run() returns, so no synchronization is
+                       // needed beyond the scheduler's own join.
+                       return doctorOneModel(names[i], method, options,
+                                             audits[i]);
+                     });
+  }
+
+  std::size_t bad = 0;
+  bool skippedAny = false;
+  for (const par::CellResult& cell : scheduler.run()) {
+    if (cell.skipped) {
+      std::printf("model %s: skipped (%s)\n", cell.group.c_str(),
+                  cell.skipReason.c_str());
+      skippedAny = true;
+      continue;
+    }
+    std::cout << audits[cell.index].text;
+    bad += audits[cell.index].violations;
+  }
+  std::printf("diagnosis: %s\n",
+              bad == 0 && !skippedAny ? "CLEAN"
+              : bad == 0              ? "INCOMPLETE"
+                                      : "CORRUPT");
+  return bad == 0 && !skippedAny ? 0 : 1;
 }
 
 int doctorDump(const std::string& path) {
@@ -174,9 +248,9 @@ int doctorDump(const std::string& path) {
   std::printf("loaded %zu function(s) over %u variable(s) from %s\n",
               loaded.size(), mgr.varCount(), path.c_str());
 
-  std::size_t bad = auditCore(mgr);
+  std::size_t bad = auditCore(mgr, std::cout);
   if (!loaded.empty()) {
-    bad += auditIciLayer(mgr, ConjunctList(&mgr, loaded));
+    bad += auditIciLayer(mgr, ConjunctList(&mgr, loaded), std::cout);
   }
 
   obs::MetricsRegistry metrics;
@@ -195,6 +269,19 @@ int main(int argc, char** argv) {
   if (args.has("bdd")) {
     return doctorDump(args.getString("bdd", ""));
   }
-  return doctorModel(args.getString("model", "fifo"),
-                     args.getString("method", "xici"));
+
+  Method method = Method::kXici;
+  try {
+    method = parseMethod(args.getString("method", "xici"));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  const std::string model = args.getString("model", "fifo");
+  if (model == "all") {
+    return doctorAllModels(method,
+                           static_cast<unsigned>(args.getInt("jobs", 0)));
+  }
+  return doctorModel(model, method);
 }

@@ -148,6 +148,10 @@ Edge BddManager::mk(unsigned var, Edge hi, Edge lo) {
     if (nodes_.size() > buckets_.size()) {
       rehash(buckets_.size() * 2);
     }
+    // The computed cache tracks the arena the same way: a cache frozen at
+    // its boot size serves a multi-million-node traversal at direct-mapped
+    // conflict rates while the unique table scales freely beside it.
+    maybeGrowComputedCache();
   }
 
   const std::size_t slot = hashNode(var, hi, lo);
@@ -189,6 +193,34 @@ bool BddManager::cacheLookup(Op op, Edge f, Edge g, Edge h, Edge* out) {
 
 void BddManager::cacheInsert(Op op, Edge f, Edge g, Edge h, Edge result) {
   cache_[cacheSlot(op, f, g, h)] = CacheEntry{f, g, h, op, result};
+}
+
+void BddManager::maybeGrowComputedCache() {
+  const std::size_t ceiling = std::size_t{1}
+                              << std::max(options_.cacheMaxBitsLog2,
+                                          options_.cacheBitsLog2);
+  // Keep the cache at least twice the arena: a direct-mapped table at load
+  // factor ~1 loses most of its entries to slot conflicts, so growing only
+  // to parity buys nothing.  The 2x headroom is what turns growth into
+  // measurable hit-rate gains on multi-hundred-thousand-node traversals.
+  while (nodes_.size() * 2 > cache_.size() && cache_.size() < ceiling) {
+    // Rehash rather than drop: every live entry stays findable at its slot
+    // in the doubled table, so growth never costs a cold restart.
+    std::vector<CacheEntry> old;
+    old.swap(cache_);
+    cache_.assign(old.size() * 2, CacheEntry{});
+    for (const CacheEntry& e : old) {
+      if (e.op == Op::kInvalid) continue;
+      cache_[cacheSlot(e.op, e.f, e.g, e.h)] = e;
+    }
+    ++stats_.cacheResizes;
+    if (obs::traceEnabled()) {
+      obs::emitGlobalEvent("cache_resize", *this,
+                           obs::JsonObject()
+                               .put("entries", cache_.size())
+                               .put("allocated", allocatedNodes()));
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -233,8 +265,23 @@ std::uint64_t BddManager::gc() {
   }
 
   rehash(buckets_.size());
-  // Cache entries may now point at freed nodes; drop everything.
-  std::fill(cache_.begin(), cache_.end(), CacheEntry{});
+  // Sweep the computed cache selectively: an entry stays valid as long as
+  // every node it references survived, because the sweep frees slots in
+  // place (survivors keep their index, and an index keeps denoting the same
+  // function -- see reorder.cpp).  Dropping the whole table here instead
+  // forces every traversal to re-derive results about still-live subgraphs
+  // after each collection, which is what used to cap the cache hit rate on
+  // the deep table-1 runs no matter how large the cache grew.
+  std::uint64_t kept = 0;
+  for (CacheEntry& e : cache_) {
+    if (e.op == Op::kInvalid) continue;
+    if (mark[edgeIndex(e.f)] != 0 && mark[edgeIndex(e.g)] != 0 &&
+        mark[edgeIndex(e.h)] != 0 && mark[edgeIndex(e.result)] != 0) {
+      ++kept;
+    } else {
+      e = CacheEntry{};
+    }
+  }
 
   ++stats_.gcRuns;
   stats_.gcReclaimed += reclaimed;
@@ -243,6 +290,7 @@ std::uint64_t BddManager::gc() {
                          obs::JsonObject()
                              .put("reclaimed", reclaimed)
                              .put("allocated", allocatedNodes())
+                             .put("cache_kept", kept)
                              .put("wall_s", gcWatch.elapsedSeconds()));
   }
   // GC is the phase boundary where every structural invariant must hold:

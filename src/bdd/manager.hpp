@@ -75,6 +75,7 @@ struct BddStats {
   std::uint64_t restrictCalls = 0;  ///< top-level restrictE invocations
   std::uint64_t constrainCalls = 0; ///< top-level constrainE invocations
   std::uint64_t multiRestrictCalls = 0;  ///< top-level restrictMultiE calls
+  std::uint64_t cacheResizes = 0;   ///< adaptive computed-cache doublings
 
   /// Computed-cache hit/miss per operation kind, indexed by BddOp.
   std::array<BddOpCacheStats, kBddOpCount> opCache{};
@@ -160,6 +161,12 @@ class BddManager {
 
   [[nodiscard]] const BddStats& stats() const { return stats_; }
   void resetPeak() { stats_.peakNodes = allocatedNodes(); }
+
+  /// Current computed-cache capacity in entries (a power of two; grows
+  /// adaptively with arena occupancy up to BddOptions::cacheMaxBitsLog2).
+  [[nodiscard]] std::uint64_t computedCacheEntries() const {
+    return cache_.size();
+  }
 
   /// Zeroes every counter and re-bases the peak at the current occupancy.
   /// Engines call this on entry so a reused manager (doctor runs, bench
@@ -370,6 +377,9 @@ class BddManager {
   [[nodiscard]] std::size_t cacheSlot(Op op, Edge f, Edge g, Edge h) const;
   bool cacheLookup(Op op, Edge f, Edge g, Edge h, Edge* out);
   void cacheInsert(Op op, Edge f, Edge g, Edge h, Edge result);
+  /// Doubles the computed cache (rehashing live entries) while the arena has
+  /// outgrown it, up to the BddOptions::cacheMaxBitsLog2 ceiling.
+  void maybeGrowComputedCache();
 
   void checkResourceLimits();
   void markRecursive(std::uint32_t index, std::vector<std::uint8_t>& mark) const;

@@ -17,8 +17,15 @@ struct BddOptions {
   /// Garbage collection is considered once the arena has grown past this
   /// many nodes; the threshold doubles whenever a collection frees too little.
   std::uint32_t gcThreshold = 1u << 16;
-  /// log2 of the computed-cache size in entries.
+  /// log2 of the *initial* computed-cache size in entries.
   unsigned cacheBitsLog2 = 18;
+  /// log2 ceiling for the adaptive computed cache.  The unique table rehashes
+  /// whenever the arena outgrows it; the computed cache grows the same way --
+  /// doubling (entries rehashed, not dropped) whenever the arena outgrows the
+  /// cache -- so a multi-million-node traversal is not stuck pushing its
+  /// lookups through the boot-time direct-mapped table.  Set equal to
+  /// cacheBitsLog2 to pin the historical fixed-size behavior.
+  unsigned cacheMaxBitsLog2 = 22;
 };
 
 /// Which resource gave out first when a run is aborted.

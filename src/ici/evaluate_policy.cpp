@@ -5,6 +5,20 @@
 
 namespace icb {
 
+void EvaluatePolicyResult::merge(const EvaluatePolicyResult& other) {
+  if (sizeBefore == 0) sizeBefore = other.sizeBefore;
+  sizeAfter = other.sizeAfter;
+  merges += other.merges;
+  rejections += other.rejections;
+  simplifyApplications += other.simplifyApplications;
+  abortedPairBuilds += other.abortedPairBuilds;
+  pairEntriesBuilt += other.pairEntriesBuilt;
+  pairEntriesReused += other.pairEntriesReused;
+  acceptedRatios.insert(acceptedRatios.end(), other.acceptedRatios.begin(),
+                        other.acceptedRatios.end());
+  if (other.rejectedRatio > 0.0) rejectedRatio = other.rejectedRatio;
+}
+
 EvaluatePolicyResult greedyEvaluate(ConjunctList& list,
                                     const EvaluatePolicyOptions& options) {
   EvaluatePolicyResult result;
@@ -63,15 +77,7 @@ EvaluatePolicyResult evaluateAndSimplify(ConjunctList& list,
     return result;
   }
 
-  EvaluatePolicyResult greedy = greedyEvaluate(list, options);
-  result.merges = greedy.merges;
-  result.rejections = greedy.rejections;
-  result.abortedPairBuilds = greedy.abortedPairBuilds;
-  result.pairEntriesBuilt = greedy.pairEntriesBuilt;
-  result.pairEntriesReused = greedy.pairEntriesReused;
-  result.acceptedRatios = std::move(greedy.acceptedRatios);
-  result.rejectedRatio = greedy.rejectedRatio;
-  result.sizeAfter = greedy.sizeAfter;
+  result.merge(greedyEvaluate(list, options));
   return result;
 }
 

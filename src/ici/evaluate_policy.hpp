@@ -48,6 +48,15 @@ struct EvaluatePolicyResult {
   std::vector<double> acceptedRatios;
   /// The r_min that ended the loop (0 when it ended for another reason).
   double rejectedRatio = 0.0;
+
+  /// Folds a later policy application into this one: counters add, the
+  /// accepted-ratio list appends, sizeAfter and rejectedRatio follow the
+  /// later application, and sizeBefore keeps the earliest nonzero snapshot.
+  /// Every place that layers one result over another goes through this
+  /// helper, so a new field added here is merged (or deliberately not) in
+  /// exactly one spot instead of being silently dropped by field-by-field
+  /// copies at each call site.
+  void merge(const EvaluatePolicyResult& other);
 };
 
 /// Applies the Section III.A policy to `list` in place: cross-simplify with

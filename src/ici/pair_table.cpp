@@ -87,8 +87,21 @@ void PairTable::merge(std::size_t i, std::size_t j) {
   }
 
   // Every surviving entry not touching the merged slot is kept as-is.
+  // Count each such entry once over its lifetime: `entries_reused` is the
+  // number of rebuilds the incremental update avoided, and an entry that
+  // survives three merges still only ever avoided one build.
   const std::size_t n = conjuncts_.size();
-  if (n >= 2) reused_ += (n - 1) * (n - 2) / 2;
+  for (std::size_t a = 0; a < n; ++a) {
+    if (a == i) continue;
+    for (std::size_t b = a + 1; b < n; ++b) {
+      if (b == i) continue;
+      Entry& kept = table_[a][b];
+      if (!kept.reuseCounted) {
+        kept.reuseCounted = true;
+        ++reused_;
+      }
+    }
+  }
 
   rebuildRow(i);
 }

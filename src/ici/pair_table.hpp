@@ -68,6 +68,9 @@ class PairTable {
     std::uint64_t size = 0;   // cached BDDSize(P_ij)
     double ratio = 0.0;
     bool aborted = false;
+    // Set once the entry has been counted in reused_: an entry that
+    // survives several merges is one avoided rebuild, not one per merge.
+    bool reuseCounted = false;
   };
 
   [[nodiscard]] Entry buildEntry(std::size_t i, std::size_t j) const;

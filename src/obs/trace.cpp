@@ -21,6 +21,7 @@ TraceSink::TraceSink(const std::string& path)
 
 void TraceSink::writeLine(std::string_view line) {
   const Stopwatch watch;
+  const std::lock_guard<std::mutex> lock(mutex_);
   os_->write(line.data(), static_cast<std::streamsize>(line.size()));
   os_->put('\n');
   ++lines_;
@@ -29,8 +30,19 @@ void TraceSink::writeLine(std::string_view line) {
 
 void TraceSink::flush() {
   const Stopwatch watch;
+  const std::lock_guard<std::mutex> lock(mutex_);
   os_->flush();
   writeSeconds_ += watch.elapsedSeconds();
+}
+
+double TraceSink::writeSeconds() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return writeSeconds_;
+}
+
+std::uint64_t TraceSink::linesWritten() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
 }
 
 // ---------------------------------------------------------------------------
@@ -121,11 +133,18 @@ void TraceSession::writeCrediting(const Stopwatch& sinceEmitEntry,
   creditDeadline(mgr_, sinceEmitEntry.elapsedSeconds());
 }
 
+JsonObject TraceSession::envelope(std::string_view event, double t) const {
+  JsonObject obj;
+  obj.put("ev", event).put("t", t);
+  if (worker_ >= 0) obj.put("worker", worker_);
+  return obj;
+}
+
 void TraceSession::runBegin(std::string_view method, std::string_view detail) {
   if (!enabled()) return;
   const Stopwatch watch;
-  JsonObject obj;
-  obj.put("ev", "run_begin").put("t", traceClockSeconds()).put("method", method);
+  JsonObject obj = envelope("run_begin", traceClockSeconds());
+  obj.put("method", method);
   if (!detail.empty()) obj.put("detail", detail);
   writeCrediting(watch, std::move(obj).str());
 }
@@ -135,9 +154,7 @@ void TraceSession::runEnd(std::string_view verdict, unsigned iterations,
                           std::uint64_t peakAllocatedNodes) {
   if (!enabled()) return;
   const Stopwatch watch;
-  writeCrediting(watch, std::move(JsonObject()
-                                      .put("ev", "run_end")
-                                      .put("t", traceClockSeconds())
+  writeCrediting(watch, std::move(envelope("run_end", traceClockSeconds())
                                       .put("verdict", verdict)
                                       .put("iterations", iterations)
                                       .put("seconds", seconds)
@@ -152,9 +169,7 @@ void TraceSession::phaseBegin(std::string_view phase, std::uint64_t iteration) {
   if (!enabled()) return;
   const Stopwatch watch;
   open_.push_back(OpenSpan{std::string(phase), iteration, traceClockSeconds()});
-  writeCrediting(watch, std::move(JsonObject()
-                                      .put("ev", "phase_begin")
-                                      .put("t", open_.back().startSeconds)
+  writeCrediting(watch, std::move(envelope("phase_begin", open_.back().startSeconds)
                                       .put("phase", phase)
                                       .put("iter", iteration))
                             .str());
@@ -175,9 +190,7 @@ void TraceSession::phaseEnd(std::string_view phase, std::uint64_t iteration,
   std::uint64_t total = 0;
   for (const std::uint64_t s : conjunctSizes) total += s;
   writeCrediting(watch,
-                 std::move(JsonObject()
-                               .put("ev", "phase_end")
-                               .put("t", traceClockSeconds())
+                 std::move(envelope("phase_end", traceClockSeconds())
                                .put("phase", phase)
                                .put("iter", iteration)
                                .put("wall_s", wall)
@@ -191,10 +204,7 @@ void TraceSession::phaseEnd(std::string_view phase, std::uint64_t iteration,
 void TraceSession::emit(std::string_view event, JsonObject fields) {
   if (!enabled()) return;
   const Stopwatch watch;
-  std::string line = std::move(JsonObject()
-                                   .put("ev", event)
-                                   .put("t", traceClockSeconds()))
-                         .str();
+  std::string line = envelope(event, traceClockSeconds()).str();
   std::string body = std::move(fields).str();
   line.back() = ',';
   line += body.substr(1);

@@ -25,6 +25,7 @@
 #include <atomic>
 #include <cstdint>
 #include <fstream>
+#include <mutex>
 #include <ostream>
 #include <span>
 #include <string>
@@ -41,8 +42,12 @@ class BddManager;
 namespace icb::obs {
 
 /// Destination for JSONL trace lines.  Accounts the wall time spent writing
-/// so callers can exclude sink flushes from resource-capped phases.  Not
-/// thread-safe (the package is single-threaded).
+/// so callers can exclude sink flushes from resource-capped phases.
+///
+/// Thread-safe at line granularity: an internal mutex serializes writeLine /
+/// flush, so concurrent scheduler cells (src/par/) can share one trace file
+/// and every JSONL line stays intact.  Sessions themselves are still
+/// per-cell objects -- only the sink is shared.
 class TraceSink {
  public:
   /// Writes to a borrowed stream (kept alive by the caller).
@@ -54,12 +59,13 @@ class TraceSink {
   void writeLine(std::string_view line);
   void flush();
 
-  [[nodiscard]] double writeSeconds() const { return writeSeconds_; }
-  [[nodiscard]] std::uint64_t linesWritten() const { return lines_; }
+  [[nodiscard]] double writeSeconds() const;
+  [[nodiscard]] std::uint64_t linesWritten() const;
 
  private:
   std::ofstream owned_;
   std::ostream* os_ = nullptr;
+  mutable std::mutex mutex_;  ///< guards the stream and both counters
   double writeSeconds_ = 0.0;
   std::uint64_t lines_ = 0;
 };
@@ -100,11 +106,17 @@ void emitGlobalEvent(std::string_view event, BddManager& mgr, JsonObject fields)
 /// verdict" guarantee).
 class TraceSession {
  public:
-  explicit TraceSession(TraceSink* sink = nullptr, BddManager* creditMgr = nullptr)
-      : sink_(sink != nullptr ? sink : defaultTraceSink()), mgr_(creditMgr) {}
+  /// `worker` >= 0 stamps every event of this session with a "worker" field
+  /// (the scheduler's per-cell attribution); -1 omits it.
+  explicit TraceSession(TraceSink* sink = nullptr, BddManager* creditMgr = nullptr,
+                        int worker = -1)
+      : sink_(sink != nullptr ? sink : defaultTraceSink()),
+        mgr_(creditMgr),
+        worker_(worker) {}
 
   [[nodiscard]] bool enabled() const { return sink_ != nullptr; }
   [[nodiscard]] TraceSink* sink() const { return sink_; }
+  [[nodiscard]] int worker() const { return worker_; }
 
   /// Opens the run span.  `method` is the engine name, `detail` optional
   /// free-form context (model name, variable count).
@@ -136,8 +148,12 @@ class TraceSession {
 
   void writeCrediting(const Stopwatch& sinceEmitEntry, std::string&& line);
 
+  /// Starts an event envelope: {"ev":..., "t":..., ["worker":...]}.
+  [[nodiscard]] JsonObject envelope(std::string_view event, double t) const;
+
   TraceSink* sink_;
   BddManager* mgr_;
+  int worker_ = -1;
   std::vector<OpenSpan> open_;
 };
 

@@ -1,0 +1,159 @@
+#include "par/scheduler.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "obs/jsonl.hpp"
+#include "obs/trace.hpp"
+
+namespace icb::par {
+
+unsigned hardwareJobs() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void CellContext::apply(EngineOptions& options) const {
+  options.traceWorker = static_cast<int>(worker);
+  if (remainingGlobalSeconds > 0.0 &&
+      (options.timeLimitSeconds <= 0.0 ||
+       options.timeLimitSeconds > remainingGlobalSeconds)) {
+    options.timeLimitSeconds = remainingGlobalSeconds;
+  }
+}
+
+VerifyScheduler::VerifyScheduler(SchedulerOptions options)
+    : options_(options),
+      jobs_(options.jobs != 0 ? options.jobs : hardwareJobs()) {}
+
+std::size_t VerifyScheduler::submit(std::string group, Method method,
+                                    CellBody body) {
+  cells_.push_back(Cell{std::move(group), method, std::move(body)});
+  return cells_.size() - 1;
+}
+
+void VerifyScheduler::cancel(const std::string& reason) {
+  bool expected = false;
+  if (cancelled_.compare_exchange_strong(expected, true)) {
+    const std::lock_guard<std::mutex> lock(reasonMutex_);
+    reason_ = reason;
+  }
+}
+
+std::string VerifyScheduler::cancelReason() {
+  const std::lock_guard<std::mutex> lock(reasonMutex_);
+  return reason_;
+}
+
+std::optional<std::size_t> VerifyScheduler::take(unsigned self) {
+  {
+    WorkerQueue& own = queues_[self];
+    const std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.cells.empty()) {
+      const std::size_t index = own.cells.front();
+      own.cells.pop_front();
+      return index;
+    }
+  }
+  // Steal from the back of a peer: the victim keeps working the front of
+  // its own queue, so contention on any one deque stays incidental.
+  for (unsigned step = 1; step < queues_.size(); ++step) {
+    WorkerQueue& victim = queues_[(self + step) % queues_.size()];
+    const std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.cells.empty()) {
+      const std::size_t index = victim.cells.back();
+      victim.cells.pop_back();
+      return index;
+    }
+  }
+  return std::nullopt;
+}
+
+void VerifyScheduler::runCell(std::size_t index, unsigned worker,
+                              std::vector<CellResult>& results) {
+  CellResult& out = results[index];
+  out.worker = worker;
+
+  double remaining = 0.0;
+  if (options_.globalDeadlineSeconds > 0.0) {
+    remaining = options_.globalDeadlineSeconds - batchWatch_.elapsedSeconds();
+    if (remaining <= 0.0) cancel("global deadline expired");
+  }
+  if (cancelled_.load(std::memory_order_acquire)) {
+    out.skipped = true;
+    out.skipReason = cancelReason();
+    out.result.method = cells_[index].method;
+    out.result.note = "cancelled: " + out.skipReason;
+    return;
+  }
+
+  const CellContext ctx{worker, index, remaining};
+  const Stopwatch watch;
+  try {
+    out.result = cells_[index].body(ctx);
+  } catch (const std::exception& e) {
+    // A throwing cell is a harness failure, not a verdict: record it and
+    // fail the rest of the batch fast.
+    out.result.method = cells_[index].method;
+    out.result.note = std::string("cell failed: ") + e.what();
+    cancel(out.result.note);
+  }
+  out.wallSeconds = watch.elapsedSeconds();
+
+  if (options_.cancelOnFirstViolation && out.result.violated()) {
+    cancel("first violation: " + out.group + " / " +
+           std::string(methodName(out.result.method)));
+  }
+
+  if (obs::traceEnabled()) {
+    obs::TraceSession session;  // default process-wide sink, no manager
+    session.emit("cell_end", obs::JsonObject()
+                                 .put("cell", static_cast<std::uint64_t>(index))
+                                 .put("group", out.group)
+                                 .put("method", methodName(out.result.method))
+                                 .put("worker", worker)
+                                 .put("verdict", verdictName(out.result.verdict))
+                                 .put("wall_s", out.wallSeconds));
+  }
+}
+
+void VerifyScheduler::workerLoop(unsigned self,
+                                 std::vector<CellResult>& results) {
+  while (const std::optional<std::size_t> index = take(self)) {
+    runCell(*index, self, results);
+  }
+}
+
+std::vector<CellResult> VerifyScheduler::run() {
+  std::vector<CellResult> results(cells_.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    results[i].index = i;
+    results[i].group = cells_[i].group;
+    results[i].method = cells_[i].method;
+  }
+  batchWatch_.reset();
+
+  const unsigned jobs = static_cast<unsigned>(std::min<std::size_t>(
+      jobs_, std::max<std::size_t>(std::size_t{1}, cells_.size())));
+  if (jobs <= 1) {
+    // Serial mode: no threads, submission order, byte-identical to the
+    // historical sweep (cancellation still honored for queued cells).
+    for (std::size_t i = 0; i < cells_.size(); ++i) runCell(i, 0, results);
+    return results;
+  }
+
+  queues_ = std::vector<WorkerQueue>(jobs);
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    queues_[i % jobs].cells.push_back(i);
+  }
+
+  std::vector<std::thread> workers;
+  workers.reserve(jobs);
+  for (unsigned w = 0; w < jobs; ++w) {
+    workers.emplace_back([this, w, &results] { workerLoop(w, results); });
+  }
+  for (std::thread& t : workers) t.join();
+  return results;
+}
+
+}  // namespace icb::par

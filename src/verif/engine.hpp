@@ -53,6 +53,9 @@ struct EngineOptions {
   /// JSONL observability sink for this run (not the counterexample trace).
   /// Null falls back to the process-wide ICBDD_TRACE sink; see obs/trace.hpp.
   obs::TraceSink* traceSink = nullptr;
+  /// Worker attribution for this run's trace spans: >= 0 adds a "worker"
+  /// field to every event (set by par::CellContext::apply); -1 omits it.
+  int traceWorker = -1;
 
   EvaluatePolicyOptions policy;     ///< XICI evaluation policy knobs
   TerminationOptions termination;   ///< XICI exact-test knobs

@@ -60,7 +60,7 @@ EngineResult runFdForward(Fsm& fsm, std::vector<unsigned> candidateBits,
   Stopwatch watch;
   mgr.resetStats();
   LimitGuard guard(mgr, options);
-  obs::TraceSession trace(options.traceSink, &mgr);
+  obs::TraceSession trace(options.traceSink, &mgr, options.traceWorker);
   trace.runBegin(methodName(result.method));
 
   try {

@@ -19,7 +19,7 @@ EngineResult runForward(Fsm& fsm, const EngineOptions& options) {
   Stopwatch watch;
   mgr.resetStats();
   LimitGuard guard(mgr, options);
-  obs::TraceSession trace(options.traceSink, &mgr);
+  obs::TraceSession trace(options.traceSink, &mgr, options.traceWorker);
   trace.runBegin(methodName(result.method));
 
   try {

@@ -1,7 +1,9 @@
 #include "verif/run_all.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <stdexcept>
+#include <utility>
 
 namespace icb {
 
@@ -40,6 +42,31 @@ const std::vector<Method>& allMethods() {
                                            Method::kFd, Method::kIci,
                                            Method::kXici};
   return methods;
+}
+
+std::vector<par::CellResult> runAllMethods(const ModelFactory& factory,
+                                           const RunAllOptions& options) {
+  if (!factory) {
+    throw std::invalid_argument("runAllMethods: null model factory");
+  }
+  const std::vector<Method>& methods =
+      options.methods.empty() ? allMethods() : options.methods;
+  par::VerifyScheduler scheduler(options.scheduler);
+  for (const Method method : methods) {
+    scheduler.submit(
+        options.group, method,
+        [&factory, method, engine = options.engine](const par::CellContext& ctx) {
+          ModelInstance instance = factory();
+          if (instance.fsm == nullptr) {
+            throw std::invalid_argument("runAllMethods: factory built no Fsm");
+          }
+          EngineOptions cellOptions = engine;
+          ctx.apply(cellOptions);
+          return runMethod(*instance.fsm, method, instance.fdCandidates,
+                           cellOptions);
+        });
+  }
+  return scheduler.run();
 }
 
 }  // namespace icb

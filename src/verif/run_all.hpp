@@ -3,9 +3,11 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "par/scheduler.hpp"
 #include "verif/backward.hpp"
 #include "verif/engine.hpp"
 #include "verif/fd_forward.hpp"
@@ -26,5 +28,36 @@ Method parseMethod(const std::string& name);
 
 /// All five methods, in the paper's table order.
 const std::vector<Method>& allMethods();
+
+/// A freshly built model: `holder` keeps the BddManager and the model object
+/// alive for as long as `fsm` is used, `fdCandidates` feeds the FD engine.
+struct ModelInstance {
+  std::shared_ptr<void> holder;
+  Fsm* fsm = nullptr;
+  std::vector<unsigned> fdCandidates;
+};
+
+/// Builds one private model instance.  Called once per cell, on the worker
+/// that runs the cell, so every method gets its own BddManager and the cells
+/// share no mutable state.
+using ModelFactory = std::function<ModelInstance()>;
+
+struct RunAllOptions {
+  /// Methods to run, in submission order.  Empty = allMethods().
+  std::vector<Method> methods;
+  /// Worker count, cancellation policy, global deadline.
+  par::SchedulerOptions scheduler;
+  /// Per-cell engine options (the scheduler layers worker attribution and
+  /// the global-deadline clamp on top via CellContext::apply).
+  EngineOptions engine;
+  /// Row-group label stamped on every CellResult (model name + config).
+  std::string group;
+};
+
+/// Runs each requested method as one scheduler cell over a privately built
+/// model and returns the results in method order.  With scheduler.jobs == 1
+/// this is exactly the historical serial sweep.
+std::vector<par::CellResult> runAllMethods(const ModelFactory& factory,
+                                           const RunAllOptions& options = {});
 
 }  // namespace icb

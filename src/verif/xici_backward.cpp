@@ -31,15 +31,17 @@ EngineResult runXiciBackward(Fsm& fsm, const EngineOptions& options) {
   Stopwatch watch;
   mgr.resetStats();
   LimitGuard guard(mgr, options);
-  obs::TraceSession trace(options.traceSink, &mgr);
+  obs::TraceSession trace(options.traceSink, &mgr, options.traceWorker);
   trace.runBegin(methodName(result.method));
 
   TerminationChecker checker(mgr, options.termination);
 
-  // Folds one Section III.A policy application into the run's metrics and
-  // trace stream.
+  // Accumulates every Section III.A policy application of the run; captured
+  // into the metrics registry once at run end so ratio gauges (best/worst
+  // accepted) reflect the whole run, not just the last iteration.
+  EvaluatePolicyResult policyTotals;
   auto recordPolicy = [&](const EvaluatePolicyResult& pol, std::uint64_t iter) {
-    result.metrics.capturePolicy(pol);
+    policyTotals.merge(pol);
     if (trace.enabled()) {
       trace.emit("policy", obs::JsonObject()
                                .put("iter", iter)
@@ -135,6 +137,7 @@ EngineResult runXiciBackward(Fsm& fsm, const EngineOptions& options) {
   result.seconds = watch.elapsedSeconds();
   result.peakAllocatedNodes = mgr.stats().peakNodes;
   result.memBytesEstimate = BddManager::bytesForNodes(result.peakAllocatedNodes);
+  result.metrics.capturePolicy(policyTotals);
   result.metrics.captureBdd(mgr);
   result.metrics.captureTermination(result.terminationStats);
   trace.runEnd(verdictName(result.verdict), result.iterations, result.seconds,

@@ -58,6 +58,28 @@ TEST(BddManagerBehaviour, ResetPeakTracksFromCurrentOccupancy) {
   EXPECT_GT(mgr.stats().peakNodes, baseline);
 }
 
+TEST(BddManagerBehaviour, GcKeepsCacheEntriesWhoseNodesSurvive) {
+  BddManager mgr;
+  for (unsigned i = 0; i < 12; ++i) mgr.newVar();
+  Rng rng(11);
+  const Bdd f = test::randomBdd(mgr, 12, rng, 6);
+  const Bdd g = test::randomBdd(mgr, 12, rng, 6);
+  const Bdd h = f & g;  // seeds the computed cache; f, g, h stay rooted
+  {
+    const Bdd garbage = test::randomBdd(mgr, 12, rng, 6);
+    (void)garbage;
+  }
+  mgr.gc();
+  // The sweep frees slots in place, so an entry whose operands and result
+  // all survived is still exactly valid -- repeating the conjunction must
+  // hit the cache instead of recomputing.
+  const std::uint64_t hitsBefore = mgr.stats().cacheFor(BddOp::kAnd).hits;
+  const std::uint64_t createdBefore = mgr.stats().nodesCreated;
+  EXPECT_EQ(f & g, h);
+  EXPECT_GT(mgr.stats().cacheFor(BddOp::kAnd).hits, hitsBefore);
+  EXPECT_EQ(mgr.stats().nodesCreated, createdBefore);
+}
+
 TEST(BddManagerBehaviour, AutoGcEventuallyCollects) {
   BddOptions options;
   options.gcThreshold = 1u << 10;  // tiny threshold: force collections

@@ -22,6 +22,11 @@ namespace {
 std::atomic<std::uint64_t> g_allocations{0};
 }  // namespace
 
+// The replacement operators are intentionally malloc/free-backed; GCC's
+// -Wmismatched-new-delete cannot see that the pair is consistent once the
+// sanitizer builds inline both sides, so silence it for these definitions.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void* operator new(std::size_t size) {
   g_allocations.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
@@ -30,6 +35,7 @@ void* operator new(std::size_t size) {
 
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace icb {
 namespace {

@@ -1,0 +1,375 @@
+// The parallel verification scheduler (src/par/): deterministic ordered
+// aggregation, --jobs 1 / --jobs N verdict equivalence on all five example
+// machines, cooperative cancellation, worker attribution, and the
+// regressions fixed alongside it (PairTable reuse accounting,
+// EvaluatePolicyResult::merge, adaptive computed-cache growth).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "ici/evaluate_policy.hpp"
+#include "ici/pair_table.hpp"
+#include "models/avg_filter.hpp"
+#include "models/mutex_ring.hpp"
+#include "models/network.hpp"
+#include "models/pipeline_cpu.hpp"
+#include "models/typed_fifo.hpp"
+#include "obs/trace.hpp"
+#include "par/scheduler.hpp"
+#include "test_util.hpp"
+#include "verif/run_all.hpp"
+
+namespace icb {
+namespace {
+
+/// Builds a self-owning model instance: the holder keeps a private manager
+/// and the model alive for the cell's lifetime.
+template <typename ModelT, typename ConfigT>
+ModelInstance makeInstance(const ConfigT& config) {
+  struct Holder {
+    BddManager mgr;
+    std::optional<ModelT> model;
+  };
+  auto holder = std::make_shared<Holder>();
+  holder->model.emplace(holder->mgr, config);
+  ModelInstance out;
+  out.fsm = &holder->model->fsm();
+  out.fdCandidates = holder->model->fdCandidates();
+  out.holder = std::move(holder);
+  return out;
+}
+
+/// The five example machines at doctor-sized configurations.
+std::vector<std::pair<std::string, ModelFactory>> tinyModels() {
+  return {
+      {"fifo",
+       [] { return makeInstance<TypedFifoModel>(TypedFifoConfig{3, 4, false}); }},
+      {"mutex",
+       [] { return makeInstance<MutexRingModel>(MutexRingConfig{3, false}); }},
+      {"network",
+       [] { return makeInstance<NetworkModel>(NetworkConfig{3, false}); }},
+      {"filter",
+       [] { return makeInstance<AvgFilterModel>(AvgFilterConfig{2, 4, false}); }},
+      {"pipeline",
+       [] {
+         return makeInstance<PipelineCpuModel>(PipelineCpuConfig{2, 1, false});
+       }},
+  };
+}
+
+EngineResult resultWithVerdict(Method method, Verdict verdict) {
+  EngineResult r;
+  r.method = method;
+  r.verdict = verdict;
+  return r;
+}
+
+TEST(CellContext, ApplyTagsWorkerAndClampsDeadline) {
+  const par::CellContext ctx{2, 0, 5.0};
+
+  EngineOptions uncapped;
+  ctx.apply(uncapped);
+  EXPECT_EQ(uncapped.traceWorker, 2);
+  EXPECT_DOUBLE_EQ(uncapped.timeLimitSeconds, 5.0);
+
+  EngineOptions tighter;
+  tighter.timeLimitSeconds = 3.0;
+  ctx.apply(tighter);
+  EXPECT_DOUBLE_EQ(tighter.timeLimitSeconds, 3.0);
+
+  EngineOptions looser;
+  looser.timeLimitSeconds = 10.0;
+  ctx.apply(looser);
+  EXPECT_DOUBLE_EQ(looser.timeLimitSeconds, 5.0);
+
+  const par::CellContext noDeadline{0, 0, 0.0};
+  EngineOptions untouched;
+  untouched.timeLimitSeconds = 7.0;
+  noDeadline.apply(untouched);
+  EXPECT_DOUBLE_EQ(untouched.timeLimitSeconds, 7.0);
+  EXPECT_EQ(untouched.traceWorker, 0);
+}
+
+TEST(VerifyScheduler, AggregatesInSubmissionOrder) {
+  par::SchedulerOptions options;
+  options.jobs = 4;
+  par::VerifyScheduler scheduler(options);
+  EXPECT_EQ(scheduler.jobs(), 4u);
+
+  const std::vector<Method> methods{Method::kFwd, Method::kBkwd, Method::kFd,
+                                    Method::kIci, Method::kXici, Method::kFwd,
+                                    Method::kBkwd, Method::kIci};
+  for (std::size_t i = 0; i < methods.size(); ++i) {
+    scheduler.submit("g" + std::to_string(i / 4), methods[i],
+                     [m = methods[i]](const par::CellContext&) {
+                       return resultWithVerdict(m, Verdict::kHolds);
+                     });
+  }
+
+  const std::vector<par::CellResult> results = scheduler.run();
+  ASSERT_EQ(results.size(), methods.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].index, i);
+    EXPECT_EQ(results[i].group, "g" + std::to_string(i / 4));
+    EXPECT_EQ(results[i].method, methods[i]);
+    EXPECT_FALSE(results[i].skipped);
+    EXPECT_EQ(results[i].result.verdict, Verdict::kHolds);
+    EXPECT_LT(results[i].worker, 4u);
+  }
+}
+
+TEST(VerifyScheduler, FirstViolationCancelsQueuedCells) {
+  par::SchedulerOptions options;
+  options.jobs = 1;  // serial: submission order is execution order
+  options.cancelOnFirstViolation = true;
+  par::VerifyScheduler scheduler(options);
+
+  std::atomic<int> bodiesRun{0};
+  scheduler.submit("bad", Method::kFwd, [&](const par::CellContext&) {
+    ++bodiesRun;
+    return resultWithVerdict(Method::kFwd, Verdict::kViolated);
+  });
+  for (int i = 0; i < 3; ++i) {
+    scheduler.submit("later", Method::kBkwd, [&](const par::CellContext&) {
+      ++bodiesRun;
+      return resultWithVerdict(Method::kBkwd, Verdict::kHolds);
+    });
+  }
+
+  const std::vector<par::CellResult> results = scheduler.run();
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(bodiesRun.load(), 1);
+  EXPECT_FALSE(results[0].skipped);
+  EXPECT_EQ(results[0].result.verdict, Verdict::kViolated);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].skipped);
+    EXPECT_NE(results[i].skipReason.find("first violation"), std::string::npos);
+    EXPECT_NE(results[i].result.note.find("cancelled"), std::string::npos);
+  }
+}
+
+TEST(VerifyScheduler, ThrowingCellCancelsRemainderAndRecordsFailure) {
+  par::SchedulerOptions options;
+  options.jobs = 1;
+  par::VerifyScheduler scheduler(options);
+
+  scheduler.submit("boom", Method::kIci, [](const par::CellContext&) -> EngineResult {
+    throw std::runtime_error("injected harness failure");
+  });
+  scheduler.submit("next", Method::kXici, [](const par::CellContext&) {
+    return resultWithVerdict(Method::kXici, Verdict::kHolds);
+  });
+
+  const std::vector<par::CellResult> results = scheduler.run();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].skipped);
+  EXPECT_NE(results[0].result.note.find("injected harness failure"),
+            std::string::npos);
+  EXPECT_TRUE(results[1].skipped);
+  EXPECT_NE(results[1].skipReason.find("injected harness failure"),
+            std::string::npos);
+}
+
+TEST(VerifyScheduler, ExpiredGlobalDeadlineSkipsEverything) {
+  par::SchedulerOptions options;
+  options.jobs = 1;
+  options.globalDeadlineSeconds = 1e-9;  // expires before the first dispatch
+  par::VerifyScheduler scheduler(options);
+
+  std::atomic<int> bodiesRun{0};
+  for (int i = 0; i < 3; ++i) {
+    scheduler.submit("capped", Method::kFwd, [&](const par::CellContext&) {
+      ++bodiesRun;
+      return resultWithVerdict(Method::kFwd, Verdict::kHolds);
+    });
+  }
+
+  const std::vector<par::CellResult> results = scheduler.run();
+  EXPECT_EQ(bodiesRun.load(), 0);
+  for (const par::CellResult& cell : results) {
+    EXPECT_TRUE(cell.skipped);
+    EXPECT_NE(cell.skipReason.find("deadline"), std::string::npos);
+  }
+}
+
+/// The headline determinism contract: every (model, method) cell produces
+/// the same verdict, iteration count, and peak iterate size whether the
+/// sweep runs serially (--jobs 1) or on a parallel worker pool (--jobs 4).
+TEST(RunAllMethods, ParallelSweepMatchesSerialSweep) {
+  for (const auto& [name, factory] : tinyModels()) {
+    RunAllOptions serial;
+    serial.group = name;
+    serial.scheduler.jobs = 1;
+    const std::vector<par::CellResult> expected =
+        runAllMethods(factory, serial);
+
+    RunAllOptions parallel = serial;
+    parallel.scheduler.jobs = 4;
+    const std::vector<par::CellResult> actual =
+        runAllMethods(factory, parallel);
+
+    ASSERT_EQ(expected.size(), allMethods().size());
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      SCOPED_TRACE(name + "/" +
+                   std::string(methodName(expected[i].result.method)));
+      EXPECT_EQ(actual[i].method, expected[i].method);
+      EXPECT_EQ(actual[i].result.verdict, expected[i].result.verdict);
+      EXPECT_EQ(actual[i].result.iterations, expected[i].result.iterations);
+      EXPECT_EQ(actual[i].result.peakIterateNodes,
+                expected[i].result.peakIterateNodes);
+      EXPECT_EQ(actual[i].result.peakIterateMemberSizes,
+                expected[i].result.peakIterateMemberSizes);
+      EXPECT_TRUE(expected[i].result.holds());
+    }
+  }
+}
+
+/// Concurrent cells sharing one JSONL sink: the sink's internal mutex must
+/// keep every line intact, and each engine event must carry its cell's
+/// worker attribution.
+TEST(RunAllMethods, SharedTraceSinkStaysLineAtomicUnderParallelCells) {
+  std::ostringstream out;
+  obs::TraceSink sink(out);
+
+  RunAllOptions options;
+  options.scheduler.jobs = 4;
+  options.engine.traceSink = &sink;
+  const auto models = tinyModels();
+  const std::vector<par::CellResult> results =
+      runAllMethods(models.front().second, options);
+  ASSERT_EQ(results.size(), allMethods().size());
+
+  std::istringstream in(out.str());
+  const std::vector<obs::JsonValue> lines = obs::parseJsonLines(in);
+  EXPECT_GT(lines.size(), 0u);
+  std::size_t runBegins = 0;
+  for (const obs::JsonValue& line : lines) {
+    const obs::JsonValue* ev = line.find("ev");
+    ASSERT_NE(ev, nullptr);
+    const obs::JsonValue* worker = line.find("worker");
+    ASSERT_NE(worker, nullptr) << "event without worker attribution: "
+                               << std::string(ev->textOr(""));
+    EXPECT_GE(worker->numberOr(-1.0), 0.0);
+    if (ev->textOr("") == "run_begin") ++runBegins;
+  }
+  EXPECT_EQ(runBegins, allMethods().size());
+}
+
+// ---------------------------------------------------------------------------
+// satellite regressions
+
+/// An entry that survives several merges is one avoided rebuild, not one per
+/// merge: 5 conjuncts merged twice at (0, 1) must report exactly 3 reused
+/// entries (the historical per-merge formula double-counted to 4).
+TEST(PairTableRegression, ReusedEntriesCountedOncePerLifetime) {
+  BddManager mgr;
+  for (unsigned i = 0; i < 5; ++i) mgr.newVar();
+  std::vector<Bdd> conjuncts;
+  for (unsigned i = 0; i < 5; ++i) conjuncts.push_back(mgr.var(i));
+
+  PairTable table(mgr, conjuncts);
+  EXPECT_EQ(table.entriesReused(), 0u);
+
+  table.merge(0, 1);
+  // Survivors not touching the merged slot: (1,2), (1,3), (2,3).
+  EXPECT_EQ(table.entriesReused(), 3u);
+
+  table.merge(0, 1);
+  // The only surviving untouched entry descends from one already counted.
+  EXPECT_EQ(table.entriesReused(), 3u);
+  EXPECT_LE(table.entriesReused(), table.entriesBuilt());
+}
+
+TEST(EvaluatePolicyResultMerge, FoldsALaterApplicationIntoAnEarlierOne) {
+  EvaluatePolicyResult first;
+  first.sizeBefore = 100;
+  first.sizeAfter = 80;
+  first.merges = 2;
+  first.rejections = 1;
+  first.simplifyApplications = 3;
+  first.abortedPairBuilds = 1;
+  first.pairEntriesBuilt = 10;
+  first.pairEntriesReused = 4;
+  first.acceptedRatios = {1.2, 1.1};
+  first.rejectedRatio = 1.9;
+
+  EvaluatePolicyResult second;
+  second.sizeBefore = 80;
+  second.sizeAfter = 60;
+  second.merges = 1;
+  second.rejections = 2;
+  second.simplifyApplications = 1;
+  second.abortedPairBuilds = 2;
+  second.pairEntriesBuilt = 5;
+  second.pairEntriesReused = 1;
+  second.acceptedRatios = {1.05};
+  second.rejectedRatio = 1.7;
+
+  first.merge(second);
+  EXPECT_EQ(first.sizeBefore, 100u);  // earliest snapshot wins
+  EXPECT_EQ(first.sizeAfter, 60u);    // latest snapshot wins
+  EXPECT_EQ(first.merges, 3u);
+  EXPECT_EQ(first.rejections, 3u);
+  EXPECT_EQ(first.simplifyApplications, 4u);
+  EXPECT_EQ(first.abortedPairBuilds, 3u);
+  EXPECT_EQ(first.pairEntriesBuilt, 15u);
+  EXPECT_EQ(first.pairEntriesReused, 5u);
+  ASSERT_EQ(first.acceptedRatios.size(), 3u);
+  EXPECT_DOUBLE_EQ(first.acceptedRatios[2], 1.05);
+  EXPECT_DOUBLE_EQ(first.rejectedRatio, 1.7);
+
+  EvaluatePolicyResult empty;
+  empty.merge(second);
+  EXPECT_EQ(empty.sizeBefore, 80u);  // nothing earlier to keep
+  EXPECT_DOUBLE_EQ(empty.rejectedRatio, 1.7);
+
+  EvaluatePolicyResult noRejection;  // a later clean pass keeps the old ratio
+  first.merge(noRejection);
+  EXPECT_DOUBLE_EQ(first.rejectedRatio, 1.7);
+}
+
+TEST(AdaptiveComputedCache, GrowsWithArenaUpToCeiling) {
+  BddOptions options;
+  options.cacheBitsLog2 = 8;      // boot at 256 entries
+  options.cacheMaxBitsLog2 = 12;  // ceiling 4096 entries
+  BddManager mgr(options);
+  EXPECT_EQ(mgr.computedCacheEntries(), 256u);
+
+  const unsigned nvars = 14;
+  for (unsigned i = 0; i < nvars; ++i) mgr.newVar();
+  Rng rng(7);
+  std::vector<Bdd> keep;  // roots pin the arena so GC cannot shrink it
+  while (mgr.allocatedNodes() <= 4096 && keep.size() < 4096) {
+    keep.push_back(test::randomBdd(mgr, nvars, rng, 6));
+  }
+  ASSERT_GT(mgr.allocatedNodes(), 4096u);
+
+  EXPECT_GT(mgr.stats().cacheResizes, 0u);
+  EXPECT_EQ(mgr.computedCacheEntries(), 4096u);  // clamped at the ceiling
+}
+
+TEST(AdaptiveComputedCache, PinnedCeilingPreservesFixedSizeBehavior) {
+  BddOptions options;
+  options.cacheBitsLog2 = 8;
+  options.cacheMaxBitsLog2 = 8;  // opt out of adaptive growth
+  BddManager mgr(options);
+
+  const unsigned nvars = 12;
+  for (unsigned i = 0; i < nvars; ++i) mgr.newVar();
+  Rng rng(11);
+  std::vector<Bdd> keep;
+  while (mgr.allocatedNodes() <= 1024 && keep.size() < 2048) {
+    keep.push_back(test::randomBdd(mgr, nvars, rng, 6));
+  }
+  ASSERT_GT(mgr.allocatedNodes(), 1024u);
+
+  EXPECT_EQ(mgr.stats().cacheResizes, 0u);
+  EXPECT_EQ(mgr.computedCacheEntries(), 256u);
+}
+
+}  // namespace
+}  // namespace icb
