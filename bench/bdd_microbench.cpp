@@ -146,6 +146,32 @@ void BM_AndComparatorsTraceDisabled(benchmark::State& state) {
 }
 BENCHMARK(BM_AndComparatorsTraceDisabled)->Arg(8)->Arg(16)->Arg(24);
 
+// Grouped sifting from a deliberately bad order: each round builds the
+// comparator with all a-bits above all b-bits (the worst case for ule --
+// exponential in width) and times sift() recovering the interleaving.
+void BM_Sift(benchmark::State& state) {
+  const auto width = static_cast<unsigned>(state.range(0));
+  std::uint64_t saved = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    BddManager mgr;
+    BitVec a;
+    BitVec b;
+    for (unsigned j = 0; j < width; ++j) a.push(mgr.var(mgr.newVar()));
+    for (unsigned j = 0; j < width; ++j) b.push(mgr.var(mgr.newVar()));
+    const Bdd le = ule(a, b);
+    mgr.gc();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(mgr.sift());
+    state.PauseTiming();
+    saved += mgr.stats().reorderSavedNodes;
+    state.ResumeTiming();
+  }
+  state.counters["saved_nodes"] =
+      benchmark::Counter(static_cast<double>(saved), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_Sift)->Arg(8)->Arg(12)->Arg(16);
+
 void BM_GarbageCollection(benchmark::State& state) {
   for (auto _ : state) {
     state.PauseTiming();

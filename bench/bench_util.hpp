@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "bdd/options.hpp"
 #include "obs/jsonl.hpp"
 #include "par/scheduler.hpp"
 #include "util/cli.hpp"
@@ -27,6 +28,19 @@ inline par::SchedulerOptions schedulerOptions(const CliArgs& args) {
   par::SchedulerOptions options;
   options.jobs = static_cast<unsigned>(args.getInt("jobs", 0));
   options.globalDeadlineSeconds = args.getDouble("deadline", 0.0);
+  return options;
+}
+
+/// Reads the BDD-manager knobs shared by every table binary:
+///   --auto-reorder B      growth-triggered grouped sifting (default false:
+///                         the paper keeps its fixed interleaved order, and
+///                         paper-table reproduction depends on that)
+///   --reorder-trigger K   live-node growth factor arming a sift (default 2.0)
+inline BddOptions bddOptions(const CliArgs& args) {
+  BddOptions options;
+  options.autoReorder = args.getBool("auto-reorder", options.autoReorder);
+  options.reorderTrigger =
+      args.getDouble("reorder-trigger", options.reorderTrigger);
   return options;
 }
 

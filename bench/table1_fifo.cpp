@@ -14,6 +14,7 @@ using namespace icb::bench;
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const BenchCaps caps = BenchCaps::fromArgs(args);
+  const BddOptions bddOpts = bddOptions(args);
   BenchReport report("table1_fifo", args, caps);
   if (!report.jsonMode()) {
     std::printf("Table 1 / typed FIFO (node cap %llu, time cap %.0fs)\n\n",
@@ -34,8 +35,9 @@ int main(int argc, char** argv) {
         "8-bit wide typed FIFO buffer, depth " + std::to_string(depth);
     for (const Method m :
          {Method::kFwd, Method::kBkwd, Method::kIci, Method::kXici}) {
-      scheduler.submit(group, m, [depth, m, &caps](const par::CellContext& ctx) {
-        BddManager mgr;
+      scheduler.submit(group, m,
+                       [depth, m, &caps, &bddOpts](const par::CellContext& ctx) {
+        BddManager mgr(bddOpts);
         TypedFifoModel model(mgr, {.depth = depth, .width = 8});
         EngineOptions options = caps.engineOptions();
         ctx.apply(options);

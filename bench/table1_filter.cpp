@@ -18,6 +18,7 @@ using namespace icb::bench;
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const BenchCaps caps = BenchCaps::fromArgs(args);
+  const BddOptions bddOpts = bddOptions(args);
   BenchReport report("table1_filter", args, caps);
   if (!report.jsonMode()) {
     std::printf(
@@ -32,8 +33,8 @@ int main(int argc, char** argv) {
                               ", 8-bit samples, assists supplied";
     for (const Method m :
          {Method::kFwd, Method::kBkwd, Method::kIci, Method::kXici}) {
-      scheduler.submit(group, m, [depth, m, &caps](const par::CellContext& ctx) {
-        BddManager mgr;
+      scheduler.submit(group, m, [depth, m, &caps, &bddOpts](const par::CellContext& ctx) {
+        BddManager mgr(bddOpts);
         AvgFilterModel model(mgr, {.depth = depth, .sampleWidth = 8});
         EngineOptions options = caps.engineOptions();
         options.withAssists = true;

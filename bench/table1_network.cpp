@@ -17,6 +17,7 @@ using namespace icb::bench;
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   BenchCaps caps = BenchCaps::fromArgs(args);
+  const BddOptions bddOpts = bddOptions(args);
   if (!args.has("time-limit")) {
     caps.timeLimitSeconds = 240.0;  // the Fwd/FD rows are iteration-heavy
   }
@@ -32,8 +33,8 @@ int main(int argc, char** argv) {
     const std::string group = std::to_string(procs) + " processors, " +
                               std::to_string(procs) + "-slot network";
     for (const Method m : allMethods()) {
-      scheduler.submit(group, m, [procs, m, &caps](const par::CellContext& ctx) {
-        BddManager mgr;
+      scheduler.submit(group, m, [procs, m, &caps, &bddOpts](const par::CellContext& ctx) {
+        BddManager mgr(bddOpts);
         NetworkModel model(mgr, {.processors = procs});
         EngineOptions options = caps.engineOptions();
         ctx.apply(options);

@@ -18,6 +18,7 @@ using namespace icb::bench;
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const BenchCaps caps = BenchCaps::fromArgs(args);
+  const BddOptions bddOpts = bddOptions(args);
   BenchReport report("table2_filter_auto", args, caps);
   if (!report.jsonMode()) {
     std::printf(
@@ -35,8 +36,8 @@ int main(int argc, char** argv) {
       // Skip the hopeless monolithic runs at depth 16 (the paper's Table 2
       // does not even list them); they would only burn the time cap.
       if (depth == 16 && m != Method::kXici) continue;
-      scheduler.submit(group, m, [depth, m, &caps](const par::CellContext& ctx) {
-        BddManager mgr;
+      scheduler.submit(group, m, [depth, m, &caps, &bddOpts](const par::CellContext& ctx) {
+        BddManager mgr(bddOpts);
         AvgFilterModel model(mgr, {.depth = depth, .sampleWidth = 8});
         EngineOptions options = caps.engineOptions();
         options.withAssists = false;

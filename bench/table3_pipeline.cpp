@@ -19,6 +19,7 @@ using namespace icb::bench;
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   BenchCaps caps = BenchCaps::fromArgs(args);
+  const BddOptions bddOpts = bddOptions(args);
   if (!args.has("max-nodes")) {
     caps.maxNodes = 32'000'000;  // the (4,1) XICI run peaks near 8M nodes
   }
@@ -45,8 +46,8 @@ int main(int argc, char** argv) {
                               std::to_string(cfg.width) + "-bit datapath";
     for (const Method m :
          {Method::kFwd, Method::kBkwd, Method::kIci, Method::kXici}) {
-      scheduler.submit(group, m, [cfg, m, &caps](const par::CellContext& ctx) {
-        BddManager mgr;
+      scheduler.submit(group, m, [cfg, m, &caps, &bddOpts](const par::CellContext& ctx) {
+        BddManager mgr(bddOpts);
         PipelineCpuModel model(
             mgr, {.registers = cfg.registers, .width = cfg.width});
         EngineOptions options = caps.engineOptions();

@@ -17,6 +17,7 @@
 //
 //   icbdd_doctor --model fifo|mutex|network|filter|pipeline|all
 //                [--method xici] [--jobs N]
+//                [--auto-reorder true] [--reorder-trigger K]
 //   icbdd_doctor --bdd dump.txt
 //
 // --model all audits every machine; --jobs N runs the model cells on the
@@ -141,9 +142,9 @@ struct ModelAudit {
 /// the report into `audit`.  Safe to call concurrently for different models.
 EngineResult doctorOneModel(const std::string& name, Method method,
                             const EngineOptions& engineOptions,
-                            ModelAudit& audit) {
+                            const BddOptions& bddOptions, ModelAudit& audit) {
   std::ostringstream os;
-  BddManager mgr;
+  BddManager mgr(bddOptions);
   ModelUnderTest model = buildModel(mgr, name);
   if (model.fsm == nullptr) {
     throw std::invalid_argument("unknown model '" + name + "'");
@@ -171,7 +172,8 @@ EngineResult doctorOneModel(const std::string& name, Method method,
   return run;
 }
 
-int doctorModel(const std::string& name, Method method) {
+int doctorModel(const std::string& name, Method method,
+                const BddOptions& bddOptions) {
   {
     BddManager probe;
     if (buildModel(probe, name).fsm == nullptr) {
@@ -183,7 +185,7 @@ int doctorModel(const std::string& name, Method method) {
   }
 
   ModelAudit audit;
-  doctorOneModel(name, method, EngineOptions{}, audit);
+  doctorOneModel(name, method, EngineOptions{}, bddOptions, audit);
   std::cout << audit.text;
   std::printf("diagnosis: %s\n", audit.violations == 0 ? "CLEAN" : "CORRUPT");
   return audit.violations == 0 ? 0 : 1;
@@ -191,7 +193,8 @@ int doctorModel(const std::string& name, Method method) {
 
 /// --model all: every machine as one scheduler cell, each with its own
 /// manager.  Reports print in model order whatever the completion order.
-int doctorAllModels(Method method, unsigned jobs) {
+int doctorAllModels(Method method, unsigned jobs,
+                    const BddOptions& bddOptions) {
   const std::vector<std::string> names{"fifo", "mutex", "network", "filter",
                                        "pipeline"};
   std::vector<ModelAudit> audits(names.size());
@@ -201,14 +204,15 @@ int doctorAllModels(Method method, unsigned jobs) {
   par::VerifyScheduler scheduler(schedOptions);
   for (std::size_t i = 0; i < names.size(); ++i) {
     scheduler.submit(names[i], method,
-                     [i, method, &names, &audits](const par::CellContext& ctx) {
+                     [i, method, &names, &audits,
+                      &bddOptions](const par::CellContext& ctx) {
                        EngineOptions options;
                        ctx.apply(options);
                        // Each cell writes only audits[i]; aggregation below
                        // reads after run() returns, so no synchronization is
                        // needed beyond the scheduler's own join.
                        return doctorOneModel(names[i], method, options,
-                                             audits[i]);
+                                             bddOptions, audits[i]);
                      });
   }
 
@@ -278,10 +282,19 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // The doctor doubles as the harness for auditing reordering under load:
+  // --auto-reorder turns on growth-triggered grouped sifting for every
+  // audited manager, --reorder-trigger tunes how eagerly it fires.
+  BddOptions bddOptions;
+  bddOptions.autoReorder = args.getBool("auto-reorder", false);
+  bddOptions.reorderTrigger =
+      args.getDouble("reorder-trigger", bddOptions.reorderTrigger);
+
   const std::string model = args.getString("model", "fifo");
   if (model == "all") {
     return doctorAllModels(method,
-                           static_cast<unsigned>(args.getInt("jobs", 0)));
+                           static_cast<unsigned>(args.getInt("jobs", 0)),
+                           bddOptions);
   }
-  return doctorModel(model, method);
+  return doctorModel(model, method, bddOptions);
 }

@@ -59,6 +59,7 @@ unsigned BddManager::newVar(const std::string& name) {
   const auto v = static_cast<unsigned>(varEdges_.size());
   var2level_.push_back(v);
   level2var_.push_back(v);
+  varGroup_.push_back(kNoGroup);
   varNames_.push_back(name.empty() ? "v" + std::to_string(v) : name);
   const Edge e = mk(v, kTrueEdge, kFalseEdge);
   ref(e);  // projection functions stay alive for the manager's lifetime
@@ -144,8 +145,10 @@ Edge BddManager::mk(unsigned var, Edge hi, Edge lo) {
       throw ResourceLimitError(ResourceKind::kNodes);  // edge encoding limit
     }
     nodes_.push_back(Node{kFreeVar, 0, 0, kNil, 0});
-    // Keep the load factor of the unique table below 1.
-    if (nodes_.size() > buckets_.size()) {
+    // Keep the load factor of the unique table below 1.  Mid-swap the table
+    // holds unlinked nodes with stale triples, so growth is deferred until
+    // the swap has restored consistency (see swapLevelsInternal).
+    if (nodes_.size() > buckets_.size() && !suppressRehash_) {
       rehash(buckets_.size() * 2);
     }
     // The computed cache tracks the arena the same way: a cache frozen at
@@ -307,6 +310,10 @@ void BddManager::autoGc() {
   if (allocatedNodes() * 4 > nodes_.size() * 3) {
     gcThreshold_ = std::max<std::uint64_t>(gcThreshold_ * 2, nodes_.size() * 2);
   }
+  // The collection just failed to get the live count back under the growth
+  // trigger?  This is the safe point where sifting is allowed to fire: only
+  // handle-level entries reach autoGc(), never a recursive worker.
+  maybeAutoReorderPostGc();
 }
 
 std::uint64_t BddManager::liveNodes() const {

@@ -72,6 +72,9 @@ struct BddStats {
   std::uint64_t uniqueLookups = 0;  ///< unique-table probes
   std::uint64_t uniqueChainSteps = 0;  ///< hash-chain nodes visited probing
   std::uint64_t reorderSwaps = 0;   ///< adjacent-level swaps performed
+  std::uint64_t reorderRuns = 0;    ///< completed sift() passes
+  std::uint64_t reorderSavedNodes = 0;  ///< live nodes shed across all sifts
+  std::uint64_t reorderInterrupted = 0;  ///< sifts cut short by a limit
   std::uint64_t restrictCalls = 0;  ///< top-level restrictE invocations
   std::uint64_t constrainCalls = 0; ///< top-level constrainE invocations
   std::uint64_t multiRestrictCalls = 0;  ///< top-level restrictMultiE calls
@@ -122,6 +125,21 @@ class BddManager {
   [[nodiscard]] unsigned varLevel(unsigned var) const {
     return var2level_[var];
   }
+
+  /// Registers the given variables as one sifting group: sift() moves them
+  /// as a unit, preserving their relative order.  Intended for the paper's
+  /// (cur, nxt) state-bit pairs, whose interleaving must survive reordering.
+  /// Grouping is a sifting hint only -- manual swapAdjacentLevels() may still
+  /// split a group, in which case its level-contiguous fragments sift
+  /// separately until they happen to reunite.
+  void groupVars(std::span<const unsigned> vars);
+
+  /// Sifting group of `var`, or kNoGroup when ungrouped.
+  [[nodiscard]] unsigned varGroupOf(unsigned var) const {
+    return varGroup_[var];
+  }
+
+  static constexpr unsigned kNoGroup = std::numeric_limits<unsigned>::max();
 
   /// Variable sitting at order position `level`.
   [[nodiscard]] unsigned varAtLevel(unsigned level) const {
@@ -181,7 +199,18 @@ class BddManager {
 
   /// Runs GC if the arena has outgrown the adaptive threshold.  Called
   /// automatically at handle-level entry points; harmless to call manually.
+  /// With BddOptions::autoReorder on, this is also the growth-triggered
+  /// reordering safe point: right after a collection the live count is
+  /// exact, and no recursive operator is on the stack.
   void autoGc();
+
+  /// Explicit auto-reorder safe point for engine iteration boundaries.
+  /// No-op (and side-effect free) unless BddOptions::autoReorder is set and
+  /// the arena has outgrown the trigger; returns true when a sift ran.
+  /// Never call this with edge-level results held across it -- like autoGc,
+  /// it may collect unreferenced nodes (the sift itself keeps every edge
+  /// denoting the same function, so handles survive).
+  bool autoReorderIfNeeded();
 
   /// Checks the installed resource limits now (mk() polls them itself, but
   /// long non-allocating walks such as node counting call this explicitly).
@@ -305,10 +334,16 @@ class BddManager {
   // ---- reordering -----------------------------------------------------------
 
   /// Swaps the variables at order positions `level` and `level+1` in place.
+  /// Checks the installed ResourceLimits once per call, at the consistent
+  /// state after the swap -- an interrupted reorder never leaves a
+  /// half-rewritten level behind.
   void swapAdjacentLevels(unsigned level);
 
-  /// Rudell-style sifting over all variables.  Returns live-node delta.
-  /// (Extension: the paper keeps a fixed order; exposed for experiments.)
+  /// Rudell-style sifting over all variables, moving each registered
+  /// variable group (see groupVars) as a block.  Returns the live-node
+  /// delta (negative = shrink).  Honors ResourceLimits at swap granularity;
+  /// on interruption the ResourceLimitError propagates with the manager
+  /// audit-clean.  (Extension: the paper keeps a fixed order.)
   std::int64_t sift(std::uint64_t maxGrowth = 0);
 
   // ---- debug ---------------------------------------------------------------
@@ -384,6 +419,27 @@ class BddManager {
   void checkResourceLimits();
   void markRecursive(std::uint32_t index, std::vector<std::uint8_t>& mark) const;
 
+  // reordering internals (reorder.cpp)
+  //
+  // ReorderBook is the sift-scoped incremental bookkeeping that replaces the
+  // historical per-swap liveNodes() full mark pass: per-node in-degree from
+  // live nodes, a live flag, per-variable live populations, and per-variable
+  // candidate lists so a swap touches only the nodes of its own level.
+  struct ReorderBook;
+  void initReorderBook(ReorderBook& book) const;
+  void bookAcquire(ReorderBook& book, Edge e);
+  void bookRelease(ReorderBook& book, Edge e);
+  Edge mkBook(unsigned var, Edge hi, Edge lo, ReorderBook* book);
+  /// The one adjacent-level swap implementation: with a book it iterates the
+  /// level's candidate list and maintains the live count incrementally; the
+  /// public swapAdjacentLevels() passes nullptr and scans the arena.
+  void swapLevelsInternal(unsigned level, ReorderBook* book);
+  void unlinkFromBucket(std::uint32_t index);
+  /// Throws CheckFailure when the book's live count disagrees with a full
+  /// liveNodes() mark pass (ICBDD_CHECK_LEVEL=full only).
+  void auditReorderBook(const ReorderBook& book) const;
+  void maybeAutoReorderPostGc();
+
   /// ICBDD_CHECK(kCheap) helper for operator entry/exit points: throws
   /// CheckFailure(kInvalidEdge) when `e` points outside the arena or at a
   /// free-listed node.
@@ -416,6 +472,13 @@ class BddManager {
   BddStats stats_;
   std::uint64_t gcThreshold_ = 0;
   std::uint32_t limitCheckCountdown_ = 0;
+
+  // reordering state
+  std::vector<unsigned> varGroup_;      // sifting group per var; kNoGroup
+  unsigned nextGroupId_ = 0;
+  std::uint64_t reorderBaseline_ = 0;   // live nodes after the last sift
+  bool inReorder_ = false;              // reentrancy guard for safe points
+  bool suppressRehash_ = false;         // defer table growth during a swap
 };
 
 }  // namespace icb

@@ -26,6 +26,19 @@ struct BddOptions {
   /// lookups through the boot-time direct-mapped table.  Set equal to
   /// cacheBitsLog2 to pin the historical fixed-size behavior.
   unsigned cacheMaxBitsLog2 = 22;
+  /// Growth-triggered automatic dynamic reordering (grouped sifting).  Off by
+  /// default: the paper keeps a fixed interleaved order, and verdict/iteration
+  /// reproducibility against it requires the order to stay put.  When on, a
+  /// sift fires at safe points (handle-level autoGc, engine iteration
+  /// boundaries) once the live-node count exceeds reorderTrigger times the
+  /// count after the last reorder AND garbage collection failed to get back
+  /// under that bar.
+  bool autoReorder = false;
+  /// Live-node growth factor that arms the next automatic sift.
+  double reorderTrigger = 2.0;
+  /// Automatic sifting is pointless on tiny arenas: never fire below this
+  /// many live nodes.
+  std::uint64_t reorderMinLiveNodes = 4096;
 };
 
 /// Which resource gave out first when a run is aborted.

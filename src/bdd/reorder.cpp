@@ -1,6 +1,7 @@
-// Dynamic variable reordering: in-place adjacent-level swap and Rudell-style
-// sifting.  The paper keeps a fixed (interleaved) order, so reordering is an
-// extension here -- exposed for experiments and exercised by the test suite.
+// Dynamic variable reordering: in-place adjacent-level swap, grouped
+// Rudell-style sifting, and the growth-triggered automatic reordering policy.
+// The paper keeps a fixed (interleaved) order, so reordering is an extension
+// here -- docs/reordering.md covers the trigger policy and the safe points.
 //
 // The in-place swap follows the classic recipe for packages with complement
 // edges and the "then-arc never complemented" rule:
@@ -12,8 +13,18 @@
 //   * rewritten triples cannot collide with each other (the rewrite map is
 //     injective) nor with pre-existing y-nodes (those cannot reach x-nodes,
 //     since x was above y), so canonicity is preserved,
-//   * the unique table is rebuilt afterwards; the computed cache stays valid
-//     because cached entries denote functions, not shapes.
+//   * rewritten nodes are unlinked from their unique-table chain before and
+//     relinked after the mutation -- a swap costs O(level population), not a
+//     full table rebuild,
+//   * the computed cache stays valid because cached entries denote
+//     functions, not shapes.
+//
+// Sifting maintains a ReorderBook instead of re-running the O(arena)
+// liveNodes() mark pass after every swap: per-node in-degree from live
+// nodes, a live flag, per-variable populations, and per-variable candidate
+// lists.  Because the arena is acyclic, reference counting in the book is
+// exact reachability; under ICBDD_CHECK_LEVEL=full every swap cross-checks
+// the book against a fresh mark pass.
 #include <algorithm>
 #include <numeric>
 
@@ -25,24 +36,172 @@
 
 namespace icb {
 
-void BddManager::swapAdjacentLevels(unsigned level) {
-  if (level + 1 >= level2var_.size()) {
-    throw BddUsageError("swapAdjacentLevels: level out of range");
+struct BddManager::ReorderBook {
+  std::vector<std::uint32_t> parents;  ///< in-edges from live nodes
+  std::vector<std::uint8_t> alive;     ///< reachable from an external root
+  std::vector<std::uint64_t> popVar;   ///< live nodes per variable
+  /// Candidate node indices per variable.  Entries go stale when a node is
+  /// rewritten to another variable or freed; consumers filter on Node::var
+  /// and deduplicate, so the lists only ever over-approximate.
+  std::vector<std::vector<std::uint32_t>> varNodes;
+  std::uint64_t live = 0;  ///< matches liveNodes(): live nodes + terminal
+};
+
+void BddManager::groupVars(std::span<const unsigned> vars) {
+  for (const unsigned v : vars) {
+    if (v >= varGroup_.size()) {
+      throw BddUsageError("groupVars: var index out of range");
+    }
   }
+  const unsigned id = nextGroupId_++;
+  for (const unsigned v : vars) varGroup_[v] = id;
+}
+
+void BddManager::initReorderBook(ReorderBook& book) const {
+  // Precondition: gc() just ran, so every non-free node is reachable from an
+  // external root and the one O(arena) pass below prices the whole sift.
+  book.parents.assign(nodes_.size(), 0);
+  book.alive.assign(nodes_.size(), 0);
+  book.popVar.assign(varCount(), 0);
+  book.varNodes.assign(varCount(), {});
+  book.live = 1;  // the terminal
+  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    if (n.var == kFreeVar) continue;
+    book.alive[i] = 1;
+    ++book.live;
+    ++book.popVar[n.var];
+    book.varNodes[n.var].push_back(i);
+    if (edgeIndex(n.hi) != 0) ++book.parents[edgeIndex(n.hi)];
+    if (edgeIndex(n.lo) != 0) ++book.parents[edgeIndex(n.lo)];
+  }
+}
+
+void BddManager::bookAcquire(ReorderBook& book, Edge e) {
+  const std::uint32_t idx = edgeIndex(e);
+  if (idx == 0) return;
+  ++book.parents[idx];
+  if (book.alive[idx] != 0) return;
+  // Resurrection: mk() handed back a node that had gone dead during this
+  // sift.  It re-enters the live set together with its whole cone.
+  std::vector<std::uint32_t> stack{idx};
+  while (!stack.empty()) {
+    const std::uint32_t i = stack.back();
+    stack.pop_back();
+    if (book.alive[i] != 0) continue;
+    book.alive[i] = 1;
+    ++book.live;
+    ++book.popVar[nodes_[i].var];
+    for (const Edge c : {nodes_[i].hi, nodes_[i].lo}) {
+      const std::uint32_t ci = edgeIndex(c);
+      if (ci == 0) continue;
+      ++book.parents[ci];
+      if (book.alive[ci] == 0) stack.push_back(ci);
+    }
+  }
+}
+
+void BddManager::bookRelease(ReorderBook& book, Edge e) {
+  if (edgeIndex(e) == 0) return;
+  // Every stack entry is a node that just lost one in-edge from a live node.
+  std::vector<std::uint32_t> stack{edgeIndex(e)};
+  while (!stack.empty()) {
+    const std::uint32_t i = stack.back();
+    stack.pop_back();
+    --book.parents[i];
+    if (book.parents[i] != 0 || nodes_[i].ref != 0 || book.alive[i] == 0) {
+      continue;
+    }
+    book.alive[i] = 0;
+    --book.live;
+    --book.popVar[nodes_[i].var];
+    for (const Edge c : {nodes_[i].hi, nodes_[i].lo}) {
+      if (edgeIndex(c) != 0) stack.push_back(edgeIndex(c));
+    }
+  }
+}
+
+Edge BddManager::mkBook(unsigned var, Edge hi, Edge lo, ReorderBook* book) {
+  if (book == nullptr) return mk(var, hi, lo);
+  const std::uint64_t createdBefore = stats_.nodesCreated;
+  const Edge e = mk(var, hi, lo);
+  if (stats_.nodesCreated != createdBefore) {
+    // Fresh node: dead until a live parent acquires it, no in-edges yet.
+    const std::uint32_t idx = edgeIndex(e);
+    if (idx >= book->alive.size()) {
+      book->parents.resize(nodes_.size(), 0);
+      book->alive.resize(nodes_.size(), 0);
+    }
+    book->parents[idx] = 0;
+    book->alive[idx] = 0;
+    book->varNodes[var].push_back(idx);
+  }
+  return e;
+}
+
+void BddManager::auditReorderBook(const ReorderBook& book) const {
+  const std::uint64_t marked = liveNodes();
+  if (marked != book.live) {
+    throw CheckFailure(ViolationKind::kReorderBookMismatch,
+                       "incremental live count " + std::to_string(book.live) +
+                           " != mark pass " + std::to_string(marked));
+  }
+}
+
+void BddManager::unlinkFromBucket(std::uint32_t index) {
+  Node& n = nodes_[index];
+  std::uint32_t* link = &buckets_[hashNode(n.var, n.hi, n.lo)];
+  while (*link != index) {
+    if (*link == kNil) {
+      throw CheckFailure(ViolationKind::kUniqueTableMiss,
+                         "node " + std::to_string(index) +
+                             " missing from its unique-table chain");
+    }
+    link = &nodes_[*link].next;
+  }
+  *link = n.next;
+}
+
+void BddManager::swapLevelsInternal(unsigned level, ReorderBook* book) {
   const unsigned x = level2var_[level];
   const unsigned y = level2var_[level + 1];
 
   // Collect the level-`level` nodes that actually reference variable y.
   std::vector<std::uint32_t> rewrite;
-  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+  auto wantsRewrite = [&](std::uint32_t i) {
     const Node& n = nodes_[i];
-    if (n.var != x) continue;
     const bool hiY = !edgeIsConstant(n.hi) && nodes_[edgeIndex(n.hi)].var == y;
     const bool loY = !edgeIsConstant(n.lo) && nodes_[edgeIndex(n.lo)].var == y;
-    if (hiY || loY) rewrite.push_back(i);
+    return hiY || loY;
+  };
+  if (book != nullptr) {
+    // The candidate list over-approximates (stale vars, duplicates from
+    // nodes that bounced between levels); filter and compact it in place.
+    std::vector<std::uint32_t>& candidates = book->varNodes[x];
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    std::erase_if(candidates,
+                  [&](std::uint32_t i) { return nodes_[i].var != x; });
+    for (const std::uint32_t i : candidates) {
+      if (wantsRewrite(i)) rewrite.push_back(i);
+    }
+  } else {
+    for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+      if (nodes_[i].var == x && wantsRewrite(i)) rewrite.push_back(i);
+    }
   }
 
+  // Suspend the resource limits for the rewrite: mk() polling them mid-loop
+  // could throw with the level half rewritten.  They are re-checked -- once,
+  // with an unsampled clock read -- after the swap reaches a consistent
+  // state, which caps a runaway sift at single-swap granularity.
+  const ResourceLimits savedLimits = limits_;
+  limits_ = ResourceLimits{};
+  suppressRehash_ = true;
+
   for (const std::uint32_t i : rewrite) {
+    unlinkFromBucket(i);
     const Edge f1 = nodes_[i].hi;  // plain by canonicity
     const Edge f0 = nodes_[i].lo;  // possibly complemented
 
@@ -53,95 +212,274 @@ void BddManager::swapAdjacentLevels(unsigned level) {
     const Edge f01 = loY ? edgeThen(f0) : f0;
     const Edge f00 = loY ? edgeElse(f0) : f0;
 
-    const Edge newHi = mk(x, f11, f01);
-    const Edge newLo = mk(x, f10, f00);
+    const Edge newHi = mkBook(x, f11, f01, book);
+    const Edge newLo = mkBook(x, f10, f00, book);
     // newHi is plain: f11 is plain (then-arc of a plain edge), and the
     // f11 == f01 collapse can only yield a plain edge in that case too.
+    const bool wasAlive = book != nullptr && book->alive[i] != 0;
+    if (wasAlive) {
+      // Acquire before releasing so shared grandchildren never transit
+      // through a spurious dead state.
+      bookAcquire(*book, newHi);
+      bookAcquire(*book, newLo);
+    }
     Node& n = nodes_[i];
     n.var = y;
     n.hi = newHi;
     n.lo = newLo;
+    const std::size_t slot = hashNode(y, newHi, newLo);
+    n.next = buckets_[slot];
+    buckets_[slot] = i;
+    if (book != nullptr) {
+      book->varNodes[y].push_back(i);
+      if (wasAlive) {
+        --book->popVar[x];
+        ++book->popVar[y];
+        bookRelease(*book, f1);
+        bookRelease(*book, f0);
+      }
+    }
   }
+
+  suppressRehash_ = false;
+  // Table growth deferred by the flag above happens now, on a consistent
+  // table (a mid-loop rehash would have re-inserted pending nodes under
+  // their stale triples).
+  std::size_t wantBuckets = buckets_.size();
+  while (nodes_.size() > wantBuckets) wantBuckets *= 2;
+  if (wantBuckets != buckets_.size()) rehash(wantBuckets);
 
   level2var_[level] = y;
   level2var_[level + 1] = x;
   var2level_[x] = level + 1;
   var2level_[y] = level;
   ++stats_.reorderSwaps;
-
-  // Rewritten nodes sit in stale unique-table chains; rebuild.
-  rehash(buckets_.size());
+  limits_ = savedLimits;
 
   // The in-place mutation above is the single most invariant-hostile code
   // path in the package (canonicity, order, and table completeness are all
   // re-established by hand), so audit the whole arena after every swap.
+  // Both audits credit their wall time back to the deadline.
   ICBDD_CHECK(kFull, auditArenaCreditingTime(*this));
+  if (book != nullptr) {
+    ICBDD_CHECK(kFull, auditReorderBook(*book));
+  }
+
+  // Per-swap limit check, at a state every caller may safely abandon.
+  if (limits_.maxNodes != 0 && allocatedNodes() > limits_.maxNodes) {
+    throw ResourceLimitError(ResourceKind::kNodes);
+  }
+  if (limits_.deadline.isSet() && limits_.deadline.expired()) {
+    throw ResourceLimitError(ResourceKind::kTime);
+  }
+}
+
+void BddManager::swapAdjacentLevels(unsigned level) {
+  if (level + 1 >= level2var_.size()) {
+    throw BddUsageError("swapAdjacentLevels: level out of range");
+  }
+  swapLevelsInternal(level, nullptr);
 }
 
 std::int64_t BddManager::sift(std::uint64_t maxGrowth) {
+  const unsigned nvars = varCount();
+  if (nvars < 2) return 0;
   const Stopwatch siftWatch;
   const std::uint64_t swapsBefore = stats_.reorderSwaps;
   gc();
-  const std::int64_t before = static_cast<std::int64_t>(liveNodes());
+
+  ReorderBook book;
+  initReorderBook(book);
+  const std::int64_t before = static_cast<std::int64_t>(book.live);
   if (maxGrowth == 0) maxGrowth = static_cast<std::uint64_t>(before) * 2 + 1024;
 
-  const unsigned nvars = varCount();
-  if (nvars < 2) return 0;
-
-  // Sift variables in decreasing order of current subtable population.
-  std::vector<std::uint64_t> population(nvars, 0);
-  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
-    if (nodes_[i].var != kFreeVar) ++population[nodes_[i].var];
+  // Carve the current order into blocks: a maximal run of adjacent levels
+  // sharing a registered group moves as one unit, everything else is a
+  // singleton.  A group torn apart by manual swaps simply yields several
+  // blocks.  Block membership and internal order never change below, so a
+  // block is identified by its member variables (top to bottom).
+  std::vector<std::vector<unsigned>> blocks;
+  std::vector<std::size_t> blockOf(nvars);
+  for (unsigned l = 0; l < nvars;) {
+    const unsigned v = level2var_[l];
+    std::vector<unsigned> members{v};
+    unsigned next = l + 1;
+    if (varGroup_[v] != kNoGroup) {
+      while (next < nvars && varGroup_[level2var_[next]] == varGroup_[v]) {
+        members.push_back(level2var_[next]);
+        ++next;
+      }
+    }
+    for (const unsigned m : members) blockOf[m] = blocks.size();
+    blocks.push_back(std::move(members));
+    l = next;
   }
-  std::vector<unsigned> order(nvars);
-  std::iota(order.begin(), order.end(), 0u);
-  std::sort(order.begin(), order.end(), [&](unsigned a, unsigned b) {
-    return population[a] > population[b];
+
+  const auto blockTop = [&](std::size_t b) {
+    return var2level_[blocks[b].front()];
+  };
+  // Exchanges block `b` with the block directly below it: the bottom member
+  // sinks past the whole lower block, then the next one, ... -- m*n adjacent
+  // swaps, both blocks keeping their internal order.
+  const auto swapWithBelow = [&](std::size_t b) {
+    const unsigned top = blockTop(b);
+    const auto m = static_cast<unsigned>(blocks[b].size());
+    const std::size_t lower = blockOf[level2var_[top + m]];
+    const auto n = static_cast<unsigned>(blocks[lower].size());
+    for (unsigned i = 0; i < m; ++i) {
+      for (unsigned j = 0; j < n; ++j) {
+        swapLevelsInternal(top + m - 1 - i + j, &book);
+      }
+    }
+  };
+  const auto swapWithAbove = [&](std::size_t b) {
+    swapWithBelow(blockOf[level2var_[blockTop(b) - 1]]);
+  };
+  // Swaps strand their rewritten-out children as dead allocations; the book
+  // keeps the *live* count bounded, but without collections the arena (and
+  // with it the maxNodes accounting) would churn without bound across the
+  // O(n^2) swaps of a full pass.  Collect whenever dead nodes dominate.
+  const auto collectChurn = [&] {
+    if (allocatedNodes() > book.live * 4 + 4096) gc();
+  };
+
+  // Sift blocks in decreasing order of live population.
+  std::vector<std::size_t> order(blocks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const auto population = [&](std::size_t b) {
+    std::uint64_t total = 0;
+    for (const unsigned v : blocks[b]) total += book.popVar[v];
+    return total;
+  };
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return population(a) > population(b);
   });
 
-  for (const unsigned v : order) {
-    const unsigned start = var2level_[v];
-    std::uint64_t best = liveNodes();
-    unsigned bestLevel = start;
-    std::uint64_t current = best;
+  bool interrupted = false;
+  try {
+    for (const std::size_t b : order) {
+      const auto m = static_cast<unsigned>(blocks[b].size());
+      std::uint64_t best = book.live;
+      unsigned bestTop = blockTop(b);
 
-    // Sweep down to the bottom...
-    for (unsigned l = start; l + 1 < nvars; ++l) {
-      swapAdjacentLevels(l);
-      current = liveNodes();
-      if (current < best) {
-        best = current;
-        bestLevel = l + 1;
+      // Sweep down to the bottom...
+      while (blockTop(b) + m < nvars) {
+        swapWithBelow(b);
+        collectChurn();
+        if (book.live < best) {
+          best = book.live;
+          bestTop = blockTop(b);
+        }
+        if (book.live > best + maxGrowth) break;
       }
-      if (current > best + maxGrowth) break;
-    }
-    // ...then up to the top...
-    for (unsigned l = var2level_[v]; l > 0; --l) {
-      swapAdjacentLevels(l - 1);
-      current = liveNodes();
-      if (current < best) {
-        best = current;
-        bestLevel = l - 1;
+      // ...then up to the top...
+      while (blockTop(b) > 0) {
+        swapWithAbove(b);
+        collectChurn();
+        if (book.live < best) {
+          best = book.live;
+          bestTop = blockTop(b);
+        }
+        if (book.live > best + maxGrowth) break;
       }
-      if (current > best + maxGrowth) break;
+      // ...and settle at the best position seen.  The other blocks' relative
+      // order is untouched by moving this one, so every recorded top is
+      // reachable exactly.
+      while (blockTop(b) > bestTop) {
+        swapWithAbove(b);
+        collectChurn();
+      }
+      while (blockTop(b) < bestTop) {
+        swapWithBelow(b);
+        collectChurn();
+      }
     }
-    // ...and settle at the best position seen.
-    while (var2level_[v] < bestLevel) swapAdjacentLevels(var2level_[v]);
-    while (var2level_[v] > bestLevel) swapAdjacentLevels(var2level_[v] - 1);
-    gc();
+  } catch (const ResourceLimitError&) {
+    // swapLevelsInternal only throws between swaps, at a consistent state:
+    // account for the partial pass and let the engine report its capped
+    // verdict.  Dead nodes parked in the arena are normal pre-GC state.
+    interrupted = true;
+    ++stats_.reorderInterrupted;
+    ++stats_.reorderRuns;
+    if (obs::traceEnabled()) {
+      obs::emitGlobalEvent(
+          "reorder", *this,
+          obs::JsonObject()
+              .put("swaps", stats_.reorderSwaps - swapsBefore)
+              .put("live_before", before)
+              .put("live_after", static_cast<std::int64_t>(book.live))
+              .put("interrupted", true)
+              .put("wall_s", siftWatch.elapsedSeconds()));
+    }
+    throw;
   }
 
-  const std::int64_t after = static_cast<std::int64_t>(liveNodes());
+  gc();  // reclaim the intermediates the sweeps abandoned
+  const std::int64_t after = static_cast<std::int64_t>(book.live);
+  ++stats_.reorderRuns;
+  if (after < before) {
+    stats_.reorderSavedNodes += static_cast<std::uint64_t>(before - after);
+  }
   if (obs::traceEnabled()) {
     obs::emitGlobalEvent("reorder", *this,
                          obs::JsonObject()
                              .put("swaps", stats_.reorderSwaps - swapsBefore)
-                             .put("live_before", static_cast<std::int64_t>(before))
-                             .put("live_after", static_cast<std::int64_t>(after))
+                             .put("live_before", before)
+                             .put("live_after", after)
+                             .put("interrupted", interrupted)
                              .put("wall_s", siftWatch.elapsedSeconds()));
   }
   ICBDD_CHECK(kFull, auditArenaCreditingTime(*this));
   return after - before;
+}
+
+// ---------------------------------------------------------------------------
+// growth-triggered automatic reordering
+
+void BddManager::maybeAutoReorderPostGc() {
+  if (!options_.autoReorder || inReorder_) return;
+  // A collection just finished, so allocatedNodes() is the exact live count.
+  const std::uint64_t live = allocatedNodes();
+  if (reorderBaseline_ == 0) {
+    // First safe point with the policy armed: record the reference size.
+    reorderBaseline_ = std::max<std::uint64_t>(live, 1);
+    return;
+  }
+  if (live < options_.reorderMinLiveNodes) return;
+  if (static_cast<double>(live) <
+      options_.reorderTrigger * static_cast<double>(reorderBaseline_)) {
+    return;
+  }
+  inReorder_ = true;
+  // Re-base before sifting: even an interrupted pass must not re-arm the
+  // trigger at the very next safe point.
+  reorderBaseline_ = live;
+  try {
+    sift();
+  } catch (...) {
+    inReorder_ = false;
+    throw;
+  }
+  inReorder_ = false;
+  reorderBaseline_ = std::max<std::uint64_t>(allocatedNodes(), 1);
+}
+
+bool BddManager::autoReorderIfNeeded() {
+  if (!options_.autoReorder || inReorder_) return false;
+  if (reorderBaseline_ != 0) {
+    // allocatedNodes() bounds the live count from above, so a cheap
+    // comparison against it skips the gc() most iterations.
+    const std::uint64_t allocated = allocatedNodes();
+    if (allocated < options_.reorderMinLiveNodes) return false;
+    if (static_cast<double>(allocated) <
+        options_.reorderTrigger * static_cast<double>(reorderBaseline_)) {
+      return false;
+    }
+  }
+  gc();
+  const std::uint64_t runsBefore = stats_.reorderRuns;
+  maybeAutoReorderPostGc();
+  return stats_.reorderRuns != runsBefore;
 }
 
 }  // namespace icb

@@ -86,6 +86,8 @@ enum class ViolationKind {
   // GC roots (StructuralChecker)
   kStaleRefOnFreeNode,      ///< freed node still carries an external refcount
   kVarEdgeCorrupt,          ///< projection edge is not the function of its variable
+  // reordering (BddManager::auditReorderBook)
+  kReorderBookMismatch,     ///< sift's incremental live count != full mark pass
   // computed cache (CacheAuditor)
   kCacheDanglingEdge,       ///< cache entry references a freed or out-of-range node
   kCacheWrongResult,        ///< re-executing the operator disagrees with the cache

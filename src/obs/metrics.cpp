@@ -54,6 +54,9 @@ void MetricsRegistry::captureBdd(const BddManager& mgr) {
   add("bdd.unique.lookups", s.uniqueLookups);
   add("bdd.unique.chain_steps", s.uniqueChainSteps);
   add("bdd.reorder.swaps", s.reorderSwaps);
+  add("bdd.reorder.runs", s.reorderRuns);
+  add("bdd.reorder.saved_nodes", s.reorderSavedNodes);
+  add("bdd.reorder.interrupted", s.reorderInterrupted);
   add("bdd.restrict.calls", s.restrictCalls);
   add("bdd.constrain.calls", s.constrainCalls);
   add("bdd.multi_restrict.calls", s.multiRestrictCalls);

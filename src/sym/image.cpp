@@ -1,52 +1,65 @@
 #include "sym/image.hpp"
 
-#include <algorithm>
-#include <unordered_set>
+#include <limits>
 
 namespace icb {
+
+ClusterSchedule buildClusterSchedule(BddManager& mgr,
+                                     const std::vector<Bdd>& conjuncts,
+                                     const std::vector<unsigned>& quantVars,
+                                     std::uint64_t clusterCap) {
+  ClusterSchedule out;
+
+  // Greedy clustering under the node cap, in conjunct order (locality
+  // heuristic: adjacent state bits tend to share support).
+  Bdd acc;
+  for (const Bdd& t : conjuncts) {
+    if (acc.isNull()) {
+      acc = t;
+      continue;
+    }
+    const Bdd merged = acc & t;
+    if (merged.size() > clusterCap) {
+      out.clusters.push_back(acc);
+      acc = t;
+    } else {
+      acc = merged;
+    }
+  }
+  if (!acc.isNull()) out.clusters.push_back(std::move(acc));
+
+  // A variable can be quantified right after the last cluster mentioning it;
+  // one mentioned by no cluster can go before the walk even starts.
+  std::vector<int> lastCluster(mgr.varCount(), -1);
+  std::vector<std::uint8_t> quantifiable(mgr.varCount(), 0);
+  for (const unsigned v : quantVars) quantifiable[v] = 1;
+  for (std::size_t c = 0; c < out.clusters.size(); ++c) {
+    for (const unsigned v : out.clusters[c].support()) {
+      if (quantifiable[v] != 0) lastCluster[v] = static_cast<int>(c);
+    }
+  }
+  out.perCluster.resize(out.clusters.size());
+  for (const unsigned v : quantVars) {
+    if (lastCluster[v] >= 0) {
+      out.perCluster[static_cast<std::size_t>(lastCluster[v])].push_back(v);
+    } else {
+      out.upfront.push_back(v);
+    }
+  }
+  return out;
+}
 
 Bdd clusteredExistsProduct(BddManager& mgr, const Bdd& base,
                            const std::vector<Bdd>& conjuncts,
                            const std::vector<unsigned>& quantVars,
                            std::uint64_t clusterCap) {
-  std::vector<Bdd> clusters;
-  Bdd acc0;
-  for (const Bdd& t : conjuncts) {
-    if (acc0.isNull()) {
-      acc0 = t;
-      continue;
-    }
-    const Bdd merged = acc0 & t;
-    if (merged.size() > clusterCap) {
-      clusters.push_back(acc0);
-      acc0 = t;
-    } else {
-      acc0 = merged;
-    }
-  }
-  if (!acc0.isNull()) clusters.push_back(std::move(acc0));
+  const ClusterSchedule sched =
+      buildClusterSchedule(mgr, conjuncts, quantVars, clusterCap);
 
-  const std::unordered_set<unsigned> quantifiable(quantVars.begin(),
-                                                  quantVars.end());
-  std::vector<int> lastCluster(mgr.varCount(), -1);
-  for (std::size_t c = 0; c < clusters.size(); ++c) {
-    for (const unsigned v : clusters[c].support()) {
-      if (quantifiable.count(v) != 0) lastCluster[v] = static_cast<int>(c);
-    }
-  }
-  std::vector<std::vector<unsigned>> schedule(clusters.size());
-  std::vector<unsigned> upfront;
-  for (const unsigned v : quantVars) {
-    if (lastCluster[v] >= 0) {
-      schedule[static_cast<std::size_t>(lastCluster[v])].push_back(v);
-    } else {
-      upfront.push_back(v);
-    }
-  }
-
-  Bdd acc = base.exists(Bdd(&mgr, mgr.cubeE(upfront)));
-  for (std::size_t c = 0; c < clusters.size(); ++c) {
-    acc = acc.andExists(clusters[c], Bdd(&mgr, mgr.cubeE(schedule[c])));
+  Bdd acc = base.exists(Bdd(&mgr, mgr.cubeE(sched.upfront)));
+  for (std::size_t c = 0; c < sched.clusters.size(); ++c) {
+    acc = acc.andExists(sched.clusters[c],
+                        Bdd(&mgr, mgr.cubeE(sched.perCluster[c])));
     if (acc.isZero()) break;
   }
   return acc;
@@ -64,60 +77,26 @@ ImageComputer::ImageComputer(const Fsm& fsm, const ImageOptions& options)
     conjuncts.push_back(vars.nxt(k).xnor(fsm.next(k)));
   }
 
-  // Greedy clustering under the node cap.
-  if (options.monolithic) {
-    Bdd all = mgr.one();
-    for (const Bdd& t : conjuncts) all &= t;
-    clusters_.push_back(std::move(all));
-  } else {
-    Bdd current;
-    for (const Bdd& t : conjuncts) {
-      if (current.isNull()) {
-        current = t;
-        continue;
-      }
-      const Bdd merged = current & t;
-      if (merged.size() > options.clusterCap) {
-        clusters_.push_back(current);
-        current = t;
-      } else {
-        current = merged;
-      }
-    }
-    if (!current.isNull()) clusters_.push_back(std::move(current));
-  }
+  // Cur/input variables are the quantifiable ones, listed deterministically
+  // (state bits first, then inputs) so the schedule -- and with it every
+  // cube and operation sequence -- is reproducible run to run.
+  std::vector<unsigned> quantVars;
+  quantVars.reserve(vars.stateBitCount() + vars.inputVars().size());
+  for (const StateBit& b : vars.stateBits()) quantVars.push_back(b.cur);
+  for (const unsigned v : vars.inputVars()) quantVars.push_back(v);
 
-  // Quantification schedule: a cur/input variable can be quantified after
-  // the last cluster mentioning it.  Variables in no cluster are quantified
-  // from the source set before the walk (they are cur vars the relation
-  // ignores, or unused inputs).
-  std::unordered_set<unsigned> quantifiable;
-  for (const StateBit& b : vars.stateBits()) quantifiable.insert(b.cur);
-  for (const unsigned v : vars.inputVars()) quantifiable.insert(v);
+  // An uncapped schedule degenerates to the single monolithic relation.
+  const std::uint64_t cap = options.monolithic
+                                ? std::numeric_limits<std::uint64_t>::max()
+                                : options.clusterCap;
+  ClusterSchedule sched = buildClusterSchedule(mgr, conjuncts, quantVars, cap);
 
-  std::vector<int> lastCluster(mgr.varCount(), -1);
-  for (std::size_t c = 0; c < clusters_.size(); ++c) {
-    for (const unsigned v : clusters_[c].support()) {
-      if (quantifiable.count(v) != 0) {
-        lastCluster[v] = static_cast<int>(c);
-      }
-    }
-  }
-
-  std::vector<std::vector<unsigned>> perCluster(clusters_.size());
-  std::vector<unsigned> unused;
-  for (const unsigned v : quantifiable) {
-    if (lastCluster[v] >= 0) {
-      perCluster[static_cast<std::size_t>(lastCluster[v])].push_back(v);
-    } else {
-      unused.push_back(v);
-    }
-  }
+  clusters_ = std::move(sched.clusters);
   quantCubes_.reserve(clusters_.size());
-  for (const auto& vs : perCluster) {
+  for (const auto& vs : sched.perCluster) {
     quantCubes_.push_back(Bdd(&mgr, mgr.cubeE(vs)));
   }
-  preQuantCube_ = Bdd(&mgr, mgr.cubeE(unused));
+  preQuantCube_ = Bdd(&mgr, mgr.cubeE(sched.upfront));
 
   // nxt -> cur renaming for the final product.
   renameMap_.resize(mgr.varCount());

@@ -16,6 +16,25 @@
 
 namespace icb {
 
+/// Greedy clustering of conjuncts under a node cap, plus the early
+/// quantification schedule over them: perCluster[c] holds the quantVars whose
+/// last occurrence is in cluster c (quantified right after conjoining it),
+/// upfront the quantVars no cluster mentions (quantified from the source set
+/// before the walk).  One code path serves clusteredExistsProduct and the
+/// ImageComputer constructor.
+struct ClusterSchedule {
+  std::vector<Bdd> clusters;
+  std::vector<std::vector<unsigned>> perCluster;
+  std::vector<unsigned> upfront;
+};
+
+/// Builds the schedule.  quantVars order is respected within each schedule
+/// bucket, so a deterministic input yields a deterministic schedule.
+ClusterSchedule buildClusterSchedule(BddManager& mgr,
+                                     const std::vector<Bdd>& conjuncts,
+                                     const std::vector<unsigned>& quantVars,
+                                     std::uint64_t clusterCap);
+
 /// exists(quantVars) [ base & conjuncts... ] computed with greedy clustering
 /// and early quantification: each variable is quantified right after the
 /// last cluster that mentions it.  Shared by the forward images, the

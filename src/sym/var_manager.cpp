@@ -1,10 +1,15 @@
 #include "sym/var_manager.hpp"
 
+#include <array>
+
 namespace icb {
 
 unsigned VarManager::addStateBit(const std::string& name) {
   const unsigned cur = mgr_->newVar(name);
   const unsigned nxt = mgr_->newVar(name + "'");
+  // Reordering must keep the (cur, nxt) interleaving the relational
+  // operations rely on: sift moves the pair as one block.
+  mgr_->groupVars(std::array{cur, nxt});
   state_.push_back(StateBit{cur, nxt, name});
   return static_cast<unsigned>(state_.size() - 1);
 }

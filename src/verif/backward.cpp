@@ -57,6 +57,8 @@ EngineResult runBackward(Fsm& fsm, const EngineOptions& options) {
         trace.phaseEnd("back_image", result.iterations, mgr.allocatedNodes(),
                        mgr.stats().peakNodes, sizes);
       }
+      // Iteration boundary: no edge-level results live, safe to reorder.
+      mgr.autoReorderIfNeeded();
       if (next == g) {  // canonical form: O(1) convergence test
         result.verdict = Verdict::kHolds;
         break;

@@ -240,6 +240,9 @@ EngineResult runFdForward(Fsm& fsm, std::vector<unsigned> candidateBits,
         trace.phaseEnd("image", result.iterations, mgr.allocatedNodes(),
                        mgr.stats().peakNodes, sizes);
       }
+      // Iteration boundary: no edge-level results live (DepSubstituter maps
+      // are rebuilt per step and rooted in handles), safe to reorder.
+      mgr.autoReorderIfNeeded();
 
       // Converged when the image adds no new independent-part states AND
       // the image dependencies agree with the current ones on the image.

@@ -68,6 +68,8 @@ EngineResult runForward(Fsm& fsm, const EngineOptions& options) {
         trace.phaseEnd("image", result.iterations, mgr.allocatedNodes(),
                        mgr.stats().peakNodes, sizes);
       }
+      // Iteration boundary: no edge-level results live, safe to reorder.
+      mgr.autoReorderIfNeeded();
       if (fresh.isZero()) {
         result.verdict = Verdict::kHolds;
         break;

@@ -149,6 +149,9 @@ EngineResult runIciBackward(Fsm& fsm, const EngineOptions& options) {
         trace.phaseEnd("back_image", result.iterations, mgr.allocatedNodes(),
                        mgr.stats().peakNodes, next.memberSizes());
       }
+      // Iteration boundary: no edge-level results live, safe to reorder
+      // (the signature set below stores Edge values, which a sift preserves).
+      mgr.autoReorderIfNeeded();
 
       // Fast syntactic convergence test (the CAV'93-style one), extended
       // with the cycle check described above.

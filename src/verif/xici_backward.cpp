@@ -106,6 +106,8 @@ EngineResult runXiciBackward(Fsm& fsm, const EngineOptions& options) {
         trace.phaseEnd("back_image", result.iterations, mgr.allocatedNodes(),
                        mgr.stats().peakNodes, next.memberSizes());
       }
+      // Iteration boundary: no edge-level results live, safe to reorder.
+      mgr.autoReorderIfNeeded();
 
       // Section III.B: exact termination test on the two implicit lists.
       const TerminationStats termBefore = checker.stats();

@@ -1,0 +1,187 @@
+// Property tests for growth-triggered reordering at the engine level: with
+// auto-reorder forced to fire aggressively between iterations, every engine
+// must report the same verdict as the fixed-order run, engines whose
+// termination test is semantic (Fwd, Bkwd, FD, XICI) the same iteration
+// count, and counterexample traces must still validate against the machine.
+// ICI is the one exception on iterations: its CAV'93-style convergence test
+// is syntactic (a repeated list signature) and Restrict results are
+// variable-order-sensitive, so a sift legitimately shifts *when* the forms
+// go flat -- only the verdict is order-independent there.
+// The VerifySchedulerReorder suite
+// checks composition with the parallel scheduler's per-cell managers and
+// that a reorder interrupted by a resource cap surfaces as the capped
+// verdict, never as a crash.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/avg_filter.hpp"
+#include "models/mutex_ring.hpp"
+#include "models/network.hpp"
+#include "models/pipeline_cpu.hpp"
+#include "models/typed_fifo.hpp"
+#include "verif/counterexample.hpp"
+#include "verif/run_all.hpp"
+
+namespace icb {
+namespace {
+
+/// Fires a sift at essentially every engine iteration boundary: any growth
+/// at all re-arms the trigger, with no minimum arena size.
+BddOptions aggressiveReorder() {
+  BddOptions options;
+  options.autoReorder = true;
+  options.reorderTrigger = 1.05;
+  options.reorderMinLiveNodes = 1;
+  return options;
+}
+
+/// Keeps the private manager alive alongside the model object it owns.
+struct Holder {
+  std::shared_ptr<BddManager> mgr;
+  std::shared_ptr<void> model;
+};
+
+ModelInstance buildNamed(const std::string& name, const BddOptions& bddOptions,
+                         bool injectBug) {
+  auto holder = std::make_shared<Holder>();
+  holder->mgr = std::make_shared<BddManager>(bddOptions);
+  BddManager& mgr = *holder->mgr;
+  ModelInstance out;
+  if (name == "fifo") {
+    auto m = std::make_shared<TypedFifoModel>(
+        mgr, TypedFifoConfig{3, 4, injectBug});
+    out.fsm = &m->fsm();
+    out.fdCandidates = m->fdCandidates();
+    holder->model = std::move(m);
+  } else if (name == "mutex") {
+    auto m =
+        std::make_shared<MutexRingModel>(mgr, MutexRingConfig{3, injectBug});
+    out.fsm = &m->fsm();
+    out.fdCandidates = m->fdCandidates();
+    holder->model = std::move(m);
+  } else if (name == "network") {
+    auto m = std::make_shared<NetworkModel>(mgr, NetworkConfig{3, injectBug});
+    out.fsm = &m->fsm();
+    out.fdCandidates = m->fdCandidates();
+    holder->model = std::move(m);
+  } else if (name == "filter") {
+    auto m = std::make_shared<AvgFilterModel>(
+        mgr, AvgFilterConfig{2, 4, injectBug});
+    out.fsm = &m->fsm();
+    out.fdCandidates = m->fdCandidates();
+    holder->model = std::move(m);
+  } else if (name == "pipeline") {
+    auto m = std::make_shared<PipelineCpuModel>(
+        mgr, PipelineCpuConfig{2, 1, injectBug});
+    out.fsm = &m->fsm();
+    out.fdCandidates = m->fdCandidates();
+    holder->model = std::move(m);
+  }
+  out.holder = std::move(holder);
+  return out;
+}
+
+const std::vector<std::string>& modelNames() {
+  static const std::vector<std::string> names{"fifo", "mutex", "network",
+                                              "filter", "pipeline"};
+  return names;
+}
+
+TEST(ReorderEngine, VerdictsAndIterationsMatchFixedOrder) {
+  for (const std::string& name : modelNames()) {
+    for (const Method m : allMethods()) {
+      ModelInstance fixed = buildNamed(name, BddOptions{}, false);
+      const EngineResult base =
+          runMethod(*fixed.fsm, m, fixed.fdCandidates, {});
+
+      ModelInstance sifted = buildNamed(name, aggressiveReorder(), false);
+      const EngineResult run =
+          runMethod(*sifted.fsm, m, sifted.fdCandidates, {});
+
+      const std::string where = name + "/" + methodName(m);
+      EXPECT_EQ(run.verdict, base.verdict) << where;
+      // ICI's syntactic convergence test is order-sensitive (see header
+      // comment); every semantic-termination engine must match exactly.
+      if (m != Method::kIci) {
+        EXPECT_EQ(run.iterations, base.iterations) << where;
+      }
+    }
+  }
+}
+
+TEST(ReorderEngine, CounterexampleTracesSurviveReordering) {
+  // Bugged machines: every method must still find the violation under
+  // aggressive sifting, with a trace of the fixed-order length that replays
+  // cleanly.  Exact states may differ (minterm picking is shape-dependent);
+  // existence, length, and validity are the order-independent contract.
+  for (const std::string& name : modelNames()) {
+    for (const Method m : allMethods()) {
+      ModelInstance fixed = buildNamed(name, BddOptions{}, true);
+      const EngineResult base =
+          runMethod(*fixed.fsm, m, fixed.fdCandidates, {});
+      if (base.verdict != Verdict::kViolated) continue;  // method-blind bug
+
+      ModelInstance sifted = buildNamed(name, aggressiveReorder(), true);
+      const EngineResult run =
+          runMethod(*sifted.fsm, m, sifted.fdCandidates, {});
+
+      const std::string where = name + "/" + methodName(m);
+      ASSERT_EQ(run.verdict, Verdict::kViolated) << where;
+      // Trace *presence* must match the fixed-order run (FD reports the
+      // violation but never reconstructs a trace, in either mode).
+      ASSERT_EQ(run.trace.has_value(), base.trace.has_value()) << where;
+      if (!base.trace.has_value()) continue;
+      EXPECT_EQ(run.trace->states.size(), base.trace->states.size()) << where;
+      EXPECT_EQ(validateTrace(*sifted.fsm, *run.trace,
+                              sifted.fsm->property(false)),
+                "")
+          << where;
+    }
+  }
+}
+
+TEST(VerifySchedulerReorder, PerCellManagersComposeWithAutoReorder) {
+  // Each cell builds its own manager with auto-reorder forced on; two
+  // workers run them concurrently.  Verdicts must match a fixed-order serial
+  // sweep -- reordering is cell-private state, invisible across cells.
+  std::vector<EngineResult> serial;
+  for (const Method m : allMethods()) {
+    ModelInstance fixed = buildNamed("fifo", BddOptions{}, false);
+    serial.push_back(runMethod(*fixed.fsm, m, fixed.fdCandidates, {}));
+  }
+
+  RunAllOptions options;
+  options.scheduler.jobs = 2;
+  options.group = "fifo";
+  const std::vector<par::CellResult> cells = runAllMethods(
+      [] { return buildNamed("fifo", aggressiveReorder(), false); }, options);
+
+  ASSERT_EQ(cells.size(), serial.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    ASSERT_FALSE(cells[i].skipped) << methodName(serial[i].method);
+    EXPECT_EQ(cells[i].result.verdict, serial[i].verdict)
+        << methodName(serial[i].method);
+    EXPECT_EQ(cells[i].result.iterations, serial[i].iterations)
+        << methodName(serial[i].method);
+  }
+}
+
+TEST(VerifySchedulerReorder, InterruptedSiftReportsCappedVerdict) {
+  // A node cap tight enough to interrupt mid-run -- possibly mid-sift --
+  // must come back as the capped verdict with a usable manager, never as a
+  // crash or a CheckFailure.
+  ModelInstance sifted = buildNamed("fifo", aggressiveReorder(), false);
+  EngineOptions options;
+  options.maxNodes = 400;  // below what the depth-3 FIFO needs
+  const EngineResult run =
+      runMethod(*sifted.fsm, Method::kFwd, sifted.fdCandidates, options);
+  EXPECT_EQ(run.verdict, Verdict::kNodeLimit);
+  auto* holder = static_cast<Holder*>(sifted.holder.get());
+  holder->mgr->checkInvariants();
+}
+
+}  // namespace
+}  // namespace icb
