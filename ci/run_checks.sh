@@ -4,7 +4,7 @@
 # skipped with a notice instead of failing, so the script is useful on
 # minimal machines; CI runs the full set.
 #
-# Usage: ci/run_checks.sh [release|sanitize|tsan|lint|bench|all]  (default: all)
+# Usage: ci/run_checks.sh [release|sanitize|tsan|lint|bench|svc|all]  (default: all)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -49,6 +49,15 @@ EOF
   fi
 }
 
+run_svc() {
+  note "service gate: icbdd_serve NDJSON smoke (rejection + kill/resume)"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 ci/svc_smoke.py ./build-werror/examples/icbdd_serve
+  else
+    echo "python3 not installed -- service smoke skipped (CI runs it)"
+  fi
+}
+
 run_sanitize() {
   note "sanitizer gate: ASan + UBSan, cheap per-op checking"
   cmake --preset asan-ubsan
@@ -83,13 +92,14 @@ run_lint() {
 }
 
 case "${what}" in
-  release)  run_release; run_bench_json ;;
+  release)  run_release; run_bench_json; run_svc ;;
   sanitize) run_sanitize ;;
   tsan)     run_tsan ;;
   lint)     run_lint ;;
   bench)    run_bench_json ;;
-  all)      run_release; run_bench_json; run_sanitize; run_tsan; run_lint ;;
-  *) echo "usage: $0 [release|sanitize|tsan|lint|bench|all]" >&2; exit 2 ;;
+  svc)      run_svc ;;
+  all)      run_release; run_bench_json; run_svc; run_sanitize; run_tsan; run_lint ;;
+  *) echo "usage: $0 [release|sanitize|tsan|lint|bench|svc|all]" >&2; exit 2 ;;
 esac
 
 note "done"

@@ -19,6 +19,7 @@
 //                [--method xici] [--jobs N]
 //                [--auto-reorder true] [--reorder-trigger K]
 //   icbdd_doctor --bdd dump.txt
+//   icbdd_doctor --job spec.json       (one icbdd-svc-v1 request object)
 //
 // --model all audits every machine; --jobs N runs the model cells on the
 // parallel verification scheduler (each with a private manager), with the
@@ -45,6 +46,7 @@
 #include "models/pipeline_cpu.hpp"
 #include "models/typed_fifo.hpp"
 #include "obs/metrics.hpp"
+#include "svc/job.hpp"
 #include "util/cli.hpp"
 #include "verif/run_all.hpp"
 
@@ -235,6 +237,53 @@ int doctorAllModels(Method method, unsigned jobs,
   return bad == 0 && !skippedAny ? 0 : 1;
 }
 
+/// --job spec.json: an icbdd-svc-v1 request object drives the audit through
+/// the service's own parser and model builder, so the request schema has a
+/// second consumer and cannot drift from what icbdd_serve accepts.
+int doctorJob(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  svc::JobRequest request;
+  try {
+    request = svc::parseJobRequest(obs::parseJson(text.str()));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad job spec '%s': %s\n", path.c_str(), e.what());
+    return 2;
+  }
+
+  std::ostringstream os;
+  std::size_t bad = 0;
+  try {
+    BddManager mgr(svc::bddOptionsFor(request));
+    ModelInstance model = svc::buildJobModel(mgr, request);
+    const EngineResult run = runMethod(*model.fsm, request.method,
+                                       model.fdCandidates,
+                                       svc::engineOptionsFor(request));
+    os << "job " << request.id << ": model " << request.model << " via "
+       << icb::methodName(request.method) << ": "
+       << (run.holds() ? "property holds" : "property NOT proven") << " after "
+       << run.iterations << " iterations (" << run.peakIterateNodes
+       << " peak nodes)\n";
+    bad = auditCore(mgr, os);
+    bad += auditIciLayer(mgr, model.fsm->property(true), os);
+    os << "run metrics:\n";
+    run.metrics.print(os);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "job '%s' failed: %s\n", request.id.c_str(),
+                 e.what());
+    return 2;
+  }
+  std::cout << os.str();
+  std::printf("diagnosis: %s\n", bad == 0 ? "CLEAN" : "CORRUPT");
+  return bad == 0 ? 0 : 1;
+}
+
 int doctorDump(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
@@ -272,6 +321,9 @@ int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
   if (args.has("bdd")) {
     return doctorDump(args.getString("bdd", ""));
+  }
+  if (args.has("job")) {
+    return doctorJob(args.getString("job", ""));
   }
 
   Method method = Method::kXici;

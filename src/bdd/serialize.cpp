@@ -10,7 +10,8 @@ namespace icb {
 
 namespace {
 
-constexpr const char* kMagic = "icbdd-bdd-v1";
+constexpr const char* kMagicV1 = "icbdd-bdd-v1";
+constexpr const char* kMagicV2 = "icbdd-bdd-v2";
 
 /// File-local reference: T, F, or [!]<node id>.
 std::string refOf(Edge e,
@@ -72,11 +73,16 @@ void saveBdds(std::ostream& os, const BddManager& mgr,
     }
   }
 
-  os << kMagic << '\n';
+  os << kMagicV2 << '\n';
   os << "vars " << mgr.varCount() << '\n';
   for (unsigned v = 0; v < mgr.varCount(); ++v) {
     os << "v " << v << ' ' << mgr.varName(v) << '\n';
   }
+  os << "order";
+  for (unsigned level = 0; level < mgr.varCount(); ++level) {
+    os << ' ' << mgr.varAtLevel(level);
+  }
+  os << '\n';
   os << "nodes " << order.size() << '\n';
   for (const std::uint32_t index : order) {
     const Edge plain = makeEdge(index, false);
@@ -102,11 +108,16 @@ std::vector<Bdd> loadBdds(std::istream& is, BddManager& mgr) {
     return std::istringstream(line);
   };
 
+  bool hasOrderLine = false;
   {
     auto ls = nextLine();
     std::string magic;
     ls >> magic;
-    if (magic != kMagic) throw BddUsageError("loadBdds: bad magic");
+    if (magic == kMagicV2) {
+      hasOrderLine = true;
+    } else if (magic != kMagicV1) {
+      throw BddUsageError("loadBdds: bad magic");
+    }
   }
 
   std::size_t varCount = 0;
@@ -124,6 +135,25 @@ std::vector<Bdd> loadBdds(std::istream& is, BddManager& mgr) {
     ls >> key >> index >> name;
     if (key != "v" || index != i) throw BddUsageError("loadBdds: bad var line");
     if (index >= mgr.varCount()) mgr.newVar(name);
+  }
+
+  if (hasOrderLine) {
+    auto ls = nextLine();
+    std::string key;
+    ls >> key;
+    if (key != "order") throw BddUsageError("loadBdds: expected order");
+    std::vector<unsigned> level2var;
+    level2var.reserve(varCount);
+    unsigned var = 0;
+    while (ls >> var) level2var.push_back(var);
+    if (level2var.size() != varCount) {
+      throw BddUsageError("loadBdds: order line length != vars");
+    }
+    // Restoring the saved order only makes sense when the manager holds
+    // exactly the file's variables; when loading into a larger manager the
+    // saved permutation is partial, so we keep the manager's current order
+    // (ITE re-canonicalizes the nodes either way).
+    if (mgr.varCount() == varCount) applyVarOrder(mgr, level2var);
   }
 
   std::size_t nodeCount = 0;
@@ -175,6 +205,31 @@ std::vector<Bdd> loadBdds(std::istream& is, BddManager& mgr) {
     roots.emplace_back(&mgr, parseRef(tok, loaded));
   }
   return roots;
+}
+
+void applyVarOrder(BddManager& mgr, std::span<const unsigned> level2var) {
+  const unsigned n = mgr.varCount();
+  if (level2var.size() != n) {
+    throw BddUsageError("applyVarOrder: order length != varCount");
+  }
+  std::vector<bool> seen(n, false);
+  for (const unsigned var : level2var) {
+    if (var >= n || seen[var]) {
+      throw BddUsageError("applyVarOrder: not a permutation of the variables");
+    }
+    seen[var] = true;
+  }
+  // Selection sort by adjacent swaps: for each target level top-down, bubble
+  // the wanted variable up from wherever it currently sits.  O(n^2) swaps
+  // worst case, fine for the var counts we serialize.
+  for (unsigned level = 0; level < n; ++level) {
+    const unsigned want = level2var[level];
+    unsigned at = mgr.varLevel(want);
+    while (at > level) {
+      mgr.swapAdjacentLevels(at - 1);
+      --at;
+    }
+  }
 }
 
 }  // namespace icb

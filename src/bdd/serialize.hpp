@@ -1,9 +1,10 @@
 // Textual save/load of BDDs, e.g. to checkpoint derived invariant lists.
 //
 // Format (line oriented, self-describing):
-//   icbdd-bdd-v1
+//   icbdd-bdd-v2
 //   vars <count>
 //   v <index> <name>            (one per variable)
+//   order <var> <var> ...       (level->var map: the variable at each level)
 //   nodes <count>
 //   n <id> <var> <hi> <lo>      (children: T, F, or [!]<id> of an earlier n)
 //   roots <count>
@@ -12,6 +13,13 @@
 // Node ids are file-local and topologically ordered (children precede
 // parents), so loading is a single pass of mk() calls; shared subgraphs and
 // complement edges round-trip exactly.
+//
+// v2 persists the writer's variable ORDER (the level->var map), not just the
+// variables: a snapshot taken after dynamic reordering reloads with the same
+// order, so node counts, Restrict forms, and minterm picks -- everything a
+// resumed run's byte-identical replay depends on -- match the saved manager,
+// not whatever order the loading manager happened to be in.  v1 files (no
+// order line) still load; they keep the loading manager's current order.
 #pragma once
 
 #include <iosfwd>
@@ -28,8 +36,16 @@ void saveBdds(std::ostream& os, const BddManager& mgr,
 
 /// Reads functions saved by saveBdds into `mgr`.  Missing variables are
 /// created (with their saved names) so the manager may start empty; when
-/// variables already exist they are matched by index.  Throws BddUsageError
-/// on malformed input.
+/// variables already exist they are matched by index.  When the file carries
+/// an order line (v2) and the manager has exactly the file's variables, the
+/// saved order is restored via applyVarOrder before nodes are rebuilt.
+/// Throws BddUsageError on malformed input.
 std::vector<Bdd> loadBdds(std::istream& is, BddManager& mgr);
+
+/// Reorders `mgr` (by adjacent-level swaps, semantics preserved) until its
+/// level->var map equals `level2var`, which must be a permutation of all the
+/// manager's variables.  No-op when the order already matches.  Throws
+/// BddUsageError on a malformed permutation.
+void applyVarOrder(BddManager& mgr, std::span<const unsigned> level2var);
 
 }  // namespace icb

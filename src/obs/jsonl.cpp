@@ -3,7 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
-#include <stdexcept>
+#include <cstdlib>
 
 namespace icb::obs {
 
@@ -130,8 +130,7 @@ class Parser {
 
  private:
   [[noreturn]] void fail(const std::string& what) const {
-    throw std::runtime_error("JSON parse error at offset " +
-                             std::to_string(pos_) + ": " + what);
+    throw JsonParseError(pos_, what);
   }
 
   void skipSpace() {
@@ -156,6 +155,20 @@ class Parser {
     pos_ += lit.size();
     return true;
   }
+
+  /// RAII depth guard: every container level (object or array) entered
+  /// bumps the count, so `[[[[...` fails with a structured error long
+  /// before the recursive descent can exhaust the stack.
+  struct DepthGuard {
+    Parser& parser;
+    explicit DepthGuard(Parser& p) : parser(p) {
+      if (++parser.depth_ > kMaxJsonDepth) {
+        parser.fail("nesting deeper than " + std::to_string(kMaxJsonDepth) +
+                    " levels");
+      }
+    }
+    ~DepthGuard() { --parser.depth_; }
+  };
 
   JsonValue parseValue() {
     skipSpace();
@@ -184,6 +197,7 @@ class Parser {
   }
 
   JsonValue parseObject() {
+    const DepthGuard depth(*this);
     expect('{');
     JsonValue v;
     v.kind = JsonValue::Kind::kObject;
@@ -209,6 +223,7 @@ class Parser {
   }
 
   JsonValue parseArray() {
+    const DepthGuard depth(*this);
     expect('[');
     JsonValue v;
     v.kind = JsonValue::Kind::kArray;
@@ -237,6 +252,12 @@ class Parser {
       ++pos_;
       if (c == '"') return out;
       if (c != '\\') {
+        // RFC 8259: control characters must be escaped.  Rejecting the raw
+        // bytes keeps a truncated or binary-garbage request line from being
+        // silently folded into a string value.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          fail("unescaped control character in string");
+        }
         out += c;
         continue;
       }
@@ -252,27 +273,61 @@ class Parser {
         case 'b': out += '\b'; break;
         case 'f': out += '\f'; break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else fail("bad \\u escape digit");
+          unsigned code = readHex4();
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("lone low surrogate in \\u escape");
           }
-          // Our emitters only escape control characters, so ASCII coverage
-          // suffices; anything else round-trips as UTF-8 without escaping.
-          if (code < 0x80) {
-            out += static_cast<char>(code);
-          } else {
-            fail("\\u escape above 0x7f unsupported");
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail("high surrogate not followed by \\u escape");
+            }
+            pos_ += 2;
+            const unsigned low = readHex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("high surrogate not followed by a low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
           }
+          appendUtf8(out, code);
           break;
         }
         default: fail("unknown escape");
       }
+    }
+  }
+
+  /// Reads exactly four hex digits of a \u escape.
+  unsigned readHex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else fail("bad \\u escape digit");
+    }
+    return code;
+  }
+
+  static void appendUtf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
     }
   }
 
@@ -288,18 +343,45 @@ class Parser {
       }
     }
     if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    // strtod accepts spellings RFC 8259 forbids ("+1", "01", "1.", ".5",
+    // "0x10"), so validate the JSON number grammar first:
+    //   -? (0 | [1-9][0-9]*) (\.[0-9]+)? ([eE][+-]?[0-9]+)?
+    const char* p = token.c_str();
+    if (*p == '-') ++p;
+    if (*p == '0') {
+      ++p;
+    } else if (*p >= '1' && *p <= '9') {
+      while (*p >= '0' && *p <= '9') ++p;
+    } else {
+      fail("malformed number '" + token + "'");
+    }
+    if (*p == '.') {
+      ++p;
+      if (*p < '0' || *p > '9') fail("malformed number '" + token + "'");
+      while (*p >= '0' && *p <= '9') ++p;
+    }
+    if (*p == 'e' || *p == 'E') {
+      ++p;
+      if (*p == '+' || *p == '-') ++p;
+      if (*p < '0' || *p > '9') fail("malformed number '" + token + "'");
+      while (*p >= '0' && *p <= '9') ++p;
+    }
+    if (*p != '\0') fail("malformed number '" + token + "'");
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(parsed)) {
+      fail("malformed number '" + token + "'");
+    }
     JsonValue v;
     v.kind = JsonValue::Kind::kNumber;
-    try {
-      v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
-    } catch (const std::exception&) {
-      fail("malformed number");
-    }
+    v.number = parsed;
     return v;
   }
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

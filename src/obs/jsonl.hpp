@@ -5,15 +5,37 @@
 // just enough for the schemas documented in docs/observability.md.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <istream>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
 namespace icb::obs {
+
+/// Thrown by parseJson / parseJsonLines on malformed input.  Derives from
+/// std::runtime_error (the historical contract) but additionally carries the
+/// byte offset of the failure, so services parsing untrusted request lines
+/// can report a structured error instead of a bare string.
+class JsonParseError : public std::runtime_error {
+ public:
+  JsonParseError(std::size_t offset, const std::string& what)
+      : std::runtime_error("JSON parse error at offset " +
+                           std::to_string(offset) + ": " + what),
+        offset_(offset),
+        detail_(what) {}
+
+  [[nodiscard]] std::size_t offset() const { return offset_; }
+  [[nodiscard]] const std::string& detail() const { return detail_; }
+
+ private:
+  std::size_t offset_;
+  std::string detail_;
+};
 
 /// Escapes `s` for inclusion inside a JSON string literal (quotes excluded).
 [[nodiscard]] std::string jsonEscape(std::string_view s);
@@ -91,11 +113,20 @@ struct JsonValue {
   }
 };
 
-/// Parses one JSON document.  Throws std::runtime_error on malformed input
-/// or trailing garbage.
+/// Nesting-depth cap for parseJson.  Untrusted request lines (src/svc/) are
+/// parsed with the same reader as our own trace output, so pathological
+/// inputs like ten thousand '[' must fail with a structured error instead of
+/// exhausting the stack.
+inline constexpr std::size_t kMaxJsonDepth = 64;
+
+/// Parses one JSON document.  Throws JsonParseError (a std::runtime_error)
+/// on malformed, truncated, or over-deep input, and on trailing garbage.
+/// Raw control characters inside strings are rejected (RFC 8259 requires
+/// them escaped); unescaped non-ASCII bytes pass through as UTF-8.
 [[nodiscard]] JsonValue parseJson(std::string_view text);
 
-/// Parses a JSONL stream: one JSON value per non-empty line.
+/// Parses a JSONL stream: one JSON value per non-empty line.  Throws
+/// JsonParseError on the first malformed line.
 [[nodiscard]] std::vector<JsonValue> parseJsonLines(std::istream& in);
 
 }  // namespace icb::obs

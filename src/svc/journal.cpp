@@ -1,0 +1,90 @@
+#include "svc/journal.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace icb::svc {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Temp-then-rename so a kill mid-write never leaves a torn file: rename
+/// within one directory is atomic on POSIX filesystems.
+void writeAtomically(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) throw std::runtime_error("journal: cannot write " + tmp);
+    out << content;
+    out.flush();
+    if (!out) throw std::runtime_error("journal: short write to " + tmp);
+  }
+  fs::rename(tmp, path);
+}
+
+}  // namespace
+
+JobJournal::JobJournal(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_)) {
+    throw std::runtime_error("journal: cannot create directory " + dir_);
+  }
+}
+
+std::string JobJournal::pathFor(const std::string& id,
+                                const char* suffix) const {
+  return dir_ + "/" + id + suffix;
+}
+
+void JobJournal::recordAccepted(const std::string& id,
+                                const std::string& requestLine) {
+  writeAtomically(pathFor(id, ".req"), requestLine + "\n");
+}
+
+void JobJournal::recordCheckpoint(const std::string& id,
+                                  const std::string& snapshot) {
+  writeAtomically(pathFor(id, ".ckpt"), snapshot);
+}
+
+std::optional<std::string> JobJournal::checkpointText(
+    const std::string& id) const {
+  std::ifstream in(pathFor(id, ".ckpt"), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return std::move(text).str();
+}
+
+void JobJournal::remove(const std::string& id) {
+  std::error_code ec;
+  fs::remove(pathFor(id, ".req"), ec);
+  fs::remove(pathFor(id, ".ckpt"), ec);
+}
+
+std::vector<std::string> JobJournal::recoverableRequests() const {
+  std::vector<fs::path> reqs;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir_)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".req") {
+      reqs.push_back(entry.path());
+    }
+  }
+  std::sort(reqs.begin(), reqs.end());
+  std::vector<std::string> lines;
+  lines.reserve(reqs.size());
+  for (const fs::path& path : reqs) {
+    std::ifstream in(path);
+    std::string line;
+    if (in && std::getline(in, line) && !line.empty()) {
+      lines.push_back(line);
+    }
+  }
+  return lines;
+}
+
+}  // namespace icb::svc

@@ -1,0 +1,55 @@
+// On-disk job journal: what lets a killed service process resume its jobs.
+//
+// One directory, two files per live job (the id is validated by validJobId
+// before it ever reaches a filename):
+//
+//   <id>.req    the original request line, verbatim
+//   <id>.ckpt   the latest icbdd-ckpt-v1 snapshot (absent until the first
+//               checkpoint fires)
+//
+// Both are written atomically (temp file + rename), so a SIGKILL mid-write
+// leaves either the previous snapshot or the new one -- never a torn file.
+// Completed jobs have their files removed; whatever .req files remain at
+// startup are exactly the jobs that were accepted but never finished, and
+// VerifyService::recoverJournal re-submits them with resume=true.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace icb::svc {
+
+class JobJournal {
+ public:
+  /// Creates `dir` (and parents) if needed; throws std::runtime_error when
+  /// the directory cannot be created or is not writable.
+  explicit JobJournal(std::string dir);
+
+  /// Journals an accepted job's request line.
+  void recordAccepted(const std::string& id, const std::string& requestLine);
+
+  /// Atomically replaces the job's checkpoint snapshot.
+  void recordCheckpoint(const std::string& id, const std::string& snapshot);
+
+  /// The job's latest snapshot text, or nullopt when none was written.
+  [[nodiscard]] std::optional<std::string> checkpointText(
+      const std::string& id) const;
+
+  /// Removes the job's files (called when a job completes or fails).
+  void remove(const std::string& id);
+
+  /// Request lines of every journaled job that never completed, in
+  /// lexicographic id order (deterministic recovery).
+  [[nodiscard]] std::vector<std::string> recoverableRequests() const;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  [[nodiscard]] std::string pathFor(const std::string& id,
+                                    const char* suffix) const;
+
+  std::string dir_;
+};
+
+}  // namespace icb::svc

@@ -1,0 +1,312 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "verif/checkpoint.hpp"
+
+namespace icb::svc {
+
+namespace {
+
+constexpr const char* kSchema = "icbdd-svc-v1";
+
+/// Starts a response object: {"schema":"icbdd-svc-v1","type":<type>,...}.
+obs::JsonObject response(const char* type) {
+  obs::JsonObject o;
+  o.put("schema", kSchema).put("type", type);
+  return o;
+}
+
+/// Renders counterexample rows (assignment vectors of 0/1) as a JSON array
+/// of bitstrings, one character per BDD variable.
+std::string bitstringArray(const std::vector<std::vector<char>>& rows) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '"';
+    for (const char b : rows[i]) out += b != 0 ? '1' : '0';
+    out += '"';
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace
+
+VerifyService::VerifyService(ServiceOptions options, Emit emit)
+    : options_(std::move(options)), emit_(std::move(emit)) {
+  if (!options_.journalDir.empty()) {
+    journal_ = std::make_unique<JobJournal>(options_.journalDir);
+  }
+  dispatcher_ = std::thread([this] { dispatcherLoop(); });
+}
+
+VerifyService::~VerifyService() { shutdown(); }
+
+void VerifyService::emitLine(const std::string& line) {
+  std::lock_guard<std::mutex> lock(emitMutex_);
+  if (emit_) emit_(line);
+}
+
+bool VerifyService::submitLine(const std::string& line) {
+  std::string id;
+  auto reject = [&](const char* reason, const std::string& detail) {
+    std::size_t depth = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      metrics_.add("svc.jobs.rejected");
+      depth = pending_.size() + running_;
+    }
+    obs::JsonObject o = response("job_rejected");
+    if (!id.empty()) o.put("id", id);
+    o.put("reason", reason);
+    if (!detail.empty()) o.put("detail", detail);
+    o.put("queue_depth", static_cast<std::uint64_t>(depth))
+        .put("queue_bound", static_cast<std::uint64_t>(options_.queueBound));
+    emitLine(std::move(o).str());
+    return false;
+  };
+
+  try {
+    const obs::JsonValue parsed = obs::parseJson(line);
+    if (const obs::JsonValue* idField = parsed.find("id")) {
+      if (idField->kind == obs::JsonValue::Kind::kString) id = idField->text;
+    }
+    return submit(parseJobRequest(parsed), line);
+  } catch (const obs::JsonParseError& e) {
+    return reject("parse_error", e.what());
+  } catch (const std::invalid_argument& e) {
+    return reject("invalid_request", e.what());
+  }
+}
+
+bool VerifyService::submit(const JobRequest& request, const std::string& line) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const char* reason = nullptr;
+    if (std::find(activeIds_.begin(), activeIds_.end(), request.id) !=
+        activeIds_.end()) {
+      reason = "duplicate_id";
+    } else if (pending_.size() + running_ >= options_.queueBound) {
+      reason = "queue_full";
+    }
+    if (reason != nullptr) {
+      metrics_.add("svc.jobs.rejected");
+      emitLine(std::move(response("job_rejected")
+                             .put("id", request.id)
+                             .put("reason", reason)
+                             .put("queue_depth", static_cast<std::uint64_t>(
+                                                    pending_.size() + running_))
+                             .put("queue_bound", static_cast<std::uint64_t>(
+                                                     options_.queueBound)))
+                   .str());
+      return false;
+    }
+    if (journal_) journal_->recordAccepted(request.id, line);
+    pending_.push_back(QueuedJob{request, line});
+    activeIds_.push_back(request.id);
+    metrics_.add("svc.jobs.accepted");
+    const double depth = static_cast<double>(pending_.size() + running_);
+    metrics_.setGauge("svc.queue.depth", depth);
+    metrics_.setGaugeMax("svc.queue.peak_depth", depth);
+    emitLine(std::move(response("job_accepted")
+                           .put("id", request.id)
+                           .put("queue_depth", static_cast<std::uint64_t>(depth)))
+                 .str());
+  }
+  cv_.notify_all();
+  return true;
+}
+
+std::size_t VerifyService::recoverJournal() {
+  if (!journal_) return 0;
+  std::size_t count = 0;
+  for (const std::string& line : journal_->recoverableRequests()) {
+    try {
+      JobRequest request = parseJobRequest(obs::parseJson(line));
+      request.resume = true;  // pick up the journaled checkpoint, if any
+      if (submit(request, line)) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        metrics_.add("svc.jobs.recovered");
+        ++count;
+      }
+    } catch (const std::exception&) {
+      continue;  // a torn request line is dropped, not fatal to recovery
+    }
+  }
+  return count;
+}
+
+void VerifyService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+std::size_t VerifyService::queueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size() + running_;
+}
+
+obs::MetricsRegistry VerifyService::metricsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return metrics_;
+}
+
+void VerifyService::dispatcherLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    cv_.wait(lock, [&] {
+      return stop_ || (!options_.drain && !pending_.empty());
+    });
+    if (pending_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    std::vector<QueuedJob> batch;
+    batch.swap(pending_);
+    running_ = batch.size();
+    lock.unlock();
+    runBatch(batch);
+    lock.lock();
+  }
+}
+
+void VerifyService::runBatch(std::vector<QueuedJob>& batch) {
+  par::SchedulerOptions schedOptions;
+  schedOptions.jobs = options_.workers;
+  par::VerifyScheduler scheduler(schedOptions);
+  for (const QueuedJob& job : batch) {
+    scheduler.submit(job.request.id, job.request.method,
+                     [this, &job](const par::CellContext& ctx) {
+                       runOneJob(job, ctx);  // never throws
+                       return EngineResult{};
+                     });
+  }
+  scheduler.run();
+}
+
+void VerifyService::finishJob(const std::string& id, const char* counterName) {
+  if (journal_) journal_->remove(id);
+  std::lock_guard<std::mutex> lock(mutex_);
+  activeIds_.erase(std::remove(activeIds_.begin(), activeIds_.end(), id),
+                   activeIds_.end());
+  if (running_ > 0) --running_;
+  metrics_.add(counterName);
+  metrics_.setGauge("svc.queue.depth",
+                    static_cast<double>(pending_.size() + running_));
+}
+
+void VerifyService::runOneJob(const QueuedJob& job,
+                              const par::CellContext& ctx) {
+  const JobRequest& req = job.request;
+  try {
+    BddManager mgr(bddOptionsFor(req));
+    ModelInstance model = buildJobModel(mgr, req);
+    EngineOptions engineOptions = engineOptionsFor(req);
+
+    // Admission-control half of the deadline story: the per-job deadline is
+    // the request's, defaulted and then clamped to the service ceiling.
+    double deadline = engineOptions.timeLimitSeconds > 0.0
+                          ? engineOptions.timeLimitSeconds
+                          : options_.defaultJobSeconds;
+    if (options_.maxJobSeconds > 0.0) {
+      deadline = deadline > 0.0 ? std::min(deadline, options_.maxJobSeconds)
+                                : options_.maxJobSeconds;
+    }
+    engineOptions.timeLimitSeconds = deadline;
+    ctx.apply(engineOptions);  // worker attribution for the run's trace spans
+
+    // Resume from the journaled checkpoint when the request asks for it.
+    EngineSnapshot snapshot;
+    bool resumed = false;
+    unsigned resumedFrom = 0;
+    if (req.resume && journal_) {
+      if (const auto text = journal_->checkpointText(req.id)) {
+        std::istringstream in(*text);
+        snapshot = loadSnapshot(in, mgr);
+        engineOptions.checkpoint.resume = &snapshot;
+        resumed = true;
+        resumedFrom = snapshot.iteration;
+        std::lock_guard<std::mutex> lock(mutex_);
+        metrics_.add("svc.jobs.resumed");
+      }
+    }
+
+    const unsigned every = req.checkpointEvery != 0 ? req.checkpointEvery
+                                                    : options_.checkpointEvery;
+    if (every != 0) {
+      engineOptions.checkpoint.everyIterations = every;
+      engineOptions.checkpoint.sink = [this, &req, &mgr,
+                                       &ctx](const EngineSnapshot& snap) {
+        std::ostringstream os;
+        saveSnapshot(os, mgr, snap);
+        if (journal_) journal_->recordCheckpoint(req.id, os.str());
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          metrics_.add("svc.checkpoints.saved");
+        }
+        emitLine(std::move(response("job_progress")
+                               .put("id", req.id)
+                               .put("iteration", snap.iteration)
+                               .put("checkpoint", true)
+                               .put("worker", ctx.worker))
+                     .str());
+      };
+    }
+
+    obs::TraceSession span(engineOptions.traceSink, &mgr,
+                           engineOptions.traceWorker);
+    if (span.enabled()) {
+      span.emit("job_begin", obs::JsonObject()
+                                 .put("id", req.id)
+                                 .put("model", req.model)
+                                 .put("method", methodName(req.method))
+                                 .put("resumed", resumed));
+    }
+
+    const EngineResult result =
+        runMethod(*model.fsm, req.method, model.fdCandidates, engineOptions);
+
+    if (span.enabled()) {
+      span.emit("job_end", obs::JsonObject()
+                               .put("id", req.id)
+                               .put("verdict", verdictName(result.verdict))
+                               .put("iterations", result.iterations));
+    }
+
+    obs::JsonObject o = response("job_result");
+    o.put("id", req.id)
+        .put("model", req.model)
+        .put("method", methodName(req.method))
+        .put("verdict", verdictName(result.verdict))
+        .put("iterations", result.iterations)
+        .put("seconds", result.seconds)
+        .put("peak_iterate_nodes", result.peakIterateNodes)
+        .put("peak_allocated_nodes", result.peakAllocatedNodes)
+        .put("resumed", resumed)
+        .put("worker", ctx.worker);
+    if (resumed) o.put("resumed_from", resumedFrom);
+    if (result.trace.has_value()) {
+      o.putRaw("trace_states", bitstringArray(result.trace->states));
+      o.putRaw("trace_inputs", bitstringArray(result.trace->inputs));
+    }
+    emitLine(std::move(o).str());
+    finishJob(req.id, "svc.jobs.completed");
+  } catch (const std::exception& e) {
+    emitLine(std::move(response("job_failed")
+                           .put("id", req.id)
+                           .put("error", e.what())
+                           .put("worker", ctx.worker))
+                 .str());
+    finishJob(req.id, "svc.jobs.failed");
+  }
+}
+
+}  // namespace icb::svc

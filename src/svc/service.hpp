@@ -1,0 +1,126 @@
+// VerifyService: the verification job service (icbdd-svc-v1).
+//
+// Wraps the batch scheduler (src/par/) in what a long-lived service needs
+// and a bench does not:
+//
+//   * admission control -- a bounded queue.  submitLine parses one request
+//     (obs/jsonl), answers job_accepted or a structured job_rejected
+//     (queue_full / parse_error / invalid_request / duplicate_id), and never
+//     queues past the bound;
+//   * deadline clamping -- per-job deadlines are clamped to the service's
+//     maxJobSeconds and fall back to defaultJobSeconds, then flow into the
+//     engines through the existing EngineOptions/ResourceLimits machinery;
+//   * checkpoint/resume -- every job runs with CheckpointOptions wired to
+//     the on-disk JobJournal: every N iterations the engine's state is
+//     snapshotted (verif/checkpoint) and journaled, a job_progress line is
+//     streamed, and a killed process picks its jobs back up at startup via
+//     recoverJournal();
+//   * metrics -- svc.jobs.{accepted,rejected,completed,failed,resumed},
+//     svc.checkpoints.saved counters and svc.queue.{depth,peak_depth}
+//     gauges in a MetricsRegistry (docs/observability.md).
+//
+// Every emitted line is one JSON object carrying "schema":"icbdd-svc-v1";
+// docs/service.md documents the protocol.  Jobs execute on a VerifyScheduler
+// batch per queue drain, each in a private BddManager, with worker
+// attribution flowing into the job's trace spans via CellContext::apply.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "svc/job.hpp"
+#include "svc/journal.hpp"
+
+namespace icb::svc {
+
+struct ServiceOptions {
+  /// Worker threads per queue drain.  0 = hardware concurrency.
+  unsigned workers = 1;
+  /// Admission bound: pending + running jobs may not exceed this.
+  std::size_t queueBound = 16;
+  /// Hard ceiling clamped onto every job's deadline (0 = no ceiling).
+  double maxJobSeconds = 0.0;
+  /// Deadline for jobs that request none (0 = unlimited).
+  double defaultJobSeconds = 0.0;
+  /// Default checkpoint cadence in iterations (0 disables checkpointing
+  /// for jobs that do not ask for it).
+  unsigned checkpointEvery = 4;
+  /// Journal directory; empty runs without persistence (no cross-process
+  /// resume, but in-request "resume" of a prior snapshot still works when
+  /// a journal exists).
+  std::string journalDir;
+  /// Hold every accepted job until shutdown(), then run the whole queue as
+  /// one batch.  Makes admission decisions independent of worker timing --
+  /// the CI smoke test uses this to force a deterministic rejection.
+  bool drain = false;
+};
+
+class VerifyService {
+ public:
+  /// `emit` receives every response line (one JSON object, no newline); it
+  /// is called under an internal mutex, from submit callers and from worker
+  /// threads, and must be fast and non-reentrant.
+  using Emit = std::function<void(const std::string& line)>;
+
+  VerifyService(ServiceOptions options, Emit emit);
+  ~VerifyService();
+
+  VerifyService(const VerifyService&) = delete;
+  VerifyService& operator=(const VerifyService&) = delete;
+
+  /// Parses and admits one request line.  Always answers with exactly one
+  /// job_accepted or job_rejected line; returns whether it was accepted.
+  bool submitLine(const std::string& line);
+
+  /// Admits an already parsed request (`line` is what the journal stores).
+  bool submit(const JobRequest& request, const std::string& line);
+
+  /// Re-submits every unfinished journaled job with resume=true.  Call
+  /// before accepting new work.  Returns how many jobs were re-admitted.
+  std::size_t recoverJournal();
+
+  /// Runs the queue dry and joins the dispatcher.  Idempotent.
+  void shutdown();
+
+  /// Pending + running jobs right now.
+  [[nodiscard]] std::size_t queueDepth() const;
+
+  /// Point-in-time copy of the service counters/gauges.
+  [[nodiscard]] obs::MetricsRegistry metricsSnapshot() const;
+
+ private:
+  struct QueuedJob {
+    JobRequest request;
+    std::string line;    ///< journaled request line
+  };
+
+  void dispatcherLoop();
+  void runBatch(std::vector<QueuedJob>& batch);
+  void runOneJob(const QueuedJob& job, const par::CellContext& ctx);
+  void emitLine(const std::string& line);
+  void finishJob(const std::string& id, const char* counterName);
+
+  ServiceOptions options_;
+  Emit emit_;
+  std::unique_ptr<JobJournal> journal_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<QueuedJob> pending_;
+  std::vector<std::string> activeIds_;  ///< pending + running job ids
+  std::size_t running_ = 0;
+  bool stop_ = false;
+  obs::MetricsRegistry metrics_;
+
+  std::mutex emitMutex_;
+  std::thread dispatcher_;
+};
+
+}  // namespace icb::svc

@@ -6,6 +6,7 @@
 #include "check/structural_checker.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
+#include "verif/checkpoint.hpp"
 #include "verif/counterexample.hpp"
 #include "verif/limit_guard.hpp"
 
@@ -24,14 +25,35 @@ EngineResult runBackward(Fsm& fsm, const EngineOptions& options) {
 
   try {
     const ConjunctList property = fsm.property(options.withAssists);
-    const Bdd g0 = property.evaluate();  // the monolithic conjunction
+    Bdd g0 = property.evaluate();  // the monolithic conjunction
 
     Bdd g = g0;
     std::vector<ConjunctList> layers;
     layers.emplace_back(&mgr, std::vector<Bdd>{g});
 
+    CheckpointEmitter ckpt(mgr, options.checkpoint, Method::kBkwd);
+    if (const EngineSnapshot* resume = options.checkpoint.resume) {
+      if (resume->method != Method::kBkwd || resume->lists.size() != 2 ||
+          resume->lists[0].size() != 1 || resume->lists[1].empty()) {
+        throw BddUsageError("runBackward: incompatible resume snapshot");
+      }
+      g0 = resume->lists[0][0];
+      layers.clear();
+      for (const Bdd& saved : resume->lists[1]) {
+        layers.emplace_back(&mgr, std::vector<Bdd>{saved});
+      }
+      g = resume->lists[1].back();
+      result.iterations = resume->iteration;
+    }
+
     while (true) {
       result.peakIterateNodes = std::max(result.peakIterateNodes, g.size());
+      if (ckpt.due(result.iterations)) {
+        std::vector<Bdd> gs;
+        gs.reserve(layers.size());
+        for (const ConjunctList& layer : layers) gs.push_back(layer[0]);
+        ckpt.emit(result.iterations, {{g0}, std::move(gs)});
+      }
 
       if (!(fsm.init() & !g).isZero()) {
         result.verdict = Verdict::kViolated;

@@ -1,0 +1,139 @@
+#include "verif/checkpoint.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "bdd/serialize.hpp"
+#include "util/timer.hpp"
+#include "verif/run_all.hpp"
+
+namespace icb {
+
+namespace {
+
+constexpr const char* kMagic = "icbdd-ckpt-v1";
+
+std::istringstream nextLine(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw BddUsageError("loadSnapshot: unexpected end of input");
+  }
+  return std::istringstream(line);
+}
+
+}  // namespace
+
+void saveSnapshot(std::ostream& os, const BddManager& mgr,
+                  const EngineSnapshot& snap) {
+  os << kMagic << '\n';
+  os << "method " << methodName(snap.method) << '\n';
+  os << "iteration " << snap.iteration << '\n';
+  os << "numbers " << snap.numbers.size();
+  for (const std::uint64_t n : snap.numbers) os << ' ' << n;
+  os << '\n';
+  os << "lists " << snap.lists.size();
+  std::vector<Bdd> flat;
+  for (const std::vector<Bdd>& list : snap.lists) {
+    os << ' ' << list.size();
+    flat.insert(flat.end(), list.begin(), list.end());
+  }
+  os << '\n';
+  saveBdds(os, mgr, flat);
+}
+
+EngineSnapshot loadSnapshot(std::istream& is, BddManager& mgr) {
+  EngineSnapshot snap;
+  {
+    auto ls = nextLine(is);
+    std::string magic;
+    ls >> magic;
+    if (magic != kMagic) throw BddUsageError("loadSnapshot: bad magic");
+  }
+  {
+    auto ls = nextLine(is);
+    std::string key;
+    std::string name;
+    ls >> key >> name;
+    if (key != "method") throw BddUsageError("loadSnapshot: expected method");
+    try {
+      snap.method = parseMethod(name);
+    } catch (const std::invalid_argument&) {
+      throw BddUsageError("loadSnapshot: unknown method '" + name + "'");
+    }
+  }
+  {
+    auto ls = nextLine(is);
+    std::string key;
+    ls >> key >> snap.iteration;
+    if (key != "iteration") {
+      throw BddUsageError("loadSnapshot: expected iteration");
+    }
+  }
+  {
+    auto ls = nextLine(is);
+    std::string key;
+    std::size_t count = 0;
+    ls >> key >> count;
+    if (key != "numbers") throw BddUsageError("loadSnapshot: expected numbers");
+    snap.numbers.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!(ls >> snap.numbers[i])) {
+        throw BddUsageError("loadSnapshot: truncated numbers line");
+      }
+    }
+  }
+  std::vector<std::size_t> lengths;
+  {
+    auto ls = nextLine(is);
+    std::string key;
+    std::size_t count = 0;
+    ls >> key >> count;
+    if (key != "lists") throw BddUsageError("loadSnapshot: expected lists");
+    lengths.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!(ls >> lengths[i])) {
+        throw BddUsageError("loadSnapshot: truncated lists line");
+      }
+    }
+  }
+  const std::vector<Bdd> flat = loadBdds(is, mgr);
+  std::size_t at = 0;
+  snap.lists.reserve(lengths.size());
+  for (const std::size_t len : lengths) {
+    if (at + len > flat.size()) {
+      throw BddUsageError("loadSnapshot: list lengths exceed root count");
+    }
+    snap.lists.emplace_back(flat.begin() + static_cast<std::ptrdiff_t>(at),
+                            flat.begin() + static_cast<std::ptrdiff_t>(at + len));
+    at += len;
+  }
+  if (at != flat.size()) {
+    throw BddUsageError("loadSnapshot: list lengths below root count");
+  }
+  return snap;
+}
+
+void CheckpointEmitter::emit(unsigned iteration,
+                             std::vector<std::vector<Bdd>> lists,
+                             std::vector<std::uint64_t> numbers) {
+  const Stopwatch watch;
+  EngineSnapshot snap;
+  snap.method = method_;
+  snap.iteration = iteration;
+  snap.lists = std::move(lists);
+  snap.numbers = std::move(numbers);
+  options_.sink(snap);
+  lastEmitted_ = iteration;
+  // Credit the sink's wall time (serialization + journal I/O) back to the
+  // deadline, mirroring the trace layer: checkpointing must not be able to
+  // flip a run into a spurious time-limit verdict.
+  ResourceLimits limits = mgr_.limits();
+  if (limits.deadline.isSet()) {
+    limits.deadline.extendBySeconds(watch.elapsedSeconds());
+    mgr_.setLimits(limits);
+  }
+}
+
+}  // namespace icb

@@ -9,10 +9,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "bdd/bdd.hpp"
 #include "ici/evaluate_policy.hpp"
 #include "ici/termination.hpp"
 #include "obs/metrics.hpp"
@@ -39,6 +41,43 @@ enum class Method { kFwd, kBkwd, kFd, kIci, kXici };
 
 [[nodiscard]] const char* methodName(Method m);
 
+/// Engine state captured at an iteration boundary (the reorder-safe point),
+/// sufficient to resume the run as if it had never stopped.  The layout of
+/// `lists` / `numbers` is engine-specific:
+///   Fwd   lists[0] = {reached}, lists[1] = rings
+///   Bkwd  lists[0] = {g0}, lists[1] = per-iteration g's, oldest first
+///   ICI   lists[0] = g0 members, lists[1..] = layers G_i, oldest first
+///   XICI  lists[0] = g0 members, lists[1..] = layers G_i, oldest first
+///   FD    lists[0] = {reduced}, lists[1] = dependency functions h_j;
+///         numbers = the matching dependent state-bit indices
+/// g0 is stored rather than recomputed because its simplified form depends
+/// on the variable order at the time it was built; everything else an engine
+/// needs (the ICI signature set, the FD independent-bit set, ...) is rebuilt
+/// deterministically from the restored lists, so a resumed run replays the
+/// uninterrupted run exactly.
+struct EngineSnapshot {
+  Method method = Method::kFwd;
+  unsigned iteration = 0;
+  std::vector<std::vector<Bdd>> lists;
+  std::vector<std::uint64_t> numbers;
+};
+
+/// Periodic checkpointing, hooked into each engine's iteration boundary
+/// (right where autoReorderIfNeeded runs: no edge-level results live).
+struct CheckpointOptions {
+  /// Snapshot every N completed iterations.  0 disables checkpointing.
+  unsigned everyIterations = 0;
+  /// Receives each snapshot.  Wall time spent inside the sink is credited
+  /// back to the manager's deadline, so checkpoint I/O cannot flip a run
+  /// into a spurious time-limit verdict.
+  std::function<void(const EngineSnapshot&)> sink;
+  /// When non-null, the engine restores this state instead of starting
+  /// fresh.  Must have been captured by the same method on the same model
+  /// with the same options; `EngineResult::iterations` continues from
+  /// `resume->iteration`.
+  const EngineSnapshot* resume = nullptr;
+};
+
 struct EngineOptions {
   /// Node-count cap (manager-wide).  0 = unlimited.
   std::uint64_t maxNodes = 0;
@@ -60,6 +99,7 @@ struct EngineOptions {
   EvaluatePolicyOptions policy;     ///< XICI evaluation policy knobs
   TerminationOptions termination;   ///< XICI exact-test knobs
   ImageOptions image;               ///< forward-engine partitioning knobs
+  CheckpointOptions checkpoint;     ///< periodic snapshot / resume hooks
 };
 
 /// A counterexample: states[0] is an initial state; inputs[t] drives the

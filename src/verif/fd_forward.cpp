@@ -9,6 +9,7 @@
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
 #include "sym/image.hpp"
+#include "verif/checkpoint.hpp"
 #include "verif/limit_guard.hpp"
 
 namespace icb {
@@ -70,14 +71,30 @@ EngineResult runFdForward(Fsm& fsm, std::vector<unsigned> candidateBits,
     Bdd reduced = fsm.init();
     std::vector<Dep> deps;
     std::unordered_set<unsigned> dependent;
-    for (const unsigned bit : candidateBits) {
-      const unsigned v = fsm.vars().stateBit(bit).cur;
-      const Bdd r1 = reduced.cofactor(v, true);
-      const Bdd r0 = reduced.cofactor(v, false);
-      if ((r1 & r0).isZero()) {
-        deps.push_back(Dep{bit, r1});
+    CheckpointEmitter ckpt(mgr, options.checkpoint, Method::kFd);
+    if (const EngineSnapshot* resume = options.checkpoint.resume) {
+      if (resume->method != Method::kFd || resume->lists.size() != 2 ||
+          resume->lists[0].size() != 1 ||
+          resume->lists[1].size() != resume->numbers.size()) {
+        throw BddUsageError("runFdForward: incompatible resume snapshot");
+      }
+      reduced = resume->lists[0][0];
+      for (std::size_t d = 0; d < resume->numbers.size(); ++d) {
+        const unsigned bit = static_cast<unsigned>(resume->numbers[d]);
+        deps.push_back(Dep{bit, resume->lists[1][d]});
         dependent.insert(bit);
-        reduced = r1 | r0;  // == exists v . reduced
+      }
+      result.iterations = resume->iteration;
+    } else {
+      for (const unsigned bit : candidateBits) {
+        const unsigned v = fsm.vars().stateBit(bit).cur;
+        const Bdd r1 = reduced.cofactor(v, true);
+        const Bdd r0 = reduced.cofactor(v, false);
+        if ((r1 & r0).isZero()) {
+          deps.push_back(Dep{bit, r1});
+          dependent.insert(bit);
+          reduced = r1 | r0;  // == exists v . reduced
+        }
       }
     }
 
@@ -112,6 +129,19 @@ EngineResult runFdForward(Fsm& fsm, std::vector<unsigned> candidateBits,
             result.peakIterateMemberSizes.push_back(p.size());
           }
         }
+      }
+
+      if (ckpt.due(result.iterations)) {
+        std::vector<Bdd> hs;
+        std::vector<std::uint64_t> bits;
+        hs.reserve(deps.size());
+        bits.reserve(deps.size());
+        for (const Dep& d : deps) {
+          hs.push_back(d.h);
+          bits.push_back(d.bit);
+        }
+        ckpt.emit(result.iterations, {{reduced}, std::move(hs)},
+                  std::move(bits));
       }
 
       // ---- property check on the factored form ---------------------------

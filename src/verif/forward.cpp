@@ -6,6 +6,7 @@
 #include "check/structural_checker.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
+#include "verif/checkpoint.hpp"
 #include "verif/counterexample.hpp"
 #include "verif/limit_guard.hpp"
 
@@ -31,9 +32,23 @@ EngineResult runForward(Fsm& fsm, const EngineOptions& options) {
     Bdd reached = fsm.init();
     std::vector<Bdd> rings{fsm.init()};
 
+    CheckpointEmitter ckpt(mgr, options.checkpoint, Method::kFwd);
+    if (const EngineSnapshot* resume = options.checkpoint.resume) {
+      if (resume->method != Method::kFwd || resume->lists.size() != 2 ||
+          resume->lists[0].size() != 1) {
+        throw BddUsageError("runForward: incompatible resume snapshot");
+      }
+      reached = resume->lists[0][0];
+      rings = resume->lists[1];
+      result.iterations = resume->iteration;
+    }
+
     while (true) {
       result.peakIterateNodes =
           std::max(result.peakIterateNodes, reached.size());
+      if (ckpt.due(result.iterations)) {
+        ckpt.emit(result.iterations, {{reached}, rings});
+      }
 
       const Bdd bad = reached & notGood;
       if (!bad.isZero()) {

@@ -8,6 +8,7 @@
 #include "check/structural_checker.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
+#include "verif/checkpoint.hpp"
 #include "verif/counterexample.hpp"
 #include "verif/limit_guard.hpp"
 
@@ -76,12 +77,26 @@ EngineResult runIciBackward(Fsm& fsm, const EngineOptions& options) {
       const auto& assists = fsm.assistConjuncts();
       g0items.insert(g0items.end(), assists.begin(), assists.end());
     }
-    const ConjunctList g0(&mgr, g0items);
+    ConjunctList g0(&mgr, g0items);
     const SimplifyOptions simplify = options.policy.simplify;
 
     ConjunctList current = g0;
     simplifyPositionwise(current, simplify);
     std::vector<ConjunctList> layers{current};
+
+    CheckpointEmitter ckpt(mgr, options.checkpoint, Method::kIci);
+    if (const EngineSnapshot* resume = options.checkpoint.resume) {
+      if (resume->method != Method::kIci || resume->lists.size() < 2) {
+        throw BddUsageError("runIciBackward: incompatible resume snapshot");
+      }
+      g0 = ConjunctList(&mgr, resume->lists[0]);
+      layers.clear();
+      for (std::size_t i = 1; i < resume->lists.size(); ++i) {
+        layers.emplace_back(&mgr, resume->lists[i]);
+      }
+      current = layers.back();
+      result.iterations = resume->iteration;
+    }
 
     // Signatures of every list seen so far.  The G_i semantics are monotone
     // (G_{i+1} subset G_i), so revisiting ANY earlier syntactic form proves
@@ -94,10 +109,22 @@ EngineResult runIciBackward(Fsm& fsm, const EngineOptions& options) {
       std::sort(sig.begin(), sig.end());
       return sig;
     };
-    std::set<std::vector<Edge>> seen{signatureOf(current)};
+    // Seeded from every restored layer on resume, so the cycle check keeps
+    // its full pre-checkpoint history.
+    std::set<std::vector<Edge>> seen;
+    for (const ConjunctList& layer : layers) seen.insert(signatureOf(layer));
 
     while (true) {
       trackPeak(result, current);
+      if (ckpt.due(result.iterations)) {
+        std::vector<std::vector<Bdd>> lists;
+        lists.reserve(layers.size() + 1);
+        lists.emplace_back(g0.begin(), g0.end());
+        for (const ConjunctList& layer : layers) {
+          lists.emplace_back(layer.begin(), layer.end());
+        }
+        ckpt.emit(result.iterations, std::move(lists));
+      }
 
       // Violation check, member by member: S !subset L[j].
       bool violated = false;

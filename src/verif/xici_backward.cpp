@@ -6,6 +6,7 @@
 #include "check/structural_checker.hpp"
 #include "obs/trace.hpp"
 #include "util/timer.hpp"
+#include "verif/checkpoint.hpp"
 #include "verif/counterexample.hpp"
 #include "verif/limit_guard.hpp"
 
@@ -61,8 +62,31 @@ EngineResult runXiciBackward(Fsm& fsm, const EngineOptions& options) {
     ConjunctList current = g0;
     std::vector<ConjunctList> layers{current};
 
+    CheckpointEmitter ckpt(mgr, options.checkpoint, Method::kXici);
+    if (const EngineSnapshot* resume = options.checkpoint.resume) {
+      if (resume->method != Method::kXici || resume->lists.size() < 2) {
+        throw BddUsageError("runXiciBackward: incompatible resume snapshot");
+      }
+      g0 = ConjunctList(&mgr, resume->lists[0]);
+      layers.clear();
+      for (std::size_t i = 1; i < resume->lists.size(); ++i) {
+        layers.emplace_back(&mgr, resume->lists[i]);
+      }
+      current = layers.back();
+      result.iterations = resume->iteration;
+    }
+
     while (true) {
       trackPeak(result, current);
+      if (ckpt.due(result.iterations)) {
+        std::vector<std::vector<Bdd>> lists;
+        lists.reserve(layers.size() + 1);
+        lists.emplace_back(g0.begin(), g0.end());
+        for (const ConjunctList& layer : layers) {
+          lists.emplace_back(layer.begin(), layer.end());
+        }
+        ckpt.emit(result.iterations, std::move(lists));
+      }
 
       // Violation check, member by member: S !subset L[j].  (A constant
       // FALSE member needs no special case -- init & !FALSE == init, which

@@ -1,0 +1,153 @@
+// Negative-input sweep for the obs/jsonl reader.  The service feeds it raw
+// untrusted request lines, so every malformed document must fail with a
+// structured JsonParseError (offset + detail) -- never UB, stack overflow,
+// or silent acceptance.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/jsonl.hpp"
+
+namespace icb::obs {
+namespace {
+
+TEST(JsonlFuzz, MalformedCorpusThrowsStructuredErrors) {
+  const std::vector<std::string> corpus{
+      "",
+      "   ",
+      "{",
+      "}",
+      "[",
+      "]",
+      "{]",
+      "[}",
+      "{\"a\":}",
+      "{\"a\"}",
+      "{\"a\":1,}",
+      "{,}",
+      "{\"a\":1 \"b\":2}",
+      "[1,]",
+      "[1 2]",
+      "[,1]",
+      "\"unterminated",
+      "\"bad escape \\q\"",
+      "\"bad hex \\u12G4\"",
+      "\"truncated hex \\u12",
+      "tru",
+      "truthy",
+      "fals",
+      "nul",
+      "nulll",
+      "+1",
+      "01",
+      "1.",
+      ".5",
+      "1e",
+      "1e+",
+      "--1",
+      "0x10",
+      "NaN",
+      "Infinity",
+      "{\"a\":1}garbage",
+      "[1,2] [3]",
+      "{\"a\" 1}",
+      "{1:2}",
+      "{\"\\ud800\"}",              // lone high surrogate, then bad object
+      "\"\\ud800\"",               // lone high surrogate
+      "\"\\udc00\"",               // lone low surrogate
+      "\"\\ud800\\u0041\"",        // high surrogate not followed by low
+  };
+  for (const std::string& doc : corpus) {
+    bool threw = false;
+    try {
+      (void)parseJson(doc);
+    } catch (const JsonParseError& e) {
+      threw = true;
+      EXPECT_LE(e.offset(), doc.size()) << "offset out of range for: " << doc;
+      EXPECT_FALSE(e.detail().empty()) << "empty detail for: " << doc;
+    }
+    EXPECT_TRUE(threw) << "accepted malformed input: " << doc;
+  }
+}
+
+TEST(JsonlFuzz, EveryPrefixOfValidDocumentFailsCleanly) {
+  const std::string doc =
+      "{\"id\":\"fifo-1\",\"n\":-12.5e2,\"flags\":[true,false,null],"
+      "\"text\":\"a\\\"b\\\\c\\u00e9\",\"nested\":{\"x\":[1,2,{\"y\":3}]}}";
+  // The full document parses; every strict prefix must throw, not crash.
+  EXPECT_NO_THROW((void)parseJson(doc));
+  for (std::size_t len = 0; len < doc.size(); ++len) {
+    EXPECT_THROW((void)parseJson(doc.substr(0, len)), JsonParseError)
+        << "prefix of length " << len << " was accepted";
+  }
+}
+
+TEST(JsonlFuzz, OverDeepNestingIsRejectedNotOverflowed) {
+  // kMaxJsonDepth nests parse; one more must throw (and "ten thousand '['"
+  // must not touch the stack guard at all -- it fails at depth 65).
+  const std::string okArr(kMaxJsonDepth, '[');
+  const std::string okClose(kMaxJsonDepth, ']');
+  EXPECT_NO_THROW((void)parseJson(okArr + okClose));
+
+  std::string deep(kMaxJsonDepth + 1, '[');
+  deep += std::string(kMaxJsonDepth + 1, ']');
+  EXPECT_THROW((void)parseJson(deep), JsonParseError);
+
+  const std::string pathological(10000, '[');
+  EXPECT_THROW((void)parseJson(pathological), JsonParseError);
+
+  std::string deepObj;
+  for (int i = 0; i < 200; ++i) deepObj += "{\"k\":";
+  deepObj += "1";
+  for (int i = 0; i < 200; ++i) deepObj += "}";
+  EXPECT_THROW((void)parseJson(deepObj), JsonParseError);
+}
+
+TEST(JsonlFuzz, StrictNumbers) {
+  EXPECT_DOUBLE_EQ(parseJson("-12.5e2").number, -1250.0);
+  EXPECT_DOUBLE_EQ(parseJson("0").number, 0.0);
+  EXPECT_DOUBLE_EQ(parseJson("1e3").number, 1000.0);
+  EXPECT_THROW((void)parseJson("1.2.3"), JsonParseError);
+  EXPECT_THROW((void)parseJson("1-2"), JsonParseError);
+  EXPECT_THROW((void)parseJson("[1.2.3]"), JsonParseError);
+  EXPECT_THROW((void)parseJson("{\"a\":1..2}"), JsonParseError);
+}
+
+TEST(JsonlFuzz, ControlCharactersInStringsAreRejected) {
+  for (char c = 1; c < 0x20; ++c) {
+    std::string doc = "\"a";
+    doc += c;
+    doc += "b\"";
+    EXPECT_THROW((void)parseJson(doc), JsonParseError)
+        << "raw control char " << static_cast<int>(c) << " accepted";
+  }
+  std::string withNul("\"a\0b\"", 5);
+  EXPECT_THROW((void)parseJson(withNul), JsonParseError);
+  // Escaped forms are fine.
+  EXPECT_EQ(parseJson("\"a\\tb\\nc\"").text, "a\tb\nc");
+}
+
+TEST(JsonlFuzz, UnicodeEscapesAndSurrogatePairs) {
+  EXPECT_EQ(parseJson("\"\\u0041\"").text, "A");
+  EXPECT_EQ(parseJson("\"\\u00e9\"").text, "\xc3\xa9");          // é
+  EXPECT_EQ(parseJson("\"\\u20ac\"").text, "\xe2\x82\xac");      // €
+  EXPECT_EQ(parseJson("\"\\ud83d\\ude00\"").text,
+            "\xf0\x9f\x98\x80");                                 // 😀
+  // Raw UTF-8 passes through untouched.
+  EXPECT_EQ(parseJson("\"caf\xc3\xa9\"").text, "caf\xc3\xa9");
+}
+
+TEST(JsonlFuzz, ParseJsonLinesReportsFirstBadLine) {
+  std::istringstream ok("{\"a\":1}\n\n{\"b\":2}\n");
+  const auto values = parseJsonLines(ok);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_DOUBLE_EQ(values[0].find("a")->number, 1.0);
+
+  std::istringstream bad("{\"a\":1}\n{oops\n{\"b\":2}\n");
+  EXPECT_THROW((void)parseJsonLines(bad), JsonParseError);
+}
+
+}  // namespace
+}  // namespace icb::obs

@@ -91,8 +91,9 @@ TEST(Serialize, RejectsGarbage) {
 
 TEST(Serialize, RoundTripAfterReordering) {
   // Serialization stores variables, not levels: a file written under a
-  // sifted order loads into a fresh manager with the default order and
-  // still denotes the same functions.
+  // sifted order loads into a fresh manager and still denotes the same
+  // functions.  Since v2 the file also carries the writer's level->var
+  // map, so the fresh manager additionally adopts the sifted order.
   BddManager src;
   constexpr unsigned kVars = 8;
   for (unsigned i = 0; i < kVars; ++i) src.newVar();
@@ -108,6 +109,110 @@ TEST(Serialize, RoundTripAfterReordering) {
   std::istringstream is(os.str());
   const auto loaded = loadBdds(is, dst);
   EXPECT_EQ(test::truthTable(loaded[0], kVars), table);
+}
+
+TEST(Serialize, V2PersistsVariableOrder) {
+  // The regression this guards: a snapshot taken after dynamic reordering
+  // must restore into a manager with the *same* order, or resumed runs see
+  // differently-shaped (Restrict-simplified) BDDs and diverge byte-wise.
+  BddManager src;
+  constexpr unsigned kVars = 8;
+  for (unsigned i = 0; i < kVars; ++i) src.newVar("x" + std::to_string(i));
+  Rng rng(23);
+  std::vector<Bdd> roots;
+  for (int i = 0; i < 6; ++i) roots.push_back(test::randomBdd(src, kVars, rng, 5));
+  // Force a decidedly non-default order (a sift() might settle on identity).
+  const std::vector<unsigned> shuffled{7, 0, 6, 1, 5, 2, 4, 3};
+  applyVarOrder(src, shuffled);
+  for (unsigned level = 0; level < kVars; ++level) {
+    ASSERT_EQ(src.varAtLevel(level), shuffled[level]);
+  }
+
+  std::ostringstream os;
+  saveBdds(os, src, roots);
+
+  BddManager dst;  // fresh: variables and order both come from the file
+  std::istringstream is(os.str());
+  const auto loaded = loadBdds(is, dst);
+  ASSERT_EQ(dst.varCount(), kVars);
+  for (unsigned level = 0; level < kVars; ++level) {
+    EXPECT_EQ(dst.varAtLevel(level), src.varAtLevel(level)) << "level " << level;
+  }
+  // Same order => structurally identical DAG, not just the same functions.
+  EXPECT_EQ(sharedSize(loaded), sharedSize(roots));
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    EXPECT_EQ(test::truthTable(loaded[i], kVars),
+              test::truthTable(roots[i], kVars));
+  }
+}
+
+TEST(Serialize, V2OrderRestoredIntoAutoReorderManager) {
+  // applyVarOrder must compose with a destination manager that has dynamic
+  // reordering enabled (the service resumes jobs with auto_reorder on).
+  BddManager src;
+  constexpr unsigned kVars = 6;
+  for (unsigned i = 0; i < kVars; ++i) src.newVar();
+  Rng rng(31);
+  const Bdd f = test::randomBdd(src, kVars, rng, 6);
+  const auto table = test::truthTable(f, kVars);
+  applyVarOrder(src, std::vector<unsigned>{5, 3, 1, 0, 2, 4});
+
+  std::ostringstream os;
+  const std::vector<Bdd> roots{f};
+  saveBdds(os, src, roots);
+
+  BddOptions opts;
+  opts.autoReorder = true;
+  BddManager dst(opts);
+  std::istringstream is(os.str());
+  const auto loaded = loadBdds(is, dst);
+  for (unsigned level = 0; level < kVars; ++level) {
+    EXPECT_EQ(dst.varAtLevel(level), src.varAtLevel(level)) << "level " << level;
+  }
+  EXPECT_EQ(test::truthTable(loaded[0], kVars), table);
+}
+
+TEST(Serialize, V1FilesWithoutOrderLineStillLoad) {
+  // Pre-order-line files load with the manager's current (default) order.
+  const std::string v1 =
+      "icbdd-bdd-v1\n"
+      "vars 2\n"
+      "v 0 a\n"
+      "v 1 b\n"
+      "nodes 2\n"
+      "n 0 1 T F\n"
+      "n 1 0 0 F\n"
+      "roots 1\n"
+      "r 1\n";
+  BddManager dst;
+  std::istringstream is(v1);
+  const auto loaded = loadBdds(is, dst);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0], Bdd(dst.var(0) & dst.var(1)));
+  EXPECT_EQ(dst.varAtLevel(0), 0u);
+  EXPECT_EQ(dst.varAtLevel(1), 1u);
+}
+
+TEST(Serialize, ApplyVarOrderRejectsBadPermutations) {
+  BddManager mgr;
+  for (unsigned i = 0; i < 4; ++i) mgr.newVar();
+  {
+    const std::vector<unsigned> tooShort{2, 1, 0};
+    EXPECT_THROW(applyVarOrder(mgr, tooShort), BddUsageError);
+  }
+  {
+    const std::vector<unsigned> duplicate{0, 1, 1, 3};
+    EXPECT_THROW(applyVarOrder(mgr, duplicate), BddUsageError);
+  }
+  {
+    const std::vector<unsigned> outOfRange{0, 1, 2, 4};
+    EXPECT_THROW(applyVarOrder(mgr, outOfRange), BddUsageError);
+  }
+  const std::vector<unsigned> order{3, 1, 0, 2};
+  applyVarOrder(mgr, order);
+  for (unsigned level = 0; level < 4; ++level) {
+    EXPECT_EQ(mgr.varAtLevel(level), order[level]);
+  }
 }
 
 }  // namespace

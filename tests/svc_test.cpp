@@ -1,0 +1,322 @@
+// VerifyService behavior: admission control (bounded queue, structured
+// rejections), the on-disk job journal, cross-instance recovery (the
+// process-restart story), and the svc.* metrics the service maintains.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/jsonl.hpp"
+#include "svc/journal.hpp"
+#include "svc/service.hpp"
+#include "verif/checkpoint.hpp"
+
+namespace icb::svc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Collects every emitted response line, parsed.
+struct Capture {
+  std::mutex m;
+  std::vector<obs::JsonValue> lines;
+
+  VerifyService::Emit emit() {
+    return [this](const std::string& line) {
+      std::lock_guard<std::mutex> lock(m);
+      lines.push_back(obs::parseJson(line));
+    };
+  }
+
+  std::vector<const obs::JsonValue*> ofType(std::string_view type) {
+    std::lock_guard<std::mutex> lock(m);
+    std::vector<const obs::JsonValue*> out;
+    for (const obs::JsonValue& v : lines) {
+      if (const obs::JsonValue* t = v.find("type");
+          t != nullptr && t->textOr("") == type) {
+        out.push_back(&v);
+      }
+    }
+    return out;
+  }
+
+  const obs::JsonValue* resultFor(std::string_view id) {
+    for (const obs::JsonValue* r : ofType("job_result")) {
+      if (const obs::JsonValue* i = r->find("id");
+          i != nullptr && i->textOr("") == id) {
+        return r;
+      }
+    }
+    return nullptr;
+  }
+};
+
+std::string uniqueDir(const char* stem) {
+  static int counter = 0;
+  fs::path dir = fs::path(::testing::TempDir()) / "icbdd_svc_tests" /
+                 (std::string(stem) + "_" + std::to_string(counter++));
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+TEST(SvcAdmission, DrainModeRejectsBeyondQueueBound) {
+  ServiceOptions options;
+  options.queueBound = 2;
+  options.drain = true;  // nothing runs until shutdown: deterministic depth
+  options.checkpointEvery = 0;
+  Capture cap;
+  VerifyService service(options, cap.emit());
+
+  EXPECT_TRUE(service.submitLine(
+      R"({"id":"j1","model":"mutex","method":"xici","size":3})"));
+  EXPECT_TRUE(service.submitLine(
+      R"({"id":"j2","model":"mutex","method":"xici","size":3})"));
+  EXPECT_EQ(service.queueDepth(), 2u);
+  EXPECT_FALSE(service.submitLine(
+      R"({"id":"j3","model":"mutex","method":"xici","size":3})"));
+
+  const auto rejected = cap.ofType("job_rejected");
+  ASSERT_EQ(rejected.size(), 1u);
+  EXPECT_EQ(rejected[0]->find("id")->textOr(""), "j3");
+  EXPECT_EQ(rejected[0]->find("reason")->textOr(""), "queue_full");
+  EXPECT_DOUBLE_EQ(rejected[0]->find("queue_bound")->numberOr(-1), 2.0);
+
+  service.shutdown();
+  EXPECT_EQ(cap.ofType("job_accepted").size(), 2u);
+  EXPECT_EQ(cap.ofType("job_result").size(), 2u);
+  EXPECT_NE(cap.resultFor("j1"), nullptr);
+  EXPECT_NE(cap.resultFor("j2"), nullptr);
+
+  const obs::MetricsRegistry metrics = service.metricsSnapshot();
+  EXPECT_EQ(metrics.counter("svc.jobs.accepted"), 2u);
+  EXPECT_EQ(metrics.counter("svc.jobs.rejected"), 1u);
+  EXPECT_EQ(metrics.counter("svc.jobs.completed"), 2u);
+  EXPECT_EQ(metrics.counter("svc.jobs.failed"), 0u);
+  EXPECT_DOUBLE_EQ(metrics.gauge("svc.queue.peak_depth"), 2.0);
+  EXPECT_EQ(service.queueDepth(), 0u);
+}
+
+TEST(SvcAdmission, StructuredRejectReasons) {
+  ServiceOptions options;
+  options.drain = true;
+  Capture cap;
+  VerifyService service(options, cap.emit());
+
+  // Not JSON at all.
+  EXPECT_FALSE(service.submitLine("{not json"));
+  // Parses, but violates the request schema (bad id characters).
+  EXPECT_FALSE(service.submitLine(R"({"id":"has spaces","model":"fifo"})"));
+  // Missing required field.
+  EXPECT_FALSE(service.submitLine(R"({"id":"j1"})"));
+  // Duplicate of an already queued id.
+  EXPECT_TRUE(service.submitLine(R"({"id":"dup","model":"mutex","size":3})"));
+  EXPECT_FALSE(service.submitLine(R"({"id":"dup","model":"mutex","size":3})"));
+
+  const auto rejected = cap.ofType("job_rejected");
+  ASSERT_EQ(rejected.size(), 4u);
+  EXPECT_EQ(rejected[0]->find("reason")->textOr(""), "parse_error");
+  EXPECT_EQ(rejected[1]->find("reason")->textOr(""), "invalid_request");
+  EXPECT_EQ(rejected[1]->find("id")->textOr(""), "has spaces");
+  EXPECT_EQ(rejected[2]->find("reason")->textOr(""), "invalid_request");
+  EXPECT_EQ(rejected[3]->find("reason")->textOr(""), "duplicate_id");
+  service.shutdown();
+}
+
+TEST(SvcAdmission, UnknownModelFailsAtRunNotAdmission) {
+  ServiceOptions options;
+  options.drain = true;
+  Capture cap;
+  VerifyService service(options, cap.emit());
+  EXPECT_TRUE(service.submitLine(R"({"id":"bad","model":"warpdrive"})"));
+  service.shutdown();
+
+  const auto failed = cap.ofType("job_failed");
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0]->find("id")->textOr(""), "bad");
+  const obs::MetricsRegistry metrics = service.metricsSnapshot();
+  EXPECT_EQ(metrics.counter("svc.jobs.failed"), 1u);
+  EXPECT_EQ(metrics.counter("svc.jobs.completed"), 0u);
+}
+
+TEST(SvcJournal, CompletedJobsLeaveNoJournalEntries) {
+  const std::string dir = uniqueDir("clean");
+  ServiceOptions options;
+  options.drain = true;
+  options.journalDir = dir;
+  options.checkpointEvery = 1;
+  Capture cap;
+  VerifyService service(options, cap.emit());
+  EXPECT_TRUE(service.submitLine(
+      R"({"id":"c1","model":"fifo","method":"fwd","size":4,"width":4})"));
+  service.shutdown();
+
+  ASSERT_NE(cap.resultFor("c1"), nullptr);
+  // Progress lines streamed as checkpoints landed (5 iterations, every=1).
+  EXPECT_FALSE(cap.ofType("job_progress").empty());
+  // ...and the journal is clean: nothing to recover.
+  std::size_t entries = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    (void)e;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 0u);
+}
+
+TEST(SvcJournal, RecoverResumesFromCheckpointAcrossInstances) {
+  // Simulates a killed process: the journal holds an accepted request plus
+  // its last checkpoint, with no live service.  A fresh instance must pick
+  // the job up with resume=true and finish with the uninterrupted verdict.
+  const std::string dir = uniqueDir("recover");
+  const std::string line =
+      R"({"id":"r1","model":"fifo","method":"fwd","size":4,"width":4})";
+
+  // Baseline (uninterrupted) and a mid-run checkpoint, via the engine.
+  const JobRequest req = parseJobRequest(obs::parseJson(line));
+  std::vector<std::pair<unsigned, std::string>> snapshots;
+  BddManager mgr(bddOptionsFor(req));
+  ModelInstance model = buildJobModel(mgr, req);
+  EngineOptions engineOptions = engineOptionsFor(req);
+  engineOptions.checkpoint.everyIterations = 1;
+  engineOptions.checkpoint.sink = [&](const EngineSnapshot& snap) {
+    std::ostringstream os;
+    saveSnapshot(os, mgr, snap);
+    snapshots.emplace_back(snap.iteration, os.str());
+  };
+  const EngineResult base =
+      runMethod(*model.fsm, req.method, model.fdCandidates, engineOptions);
+  ASSERT_GE(snapshots.size(), 2u);
+  const auto& [ckptIteration, ckptText] = snapshots[snapshots.size() / 2];
+
+  {
+    // The "killed" instance's journal state, written directly.
+    JobJournal journal(dir);
+    journal.recordAccepted("r1", line);
+    journal.recordCheckpoint("r1", ckptText);
+  }
+
+  ServiceOptions options;
+  options.drain = true;
+  options.journalDir = dir;
+  Capture cap;
+  VerifyService service(options, cap.emit());
+  EXPECT_EQ(service.recoverJournal(), 1u);
+  EXPECT_EQ(service.queueDepth(), 1u);
+  service.shutdown();
+
+  const obs::JsonValue* result = cap.resultFor("r1");
+  ASSERT_NE(result, nullptr);
+  EXPECT_TRUE(result->find("resumed")->boolean);
+  EXPECT_DOUBLE_EQ(result->find("resumed_from")->numberOr(0),
+                   static_cast<double>(ckptIteration));
+  EXPECT_EQ(result->find("verdict")->textOr(""), verdictName(base.verdict));
+  EXPECT_DOUBLE_EQ(result->find("iterations")->numberOr(0),
+                   static_cast<double>(base.iterations));
+
+  const obs::MetricsRegistry metrics = service.metricsSnapshot();
+  EXPECT_EQ(metrics.counter("svc.jobs.recovered"), 1u);
+  EXPECT_EQ(metrics.counter("svc.jobs.resumed"), 1u);
+  EXPECT_EQ(metrics.counter("svc.jobs.completed"), 1u);
+
+  // Finished: journal clean again, nothing to recover a second time.
+  JobJournal after(dir);
+  EXPECT_TRUE(after.recoverableRequests().empty());
+}
+
+TEST(SvcJournal, AtomicWritesAndRemove) {
+  const std::string dir = uniqueDir("atomic");
+  JobJournal journal(dir);
+  journal.recordAccepted("a", R"({"id":"a","model":"fifo"})");
+  journal.recordAccepted("b", R"({"id":"b","model":"mutex"})");
+  journal.recordCheckpoint("a", "ckpt-text");
+
+  const auto requests = journal.recoverableRequests();
+  ASSERT_EQ(requests.size(), 2u);  // sorted by path: a then b
+  EXPECT_NE(requests[0].find("\"id\":\"a\""), std::string::npos);
+  EXPECT_NE(requests[1].find("\"id\":\"b\""), std::string::npos);
+
+  ASSERT_TRUE(journal.checkpointText("a").has_value());
+  EXPECT_EQ(*journal.checkpointText("a"), "ckpt-text");
+  EXPECT_FALSE(journal.checkpointText("b").has_value());
+
+  journal.remove("a");
+  EXPECT_FALSE(journal.checkpointText("a").has_value());
+  EXPECT_EQ(journal.recoverableRequests().size(), 1u);
+  journal.remove("b");
+  EXPECT_TRUE(journal.recoverableRequests().empty());
+}
+
+TEST(SvcRequest, ParseAndValidation) {
+  const obs::JsonValue v = obs::parseJson(
+      R"({"id":"x.1","model":"filter","method":"fd","size":2,"width":4,)"
+      R"("inject_bug":true,"deadline_seconds":2.5,"max_nodes":100000,)"
+      R"("max_iterations":50,"checkpoint_every":3,"auto_reorder":true})");
+  const JobRequest req = parseJobRequest(v);
+  EXPECT_EQ(req.id, "x.1");
+  EXPECT_EQ(req.model, "filter");
+  EXPECT_EQ(req.method, Method::kFd);
+  EXPECT_EQ(req.size, 2u);
+  EXPECT_EQ(req.width, 4u);
+  EXPECT_TRUE(req.injectBug);
+  EXPECT_DOUBLE_EQ(req.deadlineSeconds, 2.5);
+  EXPECT_EQ(req.maxNodes, 100000u);
+  EXPECT_EQ(req.maxIterations, 50u);
+  EXPECT_EQ(req.checkpointEvery, 3u);
+  EXPECT_TRUE(req.autoReorder);
+  EXPECT_TRUE(engineOptionsFor(req).wantTrace);
+  EXPECT_EQ(engineOptionsFor(req).maxNodes, 100000u);
+  EXPECT_TRUE(bddOptionsFor(req).autoReorder);
+
+  EXPECT_TRUE(validJobId("a"));
+  EXPECT_TRUE(validJobId("Job_1.retry-2"));
+  EXPECT_FALSE(validJobId(""));
+  EXPECT_FALSE(validJobId(".hidden"));
+  EXPECT_FALSE(validJobId("has space"));
+  EXPECT_FALSE(validJobId("sl/ash"));
+  EXPECT_FALSE(validJobId(std::string(65, 'a')));
+
+  // Schema violations the parser must throw on.
+  EXPECT_THROW((void)parseJobRequest(obs::parseJson(R"({"model":"fifo"})")),
+               std::invalid_argument);
+  EXPECT_THROW((void)parseJobRequest(obs::parseJson(
+                   R"({"id":"a","model":"fifo","size":-1})")),
+               std::invalid_argument);
+  EXPECT_THROW((void)parseJobRequest(obs::parseJson(
+                   R"({"id":"a","model":"fifo","size":1.5})")),
+               std::invalid_argument);
+  EXPECT_THROW((void)parseJobRequest(obs::parseJson(
+                   R"({"id":"a","model":"fifo","method":"warp"})")),
+               std::invalid_argument);
+  EXPECT_THROW((void)parseJobRequest(obs::parseJson(R"(["not","object"])")),
+               std::invalid_argument);
+}
+
+TEST(SvcService, ParallelBatchCompletesEveryJob) {
+  ServiceOptions options;
+  options.workers = 4;
+  options.queueBound = 16;
+  options.drain = true;
+  options.checkpointEvery = 0;
+  Capture cap;
+  VerifyService service(options, cap.emit());
+  for (int i = 0; i < 6; ++i) {
+    const std::string id = "p" + std::to_string(i);
+    EXPECT_TRUE(service.submitLine(
+        R"({"id":")" + id +
+        R"(","model":"mutex","method":"fwd","size":3})"));
+  }
+  service.shutdown();
+  EXPECT_EQ(cap.ofType("job_result").size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    const obs::JsonValue* r = cap.resultFor("p" + std::to_string(i));
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->find("verdict")->textOr(""), "holds");
+  }
+  const obs::MetricsRegistry metrics = service.metricsSnapshot();
+  EXPECT_EQ(metrics.counter("svc.jobs.completed"), 6u);
+}
+
+}  // namespace
+}  // namespace icb::svc
