@@ -4,7 +4,8 @@
 # skipped with a notice instead of failing, so the script is useful on
 # minimal machines; CI runs the full set.
 #
-# Usage: ci/run_checks.sh [release|sanitize|tsan|lint|bench|svc|all]  (default: all)
+# Usage: ci/run_checks.sh [release|sanitize|tsan|lint|lint-strict|bench|svc|all]
+# (default: all)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -91,15 +92,42 @@ run_lint() {
   fi
 }
 
+run_lint_strict() {
+  note "lint-strict gate: icbdd rules L1-L5 (hard fail, no tools needed)"
+  python3 ci/lint/icbdd_lint.py --root .
+  python3 tests/lint/lint_fixtures_test.py
+
+  note "lint-strict gate: clang thread-safety analysis (-Werror)"
+  if command -v clang++ >/dev/null 2>&1; then
+    cmake -B build-tsa -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_COMPILER=clang++ -DICBDD_WERROR=ON
+    cmake --build build-tsa -j "${jobs}"
+  else
+    echo "clang++ not installed -- thread-safety build skipped (CI runs it)"
+  fi
+
+  note "lint-strict gate: cppcheck (hard fail)"
+  if command -v cppcheck >/dev/null 2>&1; then
+    cppcheck --version
+    cmake --preset dev >/dev/null
+    cmake --build build --target cppcheck
+  else
+    echo "cppcheck not installed -- skipped (CI runs it, pinned version)"
+  fi
+}
+
 case "${what}" in
   release)  run_release; run_bench_json; run_svc ;;
   sanitize) run_sanitize ;;
   tsan)     run_tsan ;;
   lint)     run_lint ;;
+  lint-strict) run_lint_strict ;;
   bench)    run_bench_json ;;
   svc)      run_svc ;;
-  all)      run_release; run_bench_json; run_svc; run_sanitize; run_tsan; run_lint ;;
-  *) echo "usage: $0 [release|sanitize|tsan|lint|bench|svc|all]" >&2; exit 2 ;;
+  all)      run_release; run_bench_json; run_svc; run_sanitize; run_tsan;
+            run_lint; run_lint_strict ;;
+  *) echo "usage: $0 [release|sanitize|tsan|lint|lint-strict|bench|svc|all]" >&2
+     exit 2 ;;
 esac
 
 note "done"

@@ -106,6 +106,12 @@ void BddManager::checkResourceLimits() {
   if (limits_.maxNodes != 0 && allocatedNodes() > limits_.maxNodes) {
     throw ResourceLimitError(ResourceKind::kNodes);
   }
+  // relaxed: cancellation is advisory -- the poll needs timeliness, not
+  // ordering with the cancelling thread's other writes.
+  if (limits_.cancelFlag != nullptr &&
+      limits_.cancelFlag->load(std::memory_order_relaxed)) {
+    throw ResourceLimitError(ResourceKind::kCancelled);
+  }
   // The clock is comparatively expensive; sample it.
   if (limits_.deadline.isSet() && limitCheckCountdown_-- == 0) {
     limitCheckCountdown_ = 8192;

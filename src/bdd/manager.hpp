@@ -26,6 +26,7 @@
 
 #include "bdd/edge.hpp"
 #include "bdd/options.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace icb {
 
@@ -102,7 +103,17 @@ struct BddStats {
   }
 };
 
-class BddManager {
+// The manager is declared a *capability* (clang thread-safety analysis):
+// today every manager is confined to one thread (the scheduler gives each
+// cell a private manager), so nothing acquires it and the analysis has
+// nothing to prove.  When ROADMAP item 1 shares the unique table / computed
+// cache across workers, the shared entry points gain ICBDD_REQUIRES(*this)
+// (or finer-grained capabilities) against this declaration, and every
+// access to the members marked "item-1 shared" below becomes machine-checked
+// instead of comment-enforced.  Cross-thread interaction that is already
+// legal today goes through ResourceLimits::cancelFlag (an atomic the owner
+// thread installs), never through direct member access.
+class ICBDD_CAPABILITY("BddManager") BddManager {
  public:
   explicit BddManager(const BddOptions& options = {});
   ~BddManager();
@@ -454,13 +465,16 @@ class BddManager {
   Edge restrictRec(Edge f, Edge c);
   Edge constrainRec(Edge f, Edge c);
 
-  // data
-  std::vector<Node> nodes_;
-  std::vector<std::uint32_t> buckets_;  // unique-table heads (size = pow2)
-  std::uint32_t freeHead_ = kNil;       // free list through Node::next
-  std::uint64_t freeCount_ = 0;
+  // data -- the first block is the item-1 shared state: node arena, unique
+  // table, free list, and computed cache are exactly what the shared
+  // concurrent manager will hand to multiple workers, so any new access to
+  // them must stay behind this class's capability (see the class comment).
+  std::vector<Node> nodes_;             // item-1 shared
+  std::vector<std::uint32_t> buckets_;  // item-1 shared: unique-table heads
+  std::uint32_t freeHead_ = kNil;       // item-1 shared: free list head
+  std::uint64_t freeCount_ = 0;         // item-1 shared
 
-  std::vector<CacheEntry> cache_;
+  std::vector<CacheEntry> cache_;       // item-1 shared: computed cache
 
   std::vector<Edge> varEdges_;  // projection edge per variable (kept live)
   std::vector<unsigned> var2level_;

@@ -1,6 +1,7 @@
 // Configuration and resource-limit types for the BDD manager.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -42,7 +43,16 @@ struct BddOptions {
 };
 
 /// Which resource gave out first when a run is aborted.
-enum class ResourceKind { kNodes, kTime };
+enum class ResourceKind { kNodes, kTime, kCancelled };
+
+[[nodiscard]] constexpr const char* resourceKindMessage(ResourceKind kind) {
+  switch (kind) {
+    case ResourceKind::kNodes: return "BDD node limit exceeded";
+    case ResourceKind::kTime: return "BDD deadline exceeded";
+    case ResourceKind::kCancelled: return "BDD operation cancelled";
+  }
+  return "BDD resource limit exceeded";
+}
 
 /// Hard caps applied to every operation of a manager.  Engines install these
 /// to reproduce the paper's "Exceeded 60MB." / "Exceeded 40 minutes." rows.
@@ -52,6 +62,14 @@ struct ResourceLimits {
   std::uint64_t maxNodes = 0;
   /// Wall-clock deadline.  Default never expires.
   Deadline deadline;
+  /// Cooperative cross-thread cancellation: when non-null, the manager polls
+  /// this flag wherever it polls the deadline and aborts the current
+  /// operation with ResourceKind::kCancelled once it reads true.  The flag
+  /// (and its owner) must outlive every operation run under these limits.
+  /// This is how a scheduler/service thread stops a *running* BDD workload
+  /// it no longer needs -- the running-cell half of the cancellation story
+  /// that deadline propagation alone cannot provide.
+  const std::atomic<bool>* cancelFlag = nullptr;
 };
 
 /// Thrown from inside BDD operations when a ResourceLimits cap is hit.
@@ -60,10 +78,7 @@ struct ResourceLimits {
 class ResourceLimitError : public std::runtime_error {
  public:
   explicit ResourceLimitError(ResourceKind kind)
-      : std::runtime_error(kind == ResourceKind::kNodes
-                               ? "BDD node limit exceeded"
-                               : "BDD deadline exceeded"),
-        kind_(kind) {}
+      : std::runtime_error(resourceKindMessage(kind)), kind_(kind) {}
 
   [[nodiscard]] ResourceKind kind() const { return kind_; }
 

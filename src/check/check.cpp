@@ -23,6 +23,8 @@ std::atomic<int> g_level{levelFromEnv()};
 }  // namespace check_detail
 
 void setCheckLevel(CheckLevel level) {
+  // relaxed: pairs with the relaxed load in checkLevel() -- the level is an
+  // independent int with no associated payload to publish.
   check_detail::g_level.store(static_cast<int>(level),
                               std::memory_order_relaxed);
 }

@@ -48,6 +48,9 @@ extern std::atomic<int> g_level;  // initialized from ICBDD_CHECK_LEVEL
 
 /// The process-wide check level.
 [[nodiscard]] inline CheckLevel checkLevel() {
+  // relaxed: the level is a standalone knob -- no other data is published
+  // with it, and a momentarily stale read only delays a level change by one
+  // check site.  Keeps the off-path to a plain load + branch.
   return static_cast<CheckLevel>(
       check_detail::g_level.load(std::memory_order_relaxed));
 }

@@ -9,6 +9,7 @@
 
 #include "bdd/manager.hpp"
 #include "ici/pair_table.hpp"
+#include "util/lint.hpp"
 
 namespace icb {
 
@@ -35,6 +36,7 @@ class NodeSurgeon {
   /// table entirely.
   static void setNodeFields(BddManager& mgr, std::uint32_t index, unsigned var,
                             Edge hi, Edge lo) {
+    ICBDD_LINT_SUPPRESS(L3, "surgeon hook: corrupting nodes is the point");
     BddManager::Node& n = mgr.nodes_[index];
     n.var = var;
     n.hi = hi;
@@ -44,6 +46,7 @@ class NodeSurgeon {
   /// Swaps a node's children in place (breaks canonicity: the then-arc
   /// inherits the else-arc's complement bit, or the function changes).
   static void swapChildren(BddManager& mgr, std::uint32_t index) {
+    ICBDD_LINT_SUPPRESS(L3, "surgeon hook: corrupting nodes is the point");
     BddManager::Node& n = mgr.nodes_[index];
     std::swap(n.hi, n.lo);
   }
@@ -61,6 +64,7 @@ class NodeSurgeon {
   /// Unlinks a node from its unique-table chain without freeing it (the
   /// node stays live but becomes unfindable -- a rehash-completeness hole).
   static bool detachFromUniqueTable(BddManager& mgr, std::uint32_t index) {
+    ICBDD_LINT_SUPPRESS(L3, "surgeon hook: walks raw chains on purpose");
     const BddManager::Node& n = mgr.nodes_[index];
     const std::size_t slot = mgr.hashNode(n.var, n.hi, n.lo);
     std::uint32_t* link = &mgr.buckets_[slot];

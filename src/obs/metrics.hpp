@@ -15,6 +15,9 @@
 #include <string>
 #include <string_view>
 
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
 namespace icb {
 class BddManager;
 struct TerminationStats;
@@ -70,6 +73,43 @@ class MetricsRegistry {
  private:
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, double> gauges_;
+};
+
+/// Mutex-protected MetricsRegistry for registries shared across threads
+/// (the job service's counters, a future Prometheus scrape endpoint).
+/// MetricsRegistry itself stays lock-free-by-confinement -- engines own
+/// theirs exclusively -- so the cost of synchronization is paid only where
+/// sharing is real.  All methods are safe to call from any thread.
+class SharedMetrics {
+ public:
+  void add(std::string_view name, std::uint64_t delta = 1)
+      ICBDD_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    registry_.add(name, delta);
+  }
+  void setGauge(std::string_view name, double value) ICBDD_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    registry_.setGauge(name, value);
+  }
+  void setGaugeMax(std::string_view name, double value)
+      ICBDD_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    registry_.setGaugeMax(name, value);
+  }
+  void merge(const MetricsRegistry& other) ICBDD_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    registry_.merge(other);
+  }
+
+  /// Point-in-time copy; the caller's snapshot is immune to later updates.
+  [[nodiscard]] MetricsRegistry snapshot() const ICBDD_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    return registry_;
+  }
+
+ private:
+  mutable Mutex mutex_;
+  MetricsRegistry registry_ ICBDD_GUARDED_BY(mutex_);
 };
 
 }  // namespace icb::obs

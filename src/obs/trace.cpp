@@ -21,7 +21,7 @@ TraceSink::TraceSink(const std::string& path)
 
 void TraceSink::writeLine(std::string_view line) {
   const Stopwatch watch;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   os_->write(line.data(), static_cast<std::streamsize>(line.size()));
   os_->put('\n');
   ++lines_;
@@ -30,18 +30,18 @@ void TraceSink::writeLine(std::string_view line) {
 
 void TraceSink::flush() {
   const Stopwatch watch;
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   os_->flush();
   writeSeconds_ += watch.elapsedSeconds();
 }
 
 double TraceSink::writeSeconds() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return writeSeconds_;
 }
 
 std::uint64_t TraceSink::linesWritten() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return lines_;
 }
 
@@ -87,7 +87,9 @@ std::atomic<TraceSink*> g_sink{sinkFromEnv()};
 }  // namespace trace_detail
 
 void setDefaultTraceSink(TraceSink* sink) {
-  trace_detail::g_sink.store(sink, std::memory_order_relaxed);
+  // Release publishes the sink object's construction to any thread whose
+  // acquire load in defaultTraceSink() observes the new pointer.
+  trace_detail::g_sink.store(sink, std::memory_order_release);
 }
 
 double traceClockSeconds() { return g_traceEpoch.elapsedSeconds(); }

@@ -25,7 +25,6 @@
 #include <atomic>
 #include <cstdint>
 #include <fstream>
-#include <mutex>
 #include <ostream>
 #include <span>
 #include <string>
@@ -33,6 +32,8 @@
 #include <vector>
 
 #include "obs/jsonl.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace icb {
@@ -56,18 +57,20 @@ class TraceSink {
   /// Opens (and truncates) `path`; throws std::runtime_error on failure.
   explicit TraceSink(const std::string& path);
 
-  void writeLine(std::string_view line);
-  void flush();
+  void writeLine(std::string_view line) ICBDD_EXCLUDES(mutex_);
+  void flush() ICBDD_EXCLUDES(mutex_);
 
-  [[nodiscard]] double writeSeconds() const;
-  [[nodiscard]] std::uint64_t linesWritten() const;
+  [[nodiscard]] double writeSeconds() const ICBDD_EXCLUDES(mutex_);
+  [[nodiscard]] std::uint64_t linesWritten() const ICBDD_EXCLUDES(mutex_);
 
  private:
   std::ofstream owned_;
-  std::ostream* os_ = nullptr;
-  mutable std::mutex mutex_;  ///< guards the stream and both counters
-  double writeSeconds_ = 0.0;
-  std::uint64_t lines_ = 0;
+  // os_ itself is set once at construction; the *stream* it points at is
+  // what the mutex serializes (pt_guarded_by), along with both counters.
+  std::ostream* os_ ICBDD_PT_GUARDED_BY(mutex_) = nullptr;
+  mutable Mutex mutex_;  ///< guards the stream and both counters
+  double writeSeconds_ ICBDD_GUARDED_BY(mutex_) = 0.0;
+  std::uint64_t lines_ ICBDD_GUARDED_BY(mutex_) = 0;
 };
 
 namespace trace_detail {
@@ -75,8 +78,11 @@ extern std::atomic<TraceSink*> g_sink;  // installed from ICBDD_TRACE
 }  // namespace trace_detail
 
 /// The process-wide default sink (nullptr when tracing is off).
+/// Acquire pairs with the release store in setDefaultTraceSink so a thread
+/// that observes a freshly installed sink also observes the sink object's
+/// initialization (free on x86; the emit paths behind it dwarf it anyway).
 [[nodiscard]] inline TraceSink* defaultTraceSink() {
-  return trace_detail::g_sink.load(std::memory_order_relaxed);
+  return trace_detail::g_sink.load(std::memory_order_acquire);
 }
 
 [[nodiscard]] inline bool traceEnabled() {

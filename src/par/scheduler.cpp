@@ -20,6 +20,7 @@ void CellContext::apply(EngineOptions& options) const {
        options.timeLimitSeconds > remainingGlobalSeconds)) {
     options.timeLimitSeconds = remainingGlobalSeconds;
   }
+  if (cancelFlag != nullptr) options.cancelFlag = cancelFlag;
 }
 
 VerifyScheduler::VerifyScheduler(SchedulerOptions options)
@@ -35,20 +36,20 @@ std::size_t VerifyScheduler::submit(std::string group, Method method,
 void VerifyScheduler::cancel(const std::string& reason) {
   bool expected = false;
   if (cancelled_.compare_exchange_strong(expected, true)) {
-    const std::lock_guard<std::mutex> lock(reasonMutex_);
+    const MutexLock lock(reasonMutex_);
     reason_ = reason;
   }
 }
 
 std::string VerifyScheduler::cancelReason() {
-  const std::lock_guard<std::mutex> lock(reasonMutex_);
+  const MutexLock lock(reasonMutex_);
   return reason_;
 }
 
 std::optional<std::size_t> VerifyScheduler::take(unsigned self) {
   {
     WorkerQueue& own = queues_[self];
-    const std::lock_guard<std::mutex> lock(own.mutex);
+    const MutexLock lock(own.mutex);
     if (!own.cells.empty()) {
       const std::size_t index = own.cells.front();
       own.cells.pop_front();
@@ -59,7 +60,7 @@ std::optional<std::size_t> VerifyScheduler::take(unsigned self) {
   // its own queue, so contention on any one deque stays incidental.
   for (unsigned step = 1; step < queues_.size(); ++step) {
     WorkerQueue& victim = queues_[(self + step) % queues_.size()];
-    const std::lock_guard<std::mutex> lock(victim.mutex);
+    const MutexLock lock(victim.mutex);
     if (!victim.cells.empty()) {
       const std::size_t index = victim.cells.back();
       victim.cells.pop_back();
@@ -87,7 +88,8 @@ void VerifyScheduler::runCell(std::size_t index, unsigned worker,
     return;
   }
 
-  const CellContext ctx{worker, index, remaining};
+  const CellContext ctx{worker, index, remaining,
+                        options_.cancelRunningCells ? &cancelled_ : nullptr};
   const Stopwatch watch;
   try {
     out.result = cells_[index].body(ctx);
@@ -144,7 +146,11 @@ std::vector<CellResult> VerifyScheduler::run() {
 
   queues_ = std::vector<WorkerQueue>(jobs);
   for (std::size_t i = 0; i < cells_.size(); ++i) {
-    queues_[i % jobs].cells.push_back(i);
+    // The workers have not spawned yet, but seeding under the queue's own
+    // lock keeps the capability analysis airtight at negligible cost.
+    WorkerQueue& queue = queues_[i % jobs];
+    const MutexLock lock(queue.mutex);
+    queue.cells.push_back(i);
   }
 
   std::vector<std::thread> workers;

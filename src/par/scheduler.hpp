@@ -36,11 +36,12 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 #include "verif/engine.hpp"
 
@@ -57,11 +58,16 @@ struct CellContext {
   /// Seconds left on the scheduler's global deadline at dispatch time
   /// (0 when no global deadline is installed).
   double remainingGlobalSeconds = 0.0;
+  /// The scheduler's cancellation flag, when SchedulerOptions::
+  /// cancelRunningCells asked for running cells to observe it (else null).
+  /// apply() threads it into EngineOptions so the cell's BDD operations
+  /// poll it alongside the deadline.
+  const std::atomic<bool>* cancelFlag = nullptr;
 
   /// Applies the scheduler context to one cell's engine options: tags the
-  /// run's trace spans with the worker id and clamps the cell's time limit
-  /// to the remaining global budget.  Cell bodies call this on the options
-  /// they are about to run with.
+  /// run's trace spans with the worker id, clamps the cell's time limit
+  /// to the remaining global budget, and installs the batch cancellation
+  /// flag.  Cell bodies call this on the options they are about to run with.
   void apply(EngineOptions& options) const;
 };
 
@@ -87,6 +93,14 @@ struct SchedulerOptions {
   /// Cancel all not-yet-started cells after the first kViolated verdict.
   /// (A cell body throwing always cancels the remainder -- fail fast.)
   bool cancelOnFirstViolation = false;
+  /// Also abort cells that are already *running* when the batch is
+  /// cancelled: the scheduler's flag is threaded into each cell's
+  /// EngineOptions (CellContext::cancelFlag) and the BDD manager polls it
+  /// with the deadline, so a monolithic cell stops within a few thousand
+  /// node allocations instead of running to completion.  An aborted cell
+  /// reports the ordinary capped verdict (kTimeLimit).  Off by default:
+  /// the historical contract only skips cells that have not started.
+  bool cancelRunningCells = false;
   /// Wall-clock budget for the whole batch (0 = none).  Propagated into
   /// each cell's EngineOptions deadline at dispatch; cells that would start
   /// after expiry are skipped.
@@ -121,12 +135,12 @@ class VerifyScheduler {
 
   /// One worker's deque; own pops from the front, thieves from the back.
   struct WorkerQueue {
-    std::mutex mutex;
-    std::deque<std::size_t> cells;
+    Mutex mutex;
+    std::deque<std::size_t> cells ICBDD_GUARDED_BY(mutex);
   };
 
-  void cancel(const std::string& reason);
-  [[nodiscard]] std::string cancelReason();
+  void cancel(const std::string& reason) ICBDD_EXCLUDES(reasonMutex_);
+  [[nodiscard]] std::string cancelReason() ICBDD_EXCLUDES(reasonMutex_);
   std::optional<std::size_t> take(unsigned self);
   void runCell(std::size_t index, unsigned worker,
                std::vector<CellResult>& results);
@@ -134,12 +148,18 @@ class VerifyScheduler {
 
   SchedulerOptions options_;
   unsigned jobs_;
+  // cells_ and queues_ (the vector itself) are shaped before the worker
+  // threads spawn and only read afterwards; per-queue deques are the
+  // mutable shared state and live behind their own WorkerQueue::mutex.
   std::vector<Cell> cells_;
   std::vector<WorkerQueue> queues_;
   Stopwatch batchWatch_;
+  // Set-once batch kill switch.  Written by cancel() (seq_cst CAS), read
+  // with acquire so a skipping worker also observes the reason_ write that
+  // the CAS winner made before it (release ordering via the mutex).
   std::atomic<bool> cancelled_{false};
-  std::mutex reasonMutex_;
-  std::string reason_;
+  Mutex reasonMutex_;
+  std::string reason_ ICBDD_GUARDED_BY(reasonMutex_);
 };
 
 }  // namespace icb::par

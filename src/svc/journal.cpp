@@ -42,14 +42,26 @@ std::string JobJournal::pathFor(const std::string& id,
   return dir_ + "/" + id + suffix;
 }
 
+void JobJournal::countWrite() {
+  const MutexLock lock(statsMutex_);
+  ++writes_;
+}
+
+std::uint64_t JobJournal::writesRecorded() const {
+  const MutexLock lock(statsMutex_);
+  return writes_;
+}
+
 void JobJournal::recordAccepted(const std::string& id,
                                 const std::string& requestLine) {
   writeAtomically(pathFor(id, ".req"), requestLine + "\n");
+  countWrite();
 }
 
 void JobJournal::recordCheckpoint(const std::string& id,
                                   const std::string& snapshot) {
   writeAtomically(pathFor(id, ".ckpt"), snapshot);
+  countWrite();
 }
 
 std::optional<std::string> JobJournal::checkpointText(

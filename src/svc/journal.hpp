@@ -14,12 +14,21 @@
 // VerifyService::recoverJournal re-submits them with resume=true.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
 namespace icb::svc {
 
+/// Thread-safe: the journal handle is shared by the service's accept path
+/// and every worker thread (checkpoint sinks write concurrently).  Distinct
+/// jobs touch distinct files and each write is temp-then-rename atomic, so
+/// file-level operations need no lock; the write statistics below are the
+/// only cross-thread mutable state and live behind statsMutex_.
 class JobJournal {
  public:
   /// Creates `dir` (and parents) if needed; throws std::runtime_error when
@@ -45,11 +54,19 @@ class JobJournal {
 
   [[nodiscard]] const std::string& dir() const { return dir_; }
 
+  /// Atomic journal writes performed so far (request lines + checkpoints);
+  /// exported as the `svc.journal.writes` counter.
+  [[nodiscard]] std::uint64_t writesRecorded() const
+      ICBDD_EXCLUDES(statsMutex_);
+
  private:
   [[nodiscard]] std::string pathFor(const std::string& id,
                                     const char* suffix) const;
+  void countWrite() ICBDD_EXCLUDES(statsMutex_);
 
-  std::string dir_;
+  std::string dir_;  ///< immutable after construction
+  mutable Mutex statsMutex_;
+  std::uint64_t writes_ ICBDD_GUARDED_BY(statsMutex_) = 0;
 };
 
 }  // namespace icb::svc

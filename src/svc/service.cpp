@@ -47,17 +47,17 @@ VerifyService::VerifyService(ServiceOptions options, Emit emit)
 VerifyService::~VerifyService() { shutdown(); }
 
 void VerifyService::emitLine(const std::string& line) {
-  std::lock_guard<std::mutex> lock(emitMutex_);
+  const MutexLock lock(emitMutex_);
   if (emit_) emit_(line);
 }
 
 bool VerifyService::submitLine(const std::string& line) {
   std::string id;
   auto reject = [&](const char* reason, const std::string& detail) {
+    metrics_.add("svc.jobs.rejected");
     std::size_t depth = 0;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      metrics_.add("svc.jobs.rejected");
+      const MutexLock lock(mutex_);
       depth = pending_.size() + running_;
     }
     obs::JsonObject o = response("job_rejected");
@@ -85,7 +85,7 @@ bool VerifyService::submitLine(const std::string& line) {
 
 bool VerifyService::submit(const JobRequest& request, const std::string& line) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     const char* reason = nullptr;
     if (std::find(activeIds_.begin(), activeIds_.end(), request.id) !=
         activeIds_.end()) {
@@ -129,7 +129,6 @@ std::size_t VerifyService::recoverJournal() {
       JobRequest request = parseJobRequest(obs::parseJson(line));
       request.resume = true;  // pick up the journaled checkpoint, if any
       if (submit(request, line)) {
-        std::lock_guard<std::mutex> lock(mutex_);
         metrics_.add("svc.jobs.recovered");
         ++count;
       }
@@ -142,7 +141,7 @@ std::size_t VerifyService::recoverJournal() {
 
 void VerifyService::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -150,21 +149,24 @@ void VerifyService::shutdown() {
 }
 
 std::size_t VerifyService::queueDepth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return pending_.size() + running_;
 }
 
 obs::MetricsRegistry VerifyService::metricsSnapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return metrics_;
+  obs::MetricsRegistry snap = metrics_.snapshot();
+  if (journal_) snap.add("svc.journal.writes", journal_->writesRecorded());
+  return snap;
 }
 
 void VerifyService::dispatcherLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   while (true) {
-    cv_.wait(lock, [&] {
-      return stop_ || (!options_.drain && !pending_.empty());
-    });
+    // Manual wait loop (not the predicate overload) so the thread-safety
+    // analysis sees every read of stop_/pending_ happen with mutex_ held.
+    while (!stop_ && (options_.drain || pending_.empty())) {
+      cv_.wait(mutex_);
+    }
     if (pending_.empty()) {
       if (stop_) return;
       continue;
@@ -194,13 +196,16 @@ void VerifyService::runBatch(std::vector<QueuedJob>& batch) {
 
 void VerifyService::finishJob(const std::string& id, const char* counterName) {
   if (journal_) journal_->remove(id);
-  std::lock_guard<std::mutex> lock(mutex_);
-  activeIds_.erase(std::remove(activeIds_.begin(), activeIds_.end(), id),
-                   activeIds_.end());
-  if (running_ > 0) --running_;
+  std::size_t depth = 0;
+  {
+    const MutexLock lock(mutex_);
+    activeIds_.erase(std::remove(activeIds_.begin(), activeIds_.end(), id),
+                     activeIds_.end());
+    if (running_ > 0) --running_;
+    depth = pending_.size() + running_;
+  }
   metrics_.add(counterName);
-  metrics_.setGauge("svc.queue.depth",
-                    static_cast<double>(pending_.size() + running_));
+  metrics_.setGauge("svc.queue.depth", static_cast<double>(depth));
 }
 
 void VerifyService::runOneJob(const QueuedJob& job,
@@ -234,7 +239,6 @@ void VerifyService::runOneJob(const QueuedJob& job,
         engineOptions.checkpoint.resume = &snapshot;
         resumed = true;
         resumedFrom = snapshot.iteration;
-        std::lock_guard<std::mutex> lock(mutex_);
         metrics_.add("svc.jobs.resumed");
       }
     }
@@ -248,10 +252,7 @@ void VerifyService::runOneJob(const QueuedJob& job,
         std::ostringstream os;
         saveSnapshot(os, mgr, snap);
         if (journal_) journal_->recordCheckpoint(req.id, os.str());
-        {
-          std::lock_guard<std::mutex> lock(mutex_);
-          metrics_.add("svc.checkpoints.saved");
-        }
+        metrics_.add("svc.checkpoints.saved");
         emitLine(std::move(response("job_progress")
                                .put("id", req.id)
                                .put("iteration", snap.iteration)

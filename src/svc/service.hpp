@@ -16,20 +16,26 @@
 //     streamed, and a killed process picks its jobs back up at startup via
 //     recoverJournal();
 //   * metrics -- svc.jobs.{accepted,rejected,completed,failed,resumed},
-//     svc.checkpoints.saved counters and svc.queue.{depth,peak_depth}
-//     gauges in a MetricsRegistry (docs/observability.md).
+//     svc.checkpoints.saved, svc.journal.writes counters and
+//     svc.queue.{depth,peak_depth} gauges in a SharedMetrics
+//     (docs/observability.md).
 //
 // Every emitted line is one JSON object carrying "schema":"icbdd-svc-v1";
 // docs/service.md documents the protocol.  Jobs execute on a VerifyScheduler
 // batch per queue drain, each in a private BddManager, with worker
 // attribution flowing into the job's trace spans via CellContext::apply.
+//
+// Concurrency contract (checked by -Wthread-safety under clang):
+// mutex_ guards the queue state (pending_, activeIds_, running_, stop_);
+// emitMutex_ serializes the caller's emit callback and is always acquired
+// *after* mutex_ when both are held; metrics_ and journal_ synchronize
+// internally and may be touched from any thread without either lock.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,6 +43,8 @@
 #include "obs/metrics.hpp"
 #include "svc/job.hpp"
 #include "svc/journal.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace icb::svc {
 
@@ -77,22 +85,24 @@ class VerifyService {
 
   /// Parses and admits one request line.  Always answers with exactly one
   /// job_accepted or job_rejected line; returns whether it was accepted.
-  bool submitLine(const std::string& line);
+  bool submitLine(const std::string& line) ICBDD_EXCLUDES(mutex_);
 
   /// Admits an already parsed request (`line` is what the journal stores).
-  bool submit(const JobRequest& request, const std::string& line);
+  bool submit(const JobRequest& request, const std::string& line)
+      ICBDD_EXCLUDES(mutex_);
 
   /// Re-submits every unfinished journaled job with resume=true.  Call
   /// before accepting new work.  Returns how many jobs were re-admitted.
-  std::size_t recoverJournal();
+  std::size_t recoverJournal() ICBDD_EXCLUDES(mutex_);
 
   /// Runs the queue dry and joins the dispatcher.  Idempotent.
-  void shutdown();
+  void shutdown() ICBDD_EXCLUDES(mutex_);
 
   /// Pending + running jobs right now.
-  [[nodiscard]] std::size_t queueDepth() const;
+  [[nodiscard]] std::size_t queueDepth() const ICBDD_EXCLUDES(mutex_);
 
-  /// Point-in-time copy of the service counters/gauges.
+  /// Point-in-time copy of the service counters/gauges (plus the journal's
+  /// svc.journal.writes, folded in at snapshot time).
   [[nodiscard]] obs::MetricsRegistry metricsSnapshot() const;
 
  private:
@@ -101,25 +111,29 @@ class VerifyService {
     std::string line;    ///< journaled request line
   };
 
-  void dispatcherLoop();
+  void dispatcherLoop() ICBDD_EXCLUDES(mutex_);
   void runBatch(std::vector<QueuedJob>& batch);
   void runOneJob(const QueuedJob& job, const par::CellContext& ctx);
-  void emitLine(const std::string& line);
-  void finishJob(const std::string& id, const char* counterName);
+  void emitLine(const std::string& line) ICBDD_EXCLUDES(emitMutex_);
+  void finishJob(const std::string& id, const char* counterName)
+      ICBDD_EXCLUDES(mutex_);
 
   ServiceOptions options_;
   Emit emit_;
-  std::unique_ptr<JobJournal> journal_;
+  std::unique_ptr<JobJournal> journal_;  ///< internally synchronized
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::vector<QueuedJob> pending_;
-  std::vector<std::string> activeIds_;  ///< pending + running job ids
-  std::size_t running_ = 0;
-  bool stop_ = false;
-  obs::MetricsRegistry metrics_;
+  mutable Mutex mutex_;
+  // _any because icb::Mutex is a BasicLockable, not std::mutex; the wait
+  // sites re-check their predicate in a loop, so spurious wakeups are safe.
+  std::condition_variable_any cv_;
+  std::vector<QueuedJob> pending_ ICBDD_GUARDED_BY(mutex_);
+  /// Pending + running job ids (duplicate-admission check).
+  std::vector<std::string> activeIds_ ICBDD_GUARDED_BY(mutex_);
+  std::size_t running_ ICBDD_GUARDED_BY(mutex_) = 0;
+  bool stop_ ICBDD_GUARDED_BY(mutex_) = false;
+  obs::SharedMetrics metrics_;  ///< internally synchronized
 
-  std::mutex emitMutex_;
+  Mutex emitMutex_ ICBDD_ACQUIRED_AFTER(mutex_);
   std::thread dispatcher_;
 };
 

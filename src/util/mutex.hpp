@@ -1,0 +1,66 @@
+// Capability-annotated mutex wrappers.
+//
+// libstdc++ ships std::mutex without thread-safety attributes, so a member
+// declared ICBDD_GUARDED_BY(someStdMutex) is rejected by clang's analysis
+// ("argument is not a capability").  These thin wrappers give the library a
+// lockable type the analysis understands; they add no state and compile to
+// exactly the std::mutex calls they wrap.
+//
+//   icb::Mutex      a capability; lock()/unlock()/try_lock() are annotated.
+//                   Also BasicLockable, so std::condition_variable_any can
+//                   wait on it directly (see VerifyService::dispatcherLoop).
+//   icb::MutexLock  scoped acquisition (std::unique_lock-shaped: tracks
+//                   ownership, so manual unlock()/lock() around a long call
+//                   is safe and visible to the analysis).
+#pragma once
+
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace icb {
+
+class ICBDD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ICBDD_ACQUIRE() { m_.lock(); }
+  void unlock() ICBDD_RELEASE() { m_.unlock(); }
+  bool try_lock() ICBDD_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII lock over icb::Mutex.  Ownership-tracking like std::unique_lock:
+/// unlock()/lock() may bracket a section that must run unlocked (a batch
+/// dispatch, a blocking callback) and the destructor releases only if held.
+class ICBDD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) ICBDD_ACQUIRE(m) : m_(m), held_(true) {
+    m_.lock();
+  }
+  ~MutexLock() ICBDD_RELEASE() {
+    if (held_) m_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() ICBDD_RELEASE() {
+    m_.unlock();
+    held_ = false;
+  }
+  void lock() ICBDD_ACQUIRE() {
+    m_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& m_;
+  bool held_;
+};
+
+}  // namespace icb

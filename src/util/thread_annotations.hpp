@@ -1,0 +1,94 @@
+// Clang thread-safety ("capability") analysis macros.
+//
+// The lock discipline of the concurrent pieces of this library -- the
+// work-stealing scheduler (src/par/), the job service (src/svc/), the shared
+// trace sink (src/obs/) -- historically lived in comments and tsan runs.
+// tsan only catches races a test happens to execute; clang's -Wthread-safety
+// proves the lock contracts on every path at compile time.  These macros make
+// the contracts part of the type signatures:
+//
+//   ICBDD_GUARDED_BY(m)   data member readable/writable only with m held
+//   ICBDD_REQUIRES(m)     function may only be called with m held
+//   ICBDD_ACQUIRE(m)      function acquires m (and does not release it)
+//   ICBDD_RELEASE(m)      function releases m
+//   ICBDD_EXCLUDES(m)     function must NOT be called with m held
+//
+// The attributes exist only under clang (GCC parses none of them), so every
+// macro expands to nothing when unsupported -- annotated headers compile
+// identically everywhere, and the analysis runs wherever a clang toolchain is
+// available (the lint-strict CI job; `cmake` auto-enables -Wthread-safety
+// -Werror=thread-safety whenever the compiler supports it).
+//
+// libstdc++'s std::mutex carries no capability attribute, so annotations
+// must name a capability-attributed type: use icb::Mutex / icb::MutexLock
+// from util/mutex.hpp instead of std::mutex / std::lock_guard in any class
+// that declares a lock contract.  docs/static_analysis.md is the full guide.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define ICBDD_THREAD_ANNOTATION_IMPL(x) __attribute__((x))
+#else
+#define ICBDD_THREAD_ANNOTATION_IMPL(x)  // no-op: analysis is clang-only
+#endif
+
+/// Declares a type to be a capability (a lockable thing the analysis can
+/// track).  `name` appears in diagnostics: ICBDD_CAPABILITY("mutex").
+#define ICBDD_CAPABILITY(name) \
+  ICBDD_THREAD_ANNOTATION_IMPL(capability(name))
+
+/// Declares an RAII type whose constructor acquires and destructor releases
+/// a capability (std::lock_guard-shaped types).
+#define ICBDD_SCOPED_CAPABILITY \
+  ICBDD_THREAD_ANNOTATION_IMPL(scoped_lockable)
+
+/// Data member: may only be accessed while holding the given capability.
+#define ICBDD_GUARDED_BY(x) ICBDD_THREAD_ANNOTATION_IMPL(guarded_by(x))
+
+/// Pointer member: the *pointee* may only be accessed while holding the
+/// given capability (the pointer itself is unguarded).
+#define ICBDD_PT_GUARDED_BY(x) ICBDD_THREAD_ANNOTATION_IMPL(pt_guarded_by(x))
+
+/// Function precondition: the listed capabilities must be held (exclusively).
+#define ICBDD_REQUIRES(...) \
+  ICBDD_THREAD_ANNOTATION_IMPL(requires_capability(__VA_ARGS__))
+
+/// Function precondition: the listed capabilities must be held (shared).
+#define ICBDD_REQUIRES_SHARED(...) \
+  ICBDD_THREAD_ANNOTATION_IMPL(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities and holds them on return.
+#define ICBDD_ACQUIRE(...) \
+  ICBDD_THREAD_ANNOTATION_IMPL(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities.
+#define ICBDD_RELEASE(...) \
+  ICBDD_THREAD_ANNOTATION_IMPL(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `result`.
+#define ICBDD_TRY_ACQUIRE(result, ...) \
+  ICBDD_THREAD_ANNOTATION_IMPL(try_acquire_capability(result, __VA_ARGS__))
+
+/// Function precondition: the listed capabilities must NOT be held (deadlock
+/// prevention for self-locking public entry points).
+#define ICBDD_EXCLUDES(...) \
+  ICBDD_THREAD_ANNOTATION_IMPL(locks_excluded(__VA_ARGS__))
+
+/// Declares a required acquisition order between capabilities.
+#define ICBDD_ACQUIRED_BEFORE(...) \
+  ICBDD_THREAD_ANNOTATION_IMPL(acquired_before(__VA_ARGS__))
+#define ICBDD_ACQUIRED_AFTER(...) \
+  ICBDD_THREAD_ANNOTATION_IMPL(acquired_after(__VA_ARGS__))
+
+/// The function returns a reference to the given capability.
+#define ICBDD_RETURN_CAPABILITY(x) \
+  ICBDD_THREAD_ANNOTATION_IMPL(lock_returned(x))
+
+/// Escape hatch: the function body is not analyzed.  Use only where the
+/// analysis cannot express the true contract, and say why in a comment.
+#define ICBDD_NO_THREAD_SAFETY_ANALYSIS \
+  ICBDD_THREAD_ANNOTATION_IMPL(no_thread_safety_analysis)
+
+/// Runtime assertion that the calling thread holds the capability (pairs
+/// with a real assert in the body when one is wanted).
+#define ICBDD_ASSERT_CAPABILITY(x) \
+  ICBDD_THREAD_ANNOTATION_IMPL(assert_capability(x))

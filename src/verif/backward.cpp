@@ -5,6 +5,7 @@
 #include "check/check.hpp"
 #include "check/structural_checker.hpp"
 #include "obs/trace.hpp"
+#include "util/lint.hpp"
 #include "util/timer.hpp"
 #include "verif/checkpoint.hpp"
 #include "verif/counterexample.hpp"
@@ -48,6 +49,7 @@ EngineResult runBackward(Fsm& fsm, const EngineOptions& options) {
 
     while (true) {
       result.peakIterateNodes = std::max(result.peakIterateNodes, g.size());
+      ICBDD_SAFE_POINT("bkwd loop head: g0/layers are the whole state");
       if (ckpt.due(result.iterations)) {
         std::vector<Bdd> gs;
         gs.reserve(layers.size());
@@ -80,6 +82,7 @@ EngineResult runBackward(Fsm& fsm, const EngineOptions& options) {
                        mgr.stats().peakNodes, sizes);
       }
       // Iteration boundary: no edge-level results live, safe to reorder.
+      ICBDD_SAFE_POINT("bkwd image complete, no raw edges outstanding");
       mgr.autoReorderIfNeeded();
       if (next == g) {  // canonical form: O(1) convergence test
         result.verdict = Verdict::kHolds;

@@ -8,6 +8,7 @@
 //         and exact termination test.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -95,6 +96,13 @@ struct EngineOptions {
   /// Worker attribution for this run's trace spans: >= 0 adds a "worker"
   /// field to every event (set by par::CellContext::apply); -1 omits it.
   int traceWorker = -1;
+  /// Cooperative cancellation: installed onto the manager's ResourceLimits
+  /// by LimitGuard, polled wherever the deadline is polled.  A run aborted
+  /// through it reports the ordinary capped verdict (kTimeLimit), so a
+  /// cancelled cell looks exactly like a deadline-expired one downstream.
+  /// Set by par::CellContext::apply when the scheduler runs with
+  /// SchedulerOptions::cancelRunningCells.
+  const std::atomic<bool>* cancelFlag = nullptr;
 
   EvaluatePolicyOptions policy;     ///< XICI evaluation policy knobs
   TerminationOptions termination;   ///< XICI exact-test knobs

@@ -7,6 +7,7 @@
 #include "check/check.hpp"
 #include "check/structural_checker.hpp"
 #include "obs/trace.hpp"
+#include "util/lint.hpp"
 #include "util/timer.hpp"
 #include "sym/image.hpp"
 #include "verif/checkpoint.hpp"
@@ -131,6 +132,7 @@ EngineResult runFdForward(Fsm& fsm, std::vector<unsigned> candidateBits,
         }
       }
 
+      ICBDD_SAFE_POINT("fd loop head: reduced/deps are the whole state");
       if (ckpt.due(result.iterations)) {
         std::vector<Bdd> hs;
         std::vector<std::uint64_t> bits;
@@ -272,6 +274,7 @@ EngineResult runFdForward(Fsm& fsm, std::vector<unsigned> candidateBits,
       }
       // Iteration boundary: no edge-level results live (DepSubstituter maps
       // are rebuilt per step and rooted in handles), safe to reorder.
+      ICBDD_SAFE_POINT("fd image complete, substituter maps rebuilt next step");
       mgr.autoReorderIfNeeded();
 
       // Converged when the image adds no new independent-part states AND

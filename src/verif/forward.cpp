@@ -5,6 +5,7 @@
 #include "check/check.hpp"
 #include "check/structural_checker.hpp"
 #include "obs/trace.hpp"
+#include "util/lint.hpp"
 #include "util/timer.hpp"
 #include "verif/checkpoint.hpp"
 #include "verif/counterexample.hpp"
@@ -46,6 +47,7 @@ EngineResult runForward(Fsm& fsm, const EngineOptions& options) {
     while (true) {
       result.peakIterateNodes =
           std::max(result.peakIterateNodes, reached.size());
+      ICBDD_SAFE_POINT("fwd loop head: reached/rings are the whole state");
       if (ckpt.due(result.iterations)) {
         ckpt.emit(result.iterations, {{reached}, rings});
       }
@@ -84,6 +86,7 @@ EngineResult runForward(Fsm& fsm, const EngineOptions& options) {
                        mgr.stats().peakNodes, sizes);
       }
       // Iteration boundary: no edge-level results live, safe to reorder.
+      ICBDD_SAFE_POINT("fwd image complete, no raw edges outstanding");
       mgr.autoReorderIfNeeded();
       if (fresh.isZero()) {
         result.verdict = Verdict::kHolds;

@@ -7,6 +7,7 @@
 #include "check/check.hpp"
 #include "check/structural_checker.hpp"
 #include "obs/trace.hpp"
+#include "util/lint.hpp"
 #include "util/timer.hpp"
 #include "verif/checkpoint.hpp"
 #include "verif/counterexample.hpp"
@@ -116,6 +117,7 @@ EngineResult runIciBackward(Fsm& fsm, const EngineOptions& options) {
 
     while (true) {
       trackPeak(result, current);
+      ICBDD_SAFE_POINT("ici loop head: g0/layers are the whole state");
       if (ckpt.due(result.iterations)) {
         std::vector<std::vector<Bdd>> lists;
         lists.reserve(layers.size() + 1);
@@ -178,6 +180,7 @@ EngineResult runIciBackward(Fsm& fsm, const EngineOptions& options) {
       }
       // Iteration boundary: no edge-level results live, safe to reorder
       // (the signature set below stores Edge values, which a sift preserves).
+      ICBDD_SAFE_POINT("ici update complete, lists rooted in handles");
       mgr.autoReorderIfNeeded();
 
       // Fast syntactic convergence test (the CAV'93-style one), extended

@@ -15,6 +15,7 @@ class LimitGuard {
     if (options.timeLimitSeconds > 0) {
       limits.deadline = Deadline::afterSeconds(options.timeLimitSeconds);
     }
+    limits.cancelFlag = options.cancelFlag;
     mgr.setLimits(limits);
   }
   ~LimitGuard() { mgr_.setLimits(saved_); }

@@ -5,6 +5,7 @@
 #include "check/check.hpp"
 #include "check/structural_checker.hpp"
 #include "obs/trace.hpp"
+#include "util/lint.hpp"
 #include "util/timer.hpp"
 #include "verif/checkpoint.hpp"
 #include "verif/counterexample.hpp"
@@ -78,6 +79,7 @@ EngineResult runXiciBackward(Fsm& fsm, const EngineOptions& options) {
 
     while (true) {
       trackPeak(result, current);
+      ICBDD_SAFE_POINT("xici loop head: g0/layers are the whole state");
       if (ckpt.due(result.iterations)) {
         std::vector<std::vector<Bdd>> lists;
         lists.reserve(layers.size() + 1);
@@ -131,6 +133,7 @@ EngineResult runXiciBackward(Fsm& fsm, const EngineOptions& options) {
                        mgr.stats().peakNodes, next.memberSizes());
       }
       // Iteration boundary: no edge-level results live, safe to reorder.
+      ICBDD_SAFE_POINT("xici update complete, lists rooted in handles");
       mgr.autoReorderIfNeeded();
 
       // Section III.B: exact termination test on the two implicit lists.

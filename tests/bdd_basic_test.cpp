@@ -2,6 +2,8 @@
 // complement edges, handle lifetime, garbage collection, resource limits.
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "bdd/bdd.hpp"
 #include "test_util.hpp"
 
@@ -161,6 +163,39 @@ TEST(BddBasic, NodeLimitThrowsAndManagerStaysUsable) {
     EXPECT_EQ(e.kind(), ResourceKind::kNodes);
   }
   EXPECT_TRUE(threw);
+  mgr.clearLimits();
+  mgr.gc();
+  mgr.checkInvariants();
+  EXPECT_EQ(mgr.var(0) & mgr.var(1), mgr.var(1) & mgr.var(0));
+}
+
+TEST(BddBasic, CancelFlagThrowsCancelledAndManagerStaysUsable) {
+  BddManager mgr;
+  for (unsigned i = 0; i < 24; ++i) mgr.newVar();
+  std::atomic<bool> cancel{false};
+  ResourceLimits limits;
+  limits.cancelFlag = &cancel;
+  mgr.setLimits(limits);
+  Rng rng(17);
+
+  // Flag down: work proceeds normally.
+  (void)test::randomBdd(mgr, 24, rng, 6);
+
+  cancel.store(true);
+  bool threw = false;
+  try {
+    for (int i = 0; i < 1000 && !threw; ++i) {
+      (void)test::randomBdd(mgr, 24, rng, 8);
+    }
+  } catch (const ResourceLimitError& e) {
+    threw = true;
+    EXPECT_EQ(e.kind(), ResourceKind::kCancelled);
+    EXPECT_NE(std::string(e.what()).find("cancelled"), std::string::npos);
+  }
+  EXPECT_TRUE(threw);
+
+  // Like the other limit kinds, cancellation leaves the manager reusable.
+  cancel.store(false);
   mgr.clearLimits();
   mgr.gc();
   mgr.checkInvariants();

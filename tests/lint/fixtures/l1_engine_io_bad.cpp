@@ -1,0 +1,13 @@
+// L1 bad fixture: raw I/O and sleeping inside an engine iteration.
+// Neither routes through the deadline-credit helpers, so a resource-capped
+// run would burn deadline on I/O stalls and flip to a spurious timeout.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+void engineLoop(int iterations) {
+  for (int i = 0; i < iterations; ++i) {
+    printf("iteration %d\n", i);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}

@@ -1,0 +1,10 @@
+// L1 good fixture: emission routes through the trace session, whose write
+// path credits its wall time back to the manager's deadline.
+void engineLoop(TraceSession& trace, int iterations) {
+  for (int i = 0; i < iterations; ++i) {
+    if (trace.enabled()) {
+      trace.phaseBegin("image", static_cast<unsigned>(i));
+      trace.phaseEnd("image", static_cast<unsigned>(i), 0, 0, {});
+    }
+  }
+}

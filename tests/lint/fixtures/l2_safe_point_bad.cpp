@@ -1,0 +1,8 @@
+// L2 bad fixture: reordering and checkpoint emission with no registered
+// safe point.  Mid-iteration, raw Edge results may still be live; a sift
+// or a snapshot here observes (or invalidates) incoherent state.
+void iterate(BddManager& mgr, const EngineOptions& options, unsigned iter) {
+  CheckpointEmitter ckpt(mgr, options.checkpoint, Method::kFwd);
+  mgr.autoReorderIfNeeded();
+  ckpt.emit(iter, {});
+}

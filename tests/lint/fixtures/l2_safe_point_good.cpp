@@ -1,0 +1,9 @@
+// L2 good fixture: both calls sit under an ICBDD_SAFE_POINT marker, the
+// declared iteration boundary where no edge-level results are live.
+void iterate(BddManager& mgr, const EngineOptions& options, unsigned iter) {
+  CheckpointEmitter ckpt(mgr, options.checkpoint, Method::kFwd);
+  ICBDD_SAFE_POINT("fixture loop head: all state rooted in handles");
+  ckpt.emit(iter, {});
+  ICBDD_SAFE_POINT("fixture iteration boundary: no raw edges outstanding");
+  mgr.autoReorderIfNeeded();
+}

@@ -1,0 +1,12 @@
+// L3 bad fixture: interior node pointers in a public section.  Nodes move
+// under GC compaction and reordering; only Edge/Bdd handles are stable.
+#pragma once
+
+class BddManager {
+ public:
+  Node* lookup(unsigned var, Edge hi, Edge lo);
+  const Node& nodeAt(unsigned index) const;
+
+ private:
+  Node* freeHead_ = nullptr;  // fine: private interior state
+};

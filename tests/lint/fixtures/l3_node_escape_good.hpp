@@ -1,0 +1,17 @@
+// L3 good fixture: the public API deals in Edge/Bdd handles only; the
+// interior Node type stays in the private section.
+#pragma once
+
+class BddManager {
+ public:
+  Edge varEdge(unsigned var) const;
+  Bdd var(unsigned v);
+
+ private:
+  struct Node {
+    unsigned var;
+    Edge hi;
+    Edge lo;
+  };
+  Node* nodes_ = nullptr;
+};

@@ -1,0 +1,8 @@
+// L3 bad fixture: naming the interior node type outside src/bdd and the
+// src/check audit layer.
+#include "bdd/manager.hpp"
+
+unsigned peekVar(BddManager& mgr, unsigned index) {
+  const BddManager::Node& n = rawNodes(mgr)[index];
+  return n.var;
+}

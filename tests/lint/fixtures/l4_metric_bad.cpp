@@ -1,0 +1,7 @@
+// L4 bad fixture: metric names that are not in the icbdd-metric-catalog
+// block of docs/observability.md.  Uncataloged names silently vanish from
+// dashboards and the bench JSON schema.
+void record(MetricsRegistry& metrics) {
+  metrics.add("svc.bogus.counter");
+  metrics.setGauge("bdd.cache.typo_rate", 1.0);
+}

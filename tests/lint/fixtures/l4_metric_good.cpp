@@ -1,0 +1,7 @@
+// L4 good fixture: cataloged names, including the dynamic-composition
+// prefix form (a literal ending in '.' concatenated with an op name).
+void record(MetricsRegistry& metrics, const char* opName) {
+  metrics.add("svc.jobs.accepted");
+  metrics.setGauge("svc.queue.depth", 3.0);
+  metrics.add(std::string("bdd.cache.") + opName + ".lookups");
+}

@@ -1,0 +1,6 @@
+// L5 bad fixture: a naked relaxed load with no justification tag.
+#include <atomic>
+
+std::atomic<int> g_counter{0};
+
+int peek() { return g_counter.load(std::memory_order_relaxed); }

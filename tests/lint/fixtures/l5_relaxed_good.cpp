@@ -1,0 +1,12 @@
+// L5 good fixture: the relaxed order carries its justification in the
+// comment block directly above the (wrapped) statement.
+#include <atomic>
+
+std::atomic<int> g_counter{0};
+
+int peek() {
+  // relaxed: standalone counter -- no other data is published with it, so
+  // ordering against the writer's other stores is irrelevant.
+  return static_cast<int>(
+      g_counter.load(std::memory_order_relaxed));
+}

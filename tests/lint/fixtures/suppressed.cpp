@@ -1,0 +1,8 @@
+// Suppression fixture: the L1 violation on the line after the marker is
+// counted but not reported, and the summary shows the suppression total.
+#include <cstdio>
+
+void engineLoop() {
+  ICBDD_LINT_SUPPRESS(L1, "fixture: demonstrates the counted escape hatch");
+  printf("intentional\n");
+}

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <new>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -135,6 +137,44 @@ TEST(Metrics, CountersAddAndGaugesTrackMax) {
 
   m.clear();
   EXPECT_TRUE(m.empty());
+}
+
+TEST(SharedMetricsConcurrency, UpdatesFromManyThreadsAreLossless) {
+  obs::SharedMetrics shared;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&shared, t] {
+      obs::MetricsRegistry local;
+      for (int i = 0; i < kPerThread; ++i) {
+        shared.add("svc.jobs.accepted");
+        shared.setGaugeMax("svc.queue.peak_depth",
+                           static_cast<double>(t * kPerThread + i));
+        local.add("svc.checkpoints.saved");
+      }
+      shared.merge(local);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const obs::MetricsRegistry snap = shared.snapshot();
+  EXPECT_EQ(snap.counter("svc.jobs.accepted"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.counter("svc.checkpoints.saved"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(snap.gauge("svc.queue.peak_depth"),
+                   static_cast<double>(kThreads * kPerThread - 1));
+}
+
+TEST(SharedMetricsConcurrency, SnapshotIsAPointInTimeCopy) {
+  obs::SharedMetrics shared;
+  shared.add("svc.jobs.accepted", 2);
+  const obs::MetricsRegistry before = shared.snapshot();
+  shared.add("svc.jobs.accepted", 3);
+  EXPECT_EQ(before.counter("svc.jobs.accepted"), 2u);
+  EXPECT_EQ(shared.snapshot().counter("svc.jobs.accepted"), 5u);
 }
 
 TEST(Metrics, ToJsonRoundTrips) {

@@ -9,6 +9,7 @@
 #include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 #include "ici/evaluate_policy.hpp"
 #include "ici/pair_table.hpp"
@@ -171,6 +172,60 @@ TEST(VerifyScheduler, ThrowingCellCancelsRemainderAndRecordsFailure) {
   EXPECT_TRUE(results[1].skipped);
   EXPECT_NE(results[1].skipReason.find("injected harness failure"),
             std::string::npos);
+}
+
+TEST(VerifyScheduler, CancelRunningCellsStopsInFlightWork) {
+  par::SchedulerOptions options;
+  options.jobs = 2;
+  options.cancelOnFirstViolation = true;
+  options.cancelRunningCells = true;
+  par::VerifyScheduler scheduler(options);
+
+  // Cell 0 spins on the cancel flag the scheduler threads into its
+  // EngineOptions (the same flag checkResourceLimits polls in a real run);
+  // cell 1 waits until the spinner is live, then reports the violation
+  // that must break the spinner out.
+  std::atomic<bool> spinnerStarted{false};
+  scheduler.submit("spinner", Method::kFwd,
+                   [&](const par::CellContext& ctx) -> EngineResult {
+                     EngineOptions opts;
+                     ctx.apply(opts);
+                     EXPECT_NE(opts.cancelFlag, nullptr);
+                     spinnerStarted.store(true);
+                     while (!opts.cancelFlag->load()) std::this_thread::yield();
+                     return resultWithVerdict(Method::kFwd, Verdict::kTimeLimit);
+                   });
+  scheduler.submit("violator", Method::kBkwd,
+                   [&](const par::CellContext&) -> EngineResult {
+                     while (!spinnerStarted.load()) std::this_thread::yield();
+                     return resultWithVerdict(Method::kBkwd, Verdict::kViolated);
+                   });
+
+  const std::vector<par::CellResult> results = scheduler.run();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].skipped);
+  EXPECT_EQ(results[0].result.verdict, Verdict::kTimeLimit);
+  EXPECT_EQ(results[1].result.verdict, Verdict::kViolated);
+}
+
+TEST(VerifyScheduler, CancelFlagAbsentByDefault) {
+  // Historical semantics: without cancelRunningCells, in-flight cells run
+  // to completion -- only queued cells are skipped -- so no flag is wired.
+  par::SchedulerOptions options;
+  options.jobs = 1;
+  options.cancelOnFirstViolation = true;
+  par::VerifyScheduler scheduler(options);
+
+  scheduler.submit("only", Method::kFwd,
+                   [&](const par::CellContext& ctx) -> EngineResult {
+                     EngineOptions opts;
+                     ctx.apply(opts);
+                     EXPECT_EQ(opts.cancelFlag, nullptr);
+                     return resultWithVerdict(Method::kFwd, Verdict::kHolds);
+                   });
+  const std::vector<par::CellResult> results = scheduler.run();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].result.verdict, Verdict::kHolds);
 }
 
 TEST(VerifyScheduler, ExpiredGlobalDeadlineSkipsEverything) {

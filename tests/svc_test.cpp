@@ -248,6 +248,37 @@ TEST(SvcJournal, AtomicWritesAndRemove) {
   EXPECT_TRUE(journal.recoverableRequests().empty());
 }
 
+TEST(SvcJournal, WriteCounterSurfacesInMetricsSnapshot) {
+  {
+    const std::string dir = uniqueDir("writes_raw");
+    JobJournal journal(dir);
+    EXPECT_EQ(journal.writesRecorded(), 0u);
+    journal.recordAccepted("a", R"({"id":"a","model":"fifo"})");
+    journal.recordCheckpoint("a", "one");
+    journal.recordCheckpoint("a", "two");  // replacement still counts
+    EXPECT_EQ(journal.writesRecorded(), 3u);
+  }
+
+  const std::string dir = uniqueDir("writes_svc");
+  ServiceOptions options;
+  options.drain = true;
+  options.journalDir = dir;
+  options.checkpointEvery = 1;
+  Capture cap;
+  VerifyService service(options, cap.emit());
+  EXPECT_TRUE(service.submitLine(
+      R"({"id":"w1","model":"fifo","method":"fwd","size":4,"width":4})"));
+  service.shutdown();
+
+  ASSERT_NE(cap.resultFor("w1"), nullptr);
+  const obs::MetricsRegistry metrics = service.metricsSnapshot();
+  // One journaled request line plus one checkpoint per cadence hit.
+  EXPECT_GE(metrics.counter("svc.journal.writes"),
+            1u + metrics.counter("svc.checkpoints.saved"));
+  EXPECT_GE(metrics.counter("svc.checkpoints.saved"), 1u);
+  EXPECT_EQ(metrics.counter("svc.jobs.completed"), 1u);
+}
+
 TEST(SvcRequest, ParseAndValidation) {
   const obs::JsonValue v = obs::parseJson(
       R"({"id":"x.1","model":"filter","method":"fd","size":2,"width":4,)"
