@@ -21,9 +21,16 @@ marker macros):
                        handles are stable.
   L4  metric-catalog   every metric-name string literal in src/ matches the
                        dotted-name catalog in docs/observability.md (the
-                       icbdd-metric-catalog block).  A literal ending in '.'
+                       icbdd-metric-catalog block, one 'name kind help...'
+                       line per metric -- the same block that generates
+                       src/obs/metric_catalog.inc, see
+                       ci/gen_metric_catalog.py).  A literal ending in '.'
                        is a prefix used for dynamic composition and passes
-                       when some catalog name starts with it.
+                       when some catalog name starts with it.  The kind is
+                       checked too: names passed to recordHistogram /
+                       mergeHistogram must be catalogued as histograms, and
+                       names passed to the scalar writers (add, setGauge,
+                       setGaugeMax) must not be.
   L5  relaxed-order    every std::memory_order_relaxed carries a "relaxed:"
                        justification comment on the same line or within the
                        3 preceding lines.
@@ -100,6 +107,9 @@ RELAXED = re.compile(r"\bmemory_order_relaxed\b")
 RELAXED_TAG = re.compile(r"relaxed:")
 
 CATALOG_BLOCK = re.compile(r"<!--\s*icbdd-metric-catalog\s*(.*?)-->", re.S)
+CATALOG_KINDS = ("counter", "gauge", "histogram")
+HISTO_WRITE = re.compile(r"\b(recordHistogram|mergeHistogram)\s*\(")
+SCALAR_WRITE = re.compile(r"\b(add|setGauge|setGaugeMax)\s*\(")
 
 
 @dataclass
@@ -188,30 +198,48 @@ def lex(text: str) -> list[Line]:
     return lines
 
 
-def load_catalog(root: Path) -> list[str] | None:
+def load_catalog(root: Path) -> list[tuple[str, str]] | None:
+    """Parses the catalog block into (name, kind) pairs.
+
+    Each block line is 'name kind help...'; the help text is the Prometheus
+    HELP string and irrelevant to linting.  Lines without a recognized kind
+    token are rejected so a malformed block fails loudly instead of
+    silently shrinking the catalog.
+    """
     doc = root / "docs" / "observability.md"
     if not doc.is_file():
         return None
     match = CATALOG_BLOCK.search(doc.read_text(encoding="utf-8"))
     if match is None:
         return None
-    names = [ln.strip() for ln in match.group(1).splitlines() if ln.strip()]
-    return names or None
+    entries: list[tuple[str, str]] = []
+    for ln in match.group(1).splitlines():
+        parts = ln.split(None, 2)
+        if not parts:
+            continue
+        if len(parts) < 2 or parts[1] not in CATALOG_KINDS:
+            print(f"icbdd_lint: malformed catalog line (want "
+                  f"'name kind help...'): {ln.strip()!r}", file=sys.stderr)
+            return None
+        entries.append((parts[0], parts[1]))
+    return entries or None
 
 
-def catalog_matches(name: str, catalog: list[str]) -> bool:
-    for entry in catalog:
+def catalog_kind(name: str, catalog: list[tuple[str, str]]) -> str | None:
+    """The catalogued kind of `name`, or None when it is not catalogued."""
+    for entry, kind in catalog:
         if "<" in entry:
             pattern = re.escape(entry).replace(r"\<op\>", r"[a-z0-9_]+")
             if re.fullmatch(pattern, name):
-                return True
+                return kind
         elif entry == name:
-            return True
-    return False
+            return kind
+    return None
 
 
-def catalog_has_prefix(prefix: str, catalog: list[str]) -> bool:
-    return any(entry.startswith(prefix) for entry in catalog)
+def prefix_kinds(prefix: str, catalog: list[tuple[str, str]]) -> set[str]:
+    """Kinds of every catalogued name starting with `prefix`."""
+    return {kind for entry, kind in catalog if entry.startswith(prefix)}
 
 
 class FileLinter:
@@ -322,19 +350,43 @@ class FileLinter:
     def check_metric_names(self) -> None:
         assert self.catalog is not None
         for num, line in enumerate(self.lines, 1):
+            # The writer call on the line decides which kind is legal:
+            # histogram writers take only histogram names, scalar writers
+            # never do.  Reader calls and bare literals skip the kind check.
+            want_histogram = bool(HISTO_WRITE.search(line.code))
+            scalar_write = bool(SCALAR_WRITE.search(line.code))
             for lit in line.strings:
                 if lit.endswith("."):  # dynamic composition prefix
-                    if METRIC_PREFIX.match(lit) \
-                            and not catalog_has_prefix(lit, self.catalog):
+                    if not METRIC_PREFIX.match(lit):
+                        continue
+                    kinds = prefix_kinds(lit, self.catalog)
+                    if not kinds:
                         self.emit(num, "L4",
                                   f'metric prefix "{lit}" matches no '
                                   "catalog entry in docs/observability.md")
+                    elif want_histogram and "histogram" not in kinds:
+                        self.emit(num, "L4",
+                                  f'metric prefix "{lit}" covers no '
+                                  "histogram-kind catalog entry but is "
+                                  "passed to a histogram writer")
                 elif METRIC_NAME.match(lit):
-                    if not catalog_matches(lit, self.catalog):
+                    kind = catalog_kind(lit, self.catalog)
+                    if kind is None:
                         self.emit(num, "L4",
                                   f'metric name "{lit}" is not in the '
                                   "icbdd-metric-catalog block of "
                                   "docs/observability.md")
+                    elif want_histogram and kind != "histogram":
+                        self.emit(num, "L4",
+                                  f'metric name "{lit}" is catalogued as a '
+                                  f"{kind} but passed to recordHistogram/"
+                                  "mergeHistogram (histograms only)")
+                    elif scalar_write and not want_histogram \
+                            and kind == "histogram":
+                        self.emit(num, "L4",
+                                  f'metric name "{lit}" is catalogued as a '
+                                  "histogram but passed to a counter/gauge "
+                                  "writer (use recordHistogram)")
 
     def check_relaxed(self) -> None:
         for num, line in enumerate(self.lines, 1):

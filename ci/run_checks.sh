@@ -4,7 +4,8 @@
 # skipped with a notice instead of failing, so the script is useful on
 # minimal machines; CI runs the full set.
 #
-# Usage: ci/run_checks.sh [release|sanitize|tsan|lint|lint-strict|bench|svc|all]
+# Usage: ci/run_checks.sh [release|sanitize|tsan|lint|lint-strict|bench|svc|
+#                          loadgen|all]
 # (default: all)
 set -euo pipefail
 
@@ -40,6 +41,12 @@ for c in cells:
     for key in ('group', 'method', 'verdict', 'time_s', 'iterations',
                 'peak_iterate_nodes', 'member_sizes', 'metrics'):
         assert key in c, (key, c)
+    histos = c['metrics'].get('histograms', {})
+    assert any(k.startswith('bdd.apply.') for k in histos), \
+        ('no bdd.apply.* latency histogram', sorted(histos))
+    for name, summary in histos.items():
+        for key in ('count', 'sum', 'p50', 'p90', 'p99'):
+            assert key in summary, (name, key, summary)
 events = [json.loads(l)
           for l in open('build-werror/bench-trace.jsonl') if l.strip()]
 assert any(e['ev'] == 'run_end' for e in events), 'trace has no run_end'
@@ -47,6 +54,25 @@ print(f"ok: {len(cells)} bench cells, {len(events)} trace events")
 EOF
   else
     echo "python3 not installed -- schema validation skipped (CI runs it)"
+  fi
+
+  note "observability gate: doctor --metrics-prom exposition"
+  ./build-werror/examples/icbdd_doctor --model fifo --metrics-prom \
+    > build-werror/doctor-prom.txt
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+import re
+import sys
+sys.path.insert(0, 'ci')
+from loadgen import check_grammar
+text = "".join(l for l in open('build-werror/doctor-prom.txt')
+               if l.startswith(('#', 'icbdd_')))
+errors = check_grammar(text)
+assert not errors, errors[:5]
+assert re.search(r'^# TYPE icbdd_bdd_apply_\w+_latency_us histogram$', text,
+                 re.M), 'no apply-latency histogram family'
+print(f"ok: {len(text.splitlines())} exposition lines")
+EOF
   fi
 }
 
@@ -56,6 +82,17 @@ run_svc() {
     python3 ci/svc_smoke.py ./build-werror/examples/icbdd_serve
   else
     echo "python3 not installed -- service smoke skipped (CI runs it)"
+  fi
+}
+
+run_loadgen() {
+  note "load gate: ${1:-240}-job soak against icbdd_serve --metrics-port"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 ci/loadgen.py --serve "${2:-./build-werror/examples/icbdd_serve}" \
+      --jobs "${1:-240}" --workers 4 \
+      --summary-json "${3:-build-werror/loadgen-summary.json}"
+  else
+    echo "python3 not installed -- load soak skipped (CI runs it)"
   fi
 }
 
@@ -75,6 +112,11 @@ run_tsan() {
   cmake --build --preset tsan -j "${jobs}"
   TSAN_OPTIONS=halt_on_error=1 ctest --preset tsan
   ./build-tsan/bench/table1_fifo --depth 3 --jobs 4 >/dev/null
+  # Reduced soak: the HTTP thread, the workers, and the emit path all raced
+  # under TSan (smaller job count -- TSan is ~10x slower).
+  TSAN_OPTIONS=halt_on_error=1 \
+    run_loadgen 40 ./build-tsan/examples/icbdd_serve \
+    build-tsan/loadgen-summary.json
 }
 
 run_lint() {
@@ -97,6 +139,9 @@ run_lint_strict() {
   python3 ci/lint/icbdd_lint.py --root .
   python3 tests/lint/lint_fixtures_test.py
 
+  note "lint-strict gate: metric catalog generated from docs/observability.md"
+  python3 ci/gen_metric_catalog.py --check
+
   note "lint-strict gate: clang thread-safety analysis (-Werror)"
   if command -v clang++ >/dev/null 2>&1; then
     cmake -B build-tsa -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -117,16 +162,18 @@ run_lint_strict() {
 }
 
 case "${what}" in
-  release)  run_release; run_bench_json; run_svc ;;
+  release)  run_release; run_bench_json; run_svc; run_loadgen ;;
   sanitize) run_sanitize ;;
   tsan)     run_tsan ;;
   lint)     run_lint ;;
   lint-strict) run_lint_strict ;;
   bench)    run_bench_json ;;
   svc)      run_svc ;;
-  all)      run_release; run_bench_json; run_svc; run_sanitize; run_tsan;
-            run_lint; run_lint_strict ;;
-  *) echo "usage: $0 [release|sanitize|tsan|lint|lint-strict|bench|svc|all]" >&2
+  loadgen)  run_loadgen ;;
+  all)      run_release; run_bench_json; run_svc; run_loadgen; run_sanitize;
+            run_tsan; run_lint; run_lint_strict ;;
+  *) echo "usage: $0 [release|sanitize|tsan|lint|lint-strict|bench|svc|" >&2
+     echo "          loadgen|all]" >&2
      exit 2 ;;
 esac
 

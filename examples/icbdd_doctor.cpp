@@ -16,7 +16,7 @@
 // know whether the core's invariants still stand.
 //
 //   icbdd_doctor --model fifo|mutex|network|filter|pipeline|all
-//                [--method xici] [--jobs N]
+//                [--method xici] [--jobs N] [--metrics-prom]
 //                [--auto-reorder true] [--reorder-trigger K]
 //   icbdd_doctor --bdd dump.txt
 //   icbdd_doctor --job spec.json       (one icbdd-svc-v1 request object)
@@ -24,6 +24,10 @@
 // --model all audits every machine; --jobs N runs the model cells on the
 // parallel verification scheduler (each with a private manager), with the
 // reports printed in model order regardless of completion order.
+// --metrics-prom additionally prints the run's metrics registry in
+// Prometheus text exposition -- the same rendering `icbdd_serve
+// --metrics-port` serves at /metrics, so the format can be eyeballed (or
+// grammar-checked in CI) without starting the service.
 #include <cstdio>
 #include <fstream>
 #include <iomanip>
@@ -46,6 +50,7 @@
 #include "models/pipeline_cpu.hpp"
 #include "models/typed_fifo.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "svc/job.hpp"
 #include "util/cli.hpp"
 #include "verif/run_all.hpp"
@@ -175,7 +180,7 @@ EngineResult doctorOneModel(const std::string& name, Method method,
 }
 
 int doctorModel(const std::string& name, Method method,
-                const BddOptions& bddOptions) {
+                const BddOptions& bddOptions, bool metricsProm) {
   {
     BddManager probe;
     if (buildModel(probe, name).fsm == nullptr) {
@@ -187,8 +192,14 @@ int doctorModel(const std::string& name, Method method,
   }
 
   ModelAudit audit;
-  doctorOneModel(name, method, EngineOptions{}, bddOptions, audit);
+  const EngineResult run =
+      doctorOneModel(name, method, EngineOptions{}, bddOptions, audit);
   std::cout << audit.text;
+  if (metricsProm) {
+    // The exact bytes icbdd_serve's /metrics endpoint would expose for this
+    // registry -- CI grammar-checks this output.
+    std::cout << obs::prometheusRender(run.metrics);
+  }
   std::printf("diagnosis: %s\n", audit.violations == 0 ? "CLEAN" : "CORRUPT");
   return audit.violations == 0 ? 0 : 1;
 }
@@ -348,5 +359,6 @@ int main(int argc, char** argv) {
                            static_cast<unsigned>(args.getInt("jobs", 0)),
                            bddOptions);
   }
-  return doctorModel(model, method, bddOptions);
+  return doctorModel(model, method, bddOptions,
+                     args.getBool("metrics-prom", false));
 }

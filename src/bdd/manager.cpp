@@ -294,6 +294,8 @@ std::uint64_t BddManager::gc() {
 
   ++stats_.gcRuns;
   stats_.gcReclaimed += reclaimed;
+  const double gcUs = gcWatch.elapsedSeconds() * 1e6;
+  stats_.gcPauseUs.record(gcUs <= 0.0 ? 0 : static_cast<std::uint64_t>(gcUs));
   if (obs::traceEnabled()) {
     obs::emitGlobalEvent("gc", *this,
                          obs::JsonObject()

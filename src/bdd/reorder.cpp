@@ -36,6 +36,18 @@
 
 namespace icb {
 
+namespace {
+
+/// One reorder-pause sample per sift() pass, interrupted or not, so the
+/// bdd.reorder.pause_us distribution covers exactly what callers stalled on.
+void recordReorderPause(BddStats& stats, const Stopwatch& watch) {
+  const double us = watch.elapsedSeconds() * 1e6;
+  stats.reorderPauseUs.record(us <= 0.0 ? 0
+                                        : static_cast<std::uint64_t>(us));
+}
+
+}  // namespace
+
 struct BddManager::ReorderBook {
   std::vector<std::uint32_t> parents;  ///< in-edges from live nodes
   std::vector<std::uint8_t> alive;     ///< reachable from an external root
@@ -401,6 +413,7 @@ std::int64_t BddManager::sift(std::uint64_t maxGrowth) {
     interrupted = true;
     ++stats_.reorderInterrupted;
     ++stats_.reorderRuns;
+    recordReorderPause(stats_, siftWatch);
     if (obs::traceEnabled()) {
       obs::emitGlobalEvent(
           "reorder", *this,
@@ -417,6 +430,7 @@ std::int64_t BddManager::sift(std::uint64_t maxGrowth) {
   gc();  // reclaim the intermediates the sweeps abandoned
   const std::int64_t after = static_cast<std::int64_t>(book.live);
   ++stats_.reorderRuns;
+  recordReorderPause(stats_, siftWatch);
   if (after < before) {
     stats_.reorderSavedNodes += static_cast<std::uint64_t>(before - after);
   }

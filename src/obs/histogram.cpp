@@ -1,0 +1,53 @@
+#include "obs/histogram.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace icb::obs {
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th sample, 1-based: q == 0 selects the first sample,
+  // q == 1 the last, matching the "nearest rank with interpolation" rule.
+  const double rank = q * static_cast<double>(count_ - 1) + 1.0;
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t inBucket = buckets_[b];
+    if (inBucket == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += inBucket;
+    if (rank > static_cast<double>(cumulative)) continue;
+    // The ranked sample falls in bucket b; interpolate linearly between
+    // the bucket's bounds, clamped to the observed min/max so the overflow
+    // bucket and single-valued distributions stay honest.
+    double lo = static_cast<double>(bucketLowerBound(b));
+    double hi = b + 1 >= kBuckets ? static_cast<double>(max_)
+                                  : static_cast<double>(bucketUpperBound(b));
+    if (lo < static_cast<double>(min_)) lo = static_cast<double>(min_);
+    if (hi > static_cast<double>(max_)) hi = static_cast<double>(max_);
+    if (hi < lo) hi = lo;
+    const double fraction =
+        inBucket == 1 ? 0.0
+                      : (rank - before - 1.0) / static_cast<double>(inBucket - 1);
+    return lo + (hi - lo) * fraction;
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::summaryJson() const {
+  auto round2 = [](double v) {
+    std::ostringstream os;
+    os << std::llround(v);
+    return os.str();
+  };
+  std::ostringstream os;
+  os << "{\"count\":" << count_ << ",\"sum\":" << sum_ << ",\"min\":" << min()
+     << ",\"max\":" << max() << ",\"p50\":" << round2(quantile(0.50))
+     << ",\"p90\":" << round2(quantile(0.90))
+     << ",\"p99\":" << round2(quantile(0.99)) << "}";
+  return os.str();
+}
+
+}  // namespace icb::obs

@@ -1,0 +1,113 @@
+// Log2-bucketed histogram: the distribution-valued metric type.
+//
+// Counters and gauges (obs/metrics.hpp) summarize *totals*; a Histogram
+// records the *shape* of a distribution -- job queue waits, per-op apply
+// latencies, GC pauses, checkpoint sizes -- cheaply enough to live inside
+// hot-path stat structs (BddStats keeps one per operator class):
+//
+//   * recording is branch-light integer work: std::bit_width picks the
+//     bucket, so record() is an increment into a fixed 64-slot array plus
+//     count/sum/min/max maintenance -- no allocation, no locking, no
+//     floating point.  Like every native stat struct, a Histogram is
+//     single-writer by confinement; share one only through SharedMetrics;
+//   * buckets are powers of two: bucket 0 holds the value 0 and bucket b
+//     holds values v with bit_width(v) == b, i.e. [2^(b-1), 2^b - 1].  The
+//     inclusive upper bounds 0, 1, 3, 7, 15, ... are exactly the `le`
+//     boundaries of the Prometheus rendering (obs/prometheus.hpp);
+//   * merging is bucket-wise addition, so it is associative and commutative
+//     -- per-worker histograms fold into a batch histogram in any order and
+//     the result is identical (tested in tests/obs_histogram_test.cpp);
+//   * quantile() estimates percentiles by walking the cumulative counts and
+//     interpolating linearly inside the selected bucket.  With power-of-two
+//     buckets the estimate is exact for bucket boundaries and never off by
+//     more than the bucket width (a factor of two) for anything else --
+//     plenty for p50/p90/p99 dashboards and backpressure heuristics.
+//
+// Units are the caller's: the metric catalog (docs/observability.md) bakes
+// the unit into the name (`_us` for microseconds, `_bytes`, ...).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace icb::obs {
+
+class Histogram {
+ public:
+  /// Bucket count: value 0, one bucket per bit width 1..62, one overflow.
+  static constexpr std::size_t kBuckets = 64;
+
+  /// Bucket index recording value `v`: 0 for v == 0, else bit_width(v)
+  /// capped at the overflow bucket.
+  [[nodiscard]] static constexpr std::size_t bucketFor(std::uint64_t v) {
+    const std::size_t width = static_cast<std::size_t>(std::bit_width(v));
+    return width < kBuckets ? width : kBuckets - 1;
+  }
+
+  /// Inclusive upper bound of bucket `b` (2^b - 1); the last bucket is
+  /// unbounded and reports uint64 max (rendered as +Inf by Prometheus).
+  [[nodiscard]] static constexpr std::uint64_t bucketUpperBound(
+      std::size_t b) {
+    if (b + 1 >= kBuckets) return std::numeric_limits<std::uint64_t>::max();
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  /// Inclusive lower bound of bucket `b` (0, then 2^(b-1)).
+  [[nodiscard]] static constexpr std::uint64_t bucketLowerBound(
+      std::size_t b) {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+
+  void record(std::uint64_t value) {
+    ++buckets_[bucketFor(value)];
+    ++count_;
+    sum_ += value;
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  /// Bucket-wise addition: associative and commutative, so per-worker
+  /// histograms merge into an aggregate in any grouping.
+  void merge(const Histogram& other) {
+    for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += other.buckets_[b];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_ != 0) {
+      if (other.min_ < min_) min_ = other.min_;
+      if (other.max_ > max_) max_ = other.max_;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::uint64_t sum() const { return sum_; }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  /// Smallest / largest value recorded (0 when empty).
+  [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const { return count_ == 0 ? 0 : max_; }
+  [[nodiscard]] std::uint64_t bucketCount(std::size_t b) const {
+    return buckets_[b];
+  }
+
+  /// Estimated value at quantile `q` in [0, 1]: linear interpolation inside
+  /// the bucket holding the q-th ranked sample, clamped to the observed
+  /// min/max so a constant distribution reports that constant exactly.
+  /// Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Shorthand: {"count":..,"sum":..,"min":..,"max":..,"p50":..,"p90":..,
+  /// "p99":..} -- the summary object embedded in MetricsRegistry::toJson.
+  [[nodiscard]] std::string summaryJson() const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace icb::obs

@@ -1,0 +1,163 @@
+#include "obs/httpd.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace icb::obs {
+
+namespace {
+
+constexpr int kBacklog = 16;
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+[[noreturn]] void throwErrno(const char* what) {
+  throw std::runtime_error(std::string("httpd: ") + what + ": " +
+                           std::strerror(errno));
+}
+
+const char* reasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+/// Writes the whole buffer; MSG_NOSIGNAL so a scraper hanging up mid-reply
+/// surfaces as EPIPE, not a process-killing SIGPIPE.
+void sendAll(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer gone; nothing useful to do
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void sendResponse(int fd, const HttpResponse& resp) {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << resp.status << ' ' << reasonPhrase(resp.status)
+     << "\r\nContent-Type: " << resp.contentType
+     << "\r\nContent-Length: " << resp.body.size()
+     << "\r\nConnection: close\r\n\r\n"
+     << resp.body;
+  sendAll(fd, os.str());
+}
+
+/// Reads until the end of the request headers (blank line) or limits hit.
+/// Bodies are ignored -- every endpoint is a GET.
+std::string readRequestHead(int fd) {
+  std::string head;
+  char buf[1024];
+  while (head.size() < kMaxRequestBytes &&
+         head.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;  // EOF, timeout, or error: parse what we have
+    head.append(buf, static_cast<std::size_t>(n));
+  }
+  return head;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(std::uint16_t port, HttpHandler handler)
+    : handler_(std::move(handler)) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throwErrno("socket");
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  const auto fail = [fd](const char* what) {
+    const int err = errno;
+    close(fd);
+    errno = err;
+    throwErrno(what);
+  };
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    fail("bind");
+  }
+  if (listen(fd, kBacklog) != 0) fail("listen");
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    fail("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  listenFd_.store(fd);
+  thread_ = std::thread([this] { serveLoop(); });
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::stop() {
+  const int fd = listenFd_.exchange(-1);
+  // shutdown() wakes the blocked accept() with an error so the loop exits;
+  // the close itself waits for the join so the thread can never touch a
+  // recycled descriptor.
+  if (fd >= 0) shutdown(fd, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  if (fd >= 0) close(fd);
+}
+
+void HttpServer::serveLoop() {
+  while (true) {
+    const int lfd = listenFd_.load();
+    if (lfd < 0) return;
+    const int fd = accept(lfd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listening socket shut down (or unrecoverable): exit loop
+    }
+    // A stalled client must not wedge the single-threaded loop forever.
+    timeval timeout{};
+    timeout.tv_sec = 5;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+
+    const std::string head = readRequestHead(fd);
+    const std::size_t lineEnd = head.find("\r\n");
+    std::istringstream requestLine(
+        head.substr(0, lineEnd == std::string::npos ? head.size() : lineEnd));
+    std::string method;
+    std::string target;
+    requestLine >> method >> target;
+
+    HttpResponse resp;
+    if (method.empty() || target.empty() || target[0] != '/') {
+      resp.status = 400;
+      resp.body = "bad request\n";
+    } else if (method != "GET") {
+      resp.status = 405;
+      resp.body = "only GET is supported\n";
+    } else {
+      // Route on the path only; any query string is ignored.
+      const std::string path = target.substr(0, target.find('?'));
+      try {
+        resp = handler_(path);
+      } catch (const std::exception& e) {
+        resp = HttpResponse{};
+        resp.status = 500;
+        resp.body = std::string("handler error: ") + e.what() + "\n";
+      }
+    }
+    sendResponse(fd, resp);
+    close(fd);
+  }
+}
+
+}  // namespace icb::obs

@@ -1,0 +1,62 @@
+// Minimal embedded HTTP server for the scrape endpoints.
+//
+// Deliberately tiny: a blocking accept loop on one background thread, one
+// request per connection, GET only.  Prometheus scrapes arrive seconds
+// apart from one or two pollers, so concurrency machinery would be pure
+// liability next to a verification engine; anything but GET gets a 405 and
+// malformed request lines get a 400.  The handler runs on the server
+// thread -- handlers must therefore only touch thread-safe state (the
+// service's SharedMetrics snapshot path), and a throwing handler is
+// answered with a 500 instead of taking the process down.
+//
+// Lifecycle: the constructor binds, listens, and starts the thread (port 0
+// asks the kernel for an ephemeral port -- port() reports the real one);
+// stop()/the destructor shut the listening socket down and join.  A
+// constructor failure throws std::runtime_error with errno text.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace icb::obs {
+
+struct HttpResponse {
+  int status = 200;  ///< 200, 404, 503, ... (a few canonical reasons known)
+  std::string contentType = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Routes one GET by path ("/metrics"); runs on the server thread.
+using HttpHandler = std::function<HttpResponse(const std::string& path)>;
+
+class HttpServer {
+ public:
+  /// Binds 0.0.0.0:`port` (0 = ephemeral), starts serving immediately.
+  HttpServer(std::uint16_t port, HttpHandler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound port -- the kernel's pick when constructed with 0.
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Stops accepting, joins the server thread.  Idempotent.
+  void stop();
+
+ private:
+  void serveLoop();
+
+  /// stop() exchanges this to -1 and shuts the socket down to wake the
+  /// blocked accept(); the fd itself is closed only after the join, so the
+  /// server thread can never race a closed (possibly reused) descriptor.
+  std::atomic<int> listenFd_{-1};
+  std::uint16_t port_ = 0;
+  HttpHandler handler_;
+  std::thread thread_;
+};
+
+}  // namespace icb::obs

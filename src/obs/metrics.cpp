@@ -25,6 +25,17 @@ void MetricsRegistry::setGaugeMax(std::string_view name, double value) {
   slot = std::max(slot, value);
 }
 
+void MetricsRegistry::recordHistogram(std::string_view name,
+                                      std::uint64_t value) {
+  histograms_[std::string(name)].record(value);
+}
+
+void MetricsRegistry::mergeHistogram(std::string_view name,
+                                     const Histogram& h) {
+  if (h.empty()) return;
+  histograms_[std::string(name)].merge(h);
+}
+
 std::uint64_t MetricsRegistry::counter(std::string_view name) const {
   const auto it = counters_.find(std::string(name));
   return it != counters_.end() ? it->second : 0;
@@ -35,14 +46,21 @@ double MetricsRegistry::gauge(std::string_view name) const {
   return it != gauges_.end() ? it->second : 0.0;
 }
 
+const Histogram* MetricsRegistry::histogram(std::string_view name) const {
+  const auto it = histograms_.find(std::string(name));
+  return it != histograms_.end() ? &it->second : nullptr;
+}
+
 void MetricsRegistry::clear() {
   counters_.clear();
   gauges_.clear();
+  histograms_.clear();
 }
 
 void MetricsRegistry::merge(const MetricsRegistry& other) {
   for (const auto& [name, value] : other.counters_) counters_[name] += value;
   for (const auto& [name, value] : other.gauges_) gauges_[name] = value;
+  for (const auto& [name, h] : other.histograms_) histograms_[name].merge(h);
 }
 
 void MetricsRegistry::captureBdd(const BddManager& mgr) {
@@ -76,6 +94,16 @@ void MetricsRegistry::captureBdd(const BddManager& mgr) {
     setGauge("bdd.cache.hit_rate", static_cast<double>(s.cacheHits()) /
                                        static_cast<double>(s.cacheLookups()));
   }
+
+  for (std::size_t op = 1; op < kBddOpCount; ++op) {
+    const Histogram& h = s.applyLatencyUs[op];
+    if (h.empty()) continue;
+    mergeHistogram(std::string("bdd.apply.") + bddOpName(static_cast<BddOp>(op)) +
+                       ".latency_us",
+                   h);
+  }
+  mergeHistogram("bdd.gc.pause_us", s.gcPauseUs);
+  mergeHistogram("bdd.reorder.pause_us", s.reorderPauseUs);
 }
 
 void MetricsRegistry::captureTermination(const TerminationStats& stats) {
@@ -117,10 +145,17 @@ std::string MetricsRegistry::toJson() const {
   for (const auto& [name, value] : counters_) countersObj.put(name, value);
   JsonObject gaugesObj;
   for (const auto& [name, value] : gauges_) gaugesObj.put(name, value);
-  return std::move(JsonObject()
-                       .putRaw("counters", std::move(countersObj).str())
-                       .putRaw("gauges", std::move(gaugesObj).str()))
-      .str();
+  JsonObject out;
+  out.putRaw("counters", std::move(countersObj).str());
+  out.putRaw("gauges", std::move(gaugesObj).str());
+  if (!histograms_.empty()) {
+    JsonObject histObj;
+    for (const auto& [name, h] : histograms_) {
+      histObj.putRaw(name, h.summaryJson());
+    }
+    out.putRaw("histograms", std::move(histObj).str());
+  }
+  return std::move(out).str();
 }
 
 void MetricsRegistry::print(std::ostream& os, std::string_view indent) const {
@@ -134,6 +169,9 @@ void MetricsRegistry::print(std::ostream& os, std::string_view indent) const {
   for (const auto& [name, value] : gauges_) {
     os << indent << name << std::string(width - name.size(), ' ') << " = "
        << jsonNumber(value) << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << indent << name << " = " << h.summaryJson() << '\n';
   }
 }
 

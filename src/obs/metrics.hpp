@@ -15,6 +15,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/histogram.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -27,9 +28,9 @@ struct SimplifyResult;
 
 namespace icb::obs {
 
-/// A named bag of monotonic counters (uint64, merged by addition) and
-/// gauges (double, merged by last-writer-wins unless noted).  Ordered maps
-/// keep the output deterministic.
+/// A named bag of monotonic counters (uint64, merged by addition), gauges
+/// (double, merged by last-writer-wins unless noted), and histograms
+/// (merged bucket-wise).  Ordered maps keep the output deterministic.
 class MetricsRegistry {
  public:
   void add(std::string_view name, std::uint64_t delta = 1);
@@ -37,14 +38,20 @@ class MetricsRegistry {
   /// Keeps the larger of the existing gauge and `value` (for high-water
   /// marks like recursion depth, where merging runs must not lose the peak).
   void setGaugeMax(std::string_view name, double value);
+  /// Records one sample into the named histogram (created on first use).
+  void recordHistogram(std::string_view name, std::uint64_t value);
+  /// Folds a whole native Histogram in (bucket-wise add); no-op when empty.
+  void mergeHistogram(std::string_view name, const Histogram& h);
 
   /// Reads a counter; absent names read as 0.
   [[nodiscard]] std::uint64_t counter(std::string_view name) const;
   /// Reads a gauge; absent names read as 0.0.
   [[nodiscard]] double gauge(std::string_view name) const;
+  /// Reads a histogram; nullptr when the name was never recorded.
+  [[nodiscard]] const Histogram* histogram(std::string_view name) const;
 
   [[nodiscard]] bool empty() const {
-    return counters_.empty() && gauges_.empty();
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
   }
   void clear();
 
@@ -57,7 +64,8 @@ class MetricsRegistry {
   void capturePolicy(const EvaluatePolicyResult& result);
   void captureSimplify(const SimplifyResult& result);
 
-  /// One JSON object: {"counters": {...}, "gauges": {...}}.
+  /// One JSON object: {"counters": {...}, "gauges": {...}} plus a
+  /// "histograms" object of per-name summaries when any were recorded.
   [[nodiscard]] std::string toJson() const;
 
   /// Aligned name = value lines, one metric per line.
@@ -69,10 +77,14 @@ class MetricsRegistry {
   [[nodiscard]] const std::map<std::string, double>& gauges() const {
     return gauges_;
   }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
 
  private:
   std::map<std::string, std::uint64_t> counters_;
   std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
 };
 
 /// Mutex-protected MetricsRegistry for registries shared across threads
@@ -95,6 +107,11 @@ class SharedMetrics {
       ICBDD_EXCLUDES(mutex_) {
     const MutexLock lock(mutex_);
     registry_.setGaugeMax(name, value);
+  }
+  void recordHistogram(std::string_view name, std::uint64_t value)
+      ICBDD_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    registry_.recordHistogram(name, value);
   }
   void merge(const MetricsRegistry& other) ICBDD_EXCLUDES(mutex_) {
     const MutexLock lock(mutex_);

@@ -139,6 +139,7 @@ JsonObject TraceSession::envelope(std::string_view event, double t) const {
   JsonObject obj;
   obj.put("ev", event).put("t", t);
   if (worker_ >= 0) obj.put("worker", worker_);
+  if (!job_.empty()) obj.put("job", job_);
   return obj;
 }
 

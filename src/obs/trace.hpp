@@ -113,16 +113,21 @@ void emitGlobalEvent(std::string_view event, BddManager& mgr, JsonObject fields)
 class TraceSession {
  public:
   /// `worker` >= 0 stamps every event of this session with a "worker" field
-  /// (the scheduler's per-cell attribution); -1 omits it.
+  /// (the scheduler's per-cell attribution); -1 omits it.  A non-empty
+  /// `jobId` likewise stamps a "job" field -- the service's request-id
+  /// correlation, so one job's spans can be joined across the interleaved
+  /// stream of a whole batch.
   explicit TraceSession(TraceSink* sink = nullptr, BddManager* creditMgr = nullptr,
-                        int worker = -1)
+                        int worker = -1, std::string jobId = {})
       : sink_(sink != nullptr ? sink : defaultTraceSink()),
         mgr_(creditMgr),
-        worker_(worker) {}
+        worker_(worker),
+        job_(std::move(jobId)) {}
 
   [[nodiscard]] bool enabled() const { return sink_ != nullptr; }
   [[nodiscard]] TraceSink* sink() const { return sink_; }
   [[nodiscard]] int worker() const { return worker_; }
+  [[nodiscard]] const std::string& job() const { return job_; }
 
   /// Opens the run span.  `method` is the engine name, `detail` optional
   /// free-form context (model name, variable count).
@@ -154,12 +159,14 @@ class TraceSession {
 
   void writeCrediting(const Stopwatch& sinceEmitEntry, std::string&& line);
 
-  /// Starts an event envelope: {"ev":..., "t":..., ["worker":...]}.
+  /// Starts an event envelope:
+  /// {"ev":..., "t":..., ["worker":...], ["job":...]}.
   [[nodiscard]] JsonObject envelope(std::string_view event, double t) const;
 
   TraceSink* sink_;
   BddManager* mgr_;
   int worker_ = -1;
+  std::string job_;
   std::vector<OpenSpan> open_;
 };
 

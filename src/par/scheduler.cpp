@@ -15,6 +15,7 @@ unsigned hardwareJobs() {
 
 void CellContext::apply(EngineOptions& options) const {
   options.traceWorker = static_cast<int>(worker);
+  if (!group.empty()) options.traceJob = group;
   if (remainingGlobalSeconds > 0.0 &&
       (options.timeLimitSeconds <= 0.0 ||
        options.timeLimitSeconds > remainingGlobalSeconds)) {
@@ -88,7 +89,12 @@ void VerifyScheduler::runCell(std::size_t index, unsigned worker,
     return;
   }
 
-  const CellContext ctx{worker, index, remaining,
+  out.queueWaitSeconds = batchWatch_.elapsedSeconds();
+  const CellContext ctx{worker,
+                        index,
+                        cells_[index].group,
+                        out.queueWaitSeconds,
+                        remaining,
                         options_.cancelRunningCells ? &cancelled_ : nullptr};
   const Stopwatch watch;
   try {
@@ -115,7 +121,8 @@ void VerifyScheduler::runCell(std::size_t index, unsigned worker,
                                  .put("method", methodName(out.result.method))
                                  .put("worker", worker)
                                  .put("verdict", verdictName(out.result.verdict))
-                                 .put("wall_s", out.wallSeconds));
+                                 .put("wall_s", out.wallSeconds)
+                                 .put("queued_s", out.queueWaitSeconds));
   }
 }
 

@@ -55,6 +55,11 @@ namespace icb::par {
 struct CellContext {
   unsigned worker = 0;     ///< executing worker, 0-based
   std::size_t index = 0;   ///< submission index of this cell
+  std::string group;       ///< the cell's group label (job id for svc cells)
+  /// Seconds this cell sat queued between run() starting and its body
+  /// being dispatched -- the scheduler-side wait the svc.job.queue_wait_us
+  /// histogram and the cell_end "queued_s" field report.
+  double queueWaitSeconds = 0.0;
   /// Seconds left on the scheduler's global deadline at dispatch time
   /// (0 when no global deadline is installed).
   double remainingGlobalSeconds = 0.0;
@@ -65,9 +70,10 @@ struct CellContext {
   const std::atomic<bool>* cancelFlag = nullptr;
 
   /// Applies the scheduler context to one cell's engine options: tags the
-  /// run's trace spans with the worker id, clamps the cell's time limit
-  /// to the remaining global budget, and installs the batch cancellation
-  /// flag.  Cell bodies call this on the options they are about to run with.
+  /// run's trace spans with the worker id and the group name (the "job"
+  /// correlation field), clamps the cell's time limit to the remaining
+  /// global budget, and installs the batch cancellation flag.  Cell bodies
+  /// call this on the options they are about to run with.
   void apply(EngineOptions& options) const;
 };
 
@@ -85,6 +91,7 @@ struct CellResult {
   bool skipped = false;           ///< cancelled before the body started
   std::string skipReason;         ///< why, when skipped
   double wallSeconds = 0.0;       ///< body wall time (0 when skipped)
+  double queueWaitSeconds = 0.0;  ///< run()-to-dispatch wait for this cell
 };
 
 struct SchedulerOptions {

@@ -45,6 +45,17 @@ std::string JobJournal::pathFor(const std::string& id,
 void JobJournal::countWrite() {
   const MutexLock lock(statsMutex_);
   ++writes_;
+  healthy_ = true;
+  hasWritten_ = true;
+  lastWriteWatch_.reset();
+  lastError_.clear();
+}
+
+void JobJournal::countFailure(const std::string& what) {
+  const MutexLock lock(statsMutex_);
+  ++writeFailures_;
+  healthy_ = false;
+  lastError_ = what;
 }
 
 std::uint64_t JobJournal::writesRecorded() const {
@@ -52,15 +63,46 @@ std::uint64_t JobJournal::writesRecorded() const {
   return writes_;
 }
 
+std::uint64_t JobJournal::writeFailures() const {
+  const MutexLock lock(statsMutex_);
+  return writeFailures_;
+}
+
+bool JobJournal::healthy() const {
+  const MutexLock lock(statsMutex_);
+  return healthy_;
+}
+
+double JobJournal::secondsSinceLastWrite() const {
+  const MutexLock lock(statsMutex_);
+  if (!hasWritten_) return -1.0;
+  return lastWriteWatch_.elapsedSeconds();
+}
+
+std::string JobJournal::lastError() const {
+  const MutexLock lock(statsMutex_);
+  return lastError_;
+}
+
 void JobJournal::recordAccepted(const std::string& id,
                                 const std::string& requestLine) {
-  writeAtomically(pathFor(id, ".req"), requestLine + "\n");
+  try {
+    writeAtomically(pathFor(id, ".req"), requestLine + "\n");
+  } catch (const std::exception& e) {
+    countFailure(e.what());
+    return;
+  }
   countWrite();
 }
 
 void JobJournal::recordCheckpoint(const std::string& id,
                                   const std::string& snapshot) {
-  writeAtomically(pathFor(id, ".ckpt"), snapshot);
+  try {
+    writeAtomically(pathFor(id, ".ckpt"), snapshot);
+  } catch (const std::exception& e) {
+    countFailure(e.what());
+    return;
+  }
   countWrite();
 }
 

@@ -34,6 +34,11 @@ std::string bitstringArray(const std::vector<std::vector<char>>& rows) {
   return out;
 }
 
+/// Histogram samples are integer microseconds (docs/observability.md).
+std::uint64_t micros(double seconds) {
+  return seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(seconds * 1e6);
+}
+
 }  // namespace
 
 VerifyService::VerifyService(ServiceOptions options, Emit emit)
@@ -106,7 +111,7 @@ bool VerifyService::submit(const JobRequest& request, const std::string& line) {
       return false;
     }
     if (journal_) journal_->recordAccepted(request.id, line);
-    pending_.push_back(QueuedJob{request, line});
+    pending_.push_back(QueuedJob{request, line, obs::traceClockSeconds()});
     activeIds_.push_back(request.id);
     metrics_.add("svc.jobs.accepted");
     const double depth = static_cast<double>(pending_.size() + running_);
@@ -155,8 +160,22 @@ std::size_t VerifyService::queueDepth() const {
 
 obs::MetricsRegistry VerifyService::metricsSnapshot() const {
   obs::MetricsRegistry snap = metrics_.snapshot();
-  if (journal_) snap.add("svc.journal.writes", journal_->writesRecorded());
+  if (journal_) {
+    snap.add("svc.journal.writes", journal_->writesRecorded());
+    snap.add("svc.journal.write_failures", journal_->writeFailures());
+  }
   return snap;
+}
+
+ServiceHealth VerifyService::health() const {
+  ServiceHealth h;
+  h.queueDepth = queueDepth();
+  if (journal_) {
+    h.journalOk = journal_->healthy();
+    h.secondsSinceJournalWrite = journal_->secondsSinceLastWrite();
+    h.journalError = journal_->lastError();
+  }
+  return h;
 }
 
 void VerifyService::dispatcherLoop() {
@@ -251,6 +270,8 @@ void VerifyService::runOneJob(const QueuedJob& job,
                                        &ctx](const EngineSnapshot& snap) {
         std::ostringstream os;
         saveSnapshot(os, mgr, snap);
+        metrics_.recordHistogram("svc.checkpoint.write_bytes",
+                                 static_cast<std::uint64_t>(os.str().size()));
         if (journal_) journal_->recordCheckpoint(req.id, os.str());
         metrics_.add("svc.checkpoints.saved");
         emitLine(std::move(response("job_progress")
@@ -263,7 +284,7 @@ void VerifyService::runOneJob(const QueuedJob& job,
     }
 
     obs::TraceSession span(engineOptions.traceSink, &mgr,
-                           engineOptions.traceWorker);
+                           engineOptions.traceWorker, req.id);
     if (span.enabled()) {
       span.emit("job_begin", obs::JsonObject()
                                  .put("id", req.id)
@@ -272,14 +293,40 @@ void VerifyService::runOneJob(const QueuedJob& job,
                                  .put("resumed", resumed));
     }
 
+    // Admission-to-dispatch wait: how long the job sat in pending_ plus the
+    // scheduler queue before its body started.
+    const double queueWaitSeconds =
+        std::max(0.0, obs::traceClockSeconds() - job.enqueueSeconds);
+    const Stopwatch runWatch;
     const EngineResult result =
         runMethod(*model.fsm, req.method, model.fdCandidates, engineOptions);
+    const double runSeconds = runWatch.elapsedSeconds();
+
+    // Per-job resource bill: the manager is private to this job, so its
+    // counter deltas over the run *are* the job's attribution.
+    const std::uint64_t nodesCreated =
+        result.metrics.counter("bdd.nodes_created");
+    const double peakNodes = result.metrics.gauge("bdd.peak_nodes");
+    metrics_.recordHistogram("svc.job.queue_wait_us", micros(queueWaitSeconds));
+    metrics_.recordHistogram("svc.job.run_us", micros(runSeconds));
+    metrics_.recordHistogram("svc.job.nodes_created", nodesCreated);
+    metrics_.recordHistogram(
+        "svc.job.peak_nodes",
+        peakNodes <= 0.0 ? 0 : static_cast<std::uint64_t>(peakNodes));
 
     if (span.enabled()) {
-      span.emit("job_end", obs::JsonObject()
-                               .put("id", req.id)
-                               .put("verdict", verdictName(result.verdict))
-                               .put("iterations", result.iterations));
+      span.emit("job_end",
+                obs::JsonObject()
+                    .put("id", req.id)
+                    .put("verdict", verdictName(result.verdict))
+                    .put("iterations", result.iterations)
+                    .put("seconds", runSeconds)
+                    .put("queue_wait_s", queueWaitSeconds)
+                    .put("nodes_created", nodesCreated)
+                    .put("peak_nodes",
+                         peakNodes <= 0.0
+                             ? std::uint64_t{0}
+                             : static_cast<std::uint64_t>(peakNodes)));
     }
 
     obs::JsonObject o = response("job_result");

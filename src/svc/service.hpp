@@ -16,9 +16,14 @@
 //     streamed, and a killed process picks its jobs back up at startup via
 //     recoverJournal();
 //   * metrics -- svc.jobs.{accepted,rejected,completed,failed,resumed},
-//     svc.checkpoints.saved, svc.journal.writes counters and
-//     svc.queue.{depth,peak_depth} gauges in a SharedMetrics
-//     (docs/observability.md).
+//     svc.checkpoints.saved, svc.journal.{writes,write_failures} counters,
+//     svc.queue.{depth,peak_depth} gauges, and the svc.job.* /
+//     svc.checkpoint.* latency and attribution histograms in a
+//     SharedMetrics (docs/observability.md);
+//   * per-job attribution -- each job's trace spans carry its request id
+//     (the "job" envelope field), its job_end span reports wall/queue-wait
+//     seconds and the private manager's node bill, and the same quantities
+//     feed the svc.job.* histograms for the /metrics endpoint.
 //
 // Every emitted line is one JSON object carrying "schema":"icbdd-svc-v1";
 // docs/service.md documents the protocol.  Jobs execute on a VerifyScheduler
@@ -70,6 +75,21 @@ struct ServiceOptions {
   bool drain = false;
 };
 
+/// Point-in-time liveness snapshot for the /healthz endpoint.
+struct ServiceHealth {
+  std::size_t queueDepth = 0;
+  /// False when the journal has entered degraded mode (last write failed).
+  /// Always true for a journal-less service.
+  bool journalOk = true;
+  /// Seconds since the last successful journal write; negative when none
+  /// has happened yet (or no journal is configured).
+  double secondsSinceJournalWrite = -1.0;
+  /// The journal's most recent write error ("" when journalOk).
+  std::string journalError;
+
+  [[nodiscard]] bool ok() const { return journalOk; }
+};
+
 class VerifyService {
  public:
   /// `emit` receives every response line (one JSON object, no newline); it
@@ -101,14 +121,19 @@ class VerifyService {
   /// Pending + running jobs right now.
   [[nodiscard]] std::size_t queueDepth() const ICBDD_EXCLUDES(mutex_);
 
-  /// Point-in-time copy of the service counters/gauges (plus the journal's
-  /// svc.journal.writes, folded in at snapshot time).
+  /// Point-in-time copy of the service counters/gauges/histograms (plus the
+  /// journal's svc.journal.{writes,write_failures}, folded in at snapshot
+  /// time).  This is what /metrics renders.
   [[nodiscard]] obs::MetricsRegistry metricsSnapshot() const;
+
+  /// Liveness snapshot for /healthz: queue depth plus journal degradation.
+  [[nodiscard]] ServiceHealth health() const ICBDD_EXCLUDES(mutex_);
 
  private:
   struct QueuedJob {
     JobRequest request;
-    std::string line;    ///< journaled request line
+    std::string line;             ///< journaled request line
+    double enqueueSeconds = 0.0;  ///< traceClockSeconds() at admission
   };
 
   void dispatcherLoop() ICBDD_EXCLUDES(mutex_);

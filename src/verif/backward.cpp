@@ -21,7 +21,8 @@ EngineResult runBackward(Fsm& fsm, const EngineOptions& options) {
   Stopwatch watch;
   mgr.resetStats();
   LimitGuard guard(mgr, options);
-  obs::TraceSession trace(options.traceSink, &mgr, options.traceWorker);
+  obs::TraceSession trace(options.traceSink, &mgr, options.traceWorker,
+                          options.traceJob);
   trace.runBegin(methodName(result.method));
 
   try {

@@ -96,6 +96,11 @@ struct EngineOptions {
   /// Worker attribution for this run's trace spans: >= 0 adds a "worker"
   /// field to every event (set by par::CellContext::apply); -1 omits it.
   int traceWorker = -1;
+  /// Job-id attribution: non-empty adds a "job" field to every event, so
+  /// one job's spans can be joined across an interleaved batch stream.
+  /// Set by par::CellContext::apply from the cell's group name (the job
+  /// service submits each job under its request id).
+  std::string traceJob;
   /// Cooperative cancellation: installed onto the manager's ResourceLimits
   /// by LimitGuard, polled wherever the deadline is polled.  A run aborted
   /// through it reports the ordinary capped verdict (kTimeLimit), so a

@@ -62,7 +62,8 @@ EngineResult runFdForward(Fsm& fsm, std::vector<unsigned> candidateBits,
   Stopwatch watch;
   mgr.resetStats();
   LimitGuard guard(mgr, options);
-  obs::TraceSession trace(options.traceSink, &mgr, options.traceWorker);
+  obs::TraceSession trace(options.traceSink, &mgr, options.traceWorker,
+                          options.traceJob);
   trace.runBegin(methodName(result.method));
 
   try {

@@ -68,7 +68,8 @@ EngineResult runIciBackward(Fsm& fsm, const EngineOptions& options) {
   Stopwatch watch;
   mgr.resetStats();
   LimitGuard guard(mgr, options);
-  obs::TraceSession trace(options.traceSink, &mgr, options.traceWorker);
+  obs::TraceSession trace(options.traceSink, &mgr, options.traceWorker,
+                          options.traceJob);
   trace.runBegin(methodName(result.method));
 
   try {

@@ -1,0 +1,10 @@
+// L4 bad fixture: histogram kind mismatches against the typed
+// icbdd-metric-catalog block.  Line 1: a histogram writer given a name the
+// catalog does not know.  Line 2: a histogram writer given a name the
+// catalog types as a counter.  Line 3: a scalar writer given a
+// histogram-typed name (distribution silently collapsed to a count).
+void record(MetricsRegistry& metrics, const Histogram& h) {
+  metrics.recordHistogram("svc.job.bogus_us", 7);
+  metrics.mergeHistogram("bdd.gc.runs", h);
+  metrics.add("svc.job.run_us");
+}

@@ -31,6 +31,8 @@ CASES = {
     "l3_node_escape_good.hpp": [],
     "l4_metric_bad.cpp": ["L4", "L4"],
     "l4_metric_good.cpp": [],
+    "l4_histogram_bad.cpp": ["L4", "L4", "L4"],
+    "l4_histogram_good.cpp": [],
     "l5_relaxed_bad.cpp": ["L5"],
     "l5_relaxed_good.cpp": [],
 }

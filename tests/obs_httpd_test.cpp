@@ -1,0 +1,122 @@
+// The embedded scrape server (obs/httpd.hpp): ephemeral-port bind, GET
+// routing, status codes for bad input, handler exceptions, and clean
+// concurrent shutdown.  Talks to the server over a raw TCP socket so the
+// on-the-wire HTTP framing itself is what is being tested.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "obs/httpd.hpp"
+
+namespace icb {
+namespace {
+
+/// One request/response exchange against 127.0.0.1:port; returns the raw
+/// response bytes (empty on connect failure).
+std::string exchange(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return {};
+  }
+  (void)::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+obs::HttpResponse route(const std::string& path) {
+  if (path == "/metrics") {
+    obs::HttpResponse r;
+    r.body = "icbdd_test_metric 1\n";
+    return r;
+  }
+  if (path == "/boom") throw std::runtime_error("handler exploded");
+  obs::HttpResponse r;
+  r.status = 404;
+  r.body = "not found\n";
+  return r;
+}
+
+TEST(HttpServer, ServesGetOnEphemeralPort) {
+  obs::HttpServer server(0, route);
+  ASSERT_NE(server.port(), 0);  // the kernel's pick was reported back
+
+  const std::string response =
+      exchange(server.port(), "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 20\r\n"), std::string::npos);
+  EXPECT_NE(response.find("icbdd_test_metric 1\n"), std::string::npos);
+}
+
+TEST(HttpServer, QueryStringsAreStrippedBeforeRouting) {
+  obs::HttpServer server(0, route);
+  const std::string response = exchange(
+      server.port(), "GET /metrics?format=text HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+}
+
+TEST(HttpServer, RejectsNonGetAndMalformedRequests) {
+  obs::HttpServer server(0, route);
+  EXPECT_NE(exchange(server.port(),
+                     "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+                .find("405"),
+            std::string::npos);
+  EXPECT_NE(exchange(server.port(), "garbage\r\n\r\n").find("400"),
+            std::string::npos);
+  EXPECT_NE(
+      exchange(server.port(), "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n")
+          .find("404"),
+      std::string::npos);
+}
+
+TEST(HttpServer, ThrowingHandlerAnswers500) {
+  obs::HttpServer server(0, route);
+  const std::string response =
+      exchange(server.port(), "GET /boom HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("500"), std::string::npos);
+}
+
+TEST(HttpServer, StopIsIdempotentAndStopsServing) {
+  obs::HttpServer server(0, route);
+  const std::uint16_t port = server.port();
+  ASSERT_FALSE(
+      exchange(port, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").empty());
+  server.stop();
+  server.stop();  // idempotent
+  // After stop the port no longer accepts (or resets immediately).
+  const std::string after =
+      exchange(port, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(after.find("icbdd_test_metric"), std::string::npos);
+}
+
+TEST(HttpServer, ManySequentialRequestsSurvive) {
+  obs::HttpServer server(0, route);
+  for (int i = 0; i < 50; ++i) {
+    const std::string response =
+        exchange(server.port(), "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+    ASSERT_NE(response.find("200 OK"), std::string::npos) << "request " << i;
+  }
+}
+
+}  // namespace
+}  // namespace icb

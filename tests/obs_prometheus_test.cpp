@@ -1,0 +1,153 @@
+// Prometheus text exposition (obs/prometheus.hpp): grammar of every emitted
+// line, catalog-driven HELP/TYPE headers, cumulative histogram families,
+// and counter monotonicity across successive renders.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+
+namespace icb {
+namespace {
+
+std::vector<std::string> lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+/// name or name{le="..."} -> numeric value, for reconciliation checks.
+std::map<std::string, double> samples(const std::string& text) {
+  std::map<std::string, double> out;
+  const std::regex sample(
+      R"re(^(icbdd_[A-Za-z0-9_]+(?:\{le="(?:\d+|\+Inf)"\})?) (-?[0-9.eE+]+)$)re");
+  std::smatch m;
+  for (const std::string& line : lines(text)) {
+    if (std::regex_match(line, m, sample)) out[m[1]] = std::stod(m[2]);
+  }
+  return out;
+}
+
+obs::MetricsRegistry populated() {
+  obs::MetricsRegistry reg;
+  reg.add("bdd.gc.runs", 3);
+  reg.setGauge("svc.queue.depth", 2.0);
+  for (const std::uint64_t v : {0u, 1u, 5u, 1000u})
+    reg.recordHistogram("svc.job.run_us", v);
+  return reg;
+}
+
+TEST(Prometheus, NameMangling) {
+  EXPECT_EQ(obs::prometheusName("svc.job.run_us"), "icbdd_svc_job_run_us");
+  EXPECT_EQ(obs::prometheusName("bdd.apply.and.latency_us"),
+            "icbdd_bdd_apply_and_latency_us");
+}
+
+TEST(Prometheus, CatalogLookupResolvesWildcards) {
+  ASSERT_FALSE(obs::metricCatalog().empty());
+  const obs::MetricCatalogEntry* exact =
+      obs::findCatalogEntry("svc.job.run_us");
+  ASSERT_NE(exact, nullptr);
+  EXPECT_EQ(exact->kind, obs::MetricKind::kHistogram);
+  EXPECT_FALSE(exact->help.empty());
+
+  // <op> matches exactly one segment.
+  const obs::MetricCatalogEntry* wild =
+      obs::findCatalogEntry("bdd.apply.and.latency_us");
+  ASSERT_NE(wild, nullptr);
+  EXPECT_EQ(wild->kind, obs::MetricKind::kHistogram);
+  EXPECT_EQ(obs::findCatalogEntry("bdd.apply.latency_us"), nullptr);
+  EXPECT_EQ(obs::findCatalogEntry("no.such.metric"), nullptr);
+}
+
+TEST(Prometheus, EveryLineMatchesTheExpositionGrammar) {
+  const std::string text = obs::prometheusRender(populated());
+  const std::regex comment(R"(^# (HELP|TYPE) icbdd_[A-Za-z0-9_]+( .*)?$)");
+  const std::regex sample(
+      R"re(^icbdd_[A-Za-z0-9_]+(\{le="(\d+|\+Inf)"\})? -?[0-9]+(\.[0-9]+)?([eE][-+]?[0-9]+)?$)re");
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  for (const std::string& line : lines(text)) {
+    const bool ok = line.rfind("#", 0) == 0 ? std::regex_match(line, comment)
+                                            : std::regex_match(line, sample);
+    EXPECT_TRUE(ok) << "bad exposition line: " << line;
+  }
+}
+
+TEST(Prometheus, TypesAndHelpComeFromTheCatalog) {
+  const std::string text = obs::prometheusRender(populated());
+  EXPECT_NE(text.find("# TYPE icbdd_bdd_gc_runs counter"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE icbdd_svc_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE icbdd_svc_job_run_us histogram"),
+            std::string::npos);
+  // HELP text is the catalog's (docs/observability.md) wording.
+  EXPECT_NE(text.find("# HELP icbdd_svc_job_run_us "), std::string::npos);
+}
+
+TEST(Prometheus, HistogramFamiliesAreCumulativeWithInfEqualToCount) {
+  const std::string text = obs::prometheusRender(populated());
+  const std::map<std::string, double> s = samples(text);
+
+  // 0, 1, 5, 1000 -> inclusive power-of-two bounds 0, 1, 7, 1023.
+  ASSERT_TRUE(s.count("icbdd_svc_job_run_us_bucket{le=\"0\"}"));
+  EXPECT_DOUBLE_EQ(s.at("icbdd_svc_job_run_us_bucket{le=\"0\"}"), 1.0);
+  EXPECT_DOUBLE_EQ(s.at("icbdd_svc_job_run_us_bucket{le=\"1\"}"), 2.0);
+  EXPECT_DOUBLE_EQ(s.at("icbdd_svc_job_run_us_bucket{le=\"7\"}"), 3.0);
+  EXPECT_DOUBLE_EQ(s.at("icbdd_svc_job_run_us_bucket{le=\"1023\"}"), 4.0);
+  EXPECT_DOUBLE_EQ(s.at("icbdd_svc_job_run_us_bucket{le=\"+Inf\"}"), 4.0);
+  EXPECT_DOUBLE_EQ(s.at("icbdd_svc_job_run_us_count"), 4.0);
+  EXPECT_DOUBLE_EQ(s.at("icbdd_svc_job_run_us_sum"), 1006.0);
+
+  // Buckets are cumulative: values never decrease as (numeric) le grows.
+  std::vector<std::pair<double, double>> buckets;
+  const std::string prefix = "icbdd_svc_job_run_us_bucket{le=\"";
+  for (const auto& [key, value] : s) {
+    if (key.rfind(prefix, 0) != 0) continue;
+    const std::string le = key.substr(prefix.size());
+    buckets.emplace_back(le.rfind("+Inf", 0) == 0
+                             ? std::numeric_limits<double>::infinity()
+                             : std::stod(le),
+                         value);
+  }
+  std::sort(buckets.begin(), buckets.end());
+  ASSERT_GE(buckets.size(), 2u);
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_GE(buckets[i].second, buckets[i - 1].second)
+        << "le=" << buckets[i].first;
+  }
+}
+
+TEST(Prometheus, CountersAreMonotoneAcrossRenders) {
+  obs::MetricsRegistry reg = populated();
+  const std::map<std::string, double> before =
+      samples(obs::prometheusRender(reg));
+  reg.add("bdd.gc.runs", 2);
+  reg.recordHistogram("svc.job.run_us", 9);
+  const std::map<std::string, double> after =
+      samples(obs::prometheusRender(reg));
+  for (const auto& [key, value] : before) {
+    if (key.rfind("icbdd_svc_queue_depth", 0) == 0) continue;  // gauge
+    ASSERT_TRUE(after.count(key)) << key;
+    EXPECT_GE(after.at(key), value) << key;
+  }
+  EXPECT_DOUBLE_EQ(after.at("icbdd_bdd_gc_runs"), 5.0);
+}
+
+TEST(Prometheus, EmptyRegistryRendersNothing) {
+  EXPECT_TRUE(obs::prometheusRender(obs::MetricsRegistry{}).empty());
+}
+
+}  // namespace
+}  // namespace icb

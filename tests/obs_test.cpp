@@ -278,6 +278,36 @@ TEST(TraceSession, DisabledSessionIsInertAndAllocationFree) {
   EXPECT_EQ(after, before) << "disabled trace path must not allocate";
 }
 
+TEST(TraceSession, EnvelopeCarriesWorkerAndJobAttribution) {
+  std::ostringstream out;
+  obs::TraceSink sink(out);
+  obs::TraceSession session(&sink, nullptr, 3, "job-42");
+  EXPECT_EQ(session.worker(), 3);
+  EXPECT_EQ(session.job(), "job-42");
+  session.runBegin("XICI");
+  session.emit("custom", obs::JsonObject().put("k", 1));
+
+  std::istringstream in(out.str());
+  const std::vector<JsonValue> events = obs::parseJsonLines(in);
+  ASSERT_EQ(events.size(), 2u);
+  for (const JsonValue& ev : events) {
+    EXPECT_DOUBLE_EQ(ev.find("worker")->numberOr(-1), 3.0);
+    EXPECT_EQ(ev.find("job")->textOr(""), "job-42");
+  }
+
+  // Defaulted attribution omits both fields -- the envelope is unchanged
+  // for every pre-existing consumer.
+  std::ostringstream plainOut;
+  obs::TraceSink plainSink(plainOut);
+  obs::TraceSession plain(&plainSink);
+  plain.runBegin("Fwd");
+  std::istringstream plainIn(plainOut.str());
+  const std::vector<JsonValue> plainEvents = obs::parseJsonLines(plainIn);
+  ASSERT_EQ(plainEvents.size(), 1u);
+  EXPECT_EQ(plainEvents[0].find("worker"), nullptr);
+  EXPECT_EQ(plainEvents[0].find("job"), nullptr);
+}
+
 TEST(TraceSession, ExplicitSinkOverridesProcessSink) {
   std::ostringstream processOut;
   obs::TraceSink processSink(processOut);

@@ -69,11 +69,12 @@ EngineResult resultWithVerdict(Method method, Verdict verdict) {
 }
 
 TEST(CellContext, ApplyTagsWorkerAndClampsDeadline) {
-  const par::CellContext ctx{2, 0, 5.0};
+  const par::CellContext ctx{2, 0, "job-7", 0.25, 5.0};
 
   EngineOptions uncapped;
   ctx.apply(uncapped);
   EXPECT_EQ(uncapped.traceWorker, 2);
+  EXPECT_EQ(uncapped.traceJob, "job-7");
   EXPECT_DOUBLE_EQ(uncapped.timeLimitSeconds, 5.0);
 
   EngineOptions tighter;
@@ -86,12 +87,13 @@ TEST(CellContext, ApplyTagsWorkerAndClampsDeadline) {
   ctx.apply(looser);
   EXPECT_DOUBLE_EQ(looser.timeLimitSeconds, 5.0);
 
-  const par::CellContext noDeadline{0, 0, 0.0};
+  const par::CellContext noDeadline{0, 0, "", 0.0, 0.0};
   EngineOptions untouched;
   untouched.timeLimitSeconds = 7.0;
   noDeadline.apply(untouched);
   EXPECT_DOUBLE_EQ(untouched.timeLimitSeconds, 7.0);
   EXPECT_EQ(untouched.traceWorker, 0);
+  EXPECT_TRUE(untouched.traceJob.empty());
 }
 
 TEST(VerifyScheduler, AggregatesInSubmissionOrder) {
@@ -119,6 +121,38 @@ TEST(VerifyScheduler, AggregatesInSubmissionOrder) {
     EXPECT_FALSE(results[i].skipped);
     EXPECT_EQ(results[i].result.verdict, Verdict::kHolds);
     EXPECT_LT(results[i].worker, 4u);
+  }
+}
+
+TEST(VerifyScheduler, RecordsQueueWaitAndThreadsGroupIntoContext) {
+  par::SchedulerOptions options;
+  options.jobs = 1;  // serial: deterministic dispatch order
+  par::VerifyScheduler scheduler(options);
+
+  std::vector<std::string> seenGroups(3);
+  std::vector<double> seenWaits(3, -1.0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    scheduler.submit("grp" + std::to_string(i), Method::kFwd,
+                     [i, &seenGroups, &seenWaits](const par::CellContext& ctx) {
+                       seenGroups[i] = ctx.group;
+                       seenWaits[i] = ctx.queueWaitSeconds;
+                       EngineOptions opts;
+                       ctx.apply(opts);
+                       EXPECT_EQ(opts.traceJob, ctx.group);
+                       return resultWithVerdict(Method::kFwd, Verdict::kHolds);
+                     });
+  }
+
+  const std::vector<par::CellResult> results = scheduler.run();
+  ASSERT_EQ(results.size(), 3u);
+  double lastWait = -1.0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(seenGroups[i], "grp" + std::to_string(i));
+    EXPECT_GE(seenWaits[i], 0.0);
+    EXPECT_DOUBLE_EQ(results[i].queueWaitSeconds, seenWaits[i]);
+    // Serial dispatch: later cells waited at least as long as earlier ones.
+    EXPECT_GE(seenWaits[i], lastWait);
+    lastWait = seenWaits[i];
   }
 }
 

@@ -4,12 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "obs/jsonl.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "svc/journal.hpp"
 #include "svc/service.hpp"
 #include "verif/checkpoint.hpp"
@@ -277,6 +280,145 @@ TEST(SvcJournal, WriteCounterSurfacesInMetricsSnapshot) {
             1u + metrics.counter("svc.checkpoints.saved"));
   EXPECT_GE(metrics.counter("svc.checkpoints.saved"), 1u);
   EXPECT_EQ(metrics.counter("svc.jobs.completed"), 1u);
+}
+
+TEST(SvcJournal, WriteFailuresDegradeInsteadOfThrowing) {
+  const std::string dir = uniqueDir("degraded");
+  JobJournal journal(dir);
+  EXPECT_TRUE(journal.healthy());
+  EXPECT_EQ(journal.writeFailures(), 0u);
+  EXPECT_LT(journal.secondsSinceLastWrite(), 0.0);  // nothing written yet
+
+  journal.recordAccepted("ok1", R"({"id":"ok1","model":"fifo"})");
+  EXPECT_TRUE(journal.healthy());
+  EXPECT_GE(journal.secondsSinceLastWrite(), 0.0);
+
+  // Yank the directory out from under the journal: every write must fail
+  // *silently* (counted + remembered), never throw.  Replacing the dir with
+  // a regular file breaks writes even for a root test runner, which
+  // chmod-based sabotage would not.
+  fs::remove_all(dir);
+  std::ofstream(dir) << "not a directory";
+  EXPECT_NO_THROW(journal.recordAccepted("x", R"({"id":"x","model":"fifo"})"));
+  EXPECT_NO_THROW(journal.recordCheckpoint("x", "snapshot"));
+  EXPECT_FALSE(journal.healthy());
+  EXPECT_EQ(journal.writeFailures(), 2u);
+  EXPECT_FALSE(journal.lastError().empty());
+
+  // Restoring the directory heals the journal on the next good write.
+  fs::remove(dir);
+  fs::create_directories(dir);
+  journal.recordAccepted("y", R"({"id":"y","model":"fifo"})");
+  EXPECT_TRUE(journal.healthy());
+  EXPECT_TRUE(journal.lastError().empty());
+  EXPECT_EQ(journal.writeFailures(), 2u);  // history is kept
+}
+
+TEST(SvcService, HealthFlipsWhenJournalDegrades) {
+  const std::string dir = uniqueDir("health");
+  ServiceOptions options;
+  options.drain = true;
+  options.journalDir = dir;
+  Capture cap;
+  VerifyService service(options, cap.emit());
+
+  EXPECT_TRUE(service.submitLine(R"({"id":"h1","model":"mutex","size":3})"));
+  ServiceHealth healthy = service.health();
+  EXPECT_TRUE(healthy.ok());
+  EXPECT_TRUE(healthy.journalOk);
+  EXPECT_EQ(healthy.queueDepth, 1u);
+  EXPECT_GE(healthy.secondsSinceJournalWrite, 0.0);
+  EXPECT_TRUE(healthy.journalError.empty());
+
+  // Sabotage the journal directory; the next accepted job's journal write
+  // fails, the service keeps serving, and /healthz's view degrades.
+  fs::remove_all(dir);
+  std::ofstream(dir) << "not a directory";
+  EXPECT_TRUE(service.submitLine(R"({"id":"h2","model":"mutex","size":3})"));
+  const ServiceHealth degraded = service.health();
+  EXPECT_FALSE(degraded.ok());
+  EXPECT_FALSE(degraded.journalOk);
+  EXPECT_FALSE(degraded.journalError.empty());
+
+  service.shutdown();
+  EXPECT_EQ(cap.ofType("job_result").size(), 2u);  // both jobs still ran
+  const obs::MetricsRegistry metrics = service.metricsSnapshot();
+  EXPECT_GE(metrics.counter("svc.journal.write_failures"), 1u);
+  EXPECT_EQ(metrics.counter("svc.jobs.completed"), 2u);
+}
+
+TEST(SvcService, JobHistogramsBillEveryCompletedJob) {
+  const std::string dir = uniqueDir("histos");
+  ServiceOptions options;
+  options.drain = true;
+  options.journalDir = dir;
+  options.checkpointEvery = 1;
+  Capture cap;
+  VerifyService service(options, cap.emit());
+  EXPECT_TRUE(service.submitLine(
+      R"({"id":"b1","model":"fifo","method":"fwd","size":4,"width":4})"));
+  EXPECT_TRUE(service.submitLine(
+      R"({"id":"b2","model":"mutex","method":"xici","size":3})"));
+  EXPECT_TRUE(service.submitLine(R"({"id":"b3","model":"warpdrive"})"));
+  service.shutdown();
+
+  const obs::MetricsRegistry metrics = service.metricsSnapshot();
+  EXPECT_EQ(metrics.counter("svc.jobs.completed"), 2u);
+  EXPECT_EQ(metrics.counter("svc.jobs.failed"), 1u);
+
+  // One sample per *completed* job in every attribution histogram; the
+  // failed job never reached the engine and is billed nowhere.
+  for (const char* name : {"svc.job.queue_wait_us", "svc.job.run_us",
+                           "svc.job.nodes_created", "svc.job.peak_nodes"}) {
+    const obs::Histogram* h = metrics.histogram(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_EQ(h->count(), 2u) << name;
+  }
+  EXPECT_GT(metrics.histogram("svc.job.nodes_created")->sum(), 0u);
+  EXPECT_GT(metrics.histogram("svc.job.peak_nodes")->min(), 0u);
+
+  // Checkpoint snapshots billed by size, one sample per saved checkpoint.
+  const obs::Histogram* bytes = metrics.histogram("svc.checkpoint.write_bytes");
+  ASSERT_NE(bytes, nullptr);
+  EXPECT_EQ(bytes->count(), metrics.counter("svc.checkpoints.saved"));
+  EXPECT_GT(bytes->sum(), 0u);
+}
+
+TEST(SvcService, TraceSpansCarryJobIdAndResourceBill) {
+  std::ostringstream traceOut;
+  obs::TraceSink sink(traceOut);
+  obs::setDefaultTraceSink(&sink);
+
+  ServiceOptions options;
+  options.drain = true;
+  options.checkpointEvery = 0;
+  Capture cap;
+  VerifyService service(options, cap.emit());
+  EXPECT_TRUE(service.submitLine(
+      R"({"id":"span1","model":"mutex","method":"xici","size":3})"));
+  service.shutdown();
+  obs::setDefaultTraceSink(nullptr);
+
+  std::istringstream in(traceOut.str());
+  const obs::JsonValue* jobEnd = nullptr;
+  std::size_t tagged = 0;
+  const std::vector<obs::JsonValue> events = obs::parseJsonLines(in);
+  for (const obs::JsonValue& ev : events) {
+    // Every event of this run -- engine spans included -- carries the
+    // request id in the "job" correlation field.
+    if (const obs::JsonValue* job = ev.find("job")) {
+      EXPECT_EQ(job->textOr(""), "span1");
+      ++tagged;
+    }
+    if (ev.find("ev")->textOr("") == "job_end") jobEnd = &ev;
+  }
+  EXPECT_GT(tagged, 2u);  // job_begin/job_end plus the engine's own spans
+  ASSERT_NE(jobEnd, nullptr);
+  EXPECT_EQ(jobEnd->find("verdict")->textOr(""), "holds");
+  EXPECT_GE(jobEnd->find("seconds")->numberOr(-1), 0.0);
+  EXPECT_GE(jobEnd->find("queue_wait_s")->numberOr(-1), 0.0);
+  EXPECT_GT(jobEnd->find("nodes_created")->numberOr(0), 0.0);
+  EXPECT_GT(jobEnd->find("peak_nodes")->numberOr(0), 0.0);
 }
 
 TEST(SvcRequest, ParseAndValidation) {
