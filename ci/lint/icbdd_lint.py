@@ -14,11 +14,13 @@ marker macros):
                        the preceding 12 lines): both mutate or serialize
                        manager state that is only coherent at iteration
                        boundaries.
-  L3  raw-node-escape  no interior BddManager::Node pointer/reference in a
-                       public section of a src/bdd header, and no
-                       BddManager::Node use outside src/bdd + src/check:
-                       nodes move under GC and reordering; only Edge/Bdd
-                       handles are stable.
+  L3  raw-node-escape  no interior node representation in a public surface:
+                       no Node pointer/reference and no packed-word
+                       (word0/word1) accessor in a public section of a src
+                       header, and no BddManager::Node / PackedNode use
+                       outside src/bdd + src/check: nodes move under GC and
+                       reordering and their packing is NodeStore-private;
+                       only Edge/Bdd handles are stable.
   L4  metric-catalog   every metric-name string literal in src/ matches the
                        dotted-name catalog in docs/observability.md (the
                        icbdd-metric-catalog block, one 'name kind help...'
@@ -61,7 +63,8 @@ from pathlib import Path
 RULES = {
     "L1": "engine-io: raw I/O / sleeps inside an engine iteration",
     "L2": "safe-point: reorder/checkpoint call without ICBDD_SAFE_POINT",
-    "L3": "raw-node-escape: interior BddNode pointer outside the manager",
+    "L3": "raw-node-escape: interior node type or packed word escapes the "
+          "manager",
     "L4": "metric-catalog: metric name not in docs/observability.md",
     "L5": "relaxed-order: memory_order_relaxed without 'relaxed:' comment",
 }
@@ -97,9 +100,11 @@ CKPT_DECL = re.compile(r"\bCheckpointEmitter\s+(\w+)\s*[({]")
 SUPPRESS = re.compile(r"\bICBDD_LINT_SUPPRESS\s*\(\s*(L[1-5])\s*,")
 
 PUBLIC_NODE = re.compile(r"\bNode\s*[*&]")
+PACKED_WORD = re.compile(r"\bword[01]\b")
 ACCESS_SPEC = re.compile(r"^\s*(public|private|protected)\s*:")
 CLASS_DECL = re.compile(r"^\s*(class|struct)\s+(?:\w+\s+)*(\w+)[^;]*$")
 FOREIGN_NODE = re.compile(r"\bBddManager\s*::\s*Node\b")
+FOREIGN_PACKED = re.compile(r"\bPackedNode\b")
 
 METRIC_NAME = re.compile(r"^(bdd|ici|svc)\.[a-z0-9_.]+$")
 METRIC_PREFIX = re.compile(r"^(bdd|ici|svc)\.([a-z0-9_.]*\.)?$")
@@ -331,12 +336,20 @@ class FileLinter:
                 depth += line.code.count("{") - line.code.count("}")
                 while depth_at_class and depth <= depth_at_class[-1][0]:
                     access = depth_at_class.pop()[1]
-                if access == "public" and depth_at_class \
-                        and PUBLIC_NODE.search(line.code):
-                    self.emit(num, "L3",
-                              "interior Node pointer/reference in a public "
-                              "section -- expose Edge/Bdd handles instead "
-                              "(nodes move under GC and reordering)")
+                if access == "public" and depth_at_class:
+                    if PUBLIC_NODE.search(line.code):
+                        self.emit(num, "L3",
+                                  "interior Node pointer/reference in a "
+                                  "public section -- expose Edge/Bdd handles "
+                                  "instead (nodes move under GC and "
+                                  "reordering)")
+                    if PACKED_WORD.search(line.code):
+                        self.emit(num, "L3",
+                                  "packed node word (word0/word1) in a "
+                                  "public section -- the packing is "
+                                  "NodeStore-private; expose "
+                                  "(var, hi, lo, next) field accessors "
+                                  "instead")
         # Part 2 (everywhere outside the manager + its audit hooks):
         # naming the interior node type at all.
         if not self.rel.startswith(("src/bdd/", "src/check/")):
@@ -345,6 +358,11 @@ class FileLinter:
                     self.emit(num, "L3",
                               "BddManager::Node used outside src/bdd + "
                               "src/check -- interior nodes are not a stable "
+                              "API; use Edge/Bdd handles")
+                if FOREIGN_PACKED.search(line.code):
+                    self.emit(num, "L3",
+                              "PackedNode used outside src/bdd + src/check "
+                              "-- the node representation is not a stable "
                               "API; use Edge/Bdd handles")
 
     def check_metric_names(self) -> None:

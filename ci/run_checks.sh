@@ -41,6 +41,11 @@ for c in cells:
     for key in ('group', 'method', 'verdict', 'time_s', 'iterations',
                 'peak_iterate_nodes', 'member_sizes', 'metrics'):
         assert key in c, (key, c)
+    # Packed 16-byte nodes: the memory column must stay at the packed
+    # bytes-per-node accounting (the old layout reported 24 bytes/node).
+    assert c['mem_bytes'] == c['peak_allocated_nodes'] * 16, \
+        ('mem accounting is not 16 bytes/node', c['mem_bytes'],
+         c['peak_allocated_nodes'])
     histos = c['metrics'].get('histograms', {})
     assert any(k.startswith('bdd.apply.') for k in histos), \
         ('no bdd.apply.* latency histogram', sorted(histos))

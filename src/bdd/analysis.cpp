@@ -84,9 +84,9 @@ std::vector<unsigned> BddManager::supportE(Edge e) const {
     const std::uint32_t i = stack.back();
     stack.pop_back();
     if (i == 0 || !seen.insert(i).second) continue;
-    vars.push_back(nodes_[i].var);
-    stack.push_back(edgeIndex(nodes_[i].hi));
-    stack.push_back(edgeIndex(nodes_[i].lo));
+    vars.push_back(store_.varOf(i));
+    stack.push_back(edgeIndex(store_.hiOf(i)));
+    stack.push_back(edgeIndex(store_.loOf(i)));
   }
   std::sort(vars.begin(), vars.end());
   vars.erase(std::unique(vars.begin(), vars.end()), vars.end());

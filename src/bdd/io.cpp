@@ -35,13 +35,14 @@ void BddManager::dumpDot(std::ostream& os, std::span<const Edge> roots,
     const std::uint32_t i = stack.back();
     stack.pop_back();
     if (i == 0 || !seen.insert(i).second) continue;
-    const Node& n = nodes_[i];
-    os << "  n" << i << " [label=\"" << varNames_[n.var] << "\"];\n";
-    os << "  n" << i << " -> " << edgeTarget(n.hi) << ";\n";
-    os << "  n" << i << " -> " << edgeTarget(n.lo) << " [style=dashed"
-       << (edgeIsComplemented(n.lo) ? ",color=red" : "") << "];\n";
-    stack.push_back(edgeIndex(n.hi));
-    stack.push_back(edgeIndex(n.lo));
+    const Edge hi = store_.hiOf(i);
+    const Edge lo = store_.loOf(i);
+    os << "  n" << i << " [label=\"" << varNames_[store_.varOf(i)] << "\"];\n";
+    os << "  n" << i << " -> " << edgeTarget(hi) << ";\n";
+    os << "  n" << i << " -> " << edgeTarget(lo) << " [style=dashed"
+       << (edgeIsComplemented(lo) ? ",color=red" : "") << "];\n";
+    stack.push_back(edgeIndex(hi));
+    stack.push_back(edgeIndex(lo));
   }
   os << "}\n";
 }

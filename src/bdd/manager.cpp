@@ -1,7 +1,6 @@
 #include "bdd/manager.hpp"
 
 #include <algorithm>
-#include <bit>
 
 #include "bdd/bdd.hpp"
 #include "check/check.hpp"
@@ -39,12 +38,8 @@ std::uint64_t mix64(std::uint64_t x) {
 
 }  // namespace
 
-BddManager::BddManager(const BddOptions& options) : options_(options) {
-  nodes_.reserve(options_.initialCapacity);
-  // Node 0: the terminal.  Its var is kFreeVar-1 so it never matches a
-  // variable; it is never on a hash chain.
-  nodes_.push_back(Node{kFreeVar - 1, kTrueEdge, kTrueEdge, kNil, kMaxRef});
-  buckets_.assign(std::bit_ceil<std::size_t>(options_.initialCapacity), kNil);
+BddManager::BddManager(const BddOptions& options)
+    : store_(options.initialCapacity), options_(options) {
   cache_.assign(std::size_t{1} << options_.cacheBitsLog2, CacheEntry{});
   gcThreshold_ = options_.gcThreshold;
   stats_.peakNodes = 1;
@@ -57,6 +52,10 @@ BddManager::~BddManager() = default;
 
 unsigned BddManager::newVar(const std::string& name) {
   const auto v = static_cast<unsigned>(varEdges_.size());
+  if (v > NodeStore::kMaxVar) {
+    throw BddUsageError("variable index space exhausted (packed nodes carry "
+                        "20-bit variable indices)");
+  }
   var2level_.push_back(v);
   level2var_.push_back(v);
   varGroup_.push_back(kNoGroup);
@@ -82,23 +81,19 @@ Bdd BddManager::nvar(unsigned v) {
 }
 
 // ---------------------------------------------------------------------------
-// unique table
+// reference counting
 
-std::size_t BddManager::hashNode(unsigned var, Edge hi, Edge lo) const {
-  const std::uint64_t key =
-      (static_cast<std::uint64_t>(var) << 40) ^
-      (static_cast<std::uint64_t>(hi) << 20) ^ static_cast<std::uint64_t>(lo);
-  return mix64(key) & (buckets_.size() - 1);
-}
-
-void BddManager::rehash(std::size_t newBucketCount) {
-  buckets_.assign(newBucketCount, kNil);
-  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
-    Node& n = nodes_[i];
-    if (n.var == kFreeVar) continue;  // free-listed node
-    const std::size_t slot = hashNode(n.var, n.hi, n.lo);
-    n.next = buckets_[slot];
-    buckets_[slot] = i;
+void BddManager::deref(Edge e) {
+  if (store_.deref(edgeIndex(e))) {
+    // A release on a zero count: some handle was dropped twice.  Always
+    // counted (the obs layer exports bdd.ref.underflow); fatal when the
+    // per-operation checks are on.
+    ++stats_.refUnderflows;
+    ICBDD_CHECK(kCheap,
+                throw CheckFailure(
+                    ViolationKind::kRefUnderflow,
+                    "deref of edge " + std::to_string(e) +
+                        " whose external reference count is already zero"));
   }
 }
 
@@ -129,48 +124,29 @@ Edge BddManager::mk(unsigned var, Edge hi, Edge lo) {
   }
 
   ++stats_.uniqueLookups;
-  for (std::uint32_t i = buckets_[hashNode(var, hi, lo)]; i != kNil;
-       i = nodes_[i].next) {
-    ++stats_.uniqueChainSteps;
-    const Node& n = nodes_[i];
-    if (n.var == var && n.hi == hi && n.lo == lo) {
-      return makeEdge(i, false);
-    }
-  }
+  const std::uint32_t hit = store_.find(var, hi, lo, &stats_.uniqueChainSteps);
+  if (hit != kNil) return makeEdge(hit, false);
 
   checkResourceLimits();
 
-  std::uint32_t index;
-  if (freeHead_ != kNil) {
-    index = freeHead_;
-    freeHead_ = nodes_[index].next;
-    --freeCount_;
-  } else {
-    index = static_cast<std::uint32_t>(nodes_.size());
-    if (index >= (1u << 31)) {
-      throw ResourceLimitError(ResourceKind::kNodes);  // edge encoding limit
-    }
-    nodes_.push_back(Node{kFreeVar, 0, 0, kNil, 0});
+  // allocate() enforces the 31-bit Edge index space itself, throwing the
+  // typed kNodeIndexSpace error *before* touching any state -- the guard
+  // that used to live here (and before that, nowhere: indices silently
+  // wrapped through makeEdge past 2^31 nodes).
+  const bool grew = store_.wouldGrow();
+  const std::uint32_t index = store_.allocate(var, hi, lo);
+  if (grew) {
     // Keep the load factor of the unique table below 1.  Mid-swap the table
     // holds unlinked nodes with stale triples, so growth is deferred until
     // the swap has restored consistency (see swapLevelsInternal).
-    if (nodes_.size() > buckets_.size() && !suppressRehash_) {
-      rehash(buckets_.size() * 2);
+    if (store_.needsRehash() && !suppressRehash_) {
+      store_.rehash(store_.bucketCount() * 2);
     }
     // The computed cache tracks the arena the same way: a cache frozen at
     // its boot size serves a multi-million-node traversal at direct-mapped
     // conflict rates while the unique table scales freely beside it.
     maybeGrowComputedCache();
   }
-
-  const std::size_t slot = hashNode(var, hi, lo);
-  Node& n = nodes_[index];
-  n.var = var;
-  n.hi = hi;
-  n.lo = lo;
-  n.ref = 0;
-  n.next = buckets_[slot];
-  buckets_[slot] = index;
 
   ++stats_.nodesCreated;
   stats_.peakNodes = std::max<std::uint64_t>(stats_.peakNodes, allocatedNodes());
@@ -212,7 +188,7 @@ void BddManager::maybeGrowComputedCache() {
   // factor ~1 loses most of its entries to slot conflicts, so growing only
   // to parity buys nothing.  The 2x headroom is what turns growth into
   // measurable hit-rate gains on multi-hundred-thousand-node traversals.
-  while (nodes_.size() * 2 > cache_.size() && cache_.size() < ceiling) {
+  while (store_.size() * 2 > cache_.size() && cache_.size() < ceiling) {
     // Rehash rather than drop: every live entry stays findable at its slot
     // in the doubled table, so growth never costs a cold restart.
     std::vector<CacheEntry> old;
@@ -244,36 +220,33 @@ void BddManager::markRecursive(std::uint32_t index,
     stack.pop_back();
     if (mark[i] != 0) continue;
     mark[i] = 1;
-    const Node& n = nodes_[i];
     if (i == 0) continue;
-    stack.push_back(edgeIndex(n.hi));
-    stack.push_back(edgeIndex(n.lo));
+    stack.push_back(edgeIndex(store_.hiOf(i)));
+    stack.push_back(edgeIndex(store_.loOf(i)));
   }
 }
 
 std::uint64_t BddManager::gc() {
   const Stopwatch gcWatch;
-  std::vector<std::uint8_t> mark(nodes_.size(), 0);
+  std::vector<std::uint8_t> mark(store_.size(), 0);
   mark[0] = 1;
-  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
-    if (nodes_[i].var != kFreeVar && nodes_[i].ref > 0) {
+  // Roots are exactly the side table's entries: every externally referenced
+  // node, without an O(arena) scan for nonzero counts.
+  for (const auto& [i, r] : store_.refs()) {
+    if (i != 0 && r > 0 && !store_.isFree(i)) {
       markRecursive(i, mark);
     }
   }
 
   std::uint64_t reclaimed = 0;
-  freeHead_ = kNil;
-  freeCount_ = 0;
-  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
+  store_.resetFreeList();
+  for (std::uint32_t i = 1; i < store_.size(); ++i) {
     if (mark[i] != 0) continue;
-    if (nodes_[i].var != kFreeVar) ++reclaimed;
-    nodes_[i].var = kFreeVar;
-    nodes_[i].next = freeHead_;
-    freeHead_ = i;
-    ++freeCount_;
+    if (!store_.isFree(i)) ++reclaimed;
+    store_.pushFree(i);
   }
 
-  rehash(buckets_.size());
+  store_.rehash(store_.bucketCount());
   // Sweep the computed cache selectively: an entry stays valid as long as
   // every node it references survived, because the sweep frees slots in
   // place (survivors keep their index, and an index keeps denoting the same
@@ -311,12 +284,13 @@ std::uint64_t BddManager::gc() {
 }
 
 void BddManager::autoGc() {
-  if (nodes_.size() < gcThreshold_) return;
+  if (store_.size() < gcThreshold_) return;
   gc();
   // If the table is still mostly live, collecting again soon is pointless:
   // raise the threshold so we grow instead.
-  if (allocatedNodes() * 4 > nodes_.size() * 3) {
-    gcThreshold_ = std::max<std::uint64_t>(gcThreshold_ * 2, nodes_.size() * 2);
+  if (allocatedNodes() * 4 > store_.size() * 3) {
+    gcThreshold_ =
+        std::max<std::uint64_t>(gcThreshold_ * 2, store_.size() * 2);
   }
   // The collection just failed to get the live count back under the growth
   // trigger?  This is the safe point where sifting is allowed to fire: only
@@ -325,10 +299,10 @@ void BddManager::autoGc() {
 }
 
 std::uint64_t BddManager::liveNodes() const {
-  std::vector<std::uint8_t> mark(nodes_.size(), 0);
+  std::vector<std::uint8_t> mark(store_.size(), 0);
   mark[0] = 1;
-  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
-    if (nodes_[i].var != kFreeVar && nodes_[i].ref > 0) {
+  for (const auto& [i, r] : store_.refs()) {
+    if (i != 0 && r > 0 && !store_.isFree(i)) {
       markRecursive(i, mark);
     }
   }
@@ -346,11 +320,11 @@ void BddManager::checkInvariants() const {
 }
 
 void BddManager::validateEdge(Edge e) const {
-  if (edgeIndex(e) >= nodes_.size()) {
+  if (edgeIndex(e) >= store_.size()) {
     throw CheckFailure(ViolationKind::kInvalidEdge,
                        "edge " + std::to_string(e) + " points outside the arena");
   }
-  if (!edgeIsConstant(e) && nodes_[edgeIndex(e)].var == kFreeVar) {
+  if (!edgeIsConstant(e) && store_.isFree(edgeIndex(e))) {
     throw CheckFailure(ViolationKind::kInvalidEdge,
                        "edge " + std::to_string(e) + " points at a freed node");
   }

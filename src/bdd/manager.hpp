@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bdd/edge.hpp"
+#include "bdd/node_store.hpp"
 #include "bdd/options.hpp"
 #include "obs/histogram.hpp"
 #include "util/thread_annotations.hpp"
@@ -82,6 +83,9 @@ struct BddStats {
   std::uint64_t constrainCalls = 0; ///< top-level constrainE invocations
   std::uint64_t multiRestrictCalls = 0;  ///< top-level restrictMultiE calls
   std::uint64_t cacheResizes = 0;   ///< adaptive computed-cache doublings
+  std::uint64_t refUnderflows = 0;  ///< deref() calls on a zero count (a
+                                    ///< double release swallowed because the
+                                    ///< check level was below cheap)
 
   /// Computed-cache hit/miss per operation kind, indexed by BddOp.
   std::array<BddOpCacheStats, kBddOpCount> opCache{};
@@ -210,14 +214,17 @@ class ICBDD_CAPABILITY("BddManager") BddManager {
 
   /// Nodes currently allocated in the arena (live + dead-awaiting-GC).
   [[nodiscard]] std::uint64_t allocatedNodes() const {
-    return nodes_.size() - freeCount_;
+    return store_.allocated();
   }
 
-  /// Estimated bytes for `n` nodes, including unique-table overhead.  Used
-  /// to report paper-style "Mem" columns in an implementation-independent
-  /// way (the paper itself warns memory numbers depend on the package).
+  /// Estimated bytes for `n` nodes.  Used to report paper-style "Mem"
+  /// columns in an implementation-independent way (the paper itself warns
+  /// memory numbers depend on the package).  The packed node folds the
+  /// unique-table chain link into its spare bits, so -- unlike the old
+  /// 20-byte node + 4-byte chain word -- there is no per-node table
+  /// overhead to add: 16 bytes per node, full stop (docs/node_layout.md).
   [[nodiscard]] static std::uint64_t bytesForNodes(std::uint64_t n) {
-    return n * (sizeof(Node) + sizeof(std::uint32_t));
+    return n * sizeof(PackedNode);
   }
 
   [[nodiscard]] const BddStats& stats() const { return stats_; }
@@ -262,22 +269,23 @@ class ICBDD_CAPABILITY("BddManager") BddManager {
   // ---- edge-level structural accessors ------------------------------------
 
   [[nodiscard]] unsigned nodeVar(Edge e) const {
-    return nodes_[edgeIndex(e)].var;
+    return store_.varOf(edgeIndex(e));
   }
 
   /// Order position of an edge's top node; constants sit below everything.
   [[nodiscard]] unsigned edgeLevel(Edge e) const {
-    return edgeIsConstant(e) ? kTermLevel : var2level_[nodes_[edgeIndex(e)].var];
+    return edgeIsConstant(e) ? kTermLevel
+                             : var2level_[store_.varOf(edgeIndex(e))];
   }
 
   /// Then-cofactor of the *function* denoted by `e` at its own top variable
   /// (complement bit propagated into the child).
   [[nodiscard]] Edge edgeThen(Edge e) const {
-    return nodes_[edgeIndex(e)].hi ^ (e & 1u);
+    return store_.hiOf(edgeIndex(e)) ^ (e & 1u);
   }
 
   [[nodiscard]] Edge edgeElse(Edge e) const {
-    return nodes_[edgeIndex(e)].lo ^ (e & 1u);
+    return store_.loOf(edgeIndex(e)) ^ (e & 1u);
   }
 
   /// Edge of the projection function of variable v (edge-level `var(v)`).
@@ -414,18 +422,13 @@ class ICBDD_CAPABILITY("BddManager") BddManager {
   // Test-only corruption hook (src/check/test_hooks.hpp).
   friend class NodeSurgeon;
 
-  struct Node {
-    unsigned var;        // variable index; kFreeVar when on the free list
-    Edge hi;             // then-arc, never complemented
-    Edge lo;             // else-arc, may be complemented
-    std::uint32_t next;  // unique-table chain / free-list link
-    std::uint32_t ref;   // external (handle) reference count, saturating
-  };
-
-  static constexpr unsigned kFreeVar = std::numeric_limits<unsigned>::max();
-  static constexpr std::uint32_t kNil = std::numeric_limits<std::uint32_t>::max();
-  static constexpr std::uint32_t kMaxRef =
-      std::numeric_limits<std::uint32_t>::max();
+  // The node representation lives in NodeStore (bdd/node_store.hpp): packed
+  // 16-byte nodes, a sparse refcount side table, and the unique table /
+  // free list.  The historical sentinels are re-exported so the checker and
+  // the reorder machinery keep reading naturally.
+  static constexpr unsigned kFreeVar = NodeStore::kFreeVar;
+  static constexpr std::uint32_t kNil = NodeStore::kNil;
+  static constexpr std::uint32_t kMaxRef = NodeStore::kMaxRef;
 
   // Operation tags for the computed cache; the public BddOp so per-op
   // statistics and the cache auditor's re-execution switch share one enum.
@@ -438,18 +441,12 @@ class ICBDD_CAPABILITY("BddManager") BddManager {
   };
 
   // reference counting (used by Bdd handles only)
-  void ref(Edge e) {
-    Node& n = nodes_[edgeIndex(e)];
-    if (n.ref != kMaxRef) ++n.ref;
-  }
-  void deref(Edge e) {
-    Node& n = nodes_[edgeIndex(e)];
-    if (n.ref != kMaxRef && n.ref != 0) --n.ref;
-  }
-
-  // unique table
-  [[nodiscard]] std::size_t hashNode(unsigned var, Edge hi, Edge lo) const;
-  void rehash(std::size_t newBucketCount);
+  void ref(Edge e) { store_.ref(edgeIndex(e)); }
+  /// Dropping a count that is already zero means someone released a handle
+  /// twice: counted in stats_.refUnderflows always, and escalated to a
+  /// CheckFailure(kRefUnderflow) under ICBDD_CHECK_LEVEL >= cheap.  Out of
+  /// line because the escalation needs check/check.hpp.
+  void deref(Edge e);
 
   // computed cache
   [[nodiscard]] std::size_t cacheSlot(Op op, Edge f, Edge g, Edge h) const;
@@ -477,6 +474,8 @@ class ICBDD_CAPABILITY("BddManager") BddManager {
   /// level's candidate list and maintains the live count incrementally; the
   /// public swapAdjacentLevels() passes nullptr and scans the arena.
   void swapLevelsInternal(unsigned level, ReorderBook* book);
+  /// Store unlink that escalates a missing chain entry to a CheckFailure
+  /// (the reorder path must never lose a node silently).
   void unlinkFromBucket(std::uint32_t index);
   /// Throws CheckFailure when the book's live count disagrees with a full
   /// liveNodes() mark pass (ICBDD_CHECK_LEVEL=full only).
@@ -497,14 +496,12 @@ class ICBDD_CAPABILITY("BddManager") BddManager {
   Edge restrictRec(Edge f, Edge c);
   Edge constrainRec(Edge f, Edge c);
 
-  // data -- the first block is the item-1 shared state: node arena, unique
-  // table, free list, and computed cache are exactly what the shared
-  // concurrent manager will hand to multiple workers, so any new access to
-  // them must stay behind this class's capability (see the class comment).
-  std::vector<Node> nodes_;             // item-1 shared
-  std::vector<std::uint32_t> buckets_;  // item-1 shared: unique-table heads
-  std::uint32_t freeHead_ = kNil;       // item-1 shared: free list head
-  std::uint64_t freeCount_ = 0;         // item-1 shared
+  // data -- the first block is the item-1 shared state: the NodeStore
+  // (node arena + unique table + free list, see bdd/node_store.hpp) and the
+  // computed cache are exactly what the shared concurrent manager will hand
+  // to multiple workers, so any new access to them must stay behind this
+  // class's capability (see the class comment).
+  NodeStore store_;                     // item-1 shared
 
   std::vector<CacheEntry> cache_;       // item-1 shared: computed cache
 

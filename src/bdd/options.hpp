@@ -42,14 +42,19 @@ struct BddOptions {
   std::uint64_t reorderMinLiveNodes = 4096;
 };
 
-/// Which resource gave out first when a run is aborted.
-enum class ResourceKind { kNodes, kTime, kCancelled };
+/// Which resource gave out first when a run is aborted.  kNodes is the
+/// *configured* ResourceLimits::maxNodes cap; kNodeIndexSpace is the
+/// structural ceiling of the 31-bit Edge index encoding (the arena can hold
+/// no more nodes no matter what the limits say).
+enum class ResourceKind { kNodes, kTime, kCancelled, kNodeIndexSpace };
 
 [[nodiscard]] constexpr const char* resourceKindMessage(ResourceKind kind) {
   switch (kind) {
     case ResourceKind::kNodes: return "BDD node limit exceeded";
     case ResourceKind::kTime: return "BDD deadline exceeded";
     case ResourceKind::kCancelled: return "BDD operation cancelled";
+    case ResourceKind::kNodeIndexSpace:
+      return "BDD node index space exhausted (31-bit Edge encoding)";
   }
   return "BDD resource limit exceeded";
 }

@@ -72,20 +72,22 @@ void BddManager::groupVars(std::span<const unsigned> vars) {
 void BddManager::initReorderBook(ReorderBook& book) const {
   // Precondition: gc() just ran, so every non-free node is reachable from an
   // external root and the one O(arena) pass below prices the whole sift.
-  book.parents.assign(nodes_.size(), 0);
-  book.alive.assign(nodes_.size(), 0);
+  book.parents.assign(store_.size(), 0);
+  book.alive.assign(store_.size(), 0);
   book.popVar.assign(varCount(), 0);
   book.varNodes.assign(varCount(), {});
   book.live = 1;  // the terminal
-  for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
-    const Node& n = nodes_[i];
-    if (n.var == kFreeVar) continue;
+  for (std::uint32_t i = 1; i < store_.size(); ++i) {
+    if (store_.isFree(i)) continue;
+    const unsigned var = store_.varOf(i);
     book.alive[i] = 1;
     ++book.live;
-    ++book.popVar[n.var];
-    book.varNodes[n.var].push_back(i);
-    if (edgeIndex(n.hi) != 0) ++book.parents[edgeIndex(n.hi)];
-    if (edgeIndex(n.lo) != 0) ++book.parents[edgeIndex(n.lo)];
+    ++book.popVar[var];
+    book.varNodes[var].push_back(i);
+    const Edge hi = store_.hiOf(i);
+    const Edge lo = store_.loOf(i);
+    if (edgeIndex(hi) != 0) ++book.parents[edgeIndex(hi)];
+    if (edgeIndex(lo) != 0) ++book.parents[edgeIndex(lo)];
   }
 }
 
@@ -103,8 +105,8 @@ void BddManager::bookAcquire(ReorderBook& book, Edge e) {
     if (book.alive[i] != 0) continue;
     book.alive[i] = 1;
     ++book.live;
-    ++book.popVar[nodes_[i].var];
-    for (const Edge c : {nodes_[i].hi, nodes_[i].lo}) {
+    ++book.popVar[store_.varOf(i)];
+    for (const Edge c : {store_.hiOf(i), store_.loOf(i)}) {
       const std::uint32_t ci = edgeIndex(c);
       if (ci == 0) continue;
       ++book.parents[ci];
@@ -121,13 +123,13 @@ void BddManager::bookRelease(ReorderBook& book, Edge e) {
     const std::uint32_t i = stack.back();
     stack.pop_back();
     --book.parents[i];
-    if (book.parents[i] != 0 || nodes_[i].ref != 0 || book.alive[i] == 0) {
+    if (book.parents[i] != 0 || store_.refOf(i) != 0 || book.alive[i] == 0) {
       continue;
     }
     book.alive[i] = 0;
     --book.live;
-    --book.popVar[nodes_[i].var];
-    for (const Edge c : {nodes_[i].hi, nodes_[i].lo}) {
+    --book.popVar[store_.varOf(i)];
+    for (const Edge c : {store_.hiOf(i), store_.loOf(i)}) {
       if (edgeIndex(c) != 0) stack.push_back(edgeIndex(c));
     }
   }
@@ -141,8 +143,8 @@ Edge BddManager::mkBook(unsigned var, Edge hi, Edge lo, ReorderBook* book) {
     // Fresh node: dead until a live parent acquires it, no in-edges yet.
     const std::uint32_t idx = edgeIndex(e);
     if (idx >= book->alive.size()) {
-      book->parents.resize(nodes_.size(), 0);
-      book->alive.resize(nodes_.size(), 0);
+      book->parents.resize(store_.size(), 0);
+      book->alive.resize(store_.size(), 0);
     }
     book->parents[idx] = 0;
     book->alive[idx] = 0;
@@ -161,17 +163,11 @@ void BddManager::auditReorderBook(const ReorderBook& book) const {
 }
 
 void BddManager::unlinkFromBucket(std::uint32_t index) {
-  Node& n = nodes_[index];
-  std::uint32_t* link = &buckets_[hashNode(n.var, n.hi, n.lo)];
-  while (*link != index) {
-    if (*link == kNil) {
-      throw CheckFailure(ViolationKind::kUniqueTableMiss,
-                         "node " + std::to_string(index) +
-                             " missing from its unique-table chain");
-    }
-    link = &nodes_[*link].next;
+  if (!store_.unlinkFromBucket(index)) {
+    throw CheckFailure(ViolationKind::kUniqueTableMiss,
+                       "node " + std::to_string(index) +
+                           " missing from its unique-table chain");
   }
-  *link = n.next;
 }
 
 void BddManager::swapLevelsInternal(unsigned level, ReorderBook* book) {
@@ -181,9 +177,12 @@ void BddManager::swapLevelsInternal(unsigned level, ReorderBook* book) {
   // Collect the level-`level` nodes that actually reference variable y.
   std::vector<std::uint32_t> rewrite;
   auto wantsRewrite = [&](std::uint32_t i) {
-    const Node& n = nodes_[i];
-    const bool hiY = !edgeIsConstant(n.hi) && nodes_[edgeIndex(n.hi)].var == y;
-    const bool loY = !edgeIsConstant(n.lo) && nodes_[edgeIndex(n.lo)].var == y;
+    const Edge hi = store_.hiOf(i);
+    const Edge lo = store_.loOf(i);
+    const bool hiY =
+        !edgeIsConstant(hi) && store_.varOf(edgeIndex(hi)) == y;
+    const bool loY =
+        !edgeIsConstant(lo) && store_.varOf(edgeIndex(lo)) == y;
     return hiY || loY;
   };
   if (book != nullptr) {
@@ -194,13 +193,13 @@ void BddManager::swapLevelsInternal(unsigned level, ReorderBook* book) {
     candidates.erase(std::unique(candidates.begin(), candidates.end()),
                      candidates.end());
     std::erase_if(candidates,
-                  [&](std::uint32_t i) { return nodes_[i].var != x; });
+                  [&](std::uint32_t i) { return store_.varOf(i) != x; });
     for (const std::uint32_t i : candidates) {
       if (wantsRewrite(i)) rewrite.push_back(i);
     }
   } else {
-    for (std::uint32_t i = 1; i < nodes_.size(); ++i) {
-      if (nodes_[i].var == x && wantsRewrite(i)) rewrite.push_back(i);
+    for (std::uint32_t i = 1; i < store_.size(); ++i) {
+      if (store_.varOf(i) == x && wantsRewrite(i)) rewrite.push_back(i);
     }
   }
 
@@ -214,11 +213,13 @@ void BddManager::swapLevelsInternal(unsigned level, ReorderBook* book) {
 
   for (const std::uint32_t i : rewrite) {
     unlinkFromBucket(i);
-    const Edge f1 = nodes_[i].hi;  // plain by canonicity
-    const Edge f0 = nodes_[i].lo;  // possibly complemented
+    const Edge f1 = store_.hiOf(i);  // plain by canonicity
+    const Edge f0 = store_.loOf(i);  // possibly complemented
 
-    const bool hiY = !edgeIsConstant(f1) && nodes_[edgeIndex(f1)].var == y;
-    const bool loY = !edgeIsConstant(f0) && nodes_[edgeIndex(f0)].var == y;
+    const bool hiY =
+        !edgeIsConstant(f1) && store_.varOf(edgeIndex(f1)) == y;
+    const bool loY =
+        !edgeIsConstant(f0) && store_.varOf(edgeIndex(f0)) == y;
     const Edge f11 = hiY ? edgeThen(f1) : f1;
     const Edge f10 = hiY ? edgeElse(f1) : f1;
     const Edge f01 = loY ? edgeThen(f0) : f0;
@@ -235,13 +236,8 @@ void BddManager::swapLevelsInternal(unsigned level, ReorderBook* book) {
       bookAcquire(*book, newHi);
       bookAcquire(*book, newLo);
     }
-    Node& n = nodes_[i];
-    n.var = y;
-    n.hi = newHi;
-    n.lo = newLo;
-    const std::size_t slot = hashNode(y, newHi, newLo);
-    n.next = buckets_[slot];
-    buckets_[slot] = i;
+    store_.setFields(i, y, newHi, newLo);
+    store_.linkIntoBucket(i);
     if (book != nullptr) {
       book->varNodes[y].push_back(i);
       if (wasAlive) {
@@ -257,9 +253,9 @@ void BddManager::swapLevelsInternal(unsigned level, ReorderBook* book) {
   // Table growth deferred by the flag above happens now, on a consistent
   // table (a mid-loop rehash would have re-inserted pending nodes under
   // their stale triples).
-  std::size_t wantBuckets = buckets_.size();
-  while (nodes_.size() > wantBuckets) wantBuckets *= 2;
-  if (wantBuckets != buckets_.size()) rehash(wantBuckets);
+  std::size_t wantBuckets = store_.bucketCount();
+  while (store_.size() > wantBuckets) wantBuckets *= 2;
+  if (wantBuckets != store_.bucketCount()) store_.rehash(wantBuckets);
 
   level2var_[level] = y;
   level2var_[level + 1] = x;

@@ -33,11 +33,11 @@ CheckReport CacheAuditor::audit() {
   ResourceLimits saved = mgr_.limits();
   mgr_.clearLimits();
   auto& cache = mgr_.cache_;
-  const auto& nodes = mgr_.nodes_;
+  const NodeStore& store = mgr_.store_;
 
   const auto edgeOk = [&](Edge e) {
-    return edgeIndex(e) < nodes.size() &&
-           (edgeIsConstant(e) || nodes[edgeIndex(e)].var != BddManager::kFreeVar);
+    return edgeIndex(e) < store.size() &&
+           (edgeIsConstant(e) || !store.isFree(edgeIndex(e)));
   };
 
   // Pass 1: every referenced edge of every valid entry must be alive.

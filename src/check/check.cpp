@@ -69,6 +69,7 @@ const char* violationKindName(ViolationKind kind) {
     case ViolationKind::kFreeListCorrupt: return "free-list-corrupt";
     case ViolationKind::kStaleRefOnFreeNode: return "stale-ref-on-free-node";
     case ViolationKind::kVarEdgeCorrupt: return "var-edge-corrupt";
+    case ViolationKind::kRefUnderflow: return "ref-underflow";
     case ViolationKind::kReorderBookMismatch: return "reorder-book-mismatch";
     case ViolationKind::kCacheDanglingEdge: return "cache-dangling-edge";
     case ViolationKind::kCacheWrongResult: return "cache-wrong-result";

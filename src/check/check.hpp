@@ -86,9 +86,10 @@ enum class ViolationKind {
   kUniqueTableMiss,         ///< live node unreachable from its hash bucket
   kUniqueTableChainCorrupt, ///< chain hits a freed node, a cycle, or the wrong bucket
   kFreeListCorrupt,         ///< free-list length disagrees with the counters
-  // GC roots (StructuralChecker)
+  // GC roots (StructuralChecker / BddManager::deref)
   kStaleRefOnFreeNode,      ///< freed node still carries an external refcount
   kVarEdgeCorrupt,          ///< projection edge is not the function of its variable
+  kRefUnderflow,            ///< deref of a node whose external refcount is zero
   // reordering (BddManager::auditReorderBook)
   kReorderBookMismatch,     ///< sift's incremental live count != full mark pass
   // computed cache (CacheAuditor)

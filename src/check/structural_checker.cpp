@@ -36,66 +36,70 @@ void auditArenaCreditingTime(BddManager& mgr, CheckLevel effort) {
 }
 
 void StructuralChecker::checkNodes(CheckReport& report) const {
-  const auto& nodes = mgr_.nodes_;
+  const NodeStore& store = mgr_.store_;
+  // Freed nodes carry no count by construction (the side table only holds
+  // externally referenced indices), so a stale entry on a free node is a
+  // root-set corruption.
+  for (const auto& [i, r] : store.refs()) {
+    if (i != 0 && r != 0 && store.isFree(i)) {
+      report.add(ViolationKind::kStaleRefOnFreeNode,
+                 nodeDesc(i, "freed but ref = ") + std::to_string(r));
+    }
+  }
+
   // packed (var, hi, lo) -> indices seen, for hash-consing uniqueness.
   std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> seen;
-  seen.reserve(nodes.size());
+  seen.reserve(store.size());
 
-  for (std::uint32_t i = 1; i < nodes.size(); ++i) {
-    const BddManager::Node& n = nodes[i];
-    if (n.var == BddManager::kFreeVar) {
-      if (n.ref != 0) {
-        report.add(ViolationKind::kStaleRefOnFreeNode,
-                   nodeDesc(i, "freed but ref = ") + std::to_string(n.ref));
-      }
-      continue;
-    }
+  for (std::uint32_t i = 1; i < store.size(); ++i) {
+    if (store.isFree(i)) continue;
+    const unsigned var = store.varOf(i);
+    const Edge hi = store.hiOf(i);
+    const Edge lo = store.loOf(i);
     ++report.itemsChecked;
-    if (n.var >= mgr_.varEdges_.size()) {
+    if (var >= mgr_.varEdges_.size()) {
       report.add(ViolationKind::kInvalidEdge,
-                 nodeDesc(i, "variable out of range: ") +
-                     std::to_string(n.var));
+                 nodeDesc(i, "variable out of range: ") + std::to_string(var));
       continue;
     }
-    if (edgeIsComplemented(n.hi)) {
+    if (edgeIsComplemented(hi)) {
       report.add(ViolationKind::kComplementedThenArc,
                  nodeDesc(i, "then-arc carries the complement bit"));
     }
-    if (n.hi == n.lo) {
+    if (hi == lo) {
       report.add(ViolationKind::kRedundantNode,
                  nodeDesc(i, "hi == lo (should have been collapsed by mk)"));
     }
-    const unsigned myLevel = mgr_.var2level_[n.var];
-    for (const Edge child : {n.hi, n.lo}) {
-      if (edgeIndex(child) >= nodes.size()) {
+    const unsigned myLevel = mgr_.var2level_[var];
+    for (const Edge child : {hi, lo}) {
+      if (edgeIndex(child) >= store.size()) {
         report.add(ViolationKind::kInvalidEdge,
                    nodeDesc(i, "child edge index out of the arena"));
         continue;
       }
       if (edgeIsConstant(child)) continue;
-      const BddManager::Node& c = nodes[edgeIndex(child)];
-      if (c.var == BddManager::kFreeVar) {
+      const unsigned childVar = store.varOf(edgeIndex(child));
+      if (childVar == BddManager::kFreeVar) {
         report.add(ViolationKind::kDanglingChild,
                    nodeDesc(i, "points at freed node ") +
                        std::to_string(edgeIndex(child)));
-      } else if (c.var >= mgr_.var2level_.size()) {
+      } else if (childVar >= mgr_.var2level_.size()) {
         report.add(ViolationKind::kInvalidEdge,
                    nodeDesc(edgeIndex(child), "child variable out of range"));
-      } else if (mgr_.var2level_[c.var] <= myLevel) {
+      } else if (mgr_.var2level_[childVar] <= myLevel) {
         report.add(ViolationKind::kOrderViolation,
                    nodeDesc(i, "child ") + std::to_string(edgeIndex(child)) +
                        " is not strictly below it in the order");
       }
     }
-    const std::uint64_t key = (static_cast<std::uint64_t>(n.var) << 40) ^
-                              (static_cast<std::uint64_t>(n.hi) << 20) ^
-                              static_cast<std::uint64_t>(n.lo);
+    const std::uint64_t key = (static_cast<std::uint64_t>(var) << 40) ^
+                              (static_cast<std::uint64_t>(hi) << 20) ^
+                              static_cast<std::uint64_t>(lo);
     // The packed key is not injective in principle, so confirm field-by-field
     // among the nodes sharing it before reporting a duplicate.
     std::vector<std::uint32_t>& bucket = seen[key];
     for (const std::uint32_t j : bucket) {
-      const BddManager::Node& other = nodes[j];
-      if (other.var == n.var && other.hi == n.hi && other.lo == n.lo) {
+      if (store.varOf(j) == var && store.hiOf(j) == hi && store.loOf(j) == lo) {
         report.add(ViolationKind::kDuplicateNode,
                    nodeDesc(i, "duplicates node ") + std::to_string(j) +
                        " (hash-consing uniqueness broken)");
@@ -107,35 +111,33 @@ void StructuralChecker::checkNodes(CheckReport& report) const {
 }
 
 void StructuralChecker::checkUniqueTable(CheckReport& report) const {
-  const auto& nodes = mgr_.nodes_;
-  const auto& buckets = mgr_.buckets_;
+  const NodeStore& store = mgr_.store_;
 
   // Sweep every chain: entries must be live, hash to their bucket, and the
   // total chain length must not exceed the arena (cycle guard).
   std::uint64_t chained = 0;
-  for (std::size_t b = 0; b < buckets.size(); ++b) {
+  for (std::size_t b = 0; b < store.bucketCount(); ++b) {
     std::uint64_t steps = 0;
-    for (std::uint32_t i = buckets[b]; i != BddManager::kNil;
-         i = nodes[i].next) {
-      if (i >= nodes.size()) {
+    for (std::uint32_t i = store.bucketHead(b); i != BddManager::kNil;
+         i = store.nextOf(i)) {
+      if (i >= store.size()) {
         report.add(ViolationKind::kUniqueTableChainCorrupt,
                    "bucket " + std::to_string(b) +
                        " chains to out-of-range index " + std::to_string(i));
         break;
       }
-      const BddManager::Node& n = nodes[i];
-      if (n.var == BddManager::kFreeVar) {
+      if (store.isFree(i)) {
         report.add(ViolationKind::kUniqueTableChainCorrupt,
                    "bucket " + std::to_string(b) + " chains to freed node " +
                        std::to_string(i));
         break;
       }
-      if (mgr_.hashNode(n.var, n.hi, n.lo) != b) {
+      if (store.hashOf(store.varOf(i), store.hiOf(i), store.loOf(i)) != b) {
         report.add(ViolationKind::kUniqueTableChainCorrupt,
                    nodeDesc(i, "sits in the wrong bucket"));
       }
       ++chained;
-      if (++steps > nodes.size()) {
+      if (++steps > store.size()) {
         report.add(ViolationKind::kUniqueTableChainCorrupt,
                    "bucket " + std::to_string(b) + " chain has a cycle");
         break;
@@ -144,15 +146,16 @@ void StructuralChecker::checkUniqueTable(CheckReport& report) const {
   }
 
   // Completeness: every live node findable by rehashing its triple.
-  for (std::uint32_t i = 1; i < nodes.size(); ++i) {
-    const BddManager::Node& n = nodes[i];
-    if (n.var == BddManager::kFreeVar) continue;
+  for (std::uint32_t i = 1; i < store.size(); ++i) {
+    if (store.isFree(i)) continue;
     ++report.itemsChecked;
     bool found = false;
     std::uint64_t steps = 0;
-    for (std::uint32_t j = buckets[mgr_.hashNode(n.var, n.hi, n.lo)];
-         j != BddManager::kNil && steps <= nodes.size();
-         j = nodes[j].next, ++steps) {
+    const std::size_t b =
+        store.hashOf(store.varOf(i), store.hiOf(i), store.loOf(i));
+    for (std::uint32_t j = store.bucketHead(b);
+         j != BddManager::kNil && steps <= store.size();
+         j = store.nextOf(j), ++steps) {
       if (j == i) {
         found = true;
         break;
@@ -167,37 +170,37 @@ void StructuralChecker::checkUniqueTable(CheckReport& report) const {
 }
 
 void StructuralChecker::checkFreeList(CheckReport& report) const {
-  const auto& nodes = mgr_.nodes_;
+  const NodeStore& store = mgr_.store_;
   std::uint64_t length = 0;
-  for (std::uint32_t i = mgr_.freeHead_; i != BddManager::kNil;
-       i = nodes[i].next) {
-    if (i >= nodes.size()) {
+  for (std::uint32_t i = store.freeHead(); i != BddManager::kNil;
+       i = store.nextOf(i)) {
+    if (i >= store.size()) {
       report.add(ViolationKind::kFreeListCorrupt,
                  "free list chains to out-of-range index " + std::to_string(i));
       return;
     }
-    if (nodes[i].var != BddManager::kFreeVar) {
+    if (!store.isFree(i)) {
       report.add(ViolationKind::kFreeListCorrupt,
                  nodeDesc(i, "on the free list but not marked free"));
       return;
     }
-    if (++length > nodes.size()) {
+    if (++length > store.size()) {
       report.add(ViolationKind::kFreeListCorrupt, "free list has a cycle");
       return;
     }
   }
-  if (length != mgr_.freeCount_) {
+  if (length != store.freeCount()) {
     report.add(ViolationKind::kFreeListCorrupt,
                "free list length " + std::to_string(length) +
-                   " != freeCount " + std::to_string(mgr_.freeCount_));
+                   " != freeCount " + std::to_string(store.freeCount()));
   }
   report.itemsChecked += length;
 }
 
 void StructuralChecker::checkRoots(CheckReport& report) const {
-  const auto& nodes = mgr_.nodes_;
+  const NodeStore& store = mgr_.store_;
   // The terminal is a permanent root.
-  if (nodes.empty() || nodes[0].ref != BddManager::kMaxRef) {
+  if (store.size() == 0 || store.refOf(0) != BddManager::kMaxRef) {
     report.add(ViolationKind::kVarEdgeCorrupt,
                "terminal node is missing its permanent reference");
     return;
@@ -206,18 +209,19 @@ void StructuralChecker::checkRoots(CheckReport& report) const {
   for (unsigned v = 0; v < mgr_.varEdges_.size(); ++v) {
     ++report.itemsChecked;
     const Edge e = mgr_.varEdges_[v];
-    if (edgeIndex(e) >= nodes.size() || edgeIsComplemented(e) ||
+    if (edgeIndex(e) >= store.size() || edgeIsComplemented(e) ||
         edgeIsConstant(e)) {
       report.add(ViolationKind::kVarEdgeCorrupt,
                  "projection edge of v" + std::to_string(v) + " is malformed");
       continue;
     }
-    const BddManager::Node& n = nodes[edgeIndex(e)];
-    if (n.var != v || n.hi != kTrueEdge || n.lo != kFalseEdge) {
+    const std::uint32_t i = edgeIndex(e);
+    if (store.varOf(i) != v || store.hiOf(i) != kTrueEdge ||
+        store.loOf(i) != kFalseEdge) {
       report.add(ViolationKind::kVarEdgeCorrupt,
                  "projection edge of v" + std::to_string(v) +
                      " no longer denotes the variable");
-    } else if (n.ref == 0) {
+    } else if (store.refOf(i) == 0) {
       report.add(ViolationKind::kVarEdgeCorrupt,
                  "projection node of v" + std::to_string(v) +
                      " lost its pin reference");

@@ -9,85 +9,81 @@
 
 #include "bdd/manager.hpp"
 #include "ici/pair_table.hpp"
-#include "util/lint.hpp"
 
 namespace icb {
 
 class NodeSurgeon {
  public:
   static std::uint32_t nodeCount(const BddManager& mgr) {
-    return static_cast<std::uint32_t>(mgr.nodes_.size());
+    return static_cast<std::uint32_t>(mgr.store_.size());
   }
 
   static unsigned rawVar(const BddManager& mgr, std::uint32_t index) {
-    return mgr.nodes_[index].var;
+    return mgr.store_.varOf(index);
   }
   static bool isFree(const BddManager& mgr, std::uint32_t index) {
-    return mgr.nodes_[index].var == BddManager::kFreeVar;
+    return mgr.store_.isFree(index);
   }
   static Edge rawHi(const BddManager& mgr, std::uint32_t index) {
-    return mgr.nodes_[index].hi;
+    return mgr.store_.hiOf(index);
   }
   static Edge rawLo(const BddManager& mgr, std::uint32_t index) {
-    return mgr.nodes_[index].lo;
+    return mgr.store_.loOf(index);
   }
 
   /// Overwrites a node's function fields, bypassing mk() and the unique
   /// table entirely.
   static void setNodeFields(BddManager& mgr, std::uint32_t index, unsigned var,
                             Edge hi, Edge lo) {
-    ICBDD_LINT_SUPPRESS(L3, "surgeon hook: corrupting nodes is the point");
-    BddManager::Node& n = mgr.nodes_[index];
-    n.var = var;
-    n.hi = hi;
-    n.lo = lo;
+    mgr.store_.setFields(index, var, hi, lo);
   }
 
   /// Swaps a node's children in place (breaks canonicity: the then-arc
   /// inherits the else-arc's complement bit, or the function changes).
   static void swapChildren(BddManager& mgr, std::uint32_t index) {
-    ICBDD_LINT_SUPPRESS(L3, "surgeon hook: corrupting nodes is the point");
-    BddManager::Node& n = mgr.nodes_[index];
-    std::swap(n.hi, n.lo);
+    NodeStore& store = mgr.store_;
+    store.setFields(index, store.varOf(index), store.loOf(index),
+                    store.hiOf(index));
   }
 
   /// Sets the complement bit on a stored then-arc.
   static void complementThenArc(BddManager& mgr, std::uint32_t index) {
-    mgr.nodes_[index].hi = edgeNot(mgr.nodes_[index].hi);
+    mgr.store_.setHi(index, edgeNot(mgr.store_.hiOf(index)));
   }
 
   /// Forces a node's external reference count.
   static void setRef(BddManager& mgr, std::uint32_t index, std::uint32_t ref) {
-    mgr.nodes_[index].ref = ref;
+    mgr.store_.setRef(index, ref);
   }
 
   /// Unlinks a node from its unique-table chain without freeing it (the
   /// node stays live but becomes unfindable -- a rehash-completeness hole).
   static bool detachFromUniqueTable(BddManager& mgr, std::uint32_t index) {
-    ICBDD_LINT_SUPPRESS(L3, "surgeon hook: walks raw chains on purpose");
-    const BddManager::Node& n = mgr.nodes_[index];
-    const std::size_t slot = mgr.hashNode(n.var, n.hi, n.lo);
-    std::uint32_t* link = &mgr.buckets_[slot];
-    while (*link != BddManager::kNil) {
-      if (*link == index) {
-        *link = mgr.nodes_[index].next;
-        mgr.nodes_[index].next = BddManager::kNil;
-        return true;
-      }
-      link = &mgr.nodes_[*link].next;
-    }
-    return false;
+    if (!mgr.store_.unlinkFromBucket(index)) return false;
+    mgr.store_.setNext(index, BddManager::kNil);
+    return true;
   }
 
   /// Desynchronizes the free-list counter from the actual chain.
   static void bumpFreeCount(BddManager& mgr, std::uint64_t delta) {
-    mgr.freeCount_ += delta;
+    mgr.store_.bumpFreeCount(delta);
   }
 
   /// Repoints a projection edge at an arbitrary edge.
   static void setVarEdge(BddManager& mgr, unsigned var, Edge e) {
     mgr.varEdges_[var] = e;
   }
+
+  /// Lowers the node-index cap so tests can trip the 31-bit index-space
+  /// guard without allocating anywhere near 2^31 nodes.
+  static void capNodeIndexSpace(BddManager& mgr, std::uint32_t cap) {
+    mgr.store_.setIndexCapForTesting(cap);
+  }
+
+  /// Drops an edge's external reference through the manager's checked path,
+  /// outside any Bdd destructor -- so an underflow CheckFailure propagates
+  /// instead of terminating.
+  static void derefEdge(BddManager& mgr, Edge e) { mgr.deref(e); }
 
   /// Flips the result of the first valid computed-cache entry found.
   /// Returns false when the cache is empty.
@@ -105,7 +101,8 @@ class NodeSurgeon {
   static void plantDanglingCacheEntry(BddManager& mgr) {
     BddManager::CacheEntry entry;
     entry.op = BddManager::Op::kAnd;
-    entry.f = makeEdge(static_cast<std::uint32_t>(mgr.nodes_.size()) + 7, false);
+    entry.f =
+        makeEdge(static_cast<std::uint32_t>(mgr.store_.size()) + 7, false);
     entry.g = kTrueEdge;
     entry.result = kTrueEdge;
     mgr.cache_[0] = entry;

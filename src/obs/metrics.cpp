@@ -90,6 +90,7 @@ void MetricsRegistry::captureBdd(const BddManager& mgr) {
   add("bdd.cache.lookups", s.cacheLookups());
   add("bdd.cache.hits", s.cacheHits());
   add("bdd.cache.resizes", s.cacheResizes);
+  add("bdd.ref.underflow", s.refUnderflows);
   if (s.cacheLookups() > 0) {
     setGauge("bdd.cache.hit_rate", static_cast<double>(s.cacheHits()) /
                                        static_cast<double>(s.cacheLookups()));

@@ -93,8 +93,7 @@ EngineResult runBackward(Fsm& fsm, const EngineOptions& options) {
       layers.emplace_back(&mgr, std::vector<Bdd>{g});
     }
   } catch (const ResourceLimitError& err) {
-    result.verdict = err.kind() == ResourceKind::kNodes ? Verdict::kNodeLimit
-                                                        : Verdict::kTimeLimit;
+    result.verdict = verdictForResourceLimit(err.kind());
     mgr.gc();
   }
 

@@ -38,6 +38,15 @@ enum class Verdict {
 [[nodiscard]] const char* verdictName(Verdict v);
 [[nodiscard]] bool verdictExceeded(Verdict v);
 
+/// Verdict for a run cut short by a ResourceLimitError: node-capacity kinds
+/// (the configured cap and the 31-bit index-space ceiling) report kNodeLimit,
+/// everything else kTimeLimit.  Shared by every engine's catch block.
+[[nodiscard]] constexpr Verdict verdictForResourceLimit(ResourceKind kind) {
+  return kind == ResourceKind::kNodes || kind == ResourceKind::kNodeIndexSpace
+             ? Verdict::kNodeLimit
+             : Verdict::kTimeLimit;
+}
+
 enum class Method { kFwd, kBkwd, kFd, kIci, kXici };
 
 [[nodiscard]] const char* methodName(Method m);

@@ -300,8 +300,7 @@ EngineResult runFdForward(Fsm& fsm, std::vector<unsigned> candidateBits,
       reduced = united;
     }
   } catch (const ResourceLimitError& err) {
-    result.verdict = err.kind() == ResourceKind::kNodes ? Verdict::kNodeLimit
-                                                        : Verdict::kTimeLimit;
+    result.verdict = verdictForResourceLimit(err.kind());
     mgr.gc();
   }
 

@@ -97,8 +97,7 @@ EngineResult runForward(Fsm& fsm, const EngineOptions& options) {
       reached |= fresh;
     }
   } catch (const ResourceLimitError& err) {
-    result.verdict = err.kind() == ResourceKind::kNodes ? Verdict::kNodeLimit
-                                                        : Verdict::kTimeLimit;
+    result.verdict = verdictForResourceLimit(err.kind());
     mgr.gc();  // reclaim orphaned intermediates so the manager stays usable
   }
 

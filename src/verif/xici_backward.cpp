@@ -158,8 +158,7 @@ EngineResult runXiciBackward(Fsm& fsm, const EngineOptions& options) {
       layers.push_back(current);
     }
   } catch (const ResourceLimitError& err) {
-    result.verdict = err.kind() == ResourceKind::kNodes ? Verdict::kNodeLimit
-                                                        : Verdict::kTimeLimit;
+    result.verdict = verdictForResourceLimit(err.kind());
     mgr.gc();
   }
 

@@ -1,0 +1,7 @@
+// L3 bad fixture: naming the packed node type outside src/bdd + src/check.
+// The node representation is not a stable API; only Edge/Bdd handles are.
+#include "bdd/node_store.hpp"
+
+std::size_t nodeBytes(std::size_t count) {
+  return count * sizeof(icb::PackedNode);
+}

@@ -1,0 +1,13 @@
+// L3 bad fixture: packed node words leaking through a public section.  The
+// word0/word1 packing is NodeStore-private; public surfaces speak
+// (var, hi, lo, next) so the layout can change without touching callers.
+#pragma once
+
+class NodeStore {
+ public:
+  std::uint64_t rawWord0(unsigned index) const { return nodes_[index].word0; }
+  void setWord1(unsigned index, std::uint64_t word1);
+
+ private:
+  std::uint64_t word0 = 0;  // fine: private packed state
+};

@@ -29,6 +29,8 @@ CASES = {
     "l3_node_escape_bad.hpp": ["L3", "L3"],
     "l3_node_escape_use_bad.cpp": ["L3"],
     "l3_node_escape_good.hpp": [],
+    "l3_packed_word_bad.hpp": ["L3", "L3"],
+    "l3_packed_use_bad.cpp": ["L3"],
     "l4_metric_bad.cpp": ["L4", "L4"],
     "l4_metric_good.cpp": [],
     "l4_histogram_bad.cpp": ["L4", "L4", "L4"],
