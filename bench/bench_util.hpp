@@ -36,11 +36,16 @@ inline par::SchedulerOptions schedulerOptions(const CliArgs& args) {
 ///                         the paper keeps its fixed interleaved order, and
 ///                         paper-table reproduction depends on that)
 ///   --reorder-trigger K   live-node growth factor arming a sift (default 2.0)
+///   --apply-workers N     intra-problem parallel apply workers sharing one
+///                         manager (default 1 = the byte-identical serial
+///                         path; see docs/parallel.md)
 inline BddOptions bddOptions(const CliArgs& args) {
   BddOptions options;
   options.autoReorder = args.getBool("auto-reorder", options.autoReorder);
   options.reorderTrigger =
       args.getDouble("reorder-trigger", options.reorderTrigger);
+  options.applyWorkers = static_cast<unsigned>(
+      args.getInt("apply-workers", options.applyWorkers));
   return options;
 }
 

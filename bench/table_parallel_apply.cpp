@@ -1,0 +1,135 @@
+// Intra-problem parallel apply scaling (docs/parallel.md): the same model
+// and method with one manager serving a pool of apply workers, serial
+// first, then at every requested worker count.
+//
+// Output is always "icbdd-bench-parallel-v1" JSONL (the committed
+// BENCH_parallel_apply.json artifact): a header line carrying
+// hardware_cores -- speedup claims are meaningless without knowing how
+// many cores the host actually had -- one cell line per worker count, and
+// a trailing summary line with the measured speedups.  CI
+// (ci/run_checks.sh, parallel gate) always enforces that every worker
+// count produced the serial verdict and iteration count, and enforces the
+// >= 2x speedup target at 4 workers only when hardware_cores >= 4.
+//
+//   table_parallel_apply [--depth N] [--workers-list 1,2,4] [--repeat R]
+//                        [--max-nodes N] [--time-limit S]
+//
+// The workload is the largest Table-1 configuration, the depth-10 typed
+// FIFO, under Bkwd: one giant relational-product (andExists) per run --
+// the deepest single apply recursion in the suite, i.e. the best case for
+// cofactor splitting and the honest case for measuring it.
+#include <thread>
+
+#include "bench_util.hpp"
+#include "models/typed_fifo.hpp"
+#include "util/timer.hpp"
+
+using namespace icb;
+using namespace icb::bench;
+
+namespace {
+
+struct Cell {
+  unsigned applyWorkers = 1;
+  EngineResult best;       ///< fastest of --repeat runs
+  double bestSeconds = 0.0;
+};
+
+EngineResult runCell(unsigned depth, unsigned applyWorkers,
+                     const BenchCaps& caps) {
+  BddOptions bddOpts;
+  bddOpts.applyWorkers = applyWorkers;
+  BddManager mgr(bddOpts);
+  TypedFifoModel model(mgr, {.depth = depth, .width = 8});
+  EngineOptions options = caps.engineOptions();
+  return runMethod(model.fsm(), Method::kBkwd, model.fdCandidates(), options);
+}
+
+std::vector<unsigned> parseWorkersList(const std::string& spec) {
+  std::vector<unsigned> out;
+  std::istringstream is(spec);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    if (!tok.empty()) out.push_back(static_cast<unsigned>(std::stoul(tok)));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const BenchCaps caps = BenchCaps::fromArgs(args);
+  const unsigned depth = static_cast<unsigned>(args.getInt("depth", 10));
+  const unsigned repeat =
+      static_cast<unsigned>(args.getInt("repeat", 3));
+  const std::vector<unsigned> workersList =
+      parseWorkersList(args.getString("workers-list", "1,4"));
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  std::vector<Cell> cells;
+  for (const unsigned w : workersList) {
+    Cell cell;
+    cell.applyWorkers = w;
+    for (unsigned r = 0; r < repeat; ++r) {
+      const Stopwatch watch;
+      EngineResult result = runCell(depth, w, caps);
+      const double seconds = watch.elapsedSeconds();
+      if (r == 0 || seconds < cell.bestSeconds) {
+        cell.bestSeconds = seconds;
+        cell.best = std::move(result);
+      }
+    }
+    cells.push_back(std::move(cell));
+  }
+
+  std::cout << std::move(
+                   obs::JsonObject()
+                       .put("schema", "icbdd-bench-parallel-v1")
+                       .put("table", "parallel_apply")
+                       .put("model", "fifo-depth" + std::to_string(depth))
+                       .put("method", "Bkwd")
+                       .put("hardware_cores", static_cast<std::uint64_t>(cores))
+                       .put("repeat", static_cast<std::uint64_t>(repeat))
+                       .put("cells", static_cast<std::uint64_t>(cells.size())))
+                   .str()
+            << '\n';
+
+  const Cell* serial = nullptr;
+  for (const Cell& c : cells) {
+    if (c.applyWorkers <= 1) serial = &c;
+    const EngineResult& r = c.best;
+    obs::JsonObject line;
+    line.put("apply_workers", static_cast<std::uint64_t>(c.applyWorkers))
+        .put("verdict", verdictName(r.verdict))
+        .put("iterations", r.iterations)
+        .put("time_s", c.bestSeconds)
+        .put("peak_iterate_nodes", r.peakIterateNodes)
+        .put("peak_allocated_nodes", r.peakAllocatedNodes)
+        .put("par_steals", r.metrics.counter("bdd.par.steals"))
+        .put("par_cas_retries", r.metrics.counter("bdd.par.cas_retries"))
+        .put("par_cache_races", r.metrics.counter("bdd.par.cache_races"));
+    std::cout << std::move(line).str() << '\n';
+  }
+
+  obs::JsonObject summary;
+  summary.put("summary", true);
+  bool identical = true;
+  if (serial != nullptr) {
+    obs::JsonObject speedups;
+    for (const Cell& c : cells) {
+      if (&c == serial) continue;
+      identical = identical &&
+                  c.best.verdict == serial->best.verdict &&
+                  c.best.iterations == serial->best.iterations &&
+                  c.best.peakIterateNodes == serial->best.peakIterateNodes;
+      speedups.put("w" + std::to_string(c.applyWorkers),
+                   c.bestSeconds > 0.0 ? serial->bestSeconds / c.bestSeconds
+                                       : 0.0);
+    }
+    summary.putRaw("speedup", std::move(speedups).str());
+  }
+  summary.put("outcomes_identical", identical);
+  std::cout << std::move(summary).str() << '\n';
+  return identical ? 0 : 1;
+}

@@ -140,6 +140,9 @@ def main() -> int:
     ap.add_argument("--workers", type=int, default=4)
     ap.add_argument("--failures", type=int, default=8,
                     help="jobs submitted with an unknown model (job_failed path)")
+    ap.add_argument("--apply-workers", type=int, default=0,
+                    help="intra-problem apply workers per job "
+                         "(icbdd_serve --apply-workers; 0 = serial)")
     ap.add_argument("--timeout", type=float, default=300.0)
     ap.add_argument("--summary-json", default="")
     args = ap.parse_args()
@@ -166,11 +169,13 @@ def main() -> int:
                     stop_line.update(obj)
 
     with tempfile.TemporaryDirectory(prefix="icbdd-loadgen-") as journal:
+        cmd = [args.serve, "--workers", str(args.workers),
+               "--queue-bound", str(args.jobs + 8),
+               "--journal", journal, "--metrics-port", "0"]
+        if args.apply_workers > 0:
+            cmd += ["--apply-workers", str(args.apply_workers)]
         proc = subprocess.Popen(
-            [args.serve, "--workers", str(args.workers),
-             "--queue-bound", str(args.jobs + 8),
-             "--journal", journal, "--metrics-port", "0"],
-            stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True)
+            cmd, stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True)
         start = json.loads(proc.stdout.readline())
         port = start.get("metrics_port")
         if not isinstance(port, int):
@@ -246,6 +251,7 @@ def main() -> int:
     summary = {
         "jobs": args.jobs,
         "workers": args.workers,
+        "apply_workers": args.apply_workers,
         "accepted": accepted,
         "completed": completed,
         "failed": failed,

@@ -4,8 +4,8 @@
 # skipped with a notice instead of failing, so the script is useful on
 # minimal machines; CI runs the full set.
 #
-# Usage: ci/run_checks.sh [release|sanitize|tsan|lint|lint-strict|bench|svc|
-#                          loadgen|all]
+# Usage: ci/run_checks.sh [release|sanitize|tsan|lint|lint-strict|bench|
+#                          parallel|svc|loadgen|all]
 # (default: all)
 set -euo pipefail
 
@@ -78,6 +78,83 @@ assert re.search(r'^# TYPE icbdd_bdd_apply_\w+_latency_us histogram$', text,
                  re.M), 'no apply-latency histogram family'
 print(f"ok: {len(text.splitlines())} exposition lines")
 EOF
+  fi
+}
+
+run_parallel() {
+  note "parallel gate: --apply-workers 1 must match serial byte for byte"
+  # The determinism contract (docs/parallel.md): applyWorkers <= 1 takes the
+  # exact serial code path, so the bench JSONL -- every counter, every
+  # iteration count, every node total, every histogram sample count -- must
+  # match byte for byte once the wall-clock-valued fields (time_s and the
+  # microsecond latency quantiles, which no two process runs can agree on)
+  # are masked out.
+  ./build-werror/bench/table1_fifo --json --depth 3 \
+    > build-werror/bench-serial.jsonl
+  ./build-werror/bench/table1_fifo --json --depth 3 --apply-workers 1 \
+    > build-werror/bench-workers1.jsonl
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+import json
+
+def canonical(path):
+    out = []
+    for line in open(path):
+        if not line.strip():
+            continue
+        obj = json.loads(line)
+        obj.pop('time_s', None)
+        for h in obj.get('metrics', {}).get('histograms', {}).values():
+            for k in ('sum', 'min', 'max', 'p50', 'p90', 'p99'):
+                h.pop(k, None)  # wall-clock microseconds; count stays
+        out.append(json.dumps(obj, sort_keys=True))
+    return out
+
+serial = canonical('build-werror/bench-serial.jsonl')
+workers1 = canonical('build-werror/bench-workers1.jsonl')
+for i, (a, b) in enumerate(zip(serial, workers1)):
+    assert a == b, f'line {i + 1} diverged:\nserial   {a}\nworkers1 {b}'
+assert len(serial) == len(workers1), (len(serial), len(workers1))
+print(f"ok: --apply-workers 1 identical to serial "
+      f"({len(serial)} lines, timing fields masked)")
+EOF
+  else
+    echo "python3 not installed -- identity check skipped (CI runs it)"
+  fi
+
+  note "parallel gate: shared-manager apply workers (identity + speedup)"
+  # Always enforce that every worker count reaches the serial verdict and
+  # iteration count; enforce the >=2x speedup target at 4 workers only when
+  # the host actually has >= 4 cores (the committed BENCH_parallel_apply.json
+  # records hardware_cores for the same reason).
+  ./build-werror/bench/table_parallel_apply --depth 8 \
+    > build-werror/bench-parallel.jsonl
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - <<'EOF'
+import json
+lines = [json.loads(l)
+         for l in open('build-werror/bench-parallel.jsonl') if l.strip()]
+header, cells, summary = lines[0], lines[1:-1], lines[-1]
+assert header['schema'] == 'icbdd-bench-parallel-v1', header
+assert header['cells'] == len(cells), (header['cells'], len(cells))
+assert summary.get('summary') is True, summary
+assert summary['outcomes_identical'], \
+    ('parallel apply changed the verification outcome', cells)
+serial = next(c for c in cells if c['apply_workers'] == 1)
+for c in cells:
+    assert c['verdict'] == serial['verdict'], (c, serial)
+    assert c['iterations'] == serial['iterations'], (c, serial)
+cores = header['hardware_cores']
+w4 = summary['speedup'].get('w4')
+if cores >= 4 and w4 is not None:
+    assert w4 >= 2.0, f'speedup at 4 workers is {w4:.2f}x, want >= 2.0x'
+    print(f"ok: {len(cells)} cells, outcomes identical, w4 {w4:.2f}x")
+else:
+    print(f"ok: {len(cells)} cells, outcomes identical "
+          f"(speedup gate waived: {cores} core(s), w4 {w4})")
+EOF
+  else
+    echo "python3 not installed -- parallel validation skipped (CI runs it)"
   fi
 }
 
@@ -167,18 +244,19 @@ run_lint_strict() {
 }
 
 case "${what}" in
-  release)  run_release; run_bench_json; run_svc; run_loadgen ;;
+  release)  run_release; run_bench_json; run_parallel; run_svc; run_loadgen ;;
   sanitize) run_sanitize ;;
   tsan)     run_tsan ;;
   lint)     run_lint ;;
   lint-strict) run_lint_strict ;;
   bench)    run_bench_json ;;
+  parallel) run_parallel ;;
   svc)      run_svc ;;
   loadgen)  run_loadgen ;;
-  all)      run_release; run_bench_json; run_svc; run_loadgen; run_sanitize;
-            run_tsan; run_lint; run_lint_strict ;;
-  *) echo "usage: $0 [release|sanitize|tsan|lint|lint-strict|bench|svc|" >&2
-     echo "          loadgen|all]" >&2
+  all)      run_release; run_bench_json; run_parallel; run_svc; run_loadgen;
+            run_sanitize; run_tsan; run_lint; run_lint_strict ;;
+  *) echo "usage: $0 [release|sanitize|tsan|lint|lint-strict|bench|parallel|" >&2
+     echo "          svc|loadgen|all]" >&2
      exit 2 ;;
 esac
 

@@ -18,6 +18,7 @@
 //   icbdd_doctor --model fifo|mutex|network|filter|pipeline|all
 //                [--method xici] [--jobs N] [--metrics-prom]
 //                [--auto-reorder true] [--reorder-trigger K]
+//                [--apply-workers N]
 //   icbdd_doctor --bdd dump.txt
 //   icbdd_doctor --job spec.json       (one icbdd-svc-v1 request object)
 //
@@ -348,10 +349,15 @@ int main(int argc, char** argv) {
   // The doctor doubles as the harness for auditing reordering under load:
   // --auto-reorder turns on growth-triggered grouped sifting for every
   // audited manager, --reorder-trigger tunes how eagerly it fires.
+  // --apply-workers N audits a manager whose operations ran through the
+  // shared-store parallel apply path (every checker sees the post-region,
+  // quiesced arena; docs/parallel.md).
   BddOptions bddOptions;
   bddOptions.autoReorder = args.getBool("auto-reorder", false);
   bddOptions.reorderTrigger =
       args.getDouble("reorder-trigger", bddOptions.reorderTrigger);
+  bddOptions.applyWorkers = static_cast<unsigned>(
+      args.getInt("apply-workers", bddOptions.applyWorkers));
 
   const std::string model = args.getString("model", "fifo");
   if (model == "all") {

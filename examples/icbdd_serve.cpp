@@ -9,7 +9,11 @@
 //   icbdd_serve [--workers N] [--queue-bound N] [--journal DIR]
 //               [--checkpoint-every N] [--max-job-seconds S]
 //               [--default-job-seconds S] [--drain] [--no-recover]
-//               [--metrics-port N]
+//               [--metrics-port N] [--apply-workers N]
+//
+// --apply-workers N gives every job that does not set "apply_workers" in
+// its request N intra-problem apply workers (one shared manager per job,
+// split at the BDD-operation level; docs/parallel.md).
 //
 // With --journal DIR, jobs accepted by a previous (killed) process are
 // re-submitted with resume=true at startup, picking up from their last
@@ -49,6 +53,8 @@ int main(int argc, char** argv) {
   options.defaultJobSeconds = args.getDouble("default-job-seconds", 0.0);
   options.checkpointEvery =
       static_cast<unsigned>(args.getInt("checkpoint-every", 4));
+  options.applyWorkers =
+      static_cast<unsigned>(args.getInt("apply-workers", 0));
   options.journalDir = args.getString("journal", "");
   options.drain = args.getBool("drain", false);
 

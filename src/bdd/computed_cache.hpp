@@ -1,0 +1,209 @@
+// ComputedCache: the manager's lossy operation cache, shareable by the
+// parallel apply workers (ROADMAP item 1).
+//
+// The table is open-addressed (direct-mapped, like the vector<CacheEntry>
+// it replaces) with each entry spread over three 64-bit words:
+//
+//   key word a   bits 0..31  f        bits 32..63  g
+//   key word b   bits 0..31  h        bits 32..39  op
+//   tag word     bits 0..31  result   bits 32..62  sequence   bit 63  writing
+//
+// Entries are published with a seqlock protocol built on the tag word:
+//
+//   writer   claim the entry by a CAS of the tag to (sequence+1 | writing);
+//            a failed CAS means another writer got there first and the
+//            insert is simply dropped (the cache is lossy by contract, so
+//            losing a race costs a future recomputation, never correctness).
+//            Store the two key words, then release-store the final tag
+//            (result | sequence+1, writing clear) -- the store that makes
+//            the entry visible.
+//   reader   acquire-load the tag; a set writing bit or a tag that changed
+//            across re-validation means a concurrent writer -- report a
+//            miss (again: lossy, not wrong).  Otherwise compare the full
+//            key words; false positives are impossible because the compare
+//            is exact, exactly as the serial cache compared (op, f, g, h).
+//
+// Under a single thread every CAS succeeds and every validation passes, so
+// the serial hit/miss sequence -- and therefore every trace, stats, and
+// bench byte -- is identical to the historical vector<CacheEntry> cache.
+//
+// Growth (the adaptive resize from PR 3) is NOT concurrency-safe and is
+// only invoked at quiesced safe points between parallel regions; the
+// manager gates it on its region epoch (docs/parallel.md).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bdd/edge.hpp"
+
+namespace icb {
+
+class ComputedCache {
+ public:
+  /// One decoded entry, the shape consumers (cache auditor, GC sweep, the
+  /// surgeon hooks) traffic in.  `op` is the manager's BddOp as a raw
+  /// integer so this header does not depend on manager.hpp.
+  struct Entry {
+    Edge f = 0, g = 0, h = 0;
+    std::uint32_t op = 0;  ///< 0 == BddOp::kInvalid == empty slot
+    Edge result = 0;
+  };
+
+  explicit ComputedCache(std::size_t entries) : slots_(entries) {}
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+
+  /// Slot of a key at the current table size (a power of two).  The hash is
+  /// the historical one (two mix64 rounds) so serial slot assignment -- and
+  /// with it every conflict-eviction decision -- is unchanged.
+  [[nodiscard]] std::size_t slotOf(std::uint32_t op, Edge f, Edge g,
+                                   Edge h) const {
+    const std::uint64_t k1 =
+        (static_cast<std::uint64_t>(f) << 32) | static_cast<std::uint64_t>(g);
+    const std::uint64_t k2 = (static_cast<std::uint64_t>(h) << 8) |
+                             static_cast<std::uint64_t>(op);
+    return (mix64(k1) ^ mix64(k2 * 0x9E3779B97F4A7C15ull)) &
+           (slots_.size() - 1);
+  }
+
+  /// Probe.  Returns true and stores the result on an exact key hit.  A slot
+  /// mid-write (or rewritten during validation) counts one unit into
+  /// *races and reports a miss -- the "lossy on race" half of the protocol.
+  /// (Non-const because std::atomic_ref over const words is a C++26
+  /// addition; the probe itself mutates nothing but the race counter.)
+  bool lookup(std::uint32_t op, Edge f, Edge g, Edge h, Edge* out,
+              std::uint64_t* races) {
+    Slot& s = slots_[slotOf(op, f, g, h)];
+    const std::uint64_t t1 =
+        std::atomic_ref<std::uint64_t>(s.tag).load(std::memory_order_acquire);
+    if ((t1 & kWritingBit) != 0) {
+      ++*races;
+      return false;
+    }
+    // Acquire on each key load keeps the re-validation load below from
+    // being hoisted above either of them -- the read-read ordering a
+    // seqlock needs.  (The textbook formulation is relaxed loads plus an
+    // acquire fence, but ThreadSanitizer does not model standalone fences;
+    // per-load acquire is equivalent here and free on x86/ARM acquire
+    // loads.)
+    const std::uint64_t a =
+        std::atomic_ref<std::uint64_t>(s.a).load(std::memory_order_acquire);
+    const std::uint64_t b =
+        std::atomic_ref<std::uint64_t>(s.b).load(std::memory_order_acquire);
+    // relaxed: the acquire loads above keep this validation load ordered
+    // after the key loads; equality with t1 proves the snapshot was
+    // consistent.
+    const std::uint64_t t2 =
+        std::atomic_ref<std::uint64_t>(s.tag).load(std::memory_order_relaxed);
+    if (t1 != t2) {
+      ++*races;
+      return false;
+    }
+    if (a != packA(f, g) || b != packB(h, op)) return false;
+    *out = static_cast<Edge>(t1 & 0xFFFFFFFFull);
+    return true;
+  }
+
+  /// Publish (always-overwrite, like the serial cache).  Losing the claim
+  /// CAS to a concurrent writer drops the insert and counts into *races.
+  void insert(std::uint32_t op, Edge f, Edge g, Edge h, Edge result,
+              std::uint64_t* races) {
+    Slot& s = slots_[slotOf(op, f, g, h)];
+    std::atomic_ref<std::uint64_t> tag(s.tag);
+    // relaxed: claim-CAS failure below is the only consumer of this value;
+    // a stale read just makes the CAS fail and the insert drop (lossy).
+    std::uint64_t t0 = tag.load(std::memory_order_relaxed);
+    if ((t0 & kWritingBit) != 0) {
+      ++*races;
+      return;
+    }
+    const std::uint64_t seq = ((t0 >> 32) + 1) & kSeqMask;
+    // relaxed: on CAS failure nothing is read from the slot -- the insert
+    // just drops; only the success (acquire) path proceeds to write.
+    if (!tag.compare_exchange_strong(t0, (seq << 32) | kWritingBit,
+                                     std::memory_order_acquire,
+                                     std::memory_order_relaxed)) {
+      ++*races;
+      return;
+    }
+    // relaxed: these key stores are ordered before the publishing
+    // release-store of the tag below; readers never look at them unless
+    // that tag validates.
+    std::atomic_ref<std::uint64_t>(s.a).store(packA(f, g),
+                                              std::memory_order_relaxed);
+    // relaxed: same seqlock write-side protocol as the store above.
+    std::atomic_ref<std::uint64_t>(s.b).store(packB(h, op),
+                                              std::memory_order_relaxed);
+    tag.store((seq << 32) | static_cast<std::uint64_t>(result),
+              std::memory_order_release);
+  }
+
+  // ---- quiesced-only surface (auditor, GC sweep, surgeon, resize) ---------
+  // These read and write the words plainly; callers run them only while no
+  // parallel region is active (the manager's safe-point contract).
+
+  [[nodiscard]] Entry entryAt(std::size_t slot) const {
+    const Slot& s = slots_[slot];
+    Entry e;
+    e.f = static_cast<Edge>(s.a & 0xFFFFFFFFull);
+    e.g = static_cast<Edge>(s.a >> 32);
+    e.h = static_cast<Edge>(s.b & 0xFFFFFFFFull);
+    e.op = static_cast<std::uint32_t>((s.b >> 32) & 0xFFull);
+    e.result = static_cast<Edge>(s.tag & 0xFFFFFFFFull);
+    return e;
+  }
+
+  void setEntryAt(std::size_t slot, const Entry& e) {
+    Slot& s = slots_[slot];
+    s.a = packA(e.f, e.g);
+    s.b = packB(e.h, e.op);
+    const std::uint64_t seq = ((s.tag >> 32) + 1) & kSeqMask;
+    s.tag = (seq << 32) | static_cast<std::uint64_t>(e.result);
+  }
+
+  void clearAt(std::size_t slot) { setEntryAt(slot, Entry{}); }
+
+  /// Replaces the table with a fresh one of `entries` slots, dropping every
+  /// entry.  The manager's resize (which *keeps* entries) decodes and
+  /// re-inserts via entryAt/setEntryAt around this call.
+  void reset(std::size_t entries) {
+    slots_.assign(entries, Slot{});
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t tag = 0;  ///< result | sequence<<32 | writing<<63
+    std::uint64_t a = 0;    ///< f | g<<32
+    std::uint64_t b = 0;    ///< h | op<<32
+  };
+  static_assert(sizeof(Slot) == 24, "three words per cache entry");
+
+  static constexpr std::uint64_t kWritingBit = 1ull << 63;
+  static constexpr std::uint64_t kSeqMask = 0x7FFFFFFFull;
+
+  static std::uint64_t packA(Edge f, Edge g) {
+    return static_cast<std::uint64_t>(f) |
+           (static_cast<std::uint64_t>(g) << 32);
+  }
+  static std::uint64_t packB(Edge h, std::uint32_t op) {
+    return static_cast<std::uint64_t>(h) |
+           (static_cast<std::uint64_t>(op & 0xFFu) << 32);
+  }
+
+  /// 64-bit mix (Murmur3 finalizer); the historical cache hash.
+  static std::uint64_t mix64(std::uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ull;
+    x ^= x >> 33;
+    return x;
+  }
+
+  std::vector<Slot> slots_;
+};
+
+}  // namespace icb

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "bdd/bdd.hpp"
+#include "bdd/par_internal.hpp"
 #include "check/check.hpp"
 #include "check/structural_checker.hpp"
 #include "obs/trace.hpp"
@@ -24,28 +25,31 @@ const char* bddOpName(BddOp op) {
   return "?";
 }
 
-namespace {
-
-/// 64-bit mix (Murmur3 finalizer); good avalanche for table hashing.
-std::uint64_t mix64(std::uint64_t x) {
-  x ^= x >> 33;
-  x *= 0xFF51AFD7ED558CCDull;
-  x ^= x >> 33;
-  x *= 0xC4CEB9FE1A85EC53ull;
-  x ^= x >> 33;
-  return x;
-}
-
-}  // namespace
-
 BddManager::BddManager(const BddOptions& options)
-    : store_(options.initialCapacity), options_(options) {
-  cache_.assign(std::size_t{1} << options_.cacheBitsLog2, CacheEntry{});
+    : store_(options.initialCapacity),
+      cache_(std::size_t{1} << options.cacheBitsLog2),
+      options_(options) {
   gcThreshold_ = options_.gcThreshold;
   stats_.peakNodes = 1;
+  if (options_.applyWorkers > 1) setApplyWorkers(options_.applyWorkers);
 }
 
 BddManager::~BddManager() = default;
+
+// ---------------------------------------------------------------------------
+// apply workers (ROADMAP item 1; the regions themselves live in
+// par_apply.cpp)
+
+void BddManager::setApplyWorkers(unsigned n) {
+  const unsigned want = n <= 1 ? 1 : n;
+  if (want == applyWorkers()) return;
+  par_.reset();  // park and join the old pool first
+  if (want > 1) par_ = std::make_unique<ParState>(want);
+}
+
+unsigned BddManager::applyWorkers() const {
+  return par_ ? par_->pool.workers() : 1;
+}
 
 // ---------------------------------------------------------------------------
 // variables
@@ -157,27 +161,25 @@ Edge BddManager::mk(unsigned var, Edge hi, Edge lo) {
 // computed cache
 
 std::size_t BddManager::cacheSlot(Op op, Edge f, Edge g, Edge h) const {
-  const std::uint64_t k1 =
-      (static_cast<std::uint64_t>(f) << 32) | static_cast<std::uint64_t>(g);
-  const std::uint64_t k2 = (static_cast<std::uint64_t>(h) << 8) |
-                           static_cast<std::uint64_t>(op);
-  return (mix64(k1) ^ mix64(k2 * 0x9E3779B97F4A7C15ull)) & (cache_.size() - 1);
+  return cache_.slotOf(static_cast<std::uint32_t>(op), f, g, h);
 }
 
 bool BddManager::cacheLookup(Op op, Edge f, Edge g, Edge h, Edge* out) {
   BddOpCacheStats& opStats = stats_.opCache[static_cast<std::size_t>(op)];
   ++opStats.lookups;
-  const CacheEntry& e = cache_[cacheSlot(op, f, g, h)];
-  if (e.op == op && e.f == f && e.g == g && e.h == h) {
+  // The race counter never moves on this serial path (no concurrent
+  // writers), so routing it at stats_ directly is safe.
+  if (cache_.lookup(static_cast<std::uint32_t>(op), f, g, h, out,
+                    &stats_.parCacheRaces)) {
     ++opStats.hits;
-    *out = e.result;
     return true;
   }
   return false;
 }
 
 void BddManager::cacheInsert(Op op, Edge f, Edge g, Edge h, Edge result) {
-  cache_[cacheSlot(op, f, g, h)] = CacheEntry{f, g, h, op, result};
+  cache_.insert(static_cast<std::uint32_t>(op), f, g, h, result,
+                &stats_.parCacheRaces);
 }
 
 void BddManager::maybeGrowComputedCache() {
@@ -188,15 +190,23 @@ void BddManager::maybeGrowComputedCache() {
   // factor ~1 loses most of its entries to slot conflicts, so growing only
   // to parity buys nothing.  The 2x headroom is what turns growth into
   // measurable hit-rate gains on multi-hundred-thousand-node traversals.
+  //
+  // Only ever called at quiesced safe points (serial mk, or the join at a
+  // parallel region's end): resizing is the one cache operation the
+  // lock-free protocol does not cover (docs/parallel.md).
   while (store_.size() * 2 > cache_.size() && cache_.size() < ceiling) {
     // Rehash rather than drop: every live entry stays findable at its slot
     // in the doubled table, so growth never costs a cold restart.
-    std::vector<CacheEntry> old;
-    old.swap(cache_);
-    cache_.assign(old.size() * 2, CacheEntry{});
-    for (const CacheEntry& e : old) {
-      if (e.op == Op::kInvalid) continue;
-      cache_[cacheSlot(e.op, e.f, e.g, e.h)] = e;
+    const std::size_t oldSize = cache_.size();
+    std::vector<CacheEntry> live;
+    live.reserve(oldSize / 4);
+    for (std::size_t slot = 0; slot < oldSize; ++slot) {
+      const CacheEntry e = cache_.entryAt(slot);
+      if (e.op != static_cast<std::uint32_t>(Op::kInvalid)) live.push_back(e);
+    }
+    cache_.reset(oldSize * 2);
+    for (const CacheEntry& e : live) {
+      cache_.setEntryAt(cache_.slotOf(e.op, e.f, e.g, e.h), e);
     }
     ++stats_.cacheResizes;
     if (obs::traceEnabled()) {
@@ -231,11 +241,19 @@ std::uint64_t BddManager::gc() {
   std::vector<std::uint8_t> mark(store_.size(), 0);
   mark[0] = 1;
   // Roots are exactly the side table's entries: every externally referenced
-  // node, without an O(arena) scan for nonzero counts.
+  // node, without an O(arena) scan for nonzero counts.  Sorted by node
+  // index before marking: the unordered_map iterates in hash order, which
+  // varies with the table's resize history and across standard libraries --
+  // sorting pins the whole collection to a deterministic visit order
+  // instead of leaning on mark-set commutativity.
+  std::vector<std::uint32_t> roots;
+  roots.reserve(store_.refs().size());
   for (const auto& [i, r] : store_.refs()) {
-    if (i != 0 && r > 0 && !store_.isFree(i)) {
-      markRecursive(i, mark);
-    }
+    if (i != 0 && r > 0 && !store_.isFree(i)) roots.push_back(i);
+  }
+  std::sort(roots.begin(), roots.end());
+  for (const std::uint32_t i : roots) {
+    markRecursive(i, mark);
   }
 
   std::uint64_t reclaimed = 0;
@@ -255,13 +273,14 @@ std::uint64_t BddManager::gc() {
   // after each collection, which is what used to cap the cache hit rate on
   // the deep table-1 runs no matter how large the cache grew.
   std::uint64_t kept = 0;
-  for (CacheEntry& e : cache_) {
-    if (e.op == Op::kInvalid) continue;
+  for (std::size_t slot = 0; slot < cache_.size(); ++slot) {
+    const CacheEntry e = cache_.entryAt(slot);
+    if (e.op == static_cast<std::uint32_t>(Op::kInvalid)) continue;
     if (mark[edgeIndex(e.f)] != 0 && mark[edgeIndex(e.g)] != 0 &&
         mark[edgeIndex(e.h)] != 0 && mark[edgeIndex(e.result)] != 0) {
       ++kept;
     } else {
-      e = CacheEntry{};
+      cache_.clearAt(slot);
     }
   }
 
@@ -301,10 +320,15 @@ void BddManager::autoGc() {
 std::uint64_t BddManager::liveNodes() const {
   std::vector<std::uint8_t> mark(store_.size(), 0);
   mark[0] = 1;
+  // Same deterministic index-order visit as gc()'s root enumeration.
+  std::vector<std::uint32_t> roots;
+  roots.reserve(store_.refs().size());
   for (const auto& [i, r] : store_.refs()) {
-    if (i != 0 && r > 0 && !store_.isFree(i)) {
-      markRecursive(i, mark);
-    }
+    if (i != 0 && r > 0 && !store_.isFree(i)) roots.push_back(i);
+  }
+  std::sort(roots.begin(), roots.end());
+  for (const std::uint32_t i : roots) {
+    markRecursive(i, mark);
   }
   return static_cast<std::uint64_t>(std::count(mark.begin(), mark.end(), 1));
 }

@@ -20,10 +20,12 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "bdd/computed_cache.hpp"
 #include "bdd/edge.hpp"
 #include "bdd/node_store.hpp"
 #include "bdd/options.hpp"
@@ -86,6 +88,11 @@ struct BddStats {
   std::uint64_t refUnderflows = 0;  ///< deref() calls on a zero count (a
                                     ///< double release swallowed because the
                                     ///< check level was below cheap)
+  std::uint64_t parSteals = 0;      ///< parallel-apply tasks run by a thief
+  std::uint64_t parCasRetries = 0;  ///< unique-table bucket-head CAS retries
+  std::uint64_t parCacheRaces = 0;  ///< computed-cache probes/inserts dropped
+                                    ///< because a concurrent writer held or
+                                    ///< rewrote the slot (lossy by contract)
 
   /// Computed-cache hit/miss per operation kind, indexed by BddOp.
   std::array<BddOpCacheStats, kBddOpCount> opCache{};
@@ -266,6 +273,21 @@ class ICBDD_CAPABILITY("BddManager") BddManager {
   /// long non-allocating walks such as node counting call this explicitly).
   void pollLimits() { checkResourceLimits(); }
 
+  // ---- intra-problem parallelism (ROADMAP item 1) --------------------------
+
+  /// Reconfigures the apply-worker count at a safe point (no operation may
+  /// be running).  n <= 1 parks and releases the pool and restores the
+  /// byte-identical serial path; n > 1 (re)builds a work-stealing pool of n
+  /// workers (calling thread included) that splits AND/XOR/ITE/EXISTS/
+  /// AND-EXISTS cofactor subproblems across the shared NodeStore and
+  /// lock-free computed cache.  Engines plumb EngineOptions::applyWorkers
+  /// through here (via LimitGuard); benches and the service set it at
+  /// construction through BddOptions::applyWorkers.
+  void setApplyWorkers(unsigned n);
+
+  /// Current apply-worker count (1 == serial).
+  [[nodiscard]] unsigned applyWorkers() const;
+
   // ---- edge-level structural accessors ------------------------------------
 
   [[nodiscard]] unsigned nodeVar(Edge e) const {
@@ -434,11 +456,9 @@ class ICBDD_CAPABILITY("BddManager") BddManager {
   // statistics and the cache auditor's re-execution switch share one enum.
   using Op = BddOp;
 
-  struct CacheEntry {
-    Edge f = 0, g = 0, h = 0;
-    Op op = Op::kInvalid;
-    Edge result = 0;
-  };
+  // The decoded cache-entry shape (op as a raw integer) the cache class,
+  // the auditor, and the surgeon hooks traffic in.
+  using CacheEntry = ComputedCache::Entry;
 
   // reference counting (used by Bdd handles only)
   void ref(Edge e) { store_.ref(edgeIndex(e)); }
@@ -496,6 +516,37 @@ class ICBDD_CAPABILITY("BddManager") BddManager {
   Edge restrictRec(Edge f, Edge c);
   Edge constrainRec(Edge f, Edge c);
 
+  // parallel apply (par_apply.cpp; see docs/parallel.md).  ParWorker is one
+  // worker's private counters, ParState owns the pool + workers; both are
+  // defined in bdd/par_internal.hpp so this header stays thread-free.
+  struct ParWorker;
+  struct ParState;
+  /// True when a pool exists and the entry points should fork a region.
+  [[nodiscard]] bool parallelEnabled() const { return par_ != nullptr; }
+  /// Runs (op, f, g, h) as one parallel region, including the
+  /// quiesce-grow-retry loop around NodeStore::GrowRequest and the stats
+  /// merge at the joined end.
+  Edge parApply(Op op, Edge f, Edge g, Edge h);
+  static std::uint32_t parTaskEntry(void* ctx, std::uint32_t op,
+                                    std::uint32_t f, std::uint32_t g,
+                                    std::uint32_t h, unsigned depth,
+                                    unsigned worker);
+  Edge parDispatch(ParWorker& w, Op op, Edge f, Edge g, Edge h,
+                   unsigned depth);
+  Edge parAnd(ParWorker& w, Edge f, Edge g, unsigned depth);
+  Edge parXor(ParWorker& w, Edge f, Edge g, unsigned depth);
+  Edge parIte(ParWorker& w, Edge f, Edge g, Edge h, unsigned depth);
+  Edge parExists(ParWorker& w, Edge f, Edge cube, unsigned depth);
+  Edge parAndExists(ParWorker& w, Edge f, Edge g, Edge cube, unsigned depth);
+  /// Shared-mode mk: lock-free find-or-publish, no GC/rehash/cache growth.
+  Edge mkShared(ParWorker& w, unsigned var, Edge hi, Edge lo);
+  /// Abort-flag + resource-limit poll for the parallel recursion (sampled
+  /// through the worker's private countdown).
+  void parPollLimits(ParWorker& w);
+  bool parCacheLookup(ParWorker& w, Op op, Edge f, Edge g, Edge h, Edge* out);
+  void parCacheInsert(ParWorker& w, Op op, Edge f, Edge g, Edge h,
+                      Edge result);
+
   // data -- the first block is the item-1 shared state: the NodeStore
   // (node arena + unique table + free list, see bdd/node_store.hpp) and the
   // computed cache are exactly what the shared concurrent manager will hand
@@ -503,7 +554,13 @@ class ICBDD_CAPABILITY("BddManager") BddManager {
   // class's capability (see the class comment).
   NodeStore store_;                     // item-1 shared
 
-  std::vector<CacheEntry> cache_;       // item-1 shared: computed cache
+  ComputedCache cache_;                 // item-1 shared: computed cache
+
+  // Parallel-apply state (null when applyWorkers <= 1: the serial path
+  // never touches it).  Owns the work-stealing pool and the per-worker
+  // counter blocks; also carries the arena-slack hint the grow-retry loop
+  // doubles (bdd/par_internal.hpp).
+  std::unique_ptr<ParState> par_;
 
   std::vector<Edge> varEdges_;  // projection edge per variable (kept live)
   std::vector<unsigned> var2level_;

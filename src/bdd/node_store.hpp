@@ -31,6 +31,7 @@
 // for the store's lifetime.  docs/node_layout.md is the full contract.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -184,6 +185,75 @@ class NodeStore {
   /// Test hook (NodeSurgeon): desynchronizes the free-list counter.
   void bumpFreeCount(std::uint64_t delta) { freeCount_ += delta; }
 
+  // ---- concurrent (shared-apply) mode --------------------------------------
+  //
+  // Between beginConcurrent() and endConcurrent() the store is shared by the
+  // parallel apply workers (ROADMAP item 1).  The serial mutators above must
+  // not run; the only legal operations are findShared()/allocateShared(),
+  // the read-only field accessors (published nodes are immutable for the
+  // whole region), and allocatedShared().  Inside a region:
+  //
+  //   * allocation is bump-only from a pre-sized extent (the free list is
+  //     ignored; it is consumed again once the region ends),
+  //   * insertion is lock-free: a fresh node is written with the claim bit
+  //     (word0 bit 63, the spare docs/node_layout.md reserved) set, then
+  //     published by a CAS on its bucket head with the chain link folded
+  //     into word0 and the claim bit cleared in the same release store,
+  //   * a racing duplicate is abandoned onto a lock-free list and
+  //     free-listed at the next quiesce -- canonicity is preserved because
+  //     only the CAS winner's index ever escapes,
+  //   * the unique table never rehashes and the arena vector never
+  //     reallocates (beginConcurrent sized both), so references stay stable.
+  //
+  // GC, rehash, reordering, and every other serial mutator run only at
+  // quiesced safe points outside regions (docs/parallel.md).
+
+  /// Internal control-flow signal: a worker ran the pre-sized extent dry.
+  /// The manager quiesces, grows the slack, and retries the operation --
+  /// nothing allocated so far is lost (published nodes stay canonical).
+  struct GrowRequest {};
+
+  /// Enters concurrent mode: extends the arena by ~`slack` nodes of bump
+  /// headroom (clamped to the index cap) and pre-sizes the unique table so
+  /// no growth is needed mid-region.
+  void beginConcurrent(std::size_t slack);
+
+  /// Leaves concurrent mode: shrinks the arena back to the bump extent
+  /// (restoring the serial size()/allocated() invariants) and free-lists
+  /// every abandoned duplicate.
+  void endConcurrent();
+
+  [[nodiscard]] bool concurrent() const { return concurrent_; }
+
+  /// Lock-free hash-consing probe (acquire on the bucket head; all nodes on
+  /// the chain were release-published, so their words read consistently).
+  [[nodiscard]] std::uint32_t findShared(unsigned var, Edge hi, Edge lo,
+                                         std::uint64_t* chainSteps);
+
+  /// Lock-free find-or-add.  Returns the canonical index of (var, hi, lo):
+  /// the freshly published node (*createdNew = true) or the racing winner
+  /// already on the chain (*createdNew = false, own ticket abandoned).
+  /// Throws ResourceLimitError(kNodeIndexSpace) at the index cap and
+  /// GrowRequest when the pre-sized extent is exhausted; both leave the
+  /// extent hole-free.
+  std::uint32_t allocateShared(unsigned var, Edge hi, Edge lo,
+                               std::uint64_t* chainSteps,
+                               std::uint64_t* casRetries, bool* createdNew);
+
+  /// Allocated-node count valid inside a region (bump extent minus the
+  /// untouched free list); the concurrent analogue of allocated().
+  [[nodiscard]] std::uint64_t allocatedShared() const {
+    // relaxed: a monotonic watermark polled for limit checks; no ordering
+    // with the allocating workers' other writes is needed.
+    return bump_.load(std::memory_order_relaxed) - freeCount_;
+  }
+
+  /// True while node i carries the claim (in-flight) mark.  Outside a
+  /// region no node may: the structural checker audits exactly that.
+  [[nodiscard]] bool isClaimed(std::uint32_t i) const {
+    return unpackClaimed(nodes_[i]);
+  }
+
   // ---- external reference counts (sparse side table) -----------------------
 
   /// Bumps the count (saturating at kMaxRef).
@@ -240,6 +310,10 @@ class NodeStore {
   static constexpr std::uint64_t kEdgeMask = 0xFFFFFFFFull;
   static constexpr std::uint64_t kNextMask = 0x7FFFFFFFull;
   static constexpr std::uint64_t kVarMask = (1ull << kVarBits) - 1;
+  /// word0 bit 63 -- the reserved spare: set between a shared allocation's
+  /// ticket grab and its publish/abandon (the in-flight marker).  Always
+  /// clear on published, free-listed, and serially built nodes.
+  static constexpr std::uint64_t kClaimBit = 1ull << 63;
 
   static unsigned unpackVar(const PackedNode& n) {
     return static_cast<unsigned>((n.word1 >> kVarShift) & kVarMask);
@@ -252,6 +326,9 @@ class NodeStore {
   }
   static std::uint32_t unpackNext(const PackedNode& n) {
     return static_cast<std::uint32_t>((n.word0 >> kNextShift) & kNextMask);
+  }
+  static bool unpackClaimed(const PackedNode& n) {
+    return (n.word0 & kClaimBit) != 0;
   }
   static void packFields(PackedNode& n, unsigned var, Edge hi, Edge lo) {
     n.word0 = (n.word0 & ~kEdgeMask) | static_cast<std::uint64_t>(hi);
@@ -266,12 +343,27 @@ class NodeStore {
               (static_cast<std::uint64_t>(next & kNextMask) << kNextShift);
   }
 
+  /// Shared chain walk from head `i` (concurrent mode).  Non-const because
+  /// std::atomic_ref over const words arrives only with C++26.
+  std::uint32_t chainSearch(std::uint32_t i, unsigned var, Edge hi, Edge lo,
+                            std::uint64_t* chainSteps);
+
+  /// Parks a claimed-but-unpublished node on the abandoned list (lock-free
+  /// push); endConcurrent() free-lists it.
+  void abandonShared(std::uint32_t index);
+
   std::vector<PackedNode> nodes_;
   std::vector<std::uint32_t> buckets_;  ///< unique-table heads
   std::uint32_t freeHead_ = kNil;
   std::uint64_t freeCount_ = 0;
   std::unordered_map<std::uint32_t, std::uint32_t> refs_;
   std::uint32_t indexCap_ = kMaxIndex;
+
+  // concurrent-mode state (meaningful only between begin/endConcurrent)
+  bool concurrent_ = false;
+  std::size_t capacity_ = 0;                    ///< arena extent incl. slack
+  std::atomic<std::uint32_t> bump_{0};          ///< next fresh ticket
+  std::atomic<std::uint32_t> abandonedHead_{kNil};  ///< CAS-loser list
 };
 
 }  // namespace icb

@@ -40,6 +40,16 @@ struct BddOptions {
   /// Automatic sifting is pointless on tiny arenas: never fire below this
   /// many live nodes.
   std::uint64_t reorderMinLiveNodes = 4096;
+  /// Number of workers sharing this manager inside one apply (ROADMAP
+  /// item 1: intra-problem parallelism).  1 (the default) keeps the
+  /// historical single-threaded recursion byte-for-byte: no pool is
+  /// created, no atomics are touched on the hot path.  N > 1 spawns a
+  /// per-manager work-stealing pool of N workers (the calling thread
+  /// included) that splits cofactor subproblems of AND/XOR/ITE/EXISTS/
+  /// AND-EXISTS across a shared NodeStore and lock-free computed cache.
+  /// GC, reordering, and table growth still run only at quiesced safe
+  /// points between operations (docs/parallel.md).
+  unsigned applyWorkers = 1;
 };
 
 /// Which resource gave out first when a run is aborted.  kNodes is the

@@ -1,0 +1,519 @@
+// Intra-problem parallel apply (ROADMAP item 1): the region driver and the
+// parallel twins of the recursive operators.
+//
+// One public apply call with applyWorkers > 1 becomes one *region*:
+//
+//   parApply    brackets the region with NodeStore::begin/endConcurrent,
+//               runs the root subproblem through the work-stealing
+//               ApplyPool, merges the workers' private counters into
+//               BddStats at the quiesced join, and retries the whole
+//               operation with doubled arena slack on a GrowRequest
+//               (published nodes and cache entries survive the retry, so
+//               every pass makes forward progress).
+//
+//   par*        mirror andRec/xorRec/iteRec/existsRec/andExistsRec line for
+//               line -- same normalizations, same cache keys, same terminal
+//               cases -- but allocate through mkShared (lock-free
+//               find-or-publish) and probe the cache through the per-worker
+//               counter blocks.  Above the spawn depth limit, the then-branch
+//               cofactor is offered to thieves as a Task while the
+//               else-branch runs inline; below it the recursion is plainly
+//               sequential (stolen work stays coarse).
+//
+// Determinism: results are canonical BDD edges, so verdicts, iteration
+// counts, and counterexamples are independent of the schedule.  What *is*
+// schedule-dependent is which duplicate loses a publish race and the
+// speculative else-branch work where the serial path would have taken the
+// exists early cutoff -- both only affect node/cache traffic, never any
+// function computed.  The serial path (applyWorkers <= 1) never enters this
+// file and stays byte-identical to the historical package.
+//
+// Exception safety is the strict fork-join protocol of ApplyPool: every
+// spawned task is joined (sync) or retired before its frame exits, so tasks
+// can live on the spawning frame's stack.  The first real error (resource
+// limit, grow request) is captured by abortRegion; every other worker
+// unwinds on RegionAborted and the captured error is rethrown at the join.
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "bdd/manager.hpp"
+#include "bdd/par_internal.hpp"
+
+namespace icb {
+
+namespace {
+
+/// Offers `t` to thieves while computing the other branch inline, then joins
+/// both.  Returns {spawned result, inline result}.  When the inline branch
+/// throws, the task is retired (popped unrun, or its thief awaited) before
+/// the exception leaves, so the stack-allocated Task never outlives the
+/// region's interest in it.
+template <typename InlineFn>
+std::pair<Edge, Edge> forkJoin(par::ApplyPool& pool, unsigned wid,
+                               par::ApplyPool::Task& t, InlineFn inlineBranch) {
+  pool.spawn(wid, &t);
+  Edge inlined;
+  try {
+    inlined = inlineBranch();
+  } catch (...) {
+    pool.abortRegion(std::current_exception());
+    pool.retire(wid, &t);
+    throw;
+  }
+  const auto spawned = static_cast<Edge>(pool.sync(wid, &t));
+  // The thief may have swallowed a RegionAborted cascade and published a
+  // meaningless result; re-check before trusting it.
+  if (pool.aborting()) throw par::RegionAborted{};
+  return {spawned, inlined};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// region driver
+
+Edge BddManager::parApply(Op op, Edge f, Edge g, Edge h) {
+  for (;;) {
+    for (ParWorker& w : par_->workers) w.reset();
+    store_.beginConcurrent(par_->growSlack);
+
+    bool grew = false;
+    Edge result = 0;
+    std::exception_ptr error;
+    try {
+      result = static_cast<Edge>(par_->pool.run(
+          this, &parTaskEntry, static_cast<std::uint32_t>(op), f, g, h));
+    } catch (const NodeStore::GrowRequest&) {
+      grew = true;
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    // The join: the pool is parked and the workers' counter blocks are
+    // quiescent, so plain merges and serial store maintenance are safe.
+    store_.endConcurrent();
+    stats_.parSteals += par_->pool.stealsLastRegion();
+    for (const ParWorker& w : par_->workers) {
+      stats_.uniqueLookups += w.uniqueLookups;
+      stats_.uniqueChainSteps += w.uniqueChainSteps;
+      stats_.nodesCreated += w.nodesCreated;
+      stats_.parCasRetries += w.casRetries;
+      stats_.parCacheRaces += w.cacheRaces;
+      for (std::size_t i = 0; i < kBddOpCount; ++i) {
+        stats_.opCache[i].lookups += w.opCache[i].lookups;
+        stats_.opCache[i].hits += w.opCache[i].hits;
+      }
+    }
+    stats_.peakNodes =
+        std::max<std::uint64_t>(stats_.peakNodes, allocatedNodes());
+    // The unique table was pre-sized by beginConcurrent, so only the
+    // computed cache may lag the arena here.
+    maybeGrowComputedCache();
+
+    if (error) std::rethrow_exception(error);
+    if (!grew) {
+      // Decay the slack so one huge operation does not pin the arena
+      // headroom for every later small one.
+      par_->growSlack = std::max<std::size_t>(par_->growSlack / 2, 1u << 16);
+      return result;
+    }
+    par_->growSlack *= 2;
+  }
+}
+
+std::uint32_t BddManager::parTaskEntry(void* ctx, std::uint32_t op,
+                                       std::uint32_t f, std::uint32_t g,
+                                       std::uint32_t h, unsigned depth,
+                                       unsigned worker) {
+  auto* mgr = static_cast<BddManager*>(ctx);
+  return mgr->parDispatch(mgr->par_->workers[worker], static_cast<Op>(op), f,
+                          g, h, depth);
+}
+
+Edge BddManager::parDispatch(ParWorker& w, Op op, Edge f, Edge g, Edge h,
+                             unsigned depth) {
+  switch (op) {
+    case Op::kAnd: return parAnd(w, f, g, depth);
+    case Op::kXor: return parXor(w, f, g, depth);
+    case Op::kIte: return parIte(w, f, g, h, depth);
+    case Op::kExists: return parExists(w, f, g, depth);
+    case Op::kAndExists: return parAndExists(w, f, g, h, depth);
+    default: break;
+  }
+  throw BddUsageError("parallel dispatch of unsupported operation");
+}
+
+// ---------------------------------------------------------------------------
+// shared-mode building blocks
+
+Edge BddManager::mkShared(ParWorker& w, unsigned var, Edge hi, Edge lo) {
+  if (hi == lo) return hi;
+  // Canonical form: the then-arc is never complemented.
+  if (edgeIsComplemented(hi)) {
+    return edgeNot(mkShared(w, var, edgeNot(hi), edgeNot(lo)));
+  }
+
+  ++w.uniqueLookups;
+  const std::uint32_t hit =
+      store_.findShared(var, hi, lo, &w.uniqueChainSteps);
+  if (hit != kNil) return makeEdge(hit, false);
+
+  parPollLimits(w);
+
+  bool createdNew = false;
+  const std::uint32_t index = store_.allocateShared(
+      var, hi, lo, &w.uniqueChainSteps, &w.casRetries, &createdNew);
+  if (createdNew) ++w.nodesCreated;
+  return makeEdge(index, false);
+}
+
+void BddManager::parPollLimits(ParWorker& w) {
+  // Cascade promptly once any worker has aborted the region: the rest of
+  // this subproblem's work would be thrown away anyway.
+  if (par_->pool.aborting()) throw par::RegionAborted{};
+  if (limits_.maxNodes != 0 && store_.allocatedShared() > limits_.maxNodes) {
+    throw ResourceLimitError(ResourceKind::kNodes);
+  }
+  // relaxed: cancellation is advisory -- the poll needs timeliness, not
+  // ordering with the cancelling thread's other writes (same contract as
+  // the serial checkResourceLimits).
+  if (limits_.cancelFlag != nullptr &&
+      limits_.cancelFlag->load(std::memory_order_relaxed)) {
+    throw ResourceLimitError(ResourceKind::kCancelled);
+  }
+  // The clock is comparatively expensive; sample it through the worker's
+  // private countdown (the serial path samples identically).
+  if (limits_.deadline.isSet() && w.limitCountdown-- == 0) {
+    w.limitCountdown = 8192;
+    if (limits_.deadline.expired()) {
+      throw ResourceLimitError(ResourceKind::kTime);
+    }
+  }
+}
+
+bool BddManager::parCacheLookup(ParWorker& w, Op op, Edge f, Edge g, Edge h,
+                                Edge* out) {
+  BddOpCacheStats& opStats = w.opCache[static_cast<std::size_t>(op)];
+  ++opStats.lookups;
+  if (cache_.lookup(static_cast<std::uint32_t>(op), f, g, h, out,
+                    &w.cacheRaces)) {
+    ++opStats.hits;
+    return true;
+  }
+  return false;
+}
+
+void BddManager::parCacheInsert(ParWorker& w, Op op, Edge f, Edge g, Edge h,
+                                Edge result) {
+  cache_.insert(static_cast<std::uint32_t>(op), f, g, h, result,
+                &w.cacheRaces);
+}
+
+// ---------------------------------------------------------------------------
+// parallel recursions (each the line-for-line twin of its serial original;
+// see ops.cpp / quant.cpp for the normalization rationale)
+
+Edge BddManager::parAnd(ParWorker& w, Edge f, Edge g, unsigned depth) {
+  if (f == kFalseEdge || g == kFalseEdge) return kFalseEdge;
+  if (f == kTrueEdge) return g;
+  if (g == kTrueEdge) return f;
+  if (f == g) return f;
+  if (f == edgeNot(g)) return kFalseEdge;
+
+  if (f > g) std::swap(f, g);
+
+  Edge cached;
+  if (parCacheLookup(w, Op::kAnd, f, g, 0, &cached)) return cached;
+
+  const unsigned lf = edgeLevel(f);
+  const unsigned lg = edgeLevel(g);
+  const unsigned top = std::min(lf, lg);
+  const unsigned var = level2var_[top];
+
+  const Edge f1 = lf == top ? edgeThen(f) : f;
+  const Edge f0 = lf == top ? edgeElse(f) : f;
+  const Edge g1 = lg == top ? edgeThen(g) : g;
+  const Edge g0 = lg == top ? edgeElse(g) : g;
+
+  Edge r1, r0;
+  par::ApplyPool& pool = par_->pool;
+  if (depth < pool.spawnDepthLimit()) {
+    const auto wid = static_cast<unsigned>(&w - par_->workers.data());
+    par::ApplyPool::Task t;
+    t.op = static_cast<std::uint32_t>(Op::kAnd);
+    t.f = f1;
+    t.g = g1;
+    t.depth = depth + 1;
+    std::tie(r1, r0) =
+        forkJoin(pool, wid, t, [&] { return parAnd(w, f0, g0, depth + 1); });
+  } else {
+    r1 = parAnd(w, f1, g1, depth + 1);
+    r0 = parAnd(w, f0, g0, depth + 1);
+  }
+  const Edge result = mkShared(w, var, r1, r0);
+
+  parCacheInsert(w, Op::kAnd, f, g, 0, result);
+  return result;
+}
+
+Edge BddManager::parXor(ParWorker& w, Edge f, Edge g, unsigned depth) {
+  if (f == kFalseEdge) return g;
+  if (g == kFalseEdge) return f;
+  if (f == kTrueEdge) return edgeNot(g);
+  if (g == kTrueEdge) return edgeNot(f);
+  if (f == g) return kFalseEdge;
+  if (f == edgeNot(g)) return kTrueEdge;
+
+  Edge parity = (f & 1u) ^ (g & 1u);
+  f = edgeRegular(f);
+  g = edgeRegular(g);
+  if (f > g) std::swap(f, g);
+
+  Edge cached;
+  if (parCacheLookup(w, Op::kXor, f, g, 0, &cached)) return cached ^ parity;
+
+  const unsigned lf = edgeLevel(f);
+  const unsigned lg = edgeLevel(g);
+  const unsigned top = std::min(lf, lg);
+  const unsigned var = level2var_[top];
+
+  const Edge f1 = lf == top ? edgeThen(f) : f;
+  const Edge f0 = lf == top ? edgeElse(f) : f;
+  const Edge g1 = lg == top ? edgeThen(g) : g;
+  const Edge g0 = lg == top ? edgeElse(g) : g;
+
+  Edge r1, r0;
+  par::ApplyPool& pool = par_->pool;
+  if (depth < pool.spawnDepthLimit()) {
+    const auto wid = static_cast<unsigned>(&w - par_->workers.data());
+    par::ApplyPool::Task t;
+    t.op = static_cast<std::uint32_t>(Op::kXor);
+    t.f = f1;
+    t.g = g1;
+    t.depth = depth + 1;
+    std::tie(r1, r0) =
+        forkJoin(pool, wid, t, [&] { return parXor(w, f0, g0, depth + 1); });
+  } else {
+    r1 = parXor(w, f1, g1, depth + 1);
+    r0 = parXor(w, f0, g0, depth + 1);
+  }
+  const Edge result = mkShared(w, var, r1, r0);
+
+  parCacheInsert(w, Op::kXor, f, g, 0, result);
+  return result ^ parity;
+}
+
+Edge BddManager::parIte(ParWorker& w, Edge f, Edge g, Edge h, unsigned depth) {
+  if (f == kTrueEdge) return g;
+  if (f == kFalseEdge) return h;
+  if (g == h) return g;
+  if (g == kTrueEdge && h == kFalseEdge) return f;
+  if (g == kFalseEdge && h == kTrueEdge) return edgeNot(f);
+  if (f == g) g = kTrueEdge;
+  else if (f == edgeNot(g)) g = kFalseEdge;
+  if (f == h) h = kFalseEdge;
+  else if (f == edgeNot(h)) h = kTrueEdge;
+
+  if (g == h) return g;
+  if (g == kTrueEdge && h == kFalseEdge) return f;
+  if (g == kFalseEdge && h == kTrueEdge) return edgeNot(f);
+  if (g == kTrueEdge) return edgeNot(parAnd(w, edgeNot(f), edgeNot(h), depth));
+  if (g == kFalseEdge) return parAnd(w, edgeNot(f), h, depth);
+  if (h == kFalseEdge) return parAnd(w, f, g, depth);
+  if (h == kTrueEdge) return edgeNot(parAnd(w, f, edgeNot(g), depth));
+
+  if (edgeIsComplemented(f)) {
+    f = edgeNot(f);
+    std::swap(g, h);
+  }
+  Edge parity = 0;
+  if (edgeIsComplemented(g)) {
+    parity = 1;
+    g = edgeNot(g);
+    h = edgeNot(h);
+  }
+
+  Edge cached;
+  if (parCacheLookup(w, Op::kIte, f, g, h, &cached)) return cached ^ parity;
+
+  const unsigned lf = edgeLevel(f);
+  const unsigned lg = edgeLevel(g);
+  const unsigned lh = edgeLevel(h);
+  const unsigned top = std::min({lf, lg, lh});
+  const unsigned var = level2var_[top];
+
+  const Edge f1 = lf == top ? edgeThen(f) : f;
+  const Edge f0 = lf == top ? edgeElse(f) : f;
+  const Edge g1 = lg == top ? edgeThen(g) : g;
+  const Edge g0 = lg == top ? edgeElse(g) : g;
+  const Edge h1 = lh == top ? edgeThen(h) : h;
+  const Edge h0 = lh == top ? edgeElse(h) : h;
+
+  Edge r1, r0;
+  par::ApplyPool& pool = par_->pool;
+  if (depth < pool.spawnDepthLimit()) {
+    const auto wid = static_cast<unsigned>(&w - par_->workers.data());
+    par::ApplyPool::Task t;
+    t.op = static_cast<std::uint32_t>(Op::kIte);
+    t.f = f1;
+    t.g = g1;
+    t.h = h1;
+    t.depth = depth + 1;
+    std::tie(r1, r0) = forkJoin(
+        pool, wid, t, [&] { return parIte(w, f0, g0, h0, depth + 1); });
+  } else {
+    r1 = parIte(w, f1, g1, h1, depth + 1);
+    r0 = parIte(w, f0, g0, h0, depth + 1);
+  }
+  const Edge result = mkShared(w, var, r1, r0);
+
+  parCacheInsert(w, Op::kIte, f, g, h, result);
+  return result ^ parity;
+}
+
+Edge BddManager::parExists(ParWorker& w, Edge f, Edge cube, unsigned depth) {
+  if (edgeIsConstant(f)) return f;
+  const unsigned lf = edgeLevel(f);
+  while (cube != kTrueEdge && edgeLevel(cube) < lf) {
+    cube = edgeThen(cube);  // positive cubes chain through their then-arcs
+  }
+  if (cube == kTrueEdge) return f;
+
+  Edge cached;
+  if (parCacheLookup(w, Op::kExists, f, cube, 0, &cached)) return cached;
+
+  const unsigned lc = edgeLevel(cube);
+  const unsigned var = nodeVar(f);
+  par::ApplyPool& pool = par_->pool;
+  Edge result;
+  if (lf == lc) {
+    const Edge rest = edgeThen(cube);
+    if (depth < pool.spawnDepthLimit()) {
+      // Speculative split: the serial early cutoff (skip the else-cofactor
+      // once the then-side saturates to TRUE) cannot be honored while the
+      // then-side computes concurrently.  The extra else-side work changes
+      // node/cache traffic only -- results are canonical either way.
+      const auto wid = static_cast<unsigned>(&w - par_->workers.data());
+      par::ApplyPool::Task t;
+      t.op = static_cast<std::uint32_t>(Op::kExists);
+      t.f = edgeThen(f);
+      t.g = rest;
+      t.depth = depth + 1;
+      const auto [r1, r0] = forkJoin(
+          pool, wid, t, [&] { return parExists(w, edgeElse(f), rest, depth + 1); });
+      result = r1 == kTrueEdge
+                   ? kTrueEdge
+                   : edgeNot(parAnd(w, edgeNot(r1), edgeNot(r0), depth));
+    } else {
+      const Edge r1 = parExists(w, edgeThen(f), rest, depth + 1);
+      if (r1 == kTrueEdge) {
+        result = kTrueEdge;  // early cutoff: OR already saturated
+      } else {
+        const Edge r0 = parExists(w, edgeElse(f), rest, depth + 1);
+        result = edgeNot(parAnd(w, edgeNot(r1), edgeNot(r0), depth));
+      }
+    }
+  } else {
+    Edge r1, r0;
+    if (depth < pool.spawnDepthLimit()) {
+      const auto wid = static_cast<unsigned>(&w - par_->workers.data());
+      par::ApplyPool::Task t;
+      t.op = static_cast<std::uint32_t>(Op::kExists);
+      t.f = edgeThen(f);
+      t.g = cube;
+      t.depth = depth + 1;
+      std::tie(r1, r0) = forkJoin(
+          pool, wid, t, [&] { return parExists(w, edgeElse(f), cube, depth + 1); });
+    } else {
+      r1 = parExists(w, edgeThen(f), cube, depth + 1);
+      r0 = parExists(w, edgeElse(f), cube, depth + 1);
+    }
+    result = mkShared(w, var, r1, r0);
+  }
+
+  parCacheInsert(w, Op::kExists, f, cube, 0, result);
+  return result;
+}
+
+Edge BddManager::parAndExists(ParWorker& w, Edge f, Edge g, Edge cube,
+                              unsigned depth) {
+  if (f == kFalseEdge || g == kFalseEdge) return kFalseEdge;
+  if (f == edgeNot(g)) return kFalseEdge;
+  if (f == kTrueEdge || f == g) return parExists(w, g, cube, depth);
+  if (g == kTrueEdge) return parExists(w, f, cube, depth);
+
+  const unsigned lf = edgeLevel(f);
+  const unsigned lg = edgeLevel(g);
+  const unsigned top = std::min(lf, lg);
+  while (cube != kTrueEdge && edgeLevel(cube) < top) {
+    cube = edgeThen(cube);
+  }
+  if (cube == kTrueEdge) return parAnd(w, f, g, depth);
+
+  if (f > g) std::swap(f, g);
+  Edge cached;
+  if (parCacheLookup(w, Op::kAndExists, f, g, cube, &cached)) return cached;
+
+  const unsigned lf2 = edgeLevel(f);
+  const unsigned lg2 = edgeLevel(g);
+  const unsigned var = level2var_[top];
+  const Edge f1 = lf2 == top ? edgeThen(f) : f;
+  const Edge f0 = lf2 == top ? edgeElse(f) : f;
+  const Edge g1 = lg2 == top ? edgeThen(g) : g;
+  const Edge g0 = lg2 == top ? edgeElse(g) : g;
+
+  par::ApplyPool& pool = par_->pool;
+  Edge result;
+  if (edgeLevel(cube) == top) {
+    const Edge rest = edgeThen(cube);
+    if (depth < pool.spawnDepthLimit()) {
+      // Speculative, like parExists: the else-side may run even when the
+      // then-side would have saturated the OR.
+      const auto wid = static_cast<unsigned>(&w - par_->workers.data());
+      par::ApplyPool::Task t;
+      t.op = static_cast<std::uint32_t>(Op::kAndExists);
+      t.f = f1;
+      t.g = g1;
+      t.h = rest;
+      t.depth = depth + 1;
+      const auto [r1, r0] = forkJoin(pool, wid, t, [&] {
+        return parAndExists(w, f0, g0, rest, depth + 1);
+      });
+      result = r1 == kTrueEdge
+                   ? kTrueEdge
+                   : edgeNot(parAnd(w, edgeNot(r1), edgeNot(r0), depth));
+    } else {
+      const Edge r1 = parAndExists(w, f1, g1, rest, depth + 1);
+      if (r1 == kTrueEdge) {
+        result = kTrueEdge;
+      } else {
+        const Edge r0 = parAndExists(w, f0, g0, rest, depth + 1);
+        result = edgeNot(parAnd(w, edgeNot(r1), edgeNot(r0), depth));
+      }
+    }
+  } else {
+    Edge r1, r0;
+    if (depth < pool.spawnDepthLimit()) {
+      const auto wid = static_cast<unsigned>(&w - par_->workers.data());
+      par::ApplyPool::Task t;
+      t.op = static_cast<std::uint32_t>(Op::kAndExists);
+      t.f = f1;
+      t.g = g1;
+      t.h = cube;
+      t.depth = depth + 1;
+      std::tie(r1, r0) = forkJoin(pool, wid, t, [&] {
+        return parAndExists(w, f0, g0, cube, depth + 1);
+      });
+    } else {
+      r1 = parAndExists(w, f1, g1, cube, depth + 1);
+      r0 = parAndExists(w, f0, g0, cube, depth + 1);
+    }
+    result = mkShared(w, var, r1, r0);
+  }
+
+  parCacheInsert(w, Op::kAndExists, f, g, cube, result);
+  return result;
+}
+
+}  // namespace icb

@@ -1,0 +1,45 @@
+// Definitions of BddManager's parallel-apply state (declared opaquely in
+// manager.hpp so that header stays free of <thread> and the pool types).
+// Included by manager.cpp and par_apply.cpp only.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bdd/manager.hpp"
+#include "par/apply_pool.hpp"
+
+namespace icb {
+
+/// One worker's private counters for one region.  Everything here is
+/// thread-local by construction (indexed by worker id), merged into
+/// BddStats under the region's join -- the recursion never touches a shared
+/// counter on the hot path.
+struct BddManager::ParWorker {
+  std::uint64_t uniqueLookups = 0;
+  std::uint64_t uniqueChainSteps = 0;
+  std::uint64_t nodesCreated = 0;
+  std::uint64_t casRetries = 0;
+  std::uint64_t cacheRaces = 0;
+  std::array<BddOpCacheStats, kBddOpCount> opCache{};
+  std::uint32_t limitCountdown = 0;
+
+  void reset() { *this = ParWorker{}; }
+};
+
+/// The pool plus its per-worker blocks, owned by the manager while
+/// applyWorkers > 1.
+struct BddManager::ParState {
+  explicit ParState(unsigned workerCount)
+      : pool(workerCount), workers(pool.workers()) {}
+
+  par::ApplyPool pool;
+  std::vector<ParWorker> workers;
+  /// Bump-extent headroom for the next region; parApply doubles it on a
+  /// NodeStore::GrowRequest and it decays back between operations.
+  std::size_t growSlack = 1u << 16;
+};
+
+}  // namespace icb

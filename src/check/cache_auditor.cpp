@@ -43,14 +43,15 @@ CheckReport CacheAuditor::audit() {
   // Pass 1: every referenced edge of every valid entry must be alive.
   std::vector<std::size_t> sampleable;
   for (std::size_t slot = 0; slot < cache.size(); ++slot) {
-    const BddManager::CacheEntry& entry = cache[slot];
-    if (entry.op == BddManager::Op::kInvalid) continue;
+    const BddManager::CacheEntry entry = cache.entryAt(slot);
+    const auto op = static_cast<BddManager::Op>(entry.op);
+    if (op == BddManager::Op::kInvalid) continue;
     ++report.itemsChecked;
     if (!edgeOk(entry.f) || !edgeOk(entry.g) || !edgeOk(entry.h) ||
         !edgeOk(entry.result)) {
       report.add(ViolationKind::kCacheDanglingEdge,
                  std::string("slot ") + std::to_string(slot) + " (" +
-                     opName(entry.op) + ") references a dead node");
+                     opName(op) + ") references a dead node");
       continue;
     }
     sampleable.push_back(slot);
@@ -68,11 +69,11 @@ CheckReport CacheAuditor::audit() {
     sampleable[pick] = sampleable.back();
     sampleable.pop_back();
 
-    const BddManager::CacheEntry entry = cache[slot];
-    cache[slot] = BddManager::CacheEntry{};
+    const BddManager::CacheEntry entry = cache.entryAt(slot);
+    cache.clearAt(slot);
 
     Edge fresh = kFalseEdge;
-    switch (entry.op) {
+    switch (static_cast<BddManager::Op>(entry.op)) {
       case BddManager::Op::kIte:
         fresh = mgr_.iteE(entry.f, entry.g, entry.h);
         break;
@@ -101,7 +102,8 @@ CheckReport CacheAuditor::audit() {
     if (fresh != entry.result) {
       report.add(ViolationKind::kCacheWrongResult,
                  std::string("slot ") + std::to_string(slot) + " (" +
-                     opName(entry.op) + "): stored " +
+                     opName(static_cast<BddManager::Op>(entry.op)) +
+                     "): stored " +
                      std::to_string(entry.result) + ", re-execution gives " +
                      std::to_string(fresh));
     }

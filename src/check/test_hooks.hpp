@@ -56,6 +56,12 @@ class NodeSurgeon {
     mgr.store_.setRef(index, ref);
   }
 
+  /// Reads a node's external reference count (0 when absent from the side
+  /// table).
+  static std::uint32_t refOf(const BddManager& mgr, std::uint32_t index) {
+    return mgr.store_.refOf(index);
+  }
+
   /// Unlinks a node from its unique-table chain without freeing it (the
   /// node stays live but becomes unfindable -- a rehash-completeness hole).
   static bool detachFromUniqueTable(BddManager& mgr, std::uint32_t index) {
@@ -88,9 +94,11 @@ class NodeSurgeon {
   /// Flips the result of the first valid computed-cache entry found.
   /// Returns false when the cache is empty.
   static bool corruptFirstCacheEntry(BddManager& mgr) {
-    for (BddManager::CacheEntry& entry : mgr.cache_) {
-      if (entry.op != BddManager::Op::kInvalid) {
+    for (std::size_t slot = 0; slot < mgr.cache_.size(); ++slot) {
+      BddManager::CacheEntry entry = mgr.cache_.entryAt(slot);
+      if (static_cast<BddManager::Op>(entry.op) != BddManager::Op::kInvalid) {
         entry.result = edgeNot(entry.result);
+        mgr.cache_.setEntryAt(slot, entry);
         return true;
       }
     }
@@ -100,12 +108,12 @@ class NodeSurgeon {
   /// Plants a cache entry whose operand points outside the arena.
   static void plantDanglingCacheEntry(BddManager& mgr) {
     BddManager::CacheEntry entry;
-    entry.op = BddManager::Op::kAnd;
+    entry.op = static_cast<std::uint32_t>(BddManager::Op::kAnd);
     entry.f =
         makeEdge(static_cast<std::uint32_t>(mgr.store_.size()) + 7, false);
     entry.g = kTrueEdge;
     entry.result = kTrueEdge;
-    mgr.cache_[0] = entry;
+    mgr.cache_.setEntryAt(0, entry);
   }
 };
 

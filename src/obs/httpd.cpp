@@ -35,13 +35,20 @@ const char* reasonPhrase(int status) {
 }
 
 /// Writes the whole buffer; MSG_NOSIGNAL so a scraper hanging up mid-reply
-/// surfaces as EPIPE, not a process-killing SIGPIPE.
+/// surfaces as EPIPE, not a process-killing SIGPIPE.  A signal landing
+/// mid-write (EINTR) is retried -- nothing was consumed -- while a real
+/// error (EPIPE, ECONNRESET, ...) abandons the rest: the peer is gone and
+/// there is nobody left to read it.
 void sendAll(int fd, const std::string& data) {
   std::size_t off = 0;
   while (off < data.size()) {
     const ssize_t n =
         send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
-    if (n <= 0) return;  // peer gone; nothing useful to do
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (n == 0) return;  // defensive: never spin on a zero-byte send
     off += static_cast<std::size_t>(n);
   }
 }

@@ -91,6 +91,9 @@ void MetricsRegistry::captureBdd(const BddManager& mgr) {
   add("bdd.cache.hits", s.cacheHits());
   add("bdd.cache.resizes", s.cacheResizes);
   add("bdd.ref.underflow", s.refUnderflows);
+  add("bdd.par.steals", s.parSteals);
+  add("bdd.par.cas_retries", s.parCasRetries);
+  add("bdd.par.cache_races", s.parCacheRaces);
   if (s.cacheLookups() > 0) {
     setGauge("bdd.cache.hit_rate", static_cast<double>(s.cacheHits()) /
                                        static_cast<double>(s.cacheLookups()));

@@ -1,0 +1,193 @@
+#include "par/apply_pool.hpp"
+
+#include <algorithm>
+
+namespace icb::par {
+
+ApplyPool::ApplyPool(unsigned workers) {
+  const unsigned n = std::max(2u, workers);
+  lanes_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  // Keep roughly 8 stealable tasks per worker available: 2^limit >= 8n.
+  spawnDepthLimit_ = 3;
+  while ((1u << spawnDepthLimit_) < 8 * n && spawnDepthLimit_ < 24) {
+    ++spawnDepthLimit_;
+  }
+  threads_.reserve(n - 1);
+  for (unsigned i = 1; i < n; ++i) {
+    threads_.emplace_back([this, i] { workerLoop(i); });
+  }
+}
+
+ApplyPool::~ApplyPool() {
+  {
+    std::lock_guard<std::mutex> lock(wakeMutex_);
+    shutdown_ = true;
+  }
+  wakeCv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ApplyPool::workerLoop(unsigned id) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(wakeMutex_);
+      wakeCv_.wait(lock, [&] { return shutdown_ || epoch_ != seen; });
+      if (shutdown_) return;
+      seen = epoch_;
+    }
+    while (active_.load(std::memory_order_acquire)) {
+      if (!helpOnce(id)) std::this_thread::yield();
+    }
+  }
+}
+
+std::uint32_t ApplyPool::run(void* ctx, RunFn fn, std::uint32_t op,
+                             std::uint32_t f, std::uint32_t g,
+                             std::uint32_t h) {
+  ctx_ = ctx;
+  fn_ = fn;
+  {
+    std::lock_guard<std::mutex> lock(errorMutex_);
+    error_ = nullptr;
+  }
+  // relaxed: region setup -- the workers are parked; the epoch handshake
+  // below is what releases this store to them.
+  abort_.store(false, std::memory_order_relaxed);
+  for (auto& lane : lanes_) {
+    std::lock_guard<std::mutex> lock(lane->mutex);
+    lane->steals = 0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(wakeMutex_);
+    ++epoch_;
+    active_.store(true, std::memory_order_release);
+  }
+  wakeCv_.notify_all();
+
+  std::uint32_t result = 0;
+  try {
+    result = fn(ctx, op, f, g, h, 0, 0);
+  } catch (const RegionAborted&) {
+    // The real error was captured by abortRegion(); fall through to park
+    // and rethrow below.
+  } catch (...) {
+    abortRegion(std::current_exception());
+  }
+  // The root call only returns (or unwinds) once every spawned task has
+  // been joined or retired, so no task is outstanding: parking is safe.
+  active_.store(false, std::memory_order_release);
+
+  std::uint64_t steals = 0;
+  for (auto& lane : lanes_) {
+    std::lock_guard<std::mutex> lock(lane->mutex);
+    steals += lane->steals;
+  }
+  stealsLastRegion_ = steals;
+
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(errorMutex_);
+    error = error_;
+  }
+  if (error) std::rethrow_exception(error);
+  return result;
+}
+
+void ApplyPool::spawn(unsigned worker, Task* t) {
+  Lane& lane = *lanes_[worker];
+  std::lock_guard<std::mutex> lock(lane.mutex);
+  lane.deque.push_back(t);
+}
+
+std::uint32_t ApplyPool::sync(unsigned worker, Task* t) {
+  Lane& lane = *lanes_[worker];
+  bool ours = false;
+  {
+    std::lock_guard<std::mutex> lock(lane.mutex);
+    if (!lane.deque.empty() && lane.deque.back() == t) {
+      lane.deque.pop_back();
+      // relaxed: ownership transfers under the lane mutex; the state word
+      // only tells waiters "not done yet", which it already says.
+      t->state.store(kClaimed, std::memory_order_relaxed);
+      ours = true;
+    }
+  }
+  if (ours) {
+    // The common, contention-free case: run the child inline, exactly where
+    // a serial recursion would have.  Exceptions propagate to the spawning
+    // frame, which retires its own outer tasks while unwinding.
+    return fn_(ctx_, t->op, t->f, t->g, t->h, t->depth, worker);
+  }
+  // Stolen: help the region along instead of spinning idle.
+  while (t->state.load(std::memory_order_acquire) != kDone) {
+    if (!helpOnce(worker)) std::this_thread::yield();
+  }
+  return t->result;
+}
+
+void ApplyPool::retire(unsigned worker, Task* t) noexcept {
+  Lane& lane = *lanes_[worker];
+  {
+    std::lock_guard<std::mutex> lock(lane.mutex);
+    const auto it = std::find(lane.deque.begin(), lane.deque.end(), t);
+    if (it != lane.deque.end()) {
+      lane.deque.erase(it);
+      return;  // never started; dying unrun is fine
+    }
+  }
+  while (t->state.load(std::memory_order_acquire) != kDone) {
+    if (!helpOnce(worker)) std::this_thread::yield();
+  }
+}
+
+void ApplyPool::abortRegion(std::exception_ptr error) noexcept {
+  {
+    std::lock_guard<std::mutex> lock(errorMutex_);
+    if (!error_) error_ = error;
+  }
+  // relaxed: the flag is advisory (polled); the error above is published
+  // under its mutex, and quiesce ordering comes from the task joins.
+  abort_.store(true, std::memory_order_relaxed);
+}
+
+bool ApplyPool::helpOnce(unsigned worker) {
+  const unsigned n = workers();
+  for (unsigned k = 1; k <= n; ++k) {
+    Lane& victim = *lanes_[(worker + k) % n];
+    Task* t = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      if (victim.deque.empty()) continue;
+      t = victim.deque.front();
+      victim.deque.erase(victim.deque.begin());
+      // relaxed: the claim is already exclusive -- only one thread can pop
+      // a task, under the lane mutex.
+      t->state.store(kClaimed, std::memory_order_relaxed);
+    }
+    {
+      Lane& mine = *lanes_[worker];
+      std::lock_guard<std::mutex> lock(mine.mutex);
+      ++mine.steals;
+    }
+    runStolen(t, worker);
+    return true;
+  }
+  return false;
+}
+
+void ApplyPool::runStolen(Task* t, unsigned worker) noexcept {
+  try {
+    t->result = fn_(ctx_, t->op, t->f, t->g, t->h, t->depth, worker);
+  } catch (const RegionAborted&) {
+    // Cascade from someone else's abort: the cause is already captured.
+  } catch (...) {
+    abortRegion(std::current_exception());
+  }
+  t->state.store(kDone, std::memory_order_release);
+}
+
+}  // namespace icb::par

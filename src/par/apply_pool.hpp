@@ -1,0 +1,143 @@
+// ApplyPool: the per-manager work-stealing pool behind intra-problem
+// parallel apply (ROADMAP item 1, BddOptions::applyWorkers).
+//
+// Where par::VerifyScheduler steals whole model x method cells, this pool
+// steals *cofactor subproblems of one BDD operation*: the parallel
+// recursion spawns one branch as a Task onto its worker's lane and computes
+// the other inline, then sync()s -- popping the task back (the common,
+// steal-free case runs it inline with zero cross-thread traffic) or helping
+// other lanes until the thief finishes.  The discipline is strictly
+// fork-join (every spawn is joined -- or retired on the exception path --
+// before its frame exits), so tasks can live on the spawner's stack.
+//
+// One region == one top-level apply.  run() wakes the workers, executes the
+// root on the calling thread (worker 0), and parks the pool again when the
+// root returns; the manager brackets the region with the NodeStore's
+// begin/endConcurrent, so GC/reorder/rehash only ever see a parked pool
+// (the quiesce protocol, docs/parallel.md).
+//
+// Task payloads are four uint32 operands + a depth, deliberately opaque
+// here: the pool knows scheduling, the manager's par_apply.cpp knows BDDs.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace icb::par {
+
+/// Thrown by the parallel recursion when another worker has already aborted
+/// the region (error, resource limit, arena-grow request): unwinds the
+/// current task to its boundary so the region can quiesce fast.  Never
+/// escapes ApplyPool::run -- the first real exception is rethrown instead.
+struct RegionAborted {};
+
+class ApplyPool {
+ public:
+  /// One spawned subproblem.  Stack-allocated by the spawning frame, which
+  /// guarantees it outlives the region's interest in it (sync/retire).
+  struct Task {
+    std::uint32_t op = 0;
+    std::uint32_t f = 0, g = 0, h = 0;
+    unsigned depth = 0;
+    std::uint32_t result = 0;
+    std::atomic<std::uint32_t> state{kPending};
+  };
+
+  /// The manager's dispatch callback: runs one (op, f, g, h) subproblem on
+  /// `worker` and returns the result edge.
+  using RunFn = std::uint32_t (*)(void* ctx, std::uint32_t op, std::uint32_t f,
+                                  std::uint32_t g, std::uint32_t h,
+                                  unsigned depth, unsigned worker);
+
+  /// `workers` >= 2 total lanes; the constructor spawns workers - 1 threads
+  /// (the caller of run() is worker 0).
+  explicit ApplyPool(unsigned workers);
+  ~ApplyPool();
+
+  ApplyPool(const ApplyPool&) = delete;
+  ApplyPool& operator=(const ApplyPool&) = delete;
+
+  [[nodiscard]] unsigned workers() const {
+    return static_cast<unsigned>(lanes_.size());
+  }
+
+  /// Spawning below this depth keeps ~8 tasks per worker in flight; deeper
+  /// frames recurse inline (stolen work is coarse, bookkeeping is bounded).
+  [[nodiscard]] unsigned spawnDepthLimit() const { return spawnDepthLimit_; }
+
+  /// Runs one region: wakes the pool, executes the root subproblem on the
+  /// calling thread, parks the pool, and returns the root's result.  If any
+  /// worker aborted the region, rethrows the first captured exception.
+  std::uint32_t run(void* ctx, RunFn fn, std::uint32_t op, std::uint32_t f,
+                    std::uint32_t g, std::uint32_t h);
+
+  /// Pushes a task onto `worker`'s lane (hot end).
+  void spawn(unsigned worker, Task* t);
+
+  /// Joins a spawned task: pops and runs it inline when still unstolen,
+  /// otherwise helps other lanes until the thief publishes the result.
+  /// Exceptions from inline execution propagate to the caller (whose frame
+  /// owns any outer tasks and retires them on the way out).
+  std::uint32_t sync(unsigned worker, Task* t);
+
+  /// Exception-path join: guarantees the task is dead (popped unrun, or
+  /// stolen and finished) so the spawning frame may unwind.
+  void retire(unsigned worker, Task* t) noexcept;
+
+  /// Records the region's first exception and flags the abort.  Later calls
+  /// keep the first error (a RegionAborted cascade never masks the cause).
+  void abortRegion(std::exception_ptr error) noexcept;
+
+  [[nodiscard]] bool aborting() const {
+    // relaxed: advisory flag polled by the recursion; the exception itself
+    // travels through abortRegion's mutex.
+    return abort_.load(std::memory_order_relaxed);
+  }
+
+  /// Tasks executed by a non-spawning worker in the last region.
+  [[nodiscard]] std::uint64_t stealsLastRegion() const {
+    return stealsLastRegion_;
+  }
+
+ private:
+  static constexpr std::uint32_t kPending = 0;
+  static constexpr std::uint32_t kClaimed = 1;
+  static constexpr std::uint32_t kDone = 2;
+
+  struct Lane {
+    std::mutex mutex;
+    std::vector<Task*> deque;  ///< back = owner's hot end, front = steal end
+    std::uint64_t steals = 0;  ///< guarded by mutex
+  };
+
+  bool helpOnce(unsigned worker);
+  void runStolen(Task* t, unsigned worker) noexcept;
+  void workerLoop(unsigned id);
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::thread> threads_;
+
+  std::mutex wakeMutex_;
+  std::condition_variable wakeCv_;
+  std::uint64_t epoch_ = 0;  ///< guarded by wakeMutex_
+  bool shutdown_ = false;    ///< guarded by wakeMutex_
+  std::atomic<bool> active_{false};
+
+  void* ctx_ = nullptr;  ///< region dispatch target (set while parked)
+  RunFn fn_ = nullptr;   ///< region dispatch callback (set while parked)
+
+  std::atomic<bool> abort_{false};
+  std::mutex errorMutex_;
+  std::exception_ptr error_;  ///< guarded by errorMutex_
+
+  std::uint64_t stealsLastRegion_ = 0;
+  unsigned spawnDepthLimit_ = 0;
+};
+
+}  // namespace icb::par

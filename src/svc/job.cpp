@@ -111,6 +111,7 @@ JobRequest parseJobRequest(const obs::JsonValue& request) {
   req.resume = boolField(request, "resume", false);
   req.autoReorder = boolField(request, "auto_reorder", false);
   req.reorderTrigger = doubleField(request, "reorder_trigger", 0.0);
+  req.applyWorkers = uintField(request, "apply_workers", 0);
   return req;
 }
 
@@ -120,6 +121,7 @@ BddOptions bddOptionsFor(const JobRequest& request) {
   if (request.reorderTrigger > 0.0) {
     options.reorderTrigger = request.reorderTrigger;
   }
+  options.applyWorkers = request.applyWorkers;
   return options;
 }
 

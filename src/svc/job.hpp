@@ -38,6 +38,7 @@ struct JobRequest {
   bool resume = false;              ///< pick up this id's journaled checkpoint
   bool autoReorder = false;
   double reorderTrigger = 0.0;      ///< 0 = BddOptions default
+  unsigned applyWorkers = 0;        ///< intra-problem apply workers; 0/1 = serial
 };
 
 /// True when `id` is usable as a job id (and hence a journal file stem):

@@ -231,7 +231,11 @@ void VerifyService::runOneJob(const QueuedJob& job,
                               const par::CellContext& ctx) {
   const JobRequest& req = job.request;
   try {
-    BddManager mgr(bddOptionsFor(req));
+    BddOptions bddOptions = bddOptionsFor(req);
+    // The service-level default only fills in for requests that left
+    // "apply_workers" unset; an explicit request value always wins.
+    if (req.applyWorkers == 0) bddOptions.applyWorkers = options_.applyWorkers;
+    BddManager mgr(bddOptions);
     ModelInstance model = buildJobModel(mgr, req);
     EngineOptions engineOptions = engineOptionsFor(req);
 

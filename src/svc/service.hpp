@@ -65,6 +65,10 @@ struct ServiceOptions {
   /// Default checkpoint cadence in iterations (0 disables checkpointing
   /// for jobs that do not ask for it).
   unsigned checkpointEvery = 4;
+  /// Intra-problem apply workers for jobs that do not set "apply_workers"
+  /// themselves (0/1 = serial).  Independent of `workers`: that fans jobs
+  /// out across managers, this splits each BDD operation inside one.
+  unsigned applyWorkers = 0;
   /// Journal directory; empty runs without persistence (no cross-process
   /// resume, but in-request "resume" of a prior snapshot still works when
   /// a journal exists).

@@ -117,6 +117,14 @@ struct EngineOptions {
   /// Set by par::CellContext::apply when the scheduler runs with
   /// SchedulerOptions::cancelRunningCells.
   const std::atomic<bool>* cancelFlag = nullptr;
+  /// Intra-problem apply workers for this run: > 1 shares the manager's
+  /// unique table and computed cache across a work-stealing pool that splits
+  /// each AND/XOR/ITE/EXISTS/AND-EXISTS into cofactor subproblems
+  /// (docs/parallel.md).  Installed -- and restored on exit -- by
+  /// LimitGuard, so a shared manager leaves the run with its original
+  /// configuration.  0 = inherit whatever the manager was constructed with
+  /// (BddOptions::applyWorkers); 1 = force the byte-identical serial path.
+  unsigned applyWorkers = 0;
 
   EvaluatePolicyOptions policy;     ///< XICI evaluation policy knobs
   TerminationOptions termination;   ///< XICI exact-test knobs

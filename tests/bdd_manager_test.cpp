@@ -2,7 +2,10 @@
 // naming/levels, option plumbing.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "bdd/bdd.hpp"
+#include "bdd/serialize.hpp"
 #include "test_util.hpp"
 
 namespace icb {
@@ -134,6 +137,58 @@ TEST(BddManagerBehaviour, FreeListReusesIndices) {
   (void)fresh;
   (void)arena;
   mgr.checkInvariants();
+}
+
+TEST(BddManagerBehaviour, GcIsDeterministicAcrossRefTableHistories) {
+  // GC enumerates its roots from the refcount side table, an unordered_map
+  // whose iteration order depends on its resize history.  The enumeration
+  // is sorted by node index before marking, so two managers holding the
+  // same functions behave identically even when their side tables grew
+  // along completely different paths.  Build that divergence on purpose:
+  // manager B starts from a different arena reservation and churns through
+  // hundreds of short-lived handles (forcing side-table rehashes A never
+  // performs) before running the common workload.
+  const auto workload = [](BddManager& mgr) {
+    Rng rng(29);
+    std::vector<Bdd> kept;
+    for (int i = 0; i < 16; ++i) {
+      const Bdd f = test::randomBdd(mgr, 10, rng, 6);
+      if (i % 2 == 0) kept.push_back(f);  // odd ones become garbage
+    }
+    return kept;
+  };
+
+  BddManager a;
+  for (unsigned i = 0; i < 10; ++i) a.newVar();
+  const std::vector<Bdd> rootsA = workload(a);
+
+  BddOptions optsB;
+  optsB.initialCapacity = 1u << 12;  // different reserve history from A
+  BddManager b(optsB);
+  for (unsigned i = 0; i < 10; ++i) b.newVar();
+  {
+    Rng churnRng(97);
+    std::vector<Bdd> churn;
+    for (int i = 0; i < 400; ++i) {
+      churn.push_back(test::randomBdd(b, 10, churnRng, 3));
+    }
+  }
+  b.gc();  // drop the churn; the side table keeps its grown bucket array
+  const std::vector<Bdd> rootsB = workload(b);
+
+  a.gc();
+  b.gc();
+
+  // Same functions, same live count, byte-identical canonical serialization
+  // -- regardless of physical node indices or side-table layout.
+  EXPECT_EQ(a.liveNodes(), b.liveNodes());
+  std::ostringstream osA;
+  std::ostringstream osB;
+  saveBdds(osA, a, rootsA);
+  saveBdds(osB, b, rootsB);
+  EXPECT_EQ(osA.str(), osB.str());
+  a.checkInvariants();
+  b.checkInvariants();
 }
 
 }  // namespace

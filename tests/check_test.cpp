@@ -318,5 +318,38 @@ TEST(CheckMutation, PairTableStaleSizeColumnsAreReported) {
       ViolationKind::kPairTableStaleSize));
 }
 
+TEST(CheckMutation, RefcountSaturatesAtMaxAndPinsForever) {
+  // A node whose external count reaches kMaxRef is pinned: further refs
+  // are no-ops and derefs neither decrement nor underflow.  The surgeon
+  // plants a near-saturated count so the test does not need 2^32 handles.
+  constexpr std::uint32_t kMax = NodeStore::kMaxRef;
+  Patient p;
+  NodeSurgeon::setRef(p.mgr, p.fIndex, kMax - 1);
+
+  {
+    const Bdd c1 = p.f;  // ref: kMax-1 -> kMax (the last real increment)
+    EXPECT_EQ(NodeSurgeon::refOf(p.mgr, p.fIndex), kMax);
+    const Bdd c2 = p.f;  // ref at kMax: saturates, stays kMax
+    (void)c2;
+    EXPECT_EQ(NodeSurgeon::refOf(p.mgr, p.fIndex), kMax);
+  }
+  // Both copies released: a pinned count never comes back down, and --
+  // the bug class this guards -- never wraps through zero.
+  EXPECT_EQ(NodeSurgeon::refOf(p.mgr, p.fIndex), kMax);
+  EXPECT_EQ(p.mgr.stats().refUnderflows, 0u);
+
+  // Checked-path deref on the pinned node is also a no-op, not an
+  // underflow diagnostic.
+  NodeSurgeon::derefEdge(p.mgr, p.f.edge());
+  EXPECT_EQ(NodeSurgeon::refOf(p.mgr, p.fIndex), kMax);
+  EXPECT_EQ(p.mgr.stats().refUnderflows, 0u);
+
+  // GC sees the pinned node as a root and keeps it.
+  p.mgr.gc();
+  EXPECT_FALSE(NodeSurgeon::isFree(p.mgr, p.fIndex));
+  EXPECT_EQ(NodeSurgeon::refOf(p.mgr, p.fIndex), kMax);
+  p.mgr.checkInvariants();
+}
+
 }  // namespace
 }  // namespace icb

@@ -109,6 +109,52 @@ TEST(HttpServer, StopIsIdempotentAndStopsServing) {
   EXPECT_EQ(after.find("icbdd_test_metric"), std::string::npos);
 }
 
+TEST(HttpServer, ClientClosingMidResponseDoesNotWedgeTheServer) {
+  // A body far larger than any socket buffer, so the server's sendAll needs
+  // many send() calls and is still mid-body when the client vanishes.
+  const std::string big(8u << 20, 'x');
+  obs::HttpServer server(0, [&big](const std::string& path) {
+    obs::HttpResponse r;
+    r.body = path == "/big" ? big : "ok\n";
+    return r;
+  });
+
+  // Hang up right after (or even before) the request is served.  SO_LINGER
+  // with zero timeout turns close() into an immediate RST, so the server's
+  // in-flight send() surfaces ECONNRESET/EPIPE -- the abandon path -- rather
+  // than buffering quietly.  Repeat a few times to hit different phases.
+  for (int i = 0; i < 5; ++i) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ASSERT_EQ(
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+        0);
+    const std::string request = "GET /big HTTP/1.1\r\nHost: x\r\n\r\n";
+    (void)::send(fd, request.data(), request.size(), 0);
+    if (i % 2 == 0) {
+      // Sometimes read a little first so the close lands mid-body, not
+      // before the response even starts.
+      char buf[1024];
+      (void)::recv(fd, buf, sizeof(buf), 0);
+    }
+    linger lg{};
+    lg.l_onoff = 1;
+    lg.l_linger = 0;
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    ::close(fd);
+  }
+
+  // The serve loop survived every abandoned reply and still answers.
+  const std::string response =
+      exchange(server.port(), "GET /ok HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("ok\n"), std::string::npos);
+}
+
 TEST(HttpServer, ManySequentialRequestsSurvive) {
   obs::HttpServer server(0, route);
   for (int i = 0; i < 50; ++i) {
