@@ -118,19 +118,22 @@ def percentile(sorted_values: list[float], q: float) -> float:
     return sorted_values[idx]
 
 
-def job_line(i: int, fail: bool) -> str:
+def job_line(i: int, fail: bool, spill: bool = False) -> str:
     if fail:
         # An unknown model passes admission and fails in the worker: the
         # job_failed path must reconcile exactly like the completed one.
         return json.dumps({"id": f"load-{i}", "model": "no-such-model"})
-    return json.dumps({
+    req = {
         "id": f"load-{i}",
         "model": ["fifo", "mutex", "network"][i % 3],
         "method": "xici",
         "size": 3,
         "width": 4,
         "want_trace": False,
-    })
+    }
+    if spill:
+        req["spill"] = True
+    return json.dumps(req)
 
 
 def main() -> int:
@@ -143,6 +146,11 @@ def main() -> int:
     ap.add_argument("--apply-workers", type=int, default=0,
                     help="intra-problem apply workers per job "
                          "(icbdd_serve --apply-workers; 0 = serial)")
+    ap.add_argument("--spill", action="store_true",
+                    help="submit every job with \"spill\": true against a "
+                         "spill-enabled service and reconcile the "
+                         "svc.jobs.spilled / bdd.xmem.* counters "
+                         "(docs/external_memory.md)")
     ap.add_argument("--timeout", type=float, default=300.0)
     ap.add_argument("--summary-json", default="")
     args = ap.parse_args()
@@ -174,6 +182,12 @@ def main() -> int:
                "--journal", journal, "--metrics-port", "0"]
         if args.apply_workers > 0:
             cmd += ["--apply-workers", str(args.apply_workers)]
+        if args.spill:
+            # A threshold below even the model build guarantees every
+            # spill-requesting job engages the tier, exercising the
+            # spilled-result plumbing and metric fold-in end to end.
+            cmd += ["--spill-dir", f"{journal}/spill",
+                    "--spill-threshold-nodes", "64"]
         proc = subprocess.Popen(
             cmd, stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True)
         start = json.loads(proc.stdout.readline())
@@ -187,7 +201,7 @@ def main() -> int:
         for i in range(args.jobs):
             fail = i % max(1, args.jobs // max(1, args.failures)) == 1 \
                 if args.failures else False
-            proc.stdin.write(job_line(i, fail) + "\n")
+            proc.stdin.write(job_line(i, fail, args.spill) + "\n")
         proc.stdin.flush()
 
         def scrape(path="/metrics"):
@@ -243,6 +257,16 @@ def main() -> int:
         got = prev_samples.get(key, 0.0)
         if got != want:
             errors.append(f"{key}: prometheus says {got}, NDJSON says {want}")
+    if args.spill:
+        # Every completed job requested the tier and the threshold sits
+        # below the model build, so all of them must have engaged it, and
+        # the per-job pager counters must have been folded into the scrape.
+        got = prev_samples.get("icbdd_svc_jobs_spilled", 0.0)
+        if got != completed:
+            errors.append(f"icbdd_svc_jobs_spilled: prometheus says {got}, "
+                          f"want {completed}")
+        if "icbdd_bdd_xmem_spill_bytes" not in prev_samples:
+            errors.append("spill soak exposed no icbdd_bdd_xmem_spill_bytes")
     if stop_line.get("jobs_completed") != completed:
         errors.append(f"service_stop jobs_completed {stop_line.get('jobs_completed')}"
                       f" != {completed}")

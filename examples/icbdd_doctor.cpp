@@ -20,7 +20,13 @@
 //                [--auto-reorder true] [--reorder-trigger K]
 //                [--apply-workers N]
 //   icbdd_doctor --bdd dump.txt
+//   icbdd_doctor --dump-store dump [--spill-dir DIR] [--spill-threshold N]
 //   icbdd_doctor --job spec.json       (one icbdd-svc-v1 request object)
+//
+// --dump-store reports a saved dump's header (format version, v3 binary
+// layout info) and, after loading it, the store's occupancy: arena bytes,
+// refcount side-table size, and -- when --spill-dir arms the external-memory
+// tier -- the page-cache geometry and page-file size.
 //
 // --model all audits every machine; --jobs N runs the model cells on the
 // parallel verification scheduler (each with a private manager), with the
@@ -296,6 +302,80 @@ int doctorJob(const std::string& path) {
   return bad == 0 ? 0 : 1;
 }
 
+/// --dump-store: header + occupancy report for a saved dump.  Prints the
+/// dump's version/counts without building nodes (inspectDump), then loads it
+/// and reports the live store's footprint -- arena, refcount side table, and
+/// (under --spill-dir) the page cache the spill tier would run with.
+int doctorDumpStore(const std::string& path, const CliArgs& args) {
+  DumpInfo info;
+  {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open '%s'\n", path.c_str());
+      return 2;
+    }
+    try {
+      info = inspectDump(in);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to inspect '%s': %s\n", path.c_str(),
+                   e.what());
+      return 2;
+    }
+  }
+  std::printf("dump %s\n", path.c_str());
+  std::printf("  format          icbdd-bdd-v%d (%s)\n", info.version,
+              info.binary ? "binary, little-endian" : "text");
+  std::printf("  vars            %llu\n",
+              static_cast<unsigned long long>(info.varCount));
+  std::printf("  nodes           %llu\n",
+              static_cast<unsigned long long>(info.nodeCount));
+  std::printf("  roots           %llu\n",
+              static_cast<unsigned long long>(info.rootCount));
+  if (info.binary) {
+    std::printf("  node payload    %llu bytes\n",
+                static_cast<unsigned long long>(info.nodeBytes));
+  }
+
+  BddOptions options;
+  options.spillDir = args.getString("spill-dir", "");
+  options.spillThresholdNodes =
+      static_cast<std::uint64_t>(args.getInt("spill-threshold", 0));
+  BddManager mgr(options);
+  std::vector<Bdd> loaded;
+  {
+    std::ifstream in(path);
+    try {
+      loaded = loadBdds(in, mgr);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "failed to load '%s': %s\n", path.c_str(),
+                   e.what());
+      return 2;
+    }
+  }
+  const std::uint64_t allocated = mgr.allocatedNodes();
+  std::printf("store after load\n");
+  std::printf("  allocated nodes %llu (%llu arena bytes)\n",
+              static_cast<unsigned long long>(allocated),
+              static_cast<unsigned long long>(allocated * 16));
+  std::printf("  root set        %zu externally referenced node(s)\n",
+              mgr.rootSetSize());
+  std::printf("  true footprint  %llu bytes (arena + side table + page cache)\n",
+              static_cast<unsigned long long>(mgr.bytesForNodes(allocated)));
+  const NodeStore::SpillInfo spill = mgr.spillInfo();
+  std::printf("  spill tier      %s\n",
+              spill.engaged ? "engaged"
+                            : (spill.armed ? "armed (not engaged)" : "off"));
+  if (spill.armed) {
+    std::printf("    pages         %zu total, %zu resident, budget %zu "
+                "(%llu bytes each)\n",
+                spill.pageCount, spill.residentPages, spill.budgetPages,
+                static_cast<unsigned long long>(spill.pageBytes));
+    std::printf("    page file     %llu bytes\n",
+                static_cast<unsigned long long>(spill.spillFileBytes));
+  }
+  return 0;
+}
+
 int doctorDump(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
@@ -331,6 +411,9 @@ int doctorDump(const std::string& path) {
 
 int main(int argc, char** argv) {
   const CliArgs args(argc, argv);
+  if (args.has("dump-store")) {
+    return doctorDumpStore(args.getString("dump-store", ""), args);
+  }
   if (args.has("bdd")) {
     return doctorDump(args.getString("bdd", ""));
   }

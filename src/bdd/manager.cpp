@@ -31,6 +31,7 @@ BddManager::BddManager(const BddOptions& options)
       options_(options) {
   gcThreshold_ = options_.gcThreshold;
   stats_.peakNodes = 1;
+  if (!options_.spillDir.empty()) store_.armSpill(options_.spillDir);
   if (options_.applyWorkers > 1) setApplyWorkers(options_.applyWorkers);
 }
 
@@ -102,8 +103,16 @@ void BddManager::deref(Edge e) {
 }
 
 void BddManager::checkResourceLimits() {
-  if (limits_.maxNodes != 0 && allocatedNodes() > limits_.maxNodes) {
+  if (limits_.maxNodes != 0 && allocatedNodes() > limits_.maxNodes &&
+      !maybeSpillInsteadOfNodeLimit()) {
     throw ResourceLimitError(ResourceKind::kNodes);
+  }
+  // Proactive engagement: with a spill threshold configured, mount the tier
+  // as soon as the arena crosses it, well before the node cap would fire.
+  if (options_.spillThresholdNodes != 0 && !store_.spillEngaged() &&
+      store_.spillArmed() && !store_.concurrent() &&
+      allocatedNodes() > options_.spillThresholdNodes) {
+    engageSpill();
   }
   // relaxed: cancellation is advisory -- the poll needs timeliness, not
   // ordering with the cancelling thread's other writes.
@@ -118,6 +127,52 @@ void BddManager::checkResourceLimits() {
       throw ResourceLimitError(ResourceKind::kTime);
     }
   }
+}
+
+bool BddManager::maybeSpillInsteadOfNodeLimit() {
+  // Inside a concurrent region the tier must not mount (eviction is not
+  // thread-safe); the region aborts with kNodes and parApply's quiesced
+  // retry path engages the tier before falling back to the serial
+  // recursion (docs/external_memory.md).
+  if (!store_.spillArmed() || store_.concurrent()) return false;
+  if (!store_.spillEngaged()) engageSpill();
+  // The node cap modeled RAM and the tier now supplies RAM from disk: keep
+  // running beyond the cap instead of reporting kNodeLimit.
+  return true;
+}
+
+void BddManager::engageSpill() {
+  if (store_.spillEngaged()) return;
+  std::uint64_t budgetNodes = options_.spillThresholdNodes;
+  if (budgetNodes == 0) budgetNodes = limits_.maxNodes;
+  if (budgetNodes == 0) budgetNodes = std::uint64_t{1} << 20;
+  store_.engageSpill(budgetNodes);
+  if (obs::traceEnabled()) {
+    obs::emitGlobalEvent("spill_engage", *this,
+                         obs::JsonObject()
+                             .put("budget_nodes", budgetNodes)
+                             .put("allocated", allocatedNodes()));
+  }
+}
+
+std::uint64_t BddManager::bytesForNodes(std::uint64_t n) const {
+  std::uint64_t arena = n * sizeof(PackedNode);
+  if (store_.spillEngaged()) {
+    // Spilled pages live on disk: the arena's RAM term is capped at the
+    // resident budget, and the page-table bookkeeping joins the bill.
+    const NodeStore::SpillInfo info = store_.spillInfo();
+    arena = std::min<std::uint64_t>(
+                arena, static_cast<std::uint64_t>(info.budgetPages) *
+                           info.pageBytes) +
+            store_.pageTableBytes();
+  }
+  // The sparse refcount side table: a hash node per externally referenced
+  // index (~2x the 8-byte payload with the chain pointer and allocator
+  // rounding) plus the bucket-pointer array.
+  constexpr std::uint64_t kRefEntryBytes = 32;
+  const auto& refs = store_.refs();
+  return arena + refs.size() * kRefEntryBytes +
+         refs.bucket_count() * sizeof(void*);
 }
 
 Edge BddManager::mk(unsigned var, Edge hi, Edge lo) {

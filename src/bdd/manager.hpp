@@ -224,15 +224,16 @@ class ICBDD_CAPABILITY("BddManager") BddManager {
     return store_.allocated();
   }
 
-  /// Estimated bytes for `n` nodes.  Used to report paper-style "Mem"
-  /// columns in an implementation-independent way (the paper itself warns
-  /// memory numbers depend on the package).  The packed node folds the
-  /// unique-table chain link into its spare bits, so -- unlike the old
-  /// 20-byte node + 4-byte chain word -- there is no per-node table
-  /// overhead to add: 16 bytes per node, full stop (docs/node_layout.md).
-  [[nodiscard]] static std::uint64_t bytesForNodes(std::uint64_t n) {
-    return n * sizeof(PackedNode);
-  }
+  /// Estimated bytes of true footprint for an arena of `n` nodes.  Used to
+  /// report paper-style "Mem" columns in an implementation-independent way
+  /// (the paper itself warns memory numbers depend on the package).  The
+  /// packed node folds the unique-table chain link into its spare bits, so
+  /// the arena term is exactly 16 bytes per node; on top of that ride the
+  /// sparse refcount side table (entries + bucket array) and, once the
+  /// spill tier engages, the page-table bookkeeping -- while the arena term
+  /// itself is capped at the resident-page budget, because spilled pages
+  /// live on disk, not in RAM (docs/node_layout.md has the accounting).
+  [[nodiscard]] std::uint64_t bytesForNodes(std::uint64_t n) const;
 
   [[nodiscard]] const BddStats& stats() const { return stats_; }
   void resetPeak() { stats_.peakNodes = allocatedNodes(); }
@@ -287,6 +288,40 @@ class ICBDD_CAPABILITY("BddManager") BddManager {
 
   /// Current apply-worker count (1 == serial).
   [[nodiscard]] unsigned applyWorkers() const;
+
+  // ---- external-memory spill tier (ROADMAP item 3) -------------------------
+
+  /// True when BddOptions::spillDir armed the spill-to-disk tier.
+  [[nodiscard]] bool spillArmed() const { return store_.spillArmed(); }
+
+  /// True once the tier actually mounted: the arena is paging through the
+  /// spill file, runs complete beyond RAM instead of ending in kNodeLimit,
+  /// and engines report `spilled` in their results.
+  [[nodiscard]] bool spillEngaged() const { return store_.spillEngaged(); }
+
+  /// Mounts the spill tier now at the configured budget
+  /// (BddOptions::spillThresholdNodes, else ResourceLimits::maxNodes, else
+  /// a default).  Normally the manager engages itself when the arena
+  /// crosses the budget; tests and the parallel-apply fallback call this
+  /// directly.  No-op when already engaged; BddUsageError when not armed.
+  void engageSpill();
+
+  /// Pager telemetry (bdd.xmem.*); nullptr when the tier is not armed, so
+  /// unspilled runs emit byte-identical metrics.
+  [[nodiscard]] const xmem::PagerStats* pagerStats() const {
+    return store_.pagerStats();
+  }
+
+  /// Arena / page-cache occupancy snapshot (doctor --dump-store, /statusz).
+  [[nodiscard]] NodeStore::SpillInfo spillInfo() const {
+    return store_.spillInfo();
+  }
+
+  /// Distinct externally referenced nodes (refcount side-table occupancy;
+  /// the GC root set).  Doctor --dump-store reports it next to the arena.
+  [[nodiscard]] std::size_t rootSetSize() const {
+    return store_.refs().size();
+  }
 
   // ---- edge-level structural accessors ------------------------------------
 
@@ -477,6 +512,10 @@ class ICBDD_CAPABILITY("BddManager") BddManager {
   void maybeGrowComputedCache();
 
   void checkResourceLimits();
+  /// Engages the spill tier instead of throwing kNodes when armed and
+  /// outside a concurrent region; returns true when the caller should keep
+  /// running beyond the node cap.
+  bool maybeSpillInsteadOfNodeLimit();
   void markRecursive(std::uint32_t index, std::vector<std::uint8_t>& mark) const;
 
   // reordering internals (reorder.cpp)
@@ -522,7 +561,13 @@ class ICBDD_CAPABILITY("BddManager") BddManager {
   struct ParWorker;
   struct ParState;
   /// True when a pool exists and the entry points should fork a region.
-  [[nodiscard]] bool parallelEnabled() const { return par_ != nullptr; }
+  /// Once the spill tier engages, regions are off: eviction is not
+  /// thread-safe and atomic_ref needs resident, stable node memory, so the
+  /// dispatch falls back to the byte-identical serial recursion
+  /// (docs/external_memory.md).
+  [[nodiscard]] bool parallelEnabled() const {
+    return par_ != nullptr && !store_.spillEngaged();
+  }
   /// Runs (op, f, g, h) as one parallel region, including the
   /// quiesce-grow-retry loop around NodeStore::GrowRequest and the stats
   /// merge at the joined end.

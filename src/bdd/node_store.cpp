@@ -1,6 +1,9 @@
 #include "bdd/node_store.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <bit>
 
 namespace icb {
@@ -15,6 +18,16 @@ std::uint64_t mix64(std::uint64_t x) {
   x *= 0xC4CEB9FE1A85EC53ull;
   x ^= x >> 33;
   return x;
+}
+
+/// Process-unique page-file name: several managers (service jobs) may spill
+/// into the same directory concurrently.
+std::string nextSpillName() {
+  static std::atomic<std::uint64_t> seq{0};
+  // relaxed: the ticket needs only uniqueness, no ordering.
+  const std::uint64_t n = seq.fetch_add(1, std::memory_order_relaxed);
+  return "icbdd-spill-" + std::to_string(::getpid()) + "-" +
+         std::to_string(n) + ".pages";
 }
 
 }  // namespace
@@ -75,6 +88,35 @@ std::uint32_t NodeStore::allocate(unsigned var, Edge hi, Edge lo) {
   packNext(n, buckets_[slot]);
   buckets_[slot] = index;
   return index;
+}
+
+// ---------------------------------------------------------------------------
+// external-memory (spill) tier
+
+void NodeStore::engageSpill(std::uint64_t budgetNodes) {
+  if (nodes_.engaged()) return;
+  if (spillDir_.empty()) {
+    throw BddUsageError("engageSpill: spill tier is not armed (no spillDir)");
+  }
+  spillFile_ = std::make_unique<xmem::PageFile>();
+  spillFile_->open(spillDir_ + "/" + nextSpillName(),
+                   xmem::PagedStore<PackedNode>::kPageBytes,
+                   sizeof(PackedNode));
+  const std::size_t budgetPages = static_cast<std::size_t>(
+      budgetNodes >> xmem::PagedStore<PackedNode>::kPageShift);
+  nodes_.engage(budgetPages, spillFile_.get(), &pagerStats_);
+}
+
+NodeStore::SpillInfo NodeStore::spillInfo() const {
+  SpillInfo info;
+  info.armed = spillArmed();
+  info.engaged = nodes_.engaged();
+  info.pageCount = nodes_.pageCount();
+  info.residentPages = nodes_.residentPages();
+  info.budgetPages = nodes_.budgetPages();
+  info.pageBytes = xmem::PagedStore<PackedNode>::kPageBytes;
+  info.spillFileBytes = spillFile_ ? spillFile_->bytesOnDisk() : 0;
+  return info;
 }
 
 // ---------------------------------------------------------------------------

@@ -35,11 +35,16 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "bdd/edge.hpp"
 #include "bdd/options.hpp"
+#include "xmem/page_file.hpp"
+#include "xmem/paged_store.hpp"
+#include "xmem/stats.hpp"
 
 namespace icb {
 
@@ -302,6 +307,59 @@ class NodeStore {
 
   [[nodiscard]] std::uint32_t indexCap() const { return indexCap_; }
 
+  // ---- external-memory (spill) tier ----------------------------------------
+  //
+  // The arena is a PagedStore (src/xmem/): until the tier engages it is an
+  // all-resident paged vector; after engageSpill() at most a budgeted number
+  // of pages stay in RAM and the rest round-trip through a write-back page
+  // file under the armed spill directory.  Engagement is one-way for the
+  // store's lifetime, never happens inside a concurrent region (the manager
+  // forces the serial apply path once spilling), and is invisible to every
+  // accessor above -- docs/external_memory.md is the full contract.
+
+  /// Arms the tier: records where the page file would be created.  Arming
+  /// alone changes nothing -- engageSpill() mounts it.
+  void armSpill(std::string dir) { spillDir_ = std::move(dir); }
+
+  [[nodiscard]] bool spillArmed() const { return !spillDir_.empty(); }
+  [[nodiscard]] bool spillEngaged() const { return nodes_.engaged(); }
+
+  /// Mounts the spill tier: creates the page file and evicts the arena down
+  /// to roughly `budgetNodes` resident records (floored at the pager's
+  /// minimum).  No-op when already engaged; BddUsageError when not armed;
+  /// xmem::IoError when the page file cannot be created.  Must not be
+  /// called inside a concurrent region.
+  void engageSpill(std::uint64_t budgetNodes);
+
+  /// Pager counters/latency histograms; nullptr when the tier is not armed
+  /// (so unspilled telemetry stays byte-identical).
+  [[nodiscard]] const xmem::PagerStats* pagerStats() const {
+    return spillArmed() ? &pagerStats_ : nullptr;
+  }
+
+  /// Occupancy snapshot for icbdd_doctor --dump-store and /statusz.
+  struct SpillInfo {
+    bool armed = false;
+    bool engaged = false;
+    std::size_t pageCount = 0;      ///< pages the arena spans
+    std::size_t residentPages = 0;  ///< pages holding an in-RAM buffer
+    std::size_t budgetPages = 0;    ///< resident cap once engaged
+    std::uint64_t pageBytes = 0;    ///< bytes per page
+    std::uint64_t spillFileBytes = 0;  ///< page-file size on disk
+  };
+  [[nodiscard]] SpillInfo spillInfo() const;
+
+  /// Bytes of resident arena buffers right now (== size() * 16 rounded up
+  /// to pages until the tier engages).
+  [[nodiscard]] std::uint64_t residentArenaBytes() const {
+    return nodes_.residentBytes();
+  }
+
+  /// Page-table bookkeeping overhead of the paged arena.
+  [[nodiscard]] std::uint64_t pageTableBytes() const {
+    return nodes_.metadataBytes();
+  }
+
  private:
   // The packing lives in these private helpers only: public surfaces (this
   // class's accessors included) speak (var, hi, lo, next), never words.
@@ -352,12 +410,17 @@ class NodeStore {
   /// push); endConcurrent() free-lists it.
   void abandonShared(std::uint32_t index);
 
-  std::vector<PackedNode> nodes_;
+  xmem::PagedStore<PackedNode> nodes_;
   std::vector<std::uint32_t> buckets_;  ///< unique-table heads
   std::uint32_t freeHead_ = kNil;
   std::uint64_t freeCount_ = 0;
   std::unordered_map<std::uint32_t, std::uint32_t> refs_;
   std::uint32_t indexCap_ = kMaxIndex;
+
+  // spill-tier state (docs/external_memory.md)
+  std::string spillDir_;                      ///< empty: tier not armed
+  std::unique_ptr<xmem::PageFile> spillFile_; ///< created at engageSpill()
+  xmem::PagerStats pagerStats_;
 
   // concurrent-mode state (meaningful only between begin/endConcurrent)
   bool concurrent_ = false;

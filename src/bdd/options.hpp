@@ -50,6 +50,19 @@ struct BddOptions {
   /// GC, reordering, and table growth still run only at quiesced safe
   /// points between operations (docs/parallel.md).
   unsigned applyWorkers = 1;
+  /// Arms the external-memory spill tier (ROADMAP item 3): when non-empty,
+  /// a run whose arena outgrows its RAM budget pages node arena pages
+  /// through a write-back scratch file under this directory instead of
+  /// aborting with kNodeLimit.  Empty (the default) leaves the tier off --
+  /// no page file, no bookkeeping, byte-identical behavior.
+  /// docs/external_memory.md covers tuning and failure modes.
+  std::string spillDir;
+  /// Resident RAM budget, in nodes, of the spill tier.  When nonzero the
+  /// tier engages proactively as soon as the arena crosses this many
+  /// allocated nodes (and the budget caps the resident page cache); when 0
+  /// the tier engages only where ResourceLimits::maxNodes would have
+  /// aborted the run, with the budget derived from that cap.
+  std::uint64_t spillThresholdNodes = 0;
 };
 
 /// Which resource gave out first when a run is aborted.  kNodes is the

@@ -111,7 +111,33 @@ Edge BddManager::parApply(Op op, Edge f, Edge g, Edge h) {
     // computed cache may lag the arena here.
     maybeGrowComputedCache();
 
-    if (error) std::rethrow_exception(error);
+    if (error) {
+      bool spillFallback = false;
+      try {
+        std::rethrow_exception(error);
+      } catch (const ResourceLimitError& err) {
+        spillFallback = err.kind() == ResourceKind::kNodes &&
+                        store_.spillArmed() && !store_.spillEngaged();
+        if (!spillFallback) throw;
+      }
+      // Quiesce -> spill -> retry (docs/external_memory.md): the node cap
+      // fired inside the region with the spill tier armed but not mounted.
+      // The region has just quiesced (endConcurrent above), so this is a
+      // safe point to engage the tier and re-run the operation through the
+      // serial recursion -- parallelEnabled() stays false from here on.
+      // kNodeIndexSpace (the structural 31-bit ceiling no disk can lift)
+      // and every other limit rethrow unchanged above.
+      engageSpill();
+      switch (op) {
+        case Op::kAnd: return andRec(f, g);
+        case Op::kXor: return xorRec(f, g);
+        case Op::kIte: return iteRec(f, g, h);
+        case Op::kExists: return existsRec(f, g);
+        case Op::kAndExists: return andExistsRec(f, g, h);
+        default:
+          throw BddUsageError("parallel dispatch of unsupported operation");
+      }
+    }
     if (!grew) {
       // Decay the slack so one huge operation does not pin the arena
       // headroom for every later small one.

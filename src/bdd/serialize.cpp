@@ -1,10 +1,13 @@
 #include "bdd/serialize.hpp"
 
+#include <algorithm>
+#include <cstdlib>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 namespace icb {
 
@@ -12,43 +15,15 @@ namespace {
 
 constexpr const char* kMagicV1 = "icbdd-bdd-v1";
 constexpr const char* kMagicV2 = "icbdd-bdd-v2";
+constexpr const char* kMagicV3 = "icbdd-bdd-v3";
 
-/// File-local reference: T, F, or [!]<node id>.
-std::string refOf(Edge e,
-                  const std::unordered_map<std::uint32_t, std::size_t>& ids) {
-  if (e == kTrueEdge) return "T";
-  if (e == kFalseEdge) return "F";
-  const std::string id = std::to_string(ids.at(edgeIndex(e)));
-  return edgeIsComplemented(e) ? "!" + id : id;
-}
+// ---------------------------------------------------------------------------
+// Shared: topological node collection (children before parents).
 
-Edge parseRef(const std::string& token, const std::vector<Edge>& loaded) {
-  if (token == "T") return kTrueEdge;
-  if (token == "F") return kFalseEdge;
-  std::string body = token;
-  bool negate = false;
-  if (!body.empty() && body[0] == '!') {
-    negate = true;
-    body = body.substr(1);
-  }
-  char* end = nullptr;
-  const unsigned long id = std::strtoul(body.c_str(), &end, 10);
-  if (end == body.c_str() || *end != '\0' || id >= loaded.size()) {
-    throw BddUsageError("loadBdds: bad node reference '" + token + "'");
-  }
-  const Edge e = loaded[static_cast<std::size_t>(id)];
-  return negate ? edgeNot(e) : e;
-}
-
-}  // namespace
-
-void saveBdds(std::ostream& os, const BddManager& mgr,
-              std::span<const Bdd> roots) {
-  // Topological order: emit a node after its children (iterative DFS with
-  // an explicit done-flag so shared nodes are emitted once).
-  std::unordered_map<std::uint32_t, std::size_t> ids;
+void collectTopo(const BddManager& mgr, std::span<const Bdd> roots,
+                 std::unordered_map<std::uint32_t, std::size_t>& ids,
+                 std::vector<std::uint32_t>& order) {
   std::vector<std::pair<std::uint32_t, bool>> stack;
-  std::vector<std::uint32_t> order;
   for (const Bdd& root : roots) {
     if (root.manager() != &mgr) {
       throw BddUsageError("saveBdds: root from a different manager");
@@ -72,6 +47,216 @@ void saveBdds(std::ostream& os, const BddManager& mgr,
       }
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Text format helpers.
+
+/// File-local reference: T, F, or [!]<node id>.
+std::string refOf(Edge e,
+                  const std::unordered_map<std::uint32_t, std::size_t>& ids) {
+  if (e == kTrueEdge) return "T";
+  if (e == kFalseEdge) return "F";
+  const std::string id = std::to_string(ids.at(edgeIndex(e)));
+  return edgeIsComplemented(e) ? "!" + id : id;
+}
+
+Edge parseRef(const std::string& token, const std::vector<Edge>& loaded,
+              std::uint64_t lineOffset) {
+  if (token == "T") return kTrueEdge;
+  if (token == "F") return kFalseEdge;
+  std::string body = token;
+  bool negate = false;
+  if (!body.empty() && body[0] == '!') {
+    negate = true;
+    body = body.substr(1);
+  }
+  char* end = nullptr;
+  const unsigned long id = std::strtoul(body.c_str(), &end, 10);
+  if (end == body.c_str() || *end != '\0' || id >= loaded.size()) {
+    throw SerializeError("loadBdds: bad node reference '" + token + "'",
+                         lineOffset);
+  }
+  const Edge e = loaded[static_cast<std::size_t>(id)];
+  return negate ? edgeNot(e) : e;
+}
+
+/// Line reader that tracks byte offsets so every parse error can point at
+/// the offending line.  Truncation (EOF where a line was required) and
+/// garbage (a line whose fields do not extract) both throw SerializeError;
+/// neither may be treated as a clean end of input.
+struct LineSource {
+  std::istream& is;
+  std::string line;
+  std::uint64_t offset = 0;     ///< offset of the next unread byte
+  std::uint64_t lineStart = 0;  ///< offset of the most recently read line
+
+  std::istringstream next(const char* what) {
+    lineStart = offset;
+    if (!std::getline(is, line)) {
+      throw SerializeError(
+          std::string("loadBdds: truncated input, expected ") + what, offset);
+    }
+    offset += line.size() + 1;  // +1: the newline getline consumed
+    return std::istringstream(line);
+  }
+
+  [[noreturn]] void bad(const char* what) const {
+    throw SerializeError(std::string("loadBdds: malformed ") + what +
+                             " line '" + line + "'",
+                         lineStart);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Binary (v3) helpers.  The body is explicitly little-endian -- values are
+// assembled byte by byte so the format is host-endianness independent -- and
+// covered by a trailing FNV-1a checksum.
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+constexpr std::uint32_t kEndianTag = 0x01020304u;
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::ostream& os) : os_(os) {}
+
+  void bytes(const void* p, std::size_t n) {
+    os_.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ = (hash_ ^ b[i]) * kFnvPrime;
+    }
+  }
+
+  void u32(std::uint32_t v) {
+    unsigned char b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    bytes(b, sizeof b);
+  }
+
+  void u64(std::uint64_t v) {
+    unsigned char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+    bytes(b, sizeof b);
+  }
+
+  /// Writes v WITHOUT folding it into the hash -- for the checksum itself.
+  void u64raw(std::uint64_t v) {
+    char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<char>(v >> (8 * i));
+    os_.write(b, sizeof b);
+  }
+
+  [[nodiscard]] std::uint64_t hash() const { return hash_; }
+
+ private:
+  std::ostream& os_;
+  std::uint64_t hash_ = kFnvOffset;
+};
+
+class ByteReader {
+ public:
+  ByteReader(std::istream& is, std::uint64_t startOffset)
+      : is_(is), offset_(startOffset) {}
+
+  void bytes(void* p, std::size_t n, const char* what) {
+    is_.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+    const auto got = static_cast<std::size_t>(is_.gcount());
+    if (got != n) {
+      throw SerializeError(
+          std::string("loadBdds: truncated input reading ") + what,
+          offset_ + got);
+    }
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      hash_ = (hash_ ^ b[i]) * kFnvPrime;
+    }
+    offset_ += n;
+  }
+
+  std::uint32_t u32(const char* what) {
+    unsigned char b[4];
+    bytes(b, sizeof b, what);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{b[i]} << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64(const char* what) {
+    unsigned char b[8];
+    bytes(b, sizeof b, what);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{b[i]} << (8 * i);
+    return v;
+  }
+
+  /// Reads WITHOUT hashing -- for the trailing checksum field.
+  std::uint64_t u64raw(const char* what) {
+    unsigned char b[8];
+    is_.read(reinterpret_cast<char*>(b), sizeof b);
+    const auto got = static_cast<std::size_t>(is_.gcount());
+    if (got != sizeof b) {
+      throw SerializeError(
+          std::string("loadBdds: truncated input reading ") + what,
+          offset_ + got);
+    }
+    offset_ += sizeof b;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{b[i]} << (8 * i);
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t offset() const { return offset_; }
+  [[nodiscard]] std::uint64_t hash() const { return hash_; }
+
+ private:
+  std::istream& is_;
+  std::uint64_t offset_;
+  std::uint64_t hash_ = kFnvOffset;
+};
+
+/// Counts in a dump header come from untrusted bytes: a corrupt count must
+/// fail as a typed parse error when the records run out, never as a
+/// multi-gigabyte up-front allocation.  Reservations are clamped to this and
+/// vectors grow normally past it; variable names longer than this are
+/// rejected outright (no legitimate name comes close).
+constexpr std::uint64_t kReserveClamp = std::uint64_t{1} << 20;
+
+/// v3 reference: 0 = TRUE, 1 = FALSE, else ((file id + 1) << 1) | complement.
+std::uint32_t binRefOf(Edge e,
+                       const std::unordered_map<std::uint32_t, std::size_t>& ids) {
+  if (e == kTrueEdge) return 0;
+  if (e == kFalseEdge) return 1;
+  const auto id = static_cast<std::uint32_t>(ids.at(edgeIndex(e)));
+  return ((id + 1u) << 1) | (edgeIsComplemented(e) ? 1u : 0u);
+}
+
+Edge parseBinRef(std::uint32_t ref, const std::vector<Edge>& loaded,
+                 std::uint64_t offset) {
+  if (ref == 0) return kTrueEdge;
+  if (ref == 1) return kFalseEdge;
+  const std::uint32_t id = (ref >> 1) - 1u;
+  if (id >= loaded.size()) {
+    throw SerializeError(
+        "loadBdds: node reference " + std::to_string(id) +
+            " points past the nodes decoded so far (not topologically ordered?)",
+        offset);
+  }
+  const Edge e = loaded[id];
+  return (ref & 1u) != 0 ? edgeNot(e) : e;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Text save (v2).
+
+void saveBdds(std::ostream& os, const BddManager& mgr,
+              std::span<const Bdd> roots) {
+  std::unordered_map<std::uint32_t, std::size_t> ids;
+  std::vector<std::uint32_t> order;
+  collectTopo(mgr, roots, ids, order);
 
   os << kMagicV2 << '\n';
   os << "vars " << mgr.varCount() << '\n';
@@ -99,86 +284,128 @@ void saveBdds(std::ostream& os, const BddManager& mgr,
   }
 }
 
-std::vector<Bdd> loadBdds(std::istream& is, BddManager& mgr) {
-  std::string line;
-  auto nextLine = [&]() -> std::istringstream {
-    if (!std::getline(is, line)) {
-      throw BddUsageError("loadBdds: unexpected end of input");
-    }
-    return std::istringstream(line);
-  };
+// ---------------------------------------------------------------------------
+// Binary save (v3).  Layout documented in docs/node_layout.md.
 
-  bool hasOrderLine = false;
-  {
-    auto ls = nextLine();
-    std::string magic;
-    ls >> magic;
-    if (magic == kMagicV2) {
-      hasOrderLine = true;
-    } else if (magic != kMagicV1) {
-      throw BddUsageError("loadBdds: bad magic");
+void saveBddsBinary(std::ostream& os, const BddManager& mgr,
+                    std::span<const Bdd> roots) {
+  std::unordered_map<std::uint32_t, std::size_t> ids;
+  std::vector<std::uint32_t> order;
+  collectTopo(mgr, roots, ids, order);
+
+  os << kMagicV3 << '\n';
+  ByteWriter w(os);
+  w.u32(kEndianTag);
+  w.u32(0);  // feature flags: none defined yet
+  w.u64(mgr.varCount());
+  w.u64(order.size());
+  w.u64(roots.size());
+  for (unsigned v = 0; v < mgr.varCount(); ++v) {
+    const std::string& name = mgr.varName(v);
+    w.u32(static_cast<std::uint32_t>(name.size()));
+    w.bytes(name.data(), name.size());
+  }
+  for (unsigned level = 0; level < mgr.varCount(); ++level) {
+    w.u32(mgr.varAtLevel(level));
+  }
+  for (const std::uint32_t index : order) {
+    const Edge plain = makeEdge(index, false);
+    // 16-byte record mirroring the arena shape: word0 = var<<32 | hi ref,
+    // word1 = lo ref (upper half reserved, zero).
+    const std::uint64_t w0 = (std::uint64_t{mgr.nodeVar(plain)} << 32) |
+                             binRefOf(mgr.edgeThen(plain), ids);
+    const std::uint64_t w1 = binRefOf(mgr.edgeElse(plain), ids);
+    w.u64(w0);
+    w.u64(w1);
+  }
+  for (const Bdd& root : roots) {
+    if (root.isConstant()) {
+      w.u32(root.isOne() ? 0u : 1u);
+    } else {
+      w.u32(binRefOf(root.edge(), ids));
     }
   }
+  w.u64raw(w.hash());
+}
 
+// ---------------------------------------------------------------------------
+// Load (auto-detects v1/v2/v3 from the magic line).
+
+namespace {
+
+std::vector<Bdd> loadBddsText(LineSource& src, BddManager& mgr,
+                              bool hasOrderLine) {
   std::size_t varCount = 0;
   {
-    auto ls = nextLine();
+    auto ls = src.next("vars header");
     std::string key;
     ls >> key >> varCount;
-    if (key != "vars") throw BddUsageError("loadBdds: expected vars");
+    if (ls.fail() || key != "vars") src.bad("vars header");
   }
   for (std::size_t i = 0; i < varCount; ++i) {
-    auto ls = nextLine();
+    auto ls = src.next("var declaration");
     std::string key;
     std::string name;
     unsigned index = 0;
     ls >> key >> index >> name;
-    if (key != "v" || index != i) throw BddUsageError("loadBdds: bad var line");
+    if (ls.fail() || key != "v" || index != i) src.bad("var");
     if (index >= mgr.varCount()) mgr.newVar(name);
   }
 
   if (hasOrderLine) {
-    auto ls = nextLine();
+    auto ls = src.next("order line");
     std::string key;
     ls >> key;
-    if (key != "order") throw BddUsageError("loadBdds: expected order");
+    if (ls.fail() || key != "order") src.bad("order");
     std::vector<unsigned> level2var;
     level2var.reserve(varCount);
     unsigned var = 0;
     while (ls >> var) level2var.push_back(var);
     if (level2var.size() != varCount) {
-      throw BddUsageError("loadBdds: order line length != vars");
+      throw SerializeError("loadBdds: order line length != vars",
+                           src.lineStart);
     }
     // Restoring the saved order only makes sense when the manager holds
     // exactly the file's variables; when loading into a larger manager the
     // saved permutation is partial, so we keep the manager's current order
     // (ITE re-canonicalizes the nodes either way).
-    if (mgr.varCount() == varCount) applyVarOrder(mgr, level2var);
+    if (mgr.varCount() == varCount) {
+      try {
+        applyVarOrder(mgr, level2var);
+      } catch (const SerializeError&) {
+        throw;
+      } catch (const BddUsageError& err) {
+        // A non-permutation order line is corrupt input, not caller misuse.
+        throw SerializeError(std::string("loadBdds: ") + err.what(),
+                             src.lineStart);
+      }
+    }
   }
 
   std::size_t nodeCount = 0;
   {
-    auto ls = nextLine();
+    auto ls = src.next("nodes header");
     std::string key;
     ls >> key >> nodeCount;
-    if (key != "nodes") throw BddUsageError("loadBdds: expected nodes");
+    if (ls.fail() || key != "nodes") src.bad("nodes header");
   }
   std::vector<Edge> loaded;
   std::vector<Bdd> keepAlive;  // protect intermediates across autoGc
-  loaded.reserve(nodeCount);
+  loaded.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(nodeCount, kReserveClamp)));
   for (std::size_t i = 0; i < nodeCount; ++i) {
-    auto ls = nextLine();
+    auto ls = src.next("node record");
     std::string key;
     std::size_t id = 0;
     unsigned var = 0;
     std::string hiTok;
     std::string loTok;
     ls >> key >> id >> var >> hiTok >> loTok;
-    if (key != "n" || id != i || var >= mgr.varCount()) {
-      throw BddUsageError("loadBdds: bad node line");
+    if (ls.fail() || key != "n" || id != i || var >= mgr.varCount()) {
+      src.bad("node");
     }
-    const Edge hi = parseRef(hiTok, loaded);
-    const Edge lo = parseRef(loTok, loaded);
+    const Edge hi = parseRef(hiTok, loaded, src.lineStart);
+    const Edge lo = parseRef(loTok, loaded, src.lineStart);
     // Rebuild with ITE rather than mk: the file may have been written under
     // a different (e.g. sifted) variable order, in which case raw mk would
     // create ill-ordered nodes; ITE re-canonicalizes for this manager.
@@ -189,22 +416,196 @@ std::vector<Bdd> loadBdds(std::istream& is, BddManager& mgr) {
 
   std::size_t rootCount = 0;
   {
-    auto ls = nextLine();
+    auto ls = src.next("roots header");
     std::string key;
     ls >> key >> rootCount;
-    if (key != "roots") throw BddUsageError("loadBdds: expected roots");
+    if (ls.fail() || key != "roots") src.bad("roots header");
   }
   std::vector<Bdd> roots;
-  roots.reserve(rootCount);
+  roots.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(rootCount, kReserveClamp)));
   for (std::size_t i = 0; i < rootCount; ++i) {
-    auto ls = nextLine();
+    auto ls = src.next("root record");
     std::string key;
     std::string tok;
     ls >> key >> tok;
-    if (key != "r") throw BddUsageError("loadBdds: bad root line");
-    roots.emplace_back(&mgr, parseRef(tok, loaded));
+    if (ls.fail() || key != "r") src.bad("root");
+    roots.emplace_back(&mgr, parseRef(tok, loaded, src.lineStart));
   }
   return roots;
+}
+
+/// Validates and reads the fixed v3 header fields after the magic line.
+struct V3Header {
+  std::uint64_t varCount = 0;
+  std::uint64_t nodeCount = 0;
+  std::uint64_t rootCount = 0;
+};
+
+V3Header readV3Header(ByteReader& r) {
+  const std::uint32_t endian = r.u32("endian tag");
+  if (endian != kEndianTag) {
+    throw SerializeError("loadBdds: bad endian tag (byte-swapped or corrupt?)",
+                         r.offset() - 4);
+  }
+  const std::uint32_t features = r.u32("feature flags");
+  if (features != 0) {
+    throw SerializeError("loadBdds: unknown feature flags " +
+                             std::to_string(features) +
+                             " (written by a newer version?)",
+                         r.offset() - 4);
+  }
+  V3Header h;
+  h.varCount = r.u64("var count");
+  h.nodeCount = r.u64("node count");
+  h.rootCount = r.u64("root count");
+  return h;
+}
+
+std::vector<Bdd> loadBddsBinary(std::istream& is, BddManager& mgr,
+                                std::uint64_t bodyOffset) {
+  ByteReader r(is, bodyOffset);
+  const V3Header h = readV3Header(r);
+
+  for (std::uint64_t v = 0; v < h.varCount; ++v) {
+    const std::uint32_t len = r.u32("name length");
+    if (len > kReserveClamp) {
+      throw SerializeError("loadBdds: implausible variable name length " +
+                               std::to_string(len) + " (corrupt dump?)",
+                           r.offset() - 4);
+    }
+    std::string name(len, '\0');
+    if (len != 0) r.bytes(name.data(), len, "variable name");
+    if (v >= mgr.varCount()) mgr.newVar(name);
+  }
+
+  std::vector<unsigned> level2var;
+  level2var.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(h.varCount, kReserveClamp)));
+  const std::uint64_t orderAt = r.offset();
+  for (std::uint64_t level = 0; level < h.varCount; ++level) {
+    level2var.push_back(r.u32("order entry"));
+  }
+  if (mgr.varCount() == h.varCount) {
+    try {
+      applyVarOrder(mgr, level2var);
+    } catch (const SerializeError&) {
+      throw;
+    } catch (const BddUsageError& err) {
+      // A non-permutation order table is corrupt input, not caller misuse.
+      throw SerializeError(std::string("loadBdds: ") + err.what(), orderAt);
+    }
+  }
+
+  std::vector<Edge> loaded;
+  std::vector<Bdd> keepAlive;  // protect intermediates across autoGc
+  loaded.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(h.nodeCount, kReserveClamp)));
+  for (std::uint64_t i = 0; i < h.nodeCount; ++i) {
+    const std::uint64_t recordAt = r.offset();
+    const std::uint64_t w0 = r.u64("node record");
+    const std::uint64_t w1 = r.u64("node record");
+    const auto var = static_cast<std::uint32_t>(w0 >> 32);
+    if (var >= mgr.varCount()) {
+      throw SerializeError("loadBdds: node variable " + std::to_string(var) +
+                               " out of range",
+                           recordAt);
+    }
+    if ((w1 >> 32) != 0) {
+      throw SerializeError("loadBdds: reserved node bits set", recordAt);
+    }
+    const Edge hi =
+        parseBinRef(static_cast<std::uint32_t>(w0 & 0xffffffffu), loaded,
+                    recordAt);
+    const Edge lo =
+        parseBinRef(static_cast<std::uint32_t>(w1 & 0xffffffffu), loaded,
+                    recordAt);
+    const Edge e = mgr.iteE(mgr.varEdge(var), hi, lo);
+    loaded.push_back(e);
+    keepAlive.emplace_back(&mgr, e);
+  }
+
+  std::vector<Bdd> roots;
+  roots.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(h.rootCount, kReserveClamp)));
+  for (std::uint64_t i = 0; i < h.rootCount; ++i) {
+    const std::uint64_t at = r.offset();
+    roots.emplace_back(&mgr, parseBinRef(r.u32("root record"), loaded, at));
+  }
+
+  const std::uint64_t expect = r.hash();
+  const std::uint64_t stored = r.u64raw("checksum");
+  if (stored != expect) {
+    throw SerializeError("loadBdds: checksum mismatch (corrupt dump)",
+                         r.offset() - 8);
+  }
+  return roots;
+}
+
+}  // namespace
+
+std::vector<Bdd> loadBdds(std::istream& is, BddManager& mgr) {
+  LineSource src{is, {}};
+  std::string magic;
+  {
+    auto ls = src.next("magic line");
+    ls >> magic;
+  }
+  if (magic == kMagicV3) return loadBddsBinary(is, mgr, src.offset);
+  if (magic == kMagicV2) return loadBddsText(src, mgr, /*hasOrderLine=*/true);
+  if (magic == kMagicV1) return loadBddsText(src, mgr, /*hasOrderLine=*/false);
+  throw SerializeError("loadBdds: bad magic '" + magic + "'", 0);
+}
+
+DumpInfo inspectDump(std::istream& is) {
+  LineSource src{is, {}};
+  std::string magic;
+  {
+    auto ls = src.next("magic line");
+    ls >> magic;
+  }
+  DumpInfo info;
+  if (magic == kMagicV3) {
+    info.version = 3;
+    info.binary = true;
+    ByteReader r(is, src.offset);
+    const V3Header h = readV3Header(r);
+    info.varCount = h.varCount;
+    info.nodeCount = h.nodeCount;
+    info.rootCount = h.rootCount;
+    info.nodeBytes = h.nodeCount * 16;
+    return info;
+  }
+  if (magic != kMagicV1 && magic != kMagicV2) {
+    throw SerializeError("inspectDump: bad magic '" + magic + "'", 0);
+  }
+  info.version = magic == kMagicV2 ? 2 : 1;
+  {
+    auto ls = src.next("vars header");
+    std::string key;
+    ls >> key >> info.varCount;
+    if (ls.fail() || key != "vars") src.bad("vars header");
+  }
+  for (std::uint64_t i = 0; i < info.varCount; ++i) {
+    (void)src.next("var declaration");
+  }
+  if (info.version == 2) (void)src.next("order line");
+  {
+    auto ls = src.next("nodes header");
+    std::string key;
+    ls >> key >> info.nodeCount;
+    if (ls.fail() || key != "nodes") src.bad("nodes header");
+  }
+  for (std::uint64_t i = 0; i < info.nodeCount; ++i) {
+    (void)src.next("node record");
+  }
+  {
+    auto ls = src.next("roots header");
+    std::string key;
+    ls >> key >> info.rootCount;
+    if (ls.fail() || key != "roots") src.bad("roots header");
+  }
+  return info;
 }
 
 void applyVarOrder(BddManager& mgr, std::span<const unsigned> level2var) {

@@ -113,6 +113,11 @@ class SharedMetrics {
     const MutexLock lock(mutex_);
     registry_.recordHistogram(name, value);
   }
+  void mergeHistogram(std::string_view name, const Histogram& h)
+      ICBDD_EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
+    registry_.mergeHistogram(name, h);
+  }
   void merge(const MetricsRegistry& other) ICBDD_EXCLUDES(mutex_) {
     const MutexLock lock(mutex_);
     registry_.merge(other);

@@ -112,6 +112,7 @@ JobRequest parseJobRequest(const obs::JsonValue& request) {
   req.autoReorder = boolField(request, "auto_reorder", false);
   req.reorderTrigger = doubleField(request, "reorder_trigger", 0.0);
   req.applyWorkers = uintField(request, "apply_workers", 0);
+  req.spill = boolField(request, "spill", false);
   return req;
 }
 

@@ -39,6 +39,7 @@ struct JobRequest {
   bool autoReorder = false;
   double reorderTrigger = 0.0;      ///< 0 = BddOptions default
   unsigned applyWorkers = 0;        ///< intra-problem apply workers; 0/1 = serial
+  bool spill = false;               ///< arm the spill-to-disk tier for this job
 };
 
 /// True when `id` is usable as a job id (and hence a journal file stem):

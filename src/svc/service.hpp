@@ -73,6 +73,13 @@ struct ServiceOptions {
   /// resume, but in-request "resume" of a prior snapshot still works when
   /// a journal exists).
   std::string journalDir;
+  /// Spill directory for jobs that set "spill": true; empty falls back to
+  /// the system temp directory.  Arms BddOptions::spillDir per job
+  /// (docs/external_memory.md); jobs without the flag never spill.
+  std::string spillDir;
+  /// BddOptions::spillThresholdNodes for spill-armed jobs (0 = engage only
+  /// where max_nodes would otherwise abort the job).
+  std::uint64_t spillThresholdNodes = 0;
   /// Hold every accepted job until shutdown(), then run the whole queue as
   /// one batch.  Makes admission decisions independent of worker timing --
   /// the CI smoke test uses this to force a deterministic rejection.

@@ -15,18 +15,37 @@ namespace {
 
 constexpr const char* kMagic = "icbdd-ckpt-v1";
 
-std::istringstream nextLine(std::istream& is) {
+/// Header-line reader tracking byte offsets, so truncated or garbled
+/// checkpoints fail with a typed SerializeError pointing at the bad line
+/// instead of silently resuming from a zeroed field.
+struct CkptLines {
+  std::istream& is;
   std::string line;
-  if (!std::getline(is, line)) {
-    throw BddUsageError("loadSnapshot: unexpected end of input");
+  std::uint64_t offset = 0;     ///< offset of the next unread byte
+  std::uint64_t lineStart = 0;  ///< offset of the most recently read line
+
+  std::istringstream next(const char* what) {
+    lineStart = offset;
+    if (!std::getline(is, line)) {
+      throw SerializeError(
+          std::string("loadSnapshot: truncated input, expected ") + what,
+          offset);
+    }
+    offset += line.size() + 1;
+    return std::istringstream(line);
   }
-  return std::istringstream(line);
-}
+
+  [[noreturn]] void bad(const char* what) const {
+    throw SerializeError(std::string("loadSnapshot: malformed ") + what +
+                             " line '" + line + "'",
+                         lineStart);
+  }
+};
 
 }  // namespace
 
 void saveSnapshot(std::ostream& os, const BddManager& mgr,
-                  const EngineSnapshot& snap) {
+                  const EngineSnapshot& snap, bool binaryBdds) {
   os << kMagic << '\n';
   os << "method " << methodName(snap.method) << '\n';
   os << "iteration " << snap.iteration << '\n';
@@ -40,62 +59,64 @@ void saveSnapshot(std::ostream& os, const BddManager& mgr,
     flat.insert(flat.end(), list.begin(), list.end());
   }
   os << '\n';
-  saveBdds(os, mgr, flat);
+  if (binaryBdds) {
+    saveBddsBinary(os, mgr, flat);
+  } else {
+    saveBdds(os, mgr, flat);
+  }
 }
 
 EngineSnapshot loadSnapshot(std::istream& is, BddManager& mgr) {
   EngineSnapshot snap;
+  CkptLines src{is, {}};
   {
-    auto ls = nextLine(is);
+    auto ls = src.next("magic line");
     std::string magic;
     ls >> magic;
-    if (magic != kMagic) throw BddUsageError("loadSnapshot: bad magic");
+    if (magic != kMagic) {
+      throw SerializeError("loadSnapshot: bad magic '" + magic + "'", 0);
+    }
   }
   {
-    auto ls = nextLine(is);
+    auto ls = src.next("method line");
     std::string key;
     std::string name;
     ls >> key >> name;
-    if (key != "method") throw BddUsageError("loadSnapshot: expected method");
+    if (ls.fail() || key != "method") src.bad("method");
     try {
       snap.method = parseMethod(name);
     } catch (const std::invalid_argument&) {
-      throw BddUsageError("loadSnapshot: unknown method '" + name + "'");
+      throw SerializeError("loadSnapshot: unknown method '" + name + "'",
+                           src.lineStart);
     }
   }
   {
-    auto ls = nextLine(is);
+    auto ls = src.next("iteration line");
     std::string key;
     ls >> key >> snap.iteration;
-    if (key != "iteration") {
-      throw BddUsageError("loadSnapshot: expected iteration");
-    }
+    if (ls.fail() || key != "iteration") src.bad("iteration");
   }
   {
-    auto ls = nextLine(is);
+    auto ls = src.next("numbers line");
     std::string key;
     std::size_t count = 0;
     ls >> key >> count;
-    if (key != "numbers") throw BddUsageError("loadSnapshot: expected numbers");
+    if (ls.fail() || key != "numbers") src.bad("numbers");
     snap.numbers.resize(count);
     for (std::size_t i = 0; i < count; ++i) {
-      if (!(ls >> snap.numbers[i])) {
-        throw BddUsageError("loadSnapshot: truncated numbers line");
-      }
+      if (!(ls >> snap.numbers[i])) src.bad("numbers (truncated values)");
     }
   }
   std::vector<std::size_t> lengths;
   {
-    auto ls = nextLine(is);
+    auto ls = src.next("lists line");
     std::string key;
     std::size_t count = 0;
     ls >> key >> count;
-    if (key != "lists") throw BddUsageError("loadSnapshot: expected lists");
+    if (ls.fail() || key != "lists") src.bad("lists");
     lengths.resize(count);
     for (std::size_t i = 0; i < count; ++i) {
-      if (!(ls >> lengths[i])) {
-        throw BddUsageError("loadSnapshot: truncated lists line");
-      }
+      if (!(ls >> lengths[i])) src.bad("lists (truncated lengths)");
     }
   }
   const std::vector<Bdd> flat = loadBdds(is, mgr);
@@ -103,14 +124,16 @@ EngineSnapshot loadSnapshot(std::istream& is, BddManager& mgr) {
   snap.lists.reserve(lengths.size());
   for (const std::size_t len : lengths) {
     if (at + len > flat.size()) {
-      throw BddUsageError("loadSnapshot: list lengths exceed root count");
+      throw SerializeError("loadSnapshot: list lengths exceed root count",
+                           src.offset);
     }
     snap.lists.emplace_back(flat.begin() + static_cast<std::ptrdiff_t>(at),
                             flat.begin() + static_cast<std::ptrdiff_t>(at + len));
     at += len;
   }
   if (at != flat.size()) {
-    throw BddUsageError("loadSnapshot: list lengths below root count");
+    throw SerializeError("loadSnapshot: list lengths below root count",
+                         src.offset);
   }
   return snap;
 }

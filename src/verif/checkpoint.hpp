@@ -21,12 +21,17 @@
 
 namespace icb {
 
-/// Writes `snap` (whose handles must belong to `mgr`).
+/// Writes `snap` (whose handles must belong to `mgr`).  With
+/// `binaryBdds = true` the embedded BDD dump uses the icbdd-bdd-v3 binary
+/// format (near-memcpy, much faster for large snapshots); the checkpoint
+/// header lines stay text either way, and loadSnapshot auto-detects the dump
+/// version, so binary and text snapshots are interchangeable on load.  The
+/// default stays text so existing golden checkpoint bytes are unchanged.
 void saveSnapshot(std::ostream& os, const BddManager& mgr,
-                  const EngineSnapshot& snap);
+                  const EngineSnapshot& snap, bool binaryBdds = false);
 
 /// Reads a snapshot into `mgr` (usually a freshly built model's manager).
-/// Throws BddUsageError on malformed input.
+/// Throws SerializeError (a BddUsageError) on malformed or truncated input.
 EngineSnapshot loadSnapshot(std::istream& is, BddManager& mgr);
 
 /// The per-engine checkpoint hook.  Engines construct one next to their

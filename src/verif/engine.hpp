@@ -156,6 +156,12 @@ struct EngineResult {
   /// the "total memory used" analogue.
   std::uint64_t peakAllocatedNodes = 0;
   std::uint64_t memBytesEstimate = 0;
+  /// True when the external-memory tier engaged during the run: the arena
+  /// paged through a spill file and the run completed beyond its RAM budget
+  /// instead of reporting kNodeLimit (docs/external_memory.md).  The
+  /// verdict, iteration count, and counterexample are identical to an
+  /// unspilled run with enough RAM.
+  bool spilled = false;
   std::string note;
   std::optional<Trace> trace;
   TerminationStats terminationStats;  ///< XICI only

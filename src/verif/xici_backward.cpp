@@ -165,7 +165,8 @@ EngineResult runXiciBackward(Fsm& fsm, const EngineOptions& options) {
   result.terminationStats = checker.stats();
   result.seconds = watch.elapsedSeconds();
   result.peakAllocatedNodes = mgr.stats().peakNodes;
-  result.memBytesEstimate = BddManager::bytesForNodes(result.peakAllocatedNodes);
+  result.memBytesEstimate = mgr.bytesForNodes(result.peakAllocatedNodes);
+  result.spilled = mgr.spillEngaged();
   result.metrics.capturePolicy(policyTotals);
   result.metrics.captureBdd(mgr);
   result.metrics.captureTermination(result.terminationStats);

@@ -1,0 +1,114 @@
+#include "xmem/page_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace icb::xmem {
+
+namespace {
+
+/// Header magic; padded with NULs to 16 bytes in the header block.
+constexpr char kMagic[] = "icbdd-xpage-v3";
+
+/// Little-endian store of a u64 into a byte buffer (explicit endianness:
+/// the header reads identically on any host).
+void putU64le(unsigned char* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+}
+
+std::string errnoText() {
+  return std::strerror(errno);  // NOLINT: single-threaded failure path
+}
+
+}  // namespace
+
+PageFile::~PageFile() { close(); }
+
+void PageFile::open(const std::string& path, std::uint64_t pageBytes,
+                    std::uint64_t recordBytes) {
+  close();
+  const std::filesystem::path p(path);
+  std::error_code ec;
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+    if (ec) {
+      throw IoError("spill directory cannot be created: " + ec.message(),
+                    path, 0);
+    }
+  }
+  file_ = std::fopen(path.c_str(), "wb+");
+  if (file_ == nullptr) {
+    throw IoError("spill file cannot be created: " + errnoText(), path, 0);
+  }
+  path_ = path;
+  pageBytes_ = pageBytes;
+  highWaterBytes_ = kHeaderBytes;
+
+  // 64-byte header: magic (16), endian tag (8), page bytes (8), record
+  // bytes (8), reserved zeros (24).  The tag byte sequence 01..08 read back
+  // as a host u64 reveals the writer's endianness.
+  unsigned char header[kHeaderBytes] = {};
+  std::memcpy(header, kMagic, sizeof(kMagic) - 1);
+  putU64le(header + 16, 0x0807060504030201ull);
+  putU64le(header + 24, pageBytes);
+  putU64le(header + 32, recordBytes);
+  if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header) ||
+      std::fflush(file_) != 0) {
+    const std::string why = "spill header write failed: " + errnoText();
+    close();
+    throw IoError(why, path, 0);
+  }
+}
+
+void PageFile::writePage(std::uint64_t pageIndex, const void* data) {
+  const std::uint64_t offset = kHeaderBytes + pageIndex * pageBytes_;
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    throw IoError("spill seek failed: " + errnoText(), path_, offset);
+  }
+  const std::size_t wrote = std::fwrite(data, 1, pageBytes_, file_);
+  if (wrote != pageBytes_) {
+    // A short write is how stdio surfaces ENOSPC; report the exact byte so
+    // the operator can size the spill volume (docs/external_memory.md).
+    throw IoError("spill short write (" + std::to_string(wrote) + " of " +
+                      std::to_string(pageBytes_) + " bytes; disk full?): " +
+                      errnoText(),
+                  path_, offset + wrote);
+  }
+  if (std::fflush(file_) != 0) {
+    throw IoError("spill flush failed: " + errnoText(), path_, offset);
+  }
+  if (offset + pageBytes_ > highWaterBytes_) {
+    highWaterBytes_ = offset + pageBytes_;
+  }
+}
+
+void PageFile::readPage(std::uint64_t pageIndex, void* data) {
+  const std::uint64_t offset = kHeaderBytes + pageIndex * pageBytes_;
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    throw IoError("spill seek failed: " + errnoText(), path_, offset);
+  }
+  const std::size_t got = std::fread(data, 1, pageBytes_, file_);
+  if (got != pageBytes_) {
+    throw IoError("spill short read (" + std::to_string(got) + " of " +
+                      std::to_string(pageBytes_) +
+                      " bytes; file truncated?)",
+                  path_, offset + got);
+  }
+}
+
+void PageFile::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);  // best effort; scratch file
+  }
+  path_.clear();
+  pageBytes_ = 0;
+  highWaterBytes_ = 0;
+}
+
+}  // namespace icb::xmem

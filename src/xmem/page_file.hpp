@@ -1,0 +1,88 @@
+// PageFile: the on-disk half of the external-memory tier.
+//
+// A PageFile is a scratch file of fixed-size page slots: page p lives at
+// byte offset kHeaderBytes + p * pageBytes, so write-back and fault-in are
+// one positioned I/O each and no free-space management is ever needed (a
+// page's slot is its index).  The file starts with a 64-byte header
+// recording magic, version, endianness tag, and the page geometry -- the
+// same explicit-endianness discipline as the icbdd-bdd-v3 dump format
+// (docs/node_layout.md), so a stray spill file is self-describing.
+//
+// The file is process-private scratch: it is created on engage, unlinked in
+// the destructor, and never read by another process, so page payloads are
+// raw record bytes in host order (the header's endian tag records which).
+// Failure modes -- ENOSPC, short writes, a vanished directory -- raise
+// IoError with the offending path and byte offset; the spill tier
+// propagates it to the engine caller as a hard job failure
+// (docs/external_memory.md).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace icb::xmem {
+
+/// A spill-file I/O failure (disk full, short write, unlinked directory).
+/// Derives from std::runtime_error so engine callers that do not know about
+/// the spill tier still fail the run cleanly instead of crashing.
+class IoError : public std::runtime_error {
+ public:
+  IoError(const std::string& what, std::string path, std::uint64_t offset)
+      : std::runtime_error(what + " (" + path + " @ byte " +
+                           std::to_string(offset) + ")"),
+        path_(std::move(path)),
+        offset_(offset) {}
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::uint64_t byteOffset() const { return offset_; }
+
+ private:
+  std::string path_;
+  std::uint64_t offset_;
+};
+
+class PageFile {
+ public:
+  /// Fixed header size; page slot p starts at kHeaderBytes + p * pageBytes.
+  static constexpr std::uint64_t kHeaderBytes = 64;
+
+  PageFile() = default;
+  ~PageFile();
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Creates the scratch file (directories included) and writes the header.
+  /// `recordBytes` is informational header content (the payload is opaque
+  /// bytes to this class).  Throws IoError on any failure.
+  void open(const std::string& path, std::uint64_t pageBytes,
+            std::uint64_t recordBytes);
+
+  [[nodiscard]] bool isOpen() const { return file_ != nullptr; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::uint64_t pageBytes() const { return pageBytes_; }
+
+  /// Writes one full page into its slot.  Detects short writes (the ENOSPC
+  /// signature with stdio) and throws IoError with the failing offset.
+  void writePage(std::uint64_t pageIndex, const void* data);
+
+  /// Reads one full page back from its slot.  A short read means the file
+  /// was truncated under us -- IoError.
+  void readPage(std::uint64_t pageIndex, void* data);
+
+  /// Bytes the file occupies on disk (header + highest slot ever written).
+  [[nodiscard]] std::uint64_t bytesOnDisk() const { return highWaterBytes_; }
+
+  /// Closes and unlinks the scratch file (idempotent).
+  void close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::uint64_t pageBytes_ = 0;
+  std::uint64_t highWaterBytes_ = 0;
+};
+
+}  // namespace icb::xmem

@@ -1,0 +1,274 @@
+// PagedStore<T>: a paged, spill-to-disk record arena (ROADMAP item 3).
+//
+// A PagedStore is the std::vector drop-in the NodeStore mounts its packed
+// node arena on (docs/node_layout.md): records live in fixed-size pages of
+// 2^kPageShift records each, reached as pages_[i >> kPageShift] ->
+// recs[i & kPageMask].  Until the spill tier engages, that is the whole
+// story -- every page is resident, no bookkeeping runs, and the only cost
+// over a flat vector is one extra indirection.  After engage():
+//
+//   * a resident budget caps how many pages keep their in-RAM buffer;
+//   * access to a non-resident page faults it in from the PageFile
+//     (write-back scratch file, one slot per page index);
+//   * going over budget evicts pages CLOCK-style (second-chance on a
+//     referenced bit), writing dirty pages back first.  Eviction happens
+//     ONLY while servicing a fault or exposing fresh records -- a resident
+//     record access never evicts, so a reference obtained from operator[]
+//     stays valid until the *next* page miss.  Page 0 (the terminal and
+//     projection nodes) is pinned, and the most recently touched page is
+//     never the victim, which together make the store's audited
+//     single-page reference scopes safe (docs/external_memory.md).
+//
+// Vector semantics the arena relies on are preserved exactly: records
+// exposed by resize-up, push_back, or emplace_back are zero -- even when
+// the index range was used before a truncation, and even when the stale
+// bytes live only in the spill file.  Addresses of live records never move
+// (pages are reached through per-page buffers), which is MORE stable than
+// a vector: the concurrent-mode "no reallocation mid-region" rule holds
+// structurally.
+//
+// The spill tier is single-threaded by design: it never engages while the
+// store is inside a concurrent region (the manager forces the serial apply
+// path once spilling), so none of the bookkeeping needs atomics.  When not
+// engaged, concurrent readers see exactly the vector guarantees: no
+// mutable state is touched on the access path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "util/timer.hpp"
+#include "xmem/page_file.hpp"
+#include "xmem/stats.hpp"
+
+namespace icb::xmem {
+
+template <typename T>
+class PagedStore {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "pages are spilled as raw bytes");
+
+ public:
+  /// log2 records per page: 1024 records -- 16 KiB pages for a 16-byte
+  /// record, small enough that a tiny resident budget still leaves room
+  /// for CLOCK to rotate (the CI spill gate runs with a few pages).
+  static constexpr std::size_t kPageShift = 10;
+  static constexpr std::size_t kPageRecords = std::size_t{1} << kPageShift;
+  static constexpr std::size_t kPageMask = kPageRecords - 1;
+  static constexpr std::size_t kPageBytes = kPageRecords * sizeof(T);
+  /// Smallest usable resident budget: the pinned page 0, the
+  /// most-recently-touched page, and one page CLOCK can actually turn over.
+  static constexpr std::size_t kMinResidentPages = 3;
+
+  PagedStore() = default;
+
+  // ---- vector surface ------------------------------------------------------
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  [[nodiscard]] T& operator[](std::size_t i) { return at(i, /*write=*/true); }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    return const_cast<PagedStore*>(this)->at(i, /*write=*/false);
+  }
+
+  /// Capacity hint: pre-sizes the page table only (buffers are made on
+  /// demand), mirroring vector::reserve's no-construction contract.
+  void reserve(std::size_t n) {
+    pages_.reserve((n + kPageRecords - 1) >> kPageShift);
+  }
+
+  /// Grows with zero-filled records / shrinks keeping buffers, exactly like
+  /// a vector of zero-initializing records.  Zeroing on re-exposure is
+  /// load-bearing: the packed-node field packers preserve a record's other
+  /// bits, and concurrent-mode padding must decode as all-zero
+  /// (docs/node_layout.md).
+  void resize(std::size_t n) {
+    if (n > size_) exposeRecords(size_, n);
+    size_ = n;
+  }
+
+  void push_back(const T& value) {
+    exposeRecords(size_, size_ + 1);
+    ++size_;
+    at(size_ - 1, /*write=*/true) = value;
+  }
+
+  T& emplace_back() {
+    exposeRecords(size_, size_ + 1);
+    ++size_;
+    return at(size_ - 1, /*write=*/true);
+  }
+
+  // ---- spill control -------------------------------------------------------
+
+  /// Turns the spill tier on: at most `budgetPages` pages (floored at
+  /// kMinResidentPages) keep resident buffers, the rest round-trip through
+  /// `file` (already open, slot size kPageBytes).  Immediately evicts down
+  /// to budget.  `file` and `stats` must outlive the store's engagement.
+  void engage(std::size_t budgetPages, PageFile* file, PagerStats* stats) {
+    budgetPages_ = budgetPages < kMinResidentPages ? kMinResidentPages
+                                                   : budgetPages;
+    file_ = file;
+    stats_ = stats;
+    engaged_ = true;
+    // Pre-engagement pages have no disk copy: only a dirty mark makes
+    // eviction write them back instead of dropping live records.
+    for (Page& p : pages_) {
+      if (p.recs != nullptr) p.dirty = true;
+    }
+    maybeEvict();
+  }
+
+  [[nodiscard]] bool engaged() const { return engaged_; }
+  [[nodiscard]] std::size_t residentPages() const { return residentCount_; }
+  [[nodiscard]] std::size_t budgetPages() const { return budgetPages_; }
+  [[nodiscard]] std::size_t pageCount() const { return pages_.size(); }
+
+  /// Bytes of resident record buffers right now.
+  [[nodiscard]] std::uint64_t residentBytes() const {
+    return static_cast<std::uint64_t>(residentCount_) * kPageBytes;
+  }
+
+  /// Bookkeeping overhead: the page-table entries themselves.
+  [[nodiscard]] std::uint64_t metadataBytes() const {
+    return static_cast<std::uint64_t>(pages_.capacity()) * sizeof(Page);
+  }
+
+ private:
+  struct Page {
+    std::unique_ptr<T[]> recs;  ///< null when evicted (engaged mode only)
+    bool dirty = false;         ///< resident copy newer than the disk slot
+    bool everWritten = false;   ///< the disk slot holds a copy of this page
+    bool referenced = false;    ///< CLOCK second-chance bit
+  };
+
+  static constexpr std::size_t kNoPage = static_cast<std::size_t>(-1);
+
+  T& at(std::size_t i, bool write) {
+    const std::size_t pi = i >> kPageShift;
+    Page& p = pages_[pi];
+    if (!engaged_) return p.recs[i & kPageMask];
+    if (p.recs == nullptr) faultIn(pi);
+    p.referenced = true;
+    lastPage_ = pi;
+    if (write) p.dirty = true;
+    return p.recs[i & kPageMask];
+  }
+
+  /// Makes records [lo, hi) exist and read as zero, whatever their history
+  /// (live resident bytes, an evicted page's disk copy, or nothing yet).
+  void exposeRecords(std::size_t lo, std::size_t hi) {
+    const std::size_t firstPage = lo >> kPageShift;
+    const std::size_t lastPage = (hi - 1) >> kPageShift;
+    if (lastPage >= pages_.size()) pages_.resize(lastPage + 1);
+    for (std::size_t pi = firstPage; pi <= lastPage; ++pi) {
+      Page& p = pages_[pi];
+      const std::size_t base = pi << kPageShift;
+      const std::size_t from = lo > base ? lo - base : 0;
+      const std::size_t to =
+          hi - base < kPageRecords ? hi - base : kPageRecords;
+      if (p.recs == nullptr) {
+        if (!engaged_ || (from == 0 && to == kPageRecords) || !p.everWritten) {
+          // Brand new, or the exposure covers the whole page: a fresh
+          // zeroed buffer is the page's content; any disk copy is dead.
+          p.recs = std::make_unique<T[]>(kPageRecords);
+          ++residentCount_;
+          p.everWritten = false;
+          p.dirty = engaged_;
+          p.referenced = true;
+          continue;
+        }
+        // Partially re-exposed evicted page: the records below `from` are
+        // live on disk, so fault the page in before zeroing the tail.
+        faultIn(pi);
+      }
+      for (std::size_t r = from; r < to; ++r) p.recs[r] = T{};
+      if (engaged_) p.dirty = true;
+      p.referenced = true;
+    }
+    if (engaged_) {
+      lastPage_ = lastPage;
+      maybeEvict();
+    }
+  }
+
+  void faultIn(std::size_t pi) {
+    Page& p = pages_[pi];
+    p.recs = std::make_unique<T[]>(kPageRecords);
+    ++residentCount_;
+    if (p.everWritten) {
+      const Stopwatch sw;
+      file_->readPage(pi, p.recs.get());
+      stats_->pageReadUs.record(
+          static_cast<std::uint64_t>(sw.elapsedSeconds() * 1e6));
+      stats_->readBytes += kPageBytes;
+      ++stats_->pageFaults;
+    }
+    p.dirty = false;
+    p.referenced = true;
+    lastPage_ = pi;
+    maybeEvict();
+  }
+
+  void maybeEvict() {
+    while (residentCount_ > budgetPages_) {
+      const std::size_t victim = pickVictim();
+      if (victim == kNoPage) return;  // everything protected; stay over
+      evict(victim);
+    }
+  }
+
+  /// CLOCK sweep: skip the pinned page 0, the most recently touched page,
+  /// and evicted pages; clear one referenced bit per pass over a page.
+  /// Two full sweeps always suffice (the first clears every bit).
+  [[nodiscard]] std::size_t pickVictim() {
+    const std::size_t n = pages_.size();
+    for (std::size_t step = 0; step < 2 * n; ++step) {
+      const std::size_t pi = clockHand_;
+      clockHand_ = clockHand_ + 1 == n ? 0 : clockHand_ + 1;
+      Page& p = pages_[pi];
+      if (pi == 0 || pi == lastPage_ || p.recs == nullptr) continue;
+      if (p.referenced) {
+        p.referenced = false;
+        continue;
+      }
+      return pi;
+    }
+    return kNoPage;
+  }
+
+  void evict(std::size_t pi) {
+    Page& p = pages_[pi];
+    if (p.dirty) {
+      const Stopwatch sw;
+      const bool firstWrite = !p.everWritten;
+      file_->writePage(pi, p.recs.get());
+      stats_->pageWriteUs.record(
+          static_cast<std::uint64_t>(sw.elapsedSeconds() * 1e6));
+      stats_->writeBytes += kPageBytes;
+      if (firstWrite) stats_->spillBytes += kPageBytes;
+      p.everWritten = true;
+      p.dirty = false;
+    }
+    p.recs.reset();
+    --residentCount_;
+    ++stats_->evictions;
+  }
+
+  std::vector<Page> pages_;
+  std::size_t size_ = 0;
+  std::size_t residentCount_ = 0;
+
+  // spill-tier state (meaningful once engaged)
+  bool engaged_ = false;
+  std::size_t budgetPages_ = 0;
+  std::size_t clockHand_ = 0;
+  std::size_t lastPage_ = 0;
+  PageFile* file_ = nullptr;
+  PagerStats* stats_ = nullptr;
+};
+
+}  // namespace icb::xmem

@@ -1,0 +1,39 @@
+// Pager statistics of the external-memory tier (src/xmem/).
+//
+// PagerStats is the native stat struct of a PagedStore + PageFile pair,
+// following the package's telemetry shape (docs/observability.md): plain
+// counters and obs::Histogram members owned single-writer by the store,
+// folded into the dotted-name catalog (bdd.xmem.*) by
+// MetricsRegistry::captureBdd at snapshot time -- no atomics, no string
+// keys on the fault path.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/histogram.hpp"
+
+namespace icb::xmem {
+
+struct PagerStats {
+  /// Page-cache misses that faulted a previously evicted page back in.
+  /// Fresh tail pages (arena growth) do not count: a fault means the tier
+  /// actually re-read state it had spilled, which is what the CI spill
+  /// gate asserts to prove engagement.
+  std::uint64_t pageFaults = 0;
+  /// Resident pages evicted to stay within the resident budget.
+  std::uint64_t evictions = 0;
+  /// Fresh bytes added to the spill file (first write of each page); the
+  /// file's high-water growth, as opposed to re-writes of dirty pages.
+  std::uint64_t spillBytes = 0;
+  /// Total bytes read back from the spill file.
+  std::uint64_t readBytes = 0;
+  /// Total bytes written to the spill file (first writes + re-writes).
+  std::uint64_t writeBytes = 0;
+
+  /// Fault-in read latency per page, microseconds.
+  obs::Histogram pageReadUs;
+  /// Write-back latency per page, microseconds.
+  obs::Histogram pageWriteUs;
+};
+
+}  // namespace icb::xmem

@@ -1,7 +1,13 @@
-// Round-trip tests for the textual BDD serialization.
+// Round-trip tests for the textual (v1/v2) and binary (icbdd-bdd-v3) BDD
+// serialization, plus a fuzz-style corpus sweep proving that every
+// truncation or corruption fails as a typed SerializeError with a byte
+// offset -- never a crash, a hang, or a silent partial load.
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "bdd/serialize.hpp"
 #include "test_util.hpp"
@@ -213,6 +219,275 @@ TEST(Serialize, ApplyVarOrderRejectsBadPermutations) {
   for (unsigned level = 0; level < 4; ++level) {
     EXPECT_EQ(mgr.varAtLevel(level), order[level]);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Binary (icbdd-bdd-v3) format
+
+TEST(SerializeV3, BinaryRoundTripIsBitIdentical) {
+  BddManager src;
+  constexpr unsigned kVars = 8;
+  for (unsigned i = 0; i < kVars; ++i) src.newVar("x" + std::to_string(i));
+  Rng rng(7);
+  std::vector<Bdd> roots;
+  std::vector<std::vector<char>> tables;
+  for (int i = 0; i < 10; ++i) {
+    roots.push_back(test::randomBdd(src, kVars, rng));
+    tables.push_back(test::truthTable(roots.back(), kVars));
+  }
+  roots.push_back(src.one());
+  roots.push_back(src.zero());
+  roots.push_back(!roots[0]);
+
+  std::ostringstream os;
+  saveBddsBinary(os, src, roots);
+  const std::string dump = os.str();
+
+  BddManager dst;  // empty: variables come from the file
+  std::istringstream is(dump);
+  const std::vector<Bdd> loaded = loadBdds(is, dst);
+  ASSERT_EQ(loaded.size(), roots.size());
+  EXPECT_EQ(dst.varCount(), kVars);
+  EXPECT_EQ(dst.varName(3), "x3");
+  for (std::size_t i = 0; i < tables.size(); ++i) {
+    EXPECT_EQ(test::truthTable(loaded[i], kVars), tables[i]);
+  }
+  EXPECT_TRUE(loaded[tables.size()].isOne());
+  EXPECT_TRUE(loaded[tables.size() + 1].isZero());
+  EXPECT_EQ(loaded[tables.size() + 2], !loaded[0]);
+
+  // Bit-identical re-dump: same vars, same order, same DAG => the second
+  // writer walks the identical topological order and emits the same bytes.
+  std::ostringstream os2;
+  saveBddsBinary(os2, dst, loaded);
+  EXPECT_EQ(os2.str(), dump);
+}
+
+TEST(SerializeV3, BinaryPersistsVariableOrderAndSharing) {
+  BddManager src;
+  constexpr unsigned kVars = 8;
+  for (unsigned i = 0; i < kVars; ++i) src.newVar();
+  Rng rng(13);
+  std::vector<Bdd> roots;
+  for (int i = 0; i < 6; ++i) roots.push_back(test::randomBdd(src, kVars, rng, 5));
+  const std::vector<unsigned> shuffled{6, 2, 7, 0, 5, 1, 4, 3};
+  applyVarOrder(src, shuffled);
+
+  std::ostringstream os;
+  saveBddsBinary(os, src, roots);
+  BddManager dst;
+  std::istringstream is(os.str());
+  const auto loaded = loadBdds(is, dst);
+  for (unsigned level = 0; level < kVars; ++level) {
+    EXPECT_EQ(dst.varAtLevel(level), shuffled[level]) << "level " << level;
+  }
+  EXPECT_EQ(sharedSize(loaded), sharedSize(roots));
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    EXPECT_EQ(test::truthTable(loaded[i], kVars),
+              test::truthTable(roots[i], kVars));
+  }
+}
+
+TEST(SerializeV3, TextAndBinaryDenoteTheSameFunctions) {
+  BddManager src;
+  constexpr unsigned kVars = 6;
+  for (unsigned i = 0; i < kVars; ++i) src.newVar();
+  Rng rng(17);
+  const std::vector<Bdd> roots{test::randomBdd(src, kVars, rng, 6),
+                               test::randomBdd(src, kVars, rng, 6)};
+  std::ostringstream text;
+  std::ostringstream binary;
+  saveBdds(text, src, roots);
+  saveBddsBinary(binary, src, roots);
+
+  BddManager fromText;
+  BddManager fromBinary;
+  std::istringstream ist(text.str());
+  std::istringstream isb(binary.str());
+  const auto a = loadBdds(ist, fromText);
+  const auto b = loadBdds(isb, fromBinary);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(test::truthTable(a[i], kVars), test::truthTable(b[i], kVars));
+  }
+}
+
+TEST(SerializeV3, InspectDumpReportsHeaderWithoutLoading) {
+  BddManager src;
+  for (unsigned i = 0; i < 4; ++i) src.newVar();
+  Rng rng(19);
+  const std::vector<Bdd> roots{test::randomBdd(src, 4, rng, 4),
+                               test::randomBdd(src, 4, rng, 4)};
+  DumpInfo binInfo;
+  {
+    std::ostringstream os;
+    saveBddsBinary(os, src, roots);
+    std::istringstream is(os.str());
+    binInfo = inspectDump(is);
+    EXPECT_EQ(binInfo.version, 3);
+    EXPECT_TRUE(binInfo.binary);
+    EXPECT_EQ(binInfo.varCount, 4u);
+    EXPECT_EQ(binInfo.rootCount, 2u);
+    EXPECT_GT(binInfo.nodeCount, 0u);
+    EXPECT_EQ(binInfo.nodeBytes, binInfo.nodeCount * 16);
+  }
+  {
+    std::ostringstream os;
+    saveBdds(os, src, roots);
+    std::istringstream is(os.str());
+    const DumpInfo info = inspectDump(is);
+    EXPECT_EQ(info.version, 2);
+    EXPECT_FALSE(info.binary);
+    EXPECT_EQ(info.varCount, 4u);
+    EXPECT_EQ(info.rootCount, 2u);
+    // Both writers walk the same topological order: identical node counts.
+    EXPECT_EQ(info.nodeCount, binInfo.nodeCount);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz-style corpus: truncation and corruption are typed errors
+
+namespace fuzz {
+
+/// A small but representative corpus dump: complement edges, shared
+/// subgraphs, constant and non-constant roots.
+std::string corpus(bool binary) {
+  BddManager src;
+  for (unsigned i = 0; i < 4; ++i) src.newVar("v" + std::to_string(i));
+  const Bdd common = src.var(1) ^ src.var(2);
+  const std::vector<Bdd> roots{src.var(0) & common, !common, src.one(),
+                               (src.var(3) | common) & src.var(0)};
+  std::ostringstream os;
+  if (binary) {
+    saveBddsBinary(os, src, roots);
+  } else {
+    saveBdds(os, src, roots);
+  }
+  return os.str();
+}
+
+/// Loading `bytes` must throw SerializeError -- the typed class, with a
+/// plausible byte offset surfaced both structurally and in the message.
+void expectTypedFailure(const std::string& bytes, std::size_t cut) {
+  BddManager mgr;
+  std::istringstream is(bytes.substr(0, cut));
+  try {
+    (void)loadBdds(is, mgr);
+    FAIL() << "prefix of " << cut << "/" << bytes.size()
+           << " bytes loaded successfully";
+  } catch (const SerializeError& err) {
+    EXPECT_LE(err.byteOffset(), bytes.size()) << "cut " << cut;
+    EXPECT_NE(std::string(err.what()).find("(at byte "), std::string::npos)
+        << "cut " << cut;
+  }
+  // Any other exception type escapes and fails the test: truncation must
+  // never surface as bad_alloc, length_error, or a crash.
+}
+
+}  // namespace fuzz
+
+TEST(SerializeFuzz, EveryBinaryTruncationIsATypedError) {
+  // The v3 trailing checksum makes every strict prefix invalid: whatever
+  // field the cut lands in, some later read hits EOF.
+  const std::string dump = fuzz::corpus(/*binary=*/true);
+  ASSERT_GT(dump.size(), 100u);
+  for (std::size_t cut = 0; cut < dump.size(); ++cut) {
+    fuzz::expectTypedFailure(dump, cut);
+  }
+}
+
+TEST(SerializeFuzz, EveryTextTruncationBeforeTheLastLineIsATypedError) {
+  const std::string dump = fuzz::corpus(/*binary=*/false);
+  ASSERT_GT(dump.size(), 50u);
+  ASSERT_EQ(dump.back(), '\n');
+  // Cuts inside the final "r ..." line can still parse (a shortened decimal
+  // reference is a different, valid reference), and dropping only the final
+  // newline is exactly the stream getline still accepts; everything earlier
+  // must fail typed.
+  const std::size_t lastLineStart = dump.rfind('\n', dump.size() - 2) + 1;
+  for (std::size_t cut = 0; cut < lastLineStart; ++cut) {
+    fuzz::expectTypedFailure(dump, cut);
+  }
+  for (std::size_t cut = lastLineStart; cut < dump.size(); ++cut) {
+    BddManager mgr;
+    std::istringstream is(dump.substr(0, cut));
+    try {
+      (void)loadBdds(is, mgr);  // permitted: the prefix may still be valid
+    } catch (const SerializeError&) {
+      // permitted: typed failure
+    }
+  }
+}
+
+TEST(SerializeFuzz, EveryBinaryByteFlipIsATypedError) {
+  // Single-byte corruption anywhere in a v3 dump is caught: structural
+  // checks (magic, endian tag, ranges, reserved bits) or, failing those,
+  // the trailing FNV-1a checksum.
+  const std::string dump = fuzz::corpus(/*binary=*/true);
+  for (std::size_t i = 0; i < dump.size(); ++i) {
+    std::string bad = dump;
+    bad[i] = static_cast<char>(bad[i] ^ 0x5a);
+    BddManager mgr;
+    std::istringstream is(bad);
+    try {
+      (void)loadBdds(is, mgr);
+      FAIL() << "flip at byte " << i << " loaded successfully";
+    } catch (const SerializeError&) {
+      // typed, as required
+    }
+  }
+}
+
+TEST(SerializeFuzz, HeaderlessCountLinesAreNotASilentEmptyLoad) {
+  // Regression: counts whose number is missing used to extract as zero on
+  // some paths, turning a mangled dump into a successful load of nothing.
+  BddManager mgr;
+  {
+    std::istringstream is("icbdd-bdd-v1\nvars\nnodes\nroots\n");
+    EXPECT_THROW((void)loadBdds(is, mgr), SerializeError);
+  }
+  {
+    std::istringstream is("icbdd-bdd-v2\n");
+    EXPECT_THROW((void)loadBdds(is, mgr), SerializeError);
+  }
+  {
+    std::istringstream is("");
+    EXPECT_THROW((void)loadBdds(is, mgr), SerializeError);
+  }
+}
+
+TEST(SerializeFuzz, ImplausibleBinaryCountsFailFastNotBigAlloc) {
+  // A dump declaring 2^60 nodes (or a 4 GiB variable name) must fail as a
+  // typed truncation/corruption error when the bytes run out, not attempt
+  // the allocation up front.
+  const std::string dump = fuzz::corpus(/*binary=*/true);
+  const std::size_t bodyStart = dump.find('\n') + 1;
+  // node count: u64 at body offset 8 (endian tag, flags) + 8 (var count).
+  std::string bad = dump;
+  for (int i = 0; i < 8; ++i) {
+    bad[bodyStart + 16 + i] = static_cast<char>(0xff);
+  }
+  BddManager mgr;
+  std::istringstream is(bad);
+  EXPECT_THROW((void)loadBdds(is, mgr), SerializeError);
+}
+
+TEST(SerializeFuzz, SerializeErrorCarriesOffsetAndDerivesFromUsageError) {
+  const std::string dump = fuzz::corpus(/*binary=*/false);
+  BddManager mgr;
+  std::istringstream is(dump.substr(0, dump.size() / 2));
+  bool threw = false;
+  try {
+    (void)loadBdds(is, mgr);
+  } catch (const BddUsageError& err) {  // the base class still catches it
+    threw = true;
+    const auto* typed = dynamic_cast<const SerializeError*>(&err);
+    ASSERT_NE(typed, nullptr);
+    EXPECT_GT(typed->byteOffset(), 0u);
+    EXPECT_LE(typed->byteOffset(), dump.size());
+  }
+  EXPECT_TRUE(threw);
 }
 
 }  // namespace

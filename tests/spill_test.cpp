@@ -1,0 +1,363 @@
+// Beyond-RAM verification through the spill tier (docs/external_memory.md).
+//
+// The acceptance contract under test: a run whose resident-arena budget is
+// far below its peak node count completes with the SAME verdict, iteration
+// count, and counterexample as the unspilled run, with pager activity
+// (page faults > 0) proving the tier actually engaged.  Also pinned here:
+// the two resource-limit paths with the tier enabled -- kNodes inside a
+// beginConcurrent region falls back quiesce -> engage -> serial retry,
+// while kNodeIndexSpace (the structural 31-bit Edge ceiling) aborts the
+// run no matter how much disk is available -- and checkpoint/resume
+// equivalence across spill on/off in both directions.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/structural_checker.hpp"
+#include "check/test_hooks.hpp"
+#include "svc/job.hpp"
+#include "test_util.hpp"
+#include "verif/checkpoint.hpp"
+#include "verif/run_all.hpp"
+
+namespace icb {
+namespace {
+
+/// Resident budget (in nodes) far below kSpillCase's ~9300-node peak: a
+/// floor of xmem::PagedStore::kMinResidentPages pages stays resident, so
+/// most of the arena must round-trip through the page file.
+constexpr std::uint64_t kTightThreshold = 2048;
+
+std::string spillDir() {
+  return (std::filesystem::path(testing::TempDir()) / "spill_test").string();
+}
+
+svc::JobRequest spillCase(Method method, bool injectBug) {
+  // depth-4, 8-bit typed FIFO: the Fwd sweep peaks around 9300 allocated
+  // nodes -- roughly 10 pages -- which is comfortably beyond the tight
+  // resident budget while staying a sub-second test.
+  svc::JobRequest req;
+  req.id = "spill-test";
+  req.model = "fifo";
+  req.method = method;
+  req.size = 4;
+  req.width = 8;
+  req.injectBug = injectBug;
+  return req;
+}
+
+BddOptions spilledOptions(const svc::JobRequest& req,
+                          std::uint64_t threshold = kTightThreshold) {
+  BddOptions options = svc::bddOptionsFor(req);
+  options.spillDir = spillDir();
+  options.spillThresholdNodes = threshold;
+  return options;
+}
+
+EngineResult runCase(const svc::JobRequest& req, const BddOptions& bddOpts,
+                     EngineOptions engineOpts) {
+  BddManager mgr(bddOpts);
+  ModelInstance model = svc::buildJobModel(mgr, req);
+  return runMethod(*model.fsm, req.method, model.fdCandidates, engineOpts);
+}
+
+void expectSameOutcome(const EngineResult& base, const EngineResult& other) {
+  EXPECT_EQ(base.verdict, other.verdict);
+  EXPECT_EQ(base.iterations, other.iterations);
+  ASSERT_EQ(base.trace.has_value(), other.trace.has_value());
+  if (base.trace.has_value()) {
+    EXPECT_EQ(base.trace->states, other.trace->states);
+    EXPECT_EQ(base.trace->inputs, other.trace->inputs);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance criterion: beyond-RAM run == in-RAM run, faults observed
+
+TEST(Spill, BudgetBelowPeakCompletesIdenticallyWithPageFaults) {
+  const svc::JobRequest req = spillCase(Method::kFwd, /*injectBug=*/false);
+  const EngineOptions engineOpts = svc::engineOptionsFor(req);
+
+  const EngineResult base = runCase(req, svc::bddOptionsFor(req), engineOpts);
+  ASSERT_EQ(base.verdict, Verdict::kHolds);
+  EXPECT_FALSE(base.spilled);
+  ASSERT_GT(base.peakAllocatedNodes, 4 * kTightThreshold)
+      << "case too small to prove beyond-RAM operation";
+
+  BddManager mgr(spilledOptions(req));
+  ModelInstance model = svc::buildJobModel(mgr, req);
+  const EngineResult spilled =
+      runMethod(*model.fsm, req.method, model.fdCandidates, engineOpts);
+
+  expectSameOutcome(base, spilled);
+  EXPECT_TRUE(spilled.spilled);
+  EXPECT_TRUE(mgr.spillEngaged());
+
+  // Pager activity proves the run really cycled state through the disk
+  // tier: pages were evicted, and previously spilled pages were re-read.
+  const xmem::PagerStats* pager = mgr.pagerStats();
+  ASSERT_NE(pager, nullptr);
+  EXPECT_GT(pager->pageFaults, 0u);
+  EXPECT_GT(pager->evictions, 0u);
+  EXPECT_GT(pager->spillBytes, 0u);
+  // The same numbers flow into the run's metric snapshot (the CI spill
+  // stage asserts the counter from bench JSON).
+  EXPECT_EQ(spilled.metrics.counter("bdd.xmem.page_faults"),
+            pager->pageFaults);
+  EXPECT_GT(spilled.metrics.counter("bdd.xmem.spill_bytes"), 0u);
+
+  // Resident arena stayed within budget while the peak ran past it.
+  const NodeStore::SpillInfo info = mgr.spillInfo();
+  EXPECT_TRUE(info.engaged);
+  EXPECT_LE(info.residentPages, info.budgetPages);
+  EXPECT_GT(info.pageCount, info.budgetPages);
+  EXPECT_GT(info.spillFileBytes, 0u);
+
+  // And the spilled store is still structurally sound end to end.
+  EXPECT_TRUE(StructuralChecker(mgr).run(CheckLevel::kFull).ok());
+}
+
+TEST(Spill, CounterexampleTraceSurvivesSpilling) {
+  const svc::JobRequest req = spillCase(Method::kFwd, /*injectBug=*/true);
+  const EngineOptions engineOpts = svc::engineOptionsFor(req);
+
+  const EngineResult base = runCase(req, svc::bddOptionsFor(req), engineOpts);
+  ASSERT_EQ(base.verdict, Verdict::kViolated);
+  ASSERT_TRUE(base.trace.has_value());
+
+  const EngineResult spilled = runCase(req, spilledOptions(req), engineOpts);
+  EXPECT_TRUE(spilled.spilled);
+  expectSameOutcome(base, spilled);
+}
+
+// ---------------------------------------------------------------------------
+// kNodes with the tier enabled: spill instead of aborting
+
+TEST(Spill, NodeCapThatAbortsUnspilledCompletesSpilled) {
+  const svc::JobRequest req = spillCase(Method::kFwd, /*injectBug=*/false);
+  EngineOptions engineOpts = svc::engineOptionsFor(req);
+
+  const EngineResult reference =
+      runCase(req, svc::bddOptionsFor(req), engineOpts);
+  ASSERT_EQ(reference.verdict, Verdict::kHolds);
+
+  // A cap above the model build but below the sweep's peak: fatal without
+  // the tier...
+  engineOpts.maxNodes = reference.peakAllocatedNodes - 1000;
+  const EngineResult capped =
+      runCase(req, svc::bddOptionsFor(req), engineOpts);
+  ASSERT_EQ(capped.verdict, Verdict::kNodeLimit);
+
+  // ...and a lazy engage-at-the-cap with the tier armed (threshold 0:
+  // spill only where the cap would otherwise abort).
+  BddManager mgr(spilledOptions(req, /*threshold=*/0));
+  ModelInstance model = svc::buildJobModel(mgr, req);
+  const EngineResult spilled =
+      runMethod(*model.fsm, req.method, model.fdCandidates, engineOpts);
+  EXPECT_TRUE(mgr.spillEngaged());
+  EXPECT_TRUE(spilled.spilled);
+  expectSameOutcome(reference, spilled);
+}
+
+TEST(Spill, NodeCapInsideConcurrentRegionFallsBackAndSpills) {
+  // With applyWorkers > 1 the cap trips inside a beginConcurrent region,
+  // where the tier must NOT mount mid-region: parApply quiesces the pool,
+  // engages the tier, and re-runs the operation serially
+  // (src/bdd/par_apply.cpp).  The run still completes with the baseline
+  // verdict and count.
+  svc::JobRequest req = spillCase(Method::kFwd, /*injectBug=*/false);
+  EngineOptions engineOpts = svc::engineOptionsFor(req);
+
+  const EngineResult reference =
+      runCase(req, svc::bddOptionsFor(req), engineOpts);
+  ASSERT_EQ(reference.verdict, Verdict::kHolds);
+  engineOpts.maxNodes = reference.peakAllocatedNodes - 1000;
+
+  req.applyWorkers = 2;
+  {
+    // Contrast: concurrent, capped, no tier -> kNodeLimit.
+    const EngineResult capped =
+        runCase(req, svc::bddOptionsFor(req), engineOpts);
+    EXPECT_EQ(capped.verdict, Verdict::kNodeLimit);
+  }
+
+  BddManager mgr(spilledOptions(req, /*threshold=*/0));
+  ASSERT_TRUE(mgr.spillArmed());
+  ModelInstance model = svc::buildJobModel(mgr, req);
+  const EngineResult spilled =
+      runMethod(*model.fsm, req.method, model.fdCandidates, engineOpts);
+  EXPECT_TRUE(mgr.spillEngaged());
+  EXPECT_TRUE(spilled.spilled);
+  expectSameOutcome(reference, spilled);
+}
+
+// ---------------------------------------------------------------------------
+// kNodeIndexSpace: the structural ceiling no disk can lift
+
+TEST(Spill, IndexSpaceExhaustionStillThrowsWithTierEngaged) {
+  BddOptions options;
+  options.spillDir = spillDir();
+  BddManager mgr(options);
+  for (unsigned i = 0; i < 8; ++i) mgr.newVar();
+
+  std::vector<Bdd> keep;
+  Rng rng(17);
+  keep.push_back(test::randomBdd(mgr, 8, rng, 6));
+  mgr.engageSpill();
+  ASSERT_TRUE(mgr.spillEngaged());
+
+  const std::uint32_t cap = NodeSurgeon::nodeCount(mgr) + 4;
+  NodeSurgeon::capNodeIndexSpace(mgr, cap);
+  bool tripped = false;
+  try {
+    for (int i = 0; i < 64; ++i) {
+      keep.push_back(test::randomBdd(mgr, 8, rng, 6));
+    }
+  } catch (const ResourceLimitError& err) {
+    tripped = true;
+    // Index-space exhaustion is an Edge-encoding limit, not a RAM limit:
+    // the engaged tier must not absorb it.
+    EXPECT_EQ(err.kind(), ResourceKind::kNodeIndexSpace);
+  }
+  ASSERT_TRUE(tripped);
+  EXPECT_TRUE(StructuralChecker(mgr).run(CheckLevel::kFull).ok());
+}
+
+TEST(Spill, IndexSpaceInsideConcurrentRegionReportsNodeLimitVerdict) {
+  svc::JobRequest req = spillCase(Method::kFwd, /*injectBug=*/false);
+  req.applyWorkers = 2;
+  BddManager mgr(spilledOptions(req, /*threshold=*/0));
+  ModelInstance model = svc::buildJobModel(mgr, req);
+  // Cap the index space just above the built model: the sweep trips the
+  // guard almost immediately, inside the parallel apply.
+  NodeSurgeon::capNodeIndexSpace(mgr, NodeSurgeon::nodeCount(mgr) + 64);
+  const EngineResult result = runMethod(*model.fsm, req.method,
+                                        model.fdCandidates,
+                                        svc::engineOptionsFor(req));
+  // Engines map the typed throw to the capped verdict; the armed tier does
+  // not rescue it (and must not have silently broken the store).
+  EXPECT_EQ(result.verdict, Verdict::kNodeLimit);
+  EXPECT_TRUE(StructuralChecker(mgr).run(CheckLevel::kFull).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/resume equivalence across spill on/off
+
+TEST(Spill, UnspilledCheckpointResumesIdenticallyOnSpilledManager) {
+  // Holds case: the depth-4 sweep takes several iterations, so the resume
+  // really picks up mid-run (the buggy variant converges in one).
+  const svc::JobRequest req = spillCase(Method::kFwd, /*injectBug=*/false);
+
+  std::vector<std::string> snapshots;
+  BddManager baseMgr(svc::bddOptionsFor(req));
+  ModelInstance baseModel = svc::buildJobModel(baseMgr, req);
+  EngineOptions baseOptions = svc::engineOptionsFor(req);
+  baseOptions.checkpoint.everyIterations = 1;
+  baseOptions.checkpoint.sink = [&](const EngineSnapshot& snap) {
+    std::ostringstream os;
+    saveSnapshot(os, baseMgr, snap);
+    snapshots.push_back(os.str());
+  };
+  const EngineResult base =
+      runMethod(*baseModel.fsm, req.method, baseModel.fdCandidates,
+                baseOptions);
+  ASSERT_GE(base.iterations, 2u);
+  ASSERT_FALSE(snapshots.empty());
+
+  BddManager resMgr(spilledOptions(req));
+  ModelInstance resModel = svc::buildJobModel(resMgr, req);
+  std::istringstream in(snapshots[snapshots.size() / 2]);
+  const EngineSnapshot snapshot = loadSnapshot(in, resMgr);
+  EngineOptions resOptions = svc::engineOptionsFor(req);
+  resOptions.checkpoint.resume = &snapshot;
+  const EngineResult resumed = runMethod(*resModel.fsm, req.method,
+                                         resModel.fdCandidates, resOptions);
+  EXPECT_TRUE(resMgr.spillEngaged());
+  EXPECT_TRUE(resumed.spilled);
+  expectSameOutcome(base, resumed);
+}
+
+TEST(Spill, ResumedCounterexampleSurvivesSpilling) {
+  // Violation variant of the cross-spill resume: the resumed, spilling run
+  // must reproduce the baseline counterexample byte for byte.
+  svc::JobRequest req;
+  req.id = "spill-test";
+  req.model = "mutex";
+  req.method = Method::kBkwd;
+  req.size = 5;
+  req.injectBug = true;
+
+  std::vector<std::string> snapshots;
+  BddManager baseMgr(svc::bddOptionsFor(req));
+  ModelInstance baseModel = svc::buildJobModel(baseMgr, req);
+  EngineOptions baseOptions = svc::engineOptionsFor(req);
+  baseOptions.checkpoint.everyIterations = 1;
+  baseOptions.checkpoint.sink = [&](const EngineSnapshot& snap) {
+    std::ostringstream os;
+    saveSnapshot(os, baseMgr, snap);
+    snapshots.push_back(os.str());
+  };
+  const EngineResult base =
+      runMethod(*baseModel.fsm, req.method, baseModel.fdCandidates,
+                baseOptions);
+  ASSERT_EQ(base.verdict, Verdict::kViolated);
+  ASSERT_TRUE(base.trace.has_value());
+  ASSERT_GE(base.iterations, 2u);
+  ASSERT_FALSE(snapshots.empty());
+
+  // A threshold below even the model build guarantees engagement.
+  BddManager resMgr(spilledOptions(req, /*threshold=*/256));
+  ModelInstance resModel = svc::buildJobModel(resMgr, req);
+  std::istringstream in(snapshots[snapshots.size() / 2]);
+  const EngineSnapshot snapshot = loadSnapshot(in, resMgr);
+  EngineOptions resOptions = svc::engineOptionsFor(req);
+  resOptions.checkpoint.resume = &snapshot;
+  const EngineResult resumed = runMethod(*resModel.fsm, req.method,
+                                         resModel.fdCandidates, resOptions);
+  EXPECT_TRUE(resMgr.spillEngaged());
+  EXPECT_TRUE(resumed.spilled);
+  expectSameOutcome(base, resumed);
+}
+
+TEST(Spill, SpilledCheckpointResumesIdenticallyOnUnspilledManager) {
+  const svc::JobRequest req = spillCase(Method::kFwd, /*injectBug=*/false);
+
+  const EngineResult base =
+      runCase(req, svc::bddOptionsFor(req), svc::engineOptionsFor(req));
+
+  std::vector<std::string> snapshots;
+  BddManager spillMgr(spilledOptions(req));
+  ModelInstance spillModel = svc::buildJobModel(spillMgr, req);
+  EngineOptions spillOptions = svc::engineOptionsFor(req);
+  spillOptions.checkpoint.everyIterations = 1;
+  spillOptions.checkpoint.sink = [&](const EngineSnapshot& snap) {
+    std::ostringstream os;
+    saveSnapshot(os, spillMgr, snap);
+    snapshots.push_back(os.str());
+  };
+  const EngineResult spilled = runMethod(*spillModel.fsm, req.method,
+                                         spillModel.fdCandidates,
+                                         spillOptions);
+  EXPECT_TRUE(spilled.spilled);
+  expectSameOutcome(base, spilled);
+  ASSERT_FALSE(snapshots.empty());
+
+  // A snapshot written while paging to disk holds ordinary portable BDDs:
+  // it resumes on a plain in-RAM manager to the same outcome.
+  BddManager resMgr(svc::bddOptionsFor(req));
+  ModelInstance resModel = svc::buildJobModel(resMgr, req);
+  std::istringstream in(snapshots[snapshots.size() / 2]);
+  const EngineSnapshot snapshot = loadSnapshot(in, resMgr);
+  EngineOptions resOptions = svc::engineOptionsFor(req);
+  resOptions.checkpoint.resume = &snapshot;
+  const EngineResult resumed = runMethod(*resModel.fsm, req.method,
+                                         resModel.fdCandidates, resOptions);
+  EXPECT_FALSE(resumed.spilled);
+  expectSameOutcome(base, resumed);
+}
+
+}  // namespace
+}  // namespace icb

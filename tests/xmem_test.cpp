@@ -1,0 +1,253 @@
+// The external-memory tier in isolation (docs/external_memory.md): PageFile
+// slot I/O and failure typing, and PagedStore's two contracts -- exact
+// std::vector semantics while disengaged, and value-preserving eviction /
+// fault-in under a resident-page budget once engaged.  The NodeStore mounts
+// its packed-node arena on this store, so the zero-on-expose assertions here
+// are load-bearing for the whole BDD package (docs/node_layout.md).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "xmem/page_file.hpp"
+#include "xmem/paged_store.hpp"
+#include "xmem/stats.hpp"
+
+namespace icb::xmem {
+namespace {
+
+/// Same shape as the node arena's record: 16 trivially-copyable bytes.
+struct Rec {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+bool operator==(const Rec& x, const Rec& y) { return x.a == y.a && x.b == y.b; }
+
+/// A distinctive non-zero payload for record i.
+Rec recFor(std::size_t i) {
+  return Rec{0x1000u + i, 0x2000u + 3 * i};
+}
+
+std::string tempName(const char* name) {
+  return (std::filesystem::path(testing::TempDir()) / name).string();
+}
+
+using Store = PagedStore<Rec>;
+constexpr std::size_t kPR = Store::kPageRecords;
+
+// ---------------------------------------------------------------------------
+// PageFile
+
+TEST(PageFile, WritesAndReadsSlots) {
+  const std::string path = tempName("pf_roundtrip.xpage");
+  PageFile file;
+  file.open(path, sizeof(Rec) * 4, sizeof(Rec));
+
+  std::vector<Rec> page0{recFor(0), recFor(1), recFor(2), recFor(3)};
+  std::vector<Rec> page2{recFor(10), recFor(11), recFor(12), recFor(13)};
+  file.writePage(0, page0.data());
+  file.writePage(2, page2.data());
+
+  // Header + three slots: slot 2 is the high-water mark even though slot 1
+  // was never written (its bytes are a file hole).
+  EXPECT_EQ(file.bytesOnDisk(),
+            PageFile::kHeaderBytes + 3 * sizeof(Rec) * 4);
+
+  std::vector<Rec> back(4);
+  file.readPage(2, back.data());
+  EXPECT_EQ(back, page2);
+  file.readPage(0, back.data());
+  EXPECT_EQ(back, page0);
+}
+
+TEST(PageFile, HeaderIsSelfDescribing) {
+  const std::string path = tempName("pf_header.xpage");
+  PageFile file;
+  file.open(path, 1024, 16);
+  // The scratch file exists until close(); its first bytes are the magic.
+  std::ifstream raw(path, std::ios::binary);
+  ASSERT_TRUE(raw.good());
+  char magic[14] = {};
+  raw.read(magic, sizeof(magic));
+  EXPECT_EQ(std::string(magic, sizeof(magic)), "icbdd-xpage-v3");
+}
+
+TEST(PageFile, CloseUnlinksTheScratchFile) {
+  const std::string path = tempName("pf_unlink.xpage");
+  PageFile file;
+  file.open(path, 256, 16);
+  ASSERT_TRUE(std::filesystem::exists(path));
+  file.close();
+  EXPECT_FALSE(file.isOpen());
+  EXPECT_FALSE(std::filesystem::exists(path));
+  file.close();  // idempotent
+}
+
+TEST(PageFile, ShortReadPastEofIsTypedWithPathAndOffset) {
+  const std::string path = tempName("pf_short.xpage");
+  PageFile file;
+  file.open(path, 256, 16);
+  std::vector<char> buf(256);
+  bool threw = false;
+  try {
+    file.readPage(7, buf.data());  // never written; beyond EOF
+  } catch (const IoError& err) {
+    threw = true;
+    EXPECT_EQ(err.path(), path);
+    EXPECT_GE(err.byteOffset(), PageFile::kHeaderBytes);
+    EXPECT_NE(std::string(err.what()).find("truncated"), std::string::npos);
+    EXPECT_NE(std::string(err.what()).find(path), std::string::npos);
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(PageFile, UnopenableDirectoryIsTyped) {
+  PageFile file;
+  // A path whose parent is a regular file cannot be created.
+  const std::string blocker = tempName("pf_blocker");
+  { std::ofstream make(blocker); make << "x"; }
+  EXPECT_THROW(file.open(blocker + "/sub/pf.xpage", 256, 16), IoError);
+}
+
+// ---------------------------------------------------------------------------
+// PagedStore, disengaged: the vector drop-in
+
+TEST(PagedStore, DisengagedBehavesLikeZeroFilledVector) {
+  Store s;
+  EXPECT_EQ(s.size(), 0u);
+  s.resize(10);
+  EXPECT_EQ(s.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(s[i], Rec{}) << i;
+
+  s[3] = recFor(3);
+  s.push_back(recFor(10));
+  Rec& r = s.emplace_back();
+  EXPECT_EQ(r, Rec{});
+  r = recFor(11);
+  EXPECT_EQ(s.size(), 12u);
+  EXPECT_EQ(s[3], recFor(3));
+  EXPECT_EQ(s[10], recFor(10));
+  EXPECT_EQ(s[11], recFor(11));
+  EXPECT_FALSE(s.engaged());
+}
+
+TEST(PagedStore, ShrinkThenGrowReexposesZeroRecords) {
+  Store s;
+  s.resize(2 * kPR);
+  for (std::size_t i = 0; i < 2 * kPR; ++i) s[i] = recFor(i);
+  // Cut into the middle of page 1, then grow back: the re-exposed tail must
+  // be zero even though the stale bytes are still in the page buffer.
+  const std::size_t cut = kPR + kPR / 2;
+  s.resize(cut);
+  s.resize(2 * kPR);
+  for (std::size_t i = 0; i < cut; ++i) EXPECT_EQ(s[i], recFor(i)) << i;
+  for (std::size_t i = cut; i < 2 * kPR; ++i) EXPECT_EQ(s[i], Rec{}) << i;
+}
+
+// ---------------------------------------------------------------------------
+// PagedStore, engaged: budgeted residency over a PageFile
+
+struct EngagedStore {
+  PageFile file;
+  PagerStats stats;
+  Store store;
+
+  explicit EngagedStore(const char* name, std::size_t pages,
+                        std::size_t budget) {
+    store.resize(pages * kPR);
+    for (std::size_t i = 0; i < store.size(); ++i) store[i] = recFor(i);
+    file.open(tempName(name), Store::kPageBytes, sizeof(Rec));
+    store.engage(budget, &file, &stats);
+  }
+};
+
+TEST(PagedStore, EngageEvictsDownToBudgetAndSpillsBytes) {
+  EngagedStore e("ps_engage.xpage", /*pages=*/10, /*budget=*/3);
+  EXPECT_TRUE(e.store.engaged());
+  EXPECT_EQ(e.store.budgetPages(), 3u);
+  EXPECT_LE(e.store.residentPages(), 3u);
+  EXPECT_GE(e.stats.evictions, 7u);
+  // Every evicted page was dirty (pre-engagement data), so it was written
+  // back and counted once in the spill high-water.
+  EXPECT_GE(e.stats.spillBytes, 7 * Store::kPageBytes);
+  EXPECT_EQ(e.stats.writeBytes, e.stats.spillBytes);
+  EXPECT_GT(e.file.bytesOnDisk(), PageFile::kHeaderBytes);
+}
+
+TEST(PagedStore, BudgetIsFlooredAtMinResidentPages) {
+  EngagedStore e("ps_floor.xpage", /*pages=*/6, /*budget=*/0);
+  EXPECT_EQ(e.store.budgetPages(), Store::kMinResidentPages);
+}
+
+TEST(PagedStore, FaultInRestoresEveryRecordExactly) {
+  EngagedStore e("ps_fault.xpage", /*pages=*/10, /*budget=*/3);
+  // Sweeping the whole store re-reads evicted pages through the file.
+  for (std::size_t i = 0; i < e.store.size(); ++i) {
+    EXPECT_EQ(static_cast<const Store&>(e.store)[i], recFor(i)) << i;
+  }
+  EXPECT_GT(e.stats.pageFaults, 0u);
+  EXPECT_GE(e.stats.readBytes, e.stats.pageFaults * Store::kPageBytes);
+  EXPECT_LE(e.store.residentPages(), 3u);
+  EXPECT_GT(e.stats.pageReadUs.count(), 0u);
+  EXPECT_GT(e.stats.pageWriteUs.count(), 0u);
+}
+
+TEST(PagedStore, DirtyWriteBackSurvivesRepeatedEviction) {
+  EngagedStore e("ps_dirty.xpage", /*pages=*/10, /*budget=*/3);
+  // Mutate one record on a faulted-in page, then cycle the working set so
+  // the page is evicted (write-back) and faulted again.
+  e.store[5 * kPR + 7] = recFor(999999);
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    for (std::size_t p = 0; p < 10; ++p) {
+      (void)static_cast<const Store&>(e.store)[p * kPR];
+    }
+  }
+  EXPECT_EQ(static_cast<const Store&>(e.store)[5 * kPR + 7], recFor(999999));
+  EXPECT_EQ(static_cast<const Store&>(e.store)[5 * kPR + 6], recFor(5 * kPR + 6));
+}
+
+TEST(PagedStore, ReexposureOverEvictedPagesReadsZero) {
+  EngagedStore e("ps_zero.xpage", /*pages=*/10, /*budget=*/3);
+  // Truncate into the middle of a page that is currently spilled, then grow
+  // back past it: below the cut the disk copy must survive, above it the
+  // records must be zero -- the stale bytes live only in the spill file.
+  const std::size_t cut = 5 * kPR + kPR / 2;
+  e.store.resize(cut);
+  e.store.resize(10 * kPR);
+  for (std::size_t i = 5 * kPR; i < cut; ++i) {
+    EXPECT_EQ(static_cast<const Store&>(e.store)[i], recFor(i)) << i;
+  }
+  for (std::size_t i = cut; i < 10 * kPR; ++i) {
+    EXPECT_EQ(static_cast<const Store&>(e.store)[i], Rec{}) << i;
+  }
+}
+
+TEST(PagedStore, GrowthWhileEngagedStaysWithinBudget) {
+  EngagedStore e("ps_grow.xpage", /*pages=*/4, /*budget=*/3);
+  const std::size_t base = e.store.size();
+  for (std::size_t i = 0; i < 6 * kPR; ++i) {
+    e.store.push_back(recFor(base + i));
+  }
+  EXPECT_LE(e.store.residentPages(), 3u);
+  for (std::size_t i = 0; i < e.store.size(); ++i) {
+    EXPECT_EQ(static_cast<const Store&>(e.store)[i], recFor(i)) << i;
+  }
+}
+
+TEST(PagedStore, ResidentAccessDoesNotInvalidateReferences) {
+  EngagedStore e("ps_refstable.xpage", /*pages=*/10, /*budget=*/3);
+  // Eviction happens only while servicing a miss: two records on the same
+  // resident page can be held across further same-page accesses.
+  Rec& first = e.store[2 * kPR + 1];
+  const Rec copy = first;
+  (void)e.store[2 * kPR + 9];  // same page: no fault, no eviction
+  EXPECT_EQ(first, copy);
+  EXPECT_EQ(&first, &e.store[2 * kPR + 1]);
+}
+
+}  // namespace
+}  // namespace icb::xmem
